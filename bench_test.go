@@ -1,0 +1,421 @@
+// Benchmarks regenerating the measurements behind every figure of the
+// paper's evaluation (§6). One Benchmark family per figure:
+//
+//	Fig. 8  -> BenchmarkFig8Effectiveness (judge-panel evaluation cost)
+//	Fig. 9  -> BenchmarkFig9Approximation  (method quality, reported as
+//	           approx_pct metric per method)
+//	Fig. 10 -> BenchmarkFig10SizeL         (size-l computation per method,
+//	           complete vs prelim, small and large l)
+//	Fig.10e -> BenchmarkFig10eScalability  (per-OS-size timing)
+//	Fig.10f -> BenchmarkFig10fGeneration   (OS generation: data graph vs
+//	           database joins; complete vs prelim-l)
+//
+// plus ablation benches for the design choices called out in DESIGN.md §6:
+// the two avoidance conditions, the Top-Path champion cache, and the
+// exponential brute-force wall that motivates DP.
+package sizelos_test
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+
+	"sizelos"
+	"sizelos/internal/datagen"
+	"sizelos/internal/datagraph"
+	"sizelos/internal/eval"
+	"sizelos/internal/ostree"
+	"sizelos/internal/rank"
+	"sizelos/internal/relational"
+	"sizelos/internal/schemagraph"
+	"sizelos/internal/sizel"
+)
+
+type benchEnv struct {
+	dblp      *sizelos.Engine
+	tpch      *sizelos.Engine
+	dblpRoots []relational.TupleID
+	tpchRoots []relational.TupleID
+}
+
+var (
+	envOnce sync.Once
+	env     *benchEnv
+	envErr  error
+)
+
+func getEnv(b *testing.B) *benchEnv {
+	b.Helper()
+	envOnce.Do(func() {
+		dcfg := datagen.DefaultDBLPConfig()
+		dcfg.Authors = 600
+		dcfg.Papers = 2500
+		dblp, err := sizelos.OpenDBLP(dcfg)
+		if err != nil {
+			envErr = err
+			return
+		}
+		tcfg := datagen.DefaultTPCHConfig()
+		tcfg.ScaleFactor = 0.002
+		tpch, err := sizelos.OpenTPCH(tcfg)
+		if err != nil {
+			envErr = err
+			return
+		}
+		dblpRoots, err := eval.PickRoots(dblp, "Author", 5, 100, 7)
+		if err != nil {
+			envErr = err
+			return
+		}
+		tpchRoots, err := eval.PickRoots(tpch, "Supplier", 5, 100, 7)
+		if err != nil {
+			envErr = err
+			return
+		}
+		env = &benchEnv{dblp: dblp, tpch: tpch, dblpRoots: dblpRoots, tpchRoots: tpchRoots}
+	})
+	if envErr != nil {
+		b.Fatalf("bench env: %v", envErr)
+	}
+	return env
+}
+
+func authorFixture(b *testing.B, l int) (ostree.Source, *schemagraph.GDS, relational.TupleID, *ostree.Tree, *ostree.Tree) {
+	b.Helper()
+	e := getEnv(b)
+	scores, err := e.dblp.Scores(sizelos.DefaultSetting)
+	if err != nil {
+		b.Fatal(err)
+	}
+	gds, err := e.dblp.GDS("Author", sizelos.DefaultSetting)
+	if err != nil {
+		b.Fatal(err)
+	}
+	src := ostree.NewGraphSource(e.dblp.Graph(), scores)
+	root := e.dblpRoots[0]
+	complete, err := ostree.Generate(src, gds, root, ostree.GenOptions{MaxDepth: l - 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	prelim, _, err := sizel.PrelimL(src, gds, root, l, sizel.PrelimOptions{MaxDepth: l - 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return src, gds, root, complete, prelim
+}
+
+// BenchmarkFig8Effectiveness measures one effectiveness cell: optimal
+// size-l OS + judge panel + overlap, the unit of work behind Figure 8.
+func BenchmarkFig8Effectiveness(b *testing.B) {
+	e := getEnv(b)
+	cfg := eval.DefaultJudgeConfig()
+	cfg.Judges = 4
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, err := eval.Effectiveness(e.dblp, "Author", e.dblpRoots[:1], []int{15}, []string{"GA1-d1"}, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig9Approximation runs the four greedy method/input combinations
+// and reports their quality as custom approx_pct metrics (the y-axis of
+// Figure 9), while timing the full per-l evaluation.
+func BenchmarkFig9Approximation(b *testing.B) {
+	for _, l := range []int{10, 50} {
+		b.Run(fmt.Sprintf("l=%d", l), func(b *testing.B) {
+			_, _, _, complete, prelim := authorFixture(b, l)
+			opt, err := sizel.DP(context.Background(), complete, l)
+			if err != nil {
+				b.Fatal(err)
+			}
+			type m struct {
+				name string
+				run  func() (sizel.Result, error)
+			}
+			methods := []m{
+				{"bu_complete", func() (sizel.Result, error) { return sizel.BottomUp(complete, l) }},
+				{"bu_prelim", func() (sizel.Result, error) { return sizel.BottomUp(prelim, l) }},
+				{"tp_complete", func() (sizel.Result, error) { return sizel.TopPath(complete, l, sizel.TopPathOptions{}) }},
+				{"tp_prelim", func() (sizel.Result, error) { return sizel.TopPath(prelim, l, sizel.TopPathOptions{}) }},
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				for _, mm := range methods {
+					res, err := mm.run()
+					if err != nil {
+						b.Fatal(err)
+					}
+					b.ReportMetric(100*res.Importance/opt.Importance, mm.name+"_approx_pct")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkFig10SizeL times each size-l algorithm on complete and prelim-l
+// inputs: the series of Figures 10(a)-(d).
+func BenchmarkFig10SizeL(b *testing.B) {
+	for _, l := range []int{10, 50} {
+		_, _, _, complete, prelim := authorFixture(b, l)
+		for _, tc := range []struct {
+			name string
+			tree *ostree.Tree
+		}{{"complete", complete}, {"prelim", prelim}} {
+			b.Run(fmt.Sprintf("dp/l=%d/%s", l, tc.name), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					if _, err := sizel.DP(context.Background(), tc.tree, l); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+			b.Run(fmt.Sprintf("bottomup/l=%d/%s", l, tc.name), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					if _, err := sizel.BottomUp(tc.tree, l); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+			b.Run(fmt.Sprintf("toppath/l=%d/%s", l, tc.name), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					if _, err := sizel.TopPath(tc.tree, l, sizel.TopPathOptions{}); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkFig10eScalability times Bottom-Up (the fastest method) on OSs of
+// increasing size at fixed l=10, the x-axis of Figure 10(e).
+func BenchmarkFig10eScalability(b *testing.B) {
+	e := getEnv(b)
+	scores, err := e.dblp.Scores(sizelos.DefaultSetting)
+	if err != nil {
+		b.Fatal(err)
+	}
+	gds, err := e.dblp.GDS("Author", sizelos.DefaultSetting)
+	if err != nil {
+		b.Fatal(err)
+	}
+	src := ostree.NewGraphSource(e.dblp.Graph(), scores)
+	const l = 10
+	for _, root := range e.dblpRoots {
+		tree, err := ostree.Generate(src, gds, root, ostree.GenOptions{MaxDepth: l - 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(fmt.Sprintf("os=%d", tree.Len()), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := sizel.BottomUp(tree, l); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkFig10fGeneration times OS generation per path: complete vs
+// prelim-l, data graph vs database joins, on the largest workload (TPC-H
+// Supplier) — the bar chart of Figure 10(f).
+func BenchmarkFig10fGeneration(b *testing.B) {
+	e := getEnv(b)
+	scores, err := e.tpch.Scores(sizelos.DefaultSetting)
+	if err != nil {
+		b.Fatal(err)
+	}
+	gds, err := e.tpch.GDS("Supplier", sizelos.DefaultSetting)
+	if err != nil {
+		b.Fatal(err)
+	}
+	root := e.tpchRoots[0]
+	const l = 10
+	b.Run("complete/graph", func(b *testing.B) {
+		src := ostree.NewGraphSource(e.tpch.Graph(), scores)
+		for i := 0; i < b.N; i++ {
+			if _, err := ostree.Generate(src, gds, root, ostree.GenOptions{}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("complete/db", func(b *testing.B) {
+		src := ostree.NewDBSource(e.tpch.DB(), scores)
+		for i := 0; i < b.N; i++ {
+			if _, err := ostree.Generate(src, gds, root, ostree.GenOptions{}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("prelim/graph", func(b *testing.B) {
+		src := ostree.NewGraphSource(e.tpch.Graph(), scores)
+		for i := 0; i < b.N; i++ {
+			if _, _, err := sizel.PrelimL(src, gds, root, l, sizel.PrelimOptions{}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("prelim/db", func(b *testing.B) {
+		src := ostree.NewDBSource(e.tpch.DB(), scores)
+		for i := 0; i < b.N; i++ {
+			if _, _, err := sizel.PrelimL(src, gds, root, l, sizel.PrelimOptions{}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkAblationAvoidance isolates the two avoidance conditions of the
+// prelim-l generation (Algorithm 4): full pruning, each condition alone,
+// and none (complete-OS-equivalent extraction).
+func BenchmarkAblationAvoidance(b *testing.B) {
+	e := getEnv(b)
+	scores, err := e.dblp.Scores(sizelos.DefaultSetting)
+	if err != nil {
+		b.Fatal(err)
+	}
+	gds, err := e.dblp.GDS("Author", sizelos.DefaultSetting)
+	if err != nil {
+		b.Fatal(err)
+	}
+	src := ostree.NewGraphSource(e.dblp.Graph(), scores)
+	root := e.dblpRoots[0]
+	const l = 10
+	cases := []struct {
+		name string
+		opts sizel.PrelimOptions
+	}{
+		{"both", sizel.PrelimOptions{}},
+		{"ac1_only", sizel.PrelimOptions{DisableAC2: true}},
+		{"ac2_only", sizel.PrelimOptions{DisableAC1: true}},
+		{"none", sizel.PrelimOptions{DisableAC1: true, DisableAC2: true}},
+	}
+	for _, tc := range cases {
+		b.Run(tc.name, func(b *testing.B) {
+			var extracted int
+			for i := 0; i < b.N; i++ {
+				tree, _, err := sizel.PrelimL(src, gds, root, l, tc.opts)
+				if err != nil {
+					b.Fatal(err)
+				}
+				extracted = tree.Len()
+			}
+			b.ReportMetric(float64(extracted), "tuples_extracted")
+		})
+	}
+}
+
+// BenchmarkAblationChampionCache compares Top-Path with and without the
+// s(v) subtree-champion optimization (§5.2).
+func BenchmarkAblationChampionCache(b *testing.B) {
+	_, _, _, complete, _ := authorFixture(b, 50)
+	b.Run("cached", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := sizel.TopPath(complete, 50, sizel.TopPathOptions{}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("recompute", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := sizel.TopPath(complete, 50, sizel.TopPathOptions{NoChampionCache: true}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkAblationBruteForceWall demonstrates the exponential baseline the
+// paper dismisses (§3.3): brute force vs DP on a small OS truncation.
+func BenchmarkAblationBruteForceWall(b *testing.B) {
+	_, _, _, complete, _ := authorFixture(b, 6)
+	// Truncate to the first 18 nodes (keeping arena-prefix connectivity).
+	small := &ostree.Tree{GDS: complete.GDS, DB: complete.DB}
+	n := complete.Len()
+	if n > 18 {
+		n = 18
+	}
+	for i := 0; i < n; i++ {
+		node := complete.Nodes[i]
+		node.Children = nil
+		small.Nodes = append(small.Nodes, node)
+		if node.Parent != ostree.None {
+			p := &small.Nodes[node.Parent]
+			p.Children = append(p.Children, ostree.NodeID(i))
+		}
+	}
+	const l = 6
+	b.Run("bruteforce", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := sizel.BruteForce(small, l); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("dp", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := sizel.DP(context.Background(), small, l); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkEndToEndSearch times the full paradigm: keyword -> DS tuples ->
+// prelim-l -> Top-Path -> rendered summaries (the user-visible latency).
+func BenchmarkEndToEndSearch(b *testing.B) {
+	e := getEnv(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := e.dblp.Search("Author", "Faloutsos", 15, sizelos.SearchOptions{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res) != 3 {
+			b.Fatalf("want 3 results, got %d", len(res))
+		}
+	}
+}
+
+// BenchmarkRankCompute times global ObjectRank computation (the setup cost
+// the paper precomputes offline).
+func BenchmarkRankCompute(b *testing.B) {
+	cfg := datagen.DefaultDBLPConfig()
+	cfg.Authors = 300
+	cfg.Papers = 1200
+	db, err := datagen.GenerateDBLP(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	g, err := datagraph.Build(db)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ga := datagen.DBLPGA1()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := rank.Compute(g, ga, rank.DefaultOptions()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkDataGraphBuild times data-graph index construction (the paper:
+// 17s for DBLP, 128s for TPC-H at full scale; ours is scaled down).
+func BenchmarkDataGraphBuild(b *testing.B) {
+	cfg := datagen.DefaultDBLPConfig()
+	cfg.Authors = 300
+	cfg.Papers = 1200
+	db, err := datagen.GenerateDBLP(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := datagraph.Build(db); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

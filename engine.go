@@ -1,0 +1,418 @@
+// Package sizelos is a from-scratch Go implementation of "Size-l Object
+// Summaries for Relational Keyword Search" (Fakas, Cai, Mamoulis, PVLDB
+// 5(3), 2011).
+//
+// A keyword query against a relational database identifies Data Subject
+// (DS) tuples; for each, the system produces a size-l Object Summary: the
+// most important l tuples around the DS tuple, connected so the summary is
+// a stand-alone synopsis. The Engine type wires together the substrates —
+// relational storage, tuple data graph, ObjectRank/ValueRank global
+// importance, Data Subject Schema Graphs — and exposes keyword search and
+// summary generation:
+//
+//	eng, _ := sizelos.OpenDBLP(datagen.DefaultDBLPConfig())
+//	results, _ := eng.Search("Author", "Faloutsos", 15, sizelos.SearchOptions{})
+//	for _, r := range results {
+//	    fmt.Println(r.Text)
+//	}
+package sizelos
+
+import (
+	"context"
+	"fmt"
+	"sort"
+
+	"sizelos/internal/datagen"
+	"sizelos/internal/datagraph"
+	"sizelos/internal/keyword"
+	"sizelos/internal/ostree"
+	"sizelos/internal/rank"
+	"sizelos/internal/relational"
+	"sizelos/internal/schemagraph"
+	"sizelos/internal/sizel"
+)
+
+// Algorithm selects the size-l computation method.
+type Algorithm string
+
+// The available size-l algorithms (paper §4 and §5).
+const (
+	// AlgoDP is the exact dynamic program (Algorithm 1). Slow on large OSs.
+	AlgoDP Algorithm = "dp"
+	// AlgoBottomUp is greedy leaf pruning (Algorithm 2): fastest.
+	AlgoBottomUp Algorithm = "bottom-up"
+	// AlgoTopPath is greedy path insertion (Algorithm 3): best quality
+	// among the greedy methods.
+	AlgoTopPath Algorithm = "top-path"
+)
+
+// Setting names one precomputed global-importance configuration, e.g.
+// "GA1-d1". The paper's four evaluation settings are produced by the Open*
+// constructors.
+type Setting struct {
+	Name string
+	GA   *rank.GA
+	// Damping is the PageRank damping factor d.
+	Damping float64
+}
+
+// DefaultSettings returns the paper's four evaluation settings for a pair
+// of authority transfer graphs: GA1 with d1=0.85, d2=0.10, d3=0.99 and GA2
+// with d1 (§6).
+func DefaultSettings(ga1, ga2 *rank.GA) []Setting {
+	return []Setting{
+		{Name: "GA1-d1", GA: ga1, Damping: 0.85},
+		{Name: "GA1-d2", GA: ga1, Damping: 0.10},
+		{Name: "GA1-d3", GA: ga1, Damping: 0.99},
+		{Name: "GA2-d1", GA: ga2, Damping: 0.85},
+	}
+}
+
+// DefaultSetting is the paper's default configuration (GA1, d=0.85).
+const DefaultSetting = "GA1-d1"
+
+// Engine bundles a database with its derived structures: data graph,
+// per-setting global importance, per-(DS relation, setting) annotated
+// G_DS, and the keyword index.
+type Engine struct {
+	db    *relational.DB
+	graph *datagraph.Graph
+	index *keyword.Index
+	// scores per setting name.
+	scores map[string]relational.DBScores
+	// gds[dsRel][setting] is the annotated G_DS clone for that setting.
+	gds map[string]map[string]*schemagraph.GDS
+	// baseGDS[dsRel] is the unannotated original.
+	baseGDS map[string]*schemagraph.GDS
+}
+
+// NewEngine builds an engine over db: computes every setting's global
+// importance on the data graph and indexes keywords. Register G_DSs with
+// RegisterGDS before searching.
+func NewEngine(db *relational.DB, settings []Setting) (*Engine, error) {
+	if len(settings) == 0 {
+		return nil, fmt.Errorf("sizelos: at least one ranking setting required")
+	}
+	g, err := datagraph.Build(db)
+	if err != nil {
+		return nil, fmt.Errorf("sizelos: build data graph: %w", err)
+	}
+	e := &Engine{
+		db:      db,
+		graph:   g,
+		index:   keyword.BuildIndex(db),
+		scores:  make(map[string]relational.DBScores, len(settings)),
+		gds:     make(map[string]map[string]*schemagraph.GDS),
+		baseGDS: make(map[string]*schemagraph.GDS),
+	}
+	for _, s := range settings {
+		opts := rank.DefaultOptions()
+		opts.Damping = s.Damping
+		sc, st, err := rank.Compute(g, s.GA, opts)
+		if err != nil {
+			return nil, fmt.Errorf("sizelos: setting %s: %w", s.Name, err)
+		}
+		if !st.Converged {
+			return nil, fmt.Errorf("sizelos: setting %s did not converge after %d iterations", s.Name, st.Iterations)
+		}
+		e.scores[s.Name] = sc
+	}
+	return e, nil
+}
+
+// RegisterGDS installs a Data Subject Schema Graph; one annotated clone is
+// prepared per ranking setting.
+func (e *Engine) RegisterGDS(gds *schemagraph.GDS) error {
+	if err := gds.Validate(e.db); err != nil {
+		return err
+	}
+	perSetting := make(map[string]*schemagraph.GDS, len(e.scores))
+	for name, sc := range e.scores {
+		c := gds.Clone()
+		if err := c.Annotate(e.db, sc); err != nil {
+			return fmt.Errorf("sizelos: annotate %s under %s: %w", gds.DSName, name, err)
+		}
+		perSetting[name] = c
+	}
+	e.baseGDS[gds.DSName] = gds
+	e.gds[gds.DSName] = perSetting
+	return nil
+}
+
+// DB exposes the underlying database (read-only by convention).
+func (e *Engine) DB() *relational.DB { return e.db }
+
+// Graph exposes the tuple data graph.
+func (e *Engine) Graph() *datagraph.Graph { return e.graph }
+
+// Scores returns the global importance of a setting.
+func (e *Engine) Scores(setting string) (relational.DBScores, error) {
+	sc, ok := e.scores[setting]
+	if !ok {
+		return nil, fmt.Errorf("sizelos: unknown setting %q (have %v)", setting, e.SettingNames())
+	}
+	return sc, nil
+}
+
+// SettingNames lists the configured settings, sorted.
+func (e *Engine) SettingNames() []string {
+	out := make([]string, 0, len(e.scores))
+	for k := range e.scores {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// GDS returns the annotated G_DS of a DS relation under a setting.
+func (e *Engine) GDS(dsRel, setting string) (*schemagraph.GDS, error) {
+	per, ok := e.gds[dsRel]
+	if !ok {
+		return nil, fmt.Errorf("sizelos: no G_DS registered for %s", dsRel)
+	}
+	g, ok := per[setting]
+	if !ok {
+		return nil, fmt.Errorf("sizelos: unknown setting %q", setting)
+	}
+	return g, nil
+}
+
+// SearchOptions tunes Search and SizeL.
+type SearchOptions struct {
+	// Setting selects the ranking configuration (default DefaultSetting).
+	Setting string
+	// Algorithm selects the size-l method (default AlgoTopPath, the
+	// paper's quality recommendation).
+	Algorithm Algorithm
+	// UseComplete computes from the complete OS instead of the prelim-l OS.
+	// The paper recommends prelim-l ("constantly a better choice", §6.3),
+	// so the default is prelim.
+	UseComplete bool
+	// FromDatabase extracts tuples with database joins instead of the
+	// in-memory data graph (Fig. 10f compares the two).
+	FromDatabase bool
+	// TopK caps how many DS matches are summarized (0 = all).
+	TopK int
+	// ShowWeights annotates rendered summaries with local importance.
+	ShowWeights bool
+}
+
+func (o *SearchOptions) fill() {
+	if o.Setting == "" {
+		o.Setting = DefaultSetting
+	}
+	if o.Algorithm == "" {
+		o.Algorithm = AlgoTopPath
+	}
+}
+
+// Summary is one size-l OS result.
+type Summary struct {
+	// DSRel and Tuple identify the data subject.
+	DSRel string
+	Tuple relational.TupleID
+	// Headline is the DS tuple's displayable description.
+	Headline string
+	// Result holds the selected nodes and Im(S).
+	Result sizel.Result
+	// Tree is the OS the selection indexes into (prelim-l or complete).
+	Tree *ostree.Tree
+	// Text is the rendered size-l OS in the style of Example 5.
+	Text string
+}
+
+// Search runs a keyword query against the DS relation and returns one
+// size-l OS per matching data subject, ranked by DS global importance: the
+// paper's end-to-end paradigm (Q1 "Faloutsos", l=15 → Example 5).
+func (e *Engine) Search(dsRel, query string, l int, opts SearchOptions) ([]Summary, error) {
+	opts.fill()
+	sc, err := e.Scores(opts.Setting)
+	if err != nil {
+		return nil, err
+	}
+	matches := e.index.Search(dsRel, query, sc)
+	if opts.TopK > 0 && len(matches) > opts.TopK {
+		matches = matches[:opts.TopK]
+	}
+	out := make([]Summary, 0, len(matches))
+	for _, m := range matches {
+		s, err := e.SizeL(dsRel, m.Tuple, l, opts)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, s)
+	}
+	return out, nil
+}
+
+// SizeL computes the size-l OS of one data subject tuple.
+func (e *Engine) SizeL(dsRel string, tuple relational.TupleID, l int, opts SearchOptions) (Summary, error) {
+	opts.fill()
+	sc, err := e.Scores(opts.Setting)
+	if err != nil {
+		return Summary{}, err
+	}
+	gds, err := e.GDS(dsRel, opts.Setting)
+	if err != nil {
+		return Summary{}, err
+	}
+	var src ostree.Source
+	if opts.FromDatabase {
+		src = ostree.NewDBSource(e.db, sc)
+	} else {
+		src = ostree.NewGraphSource(e.graph, sc)
+	}
+
+	var tree *ostree.Tree
+	if opts.UseComplete {
+		tree, err = ostree.Generate(src, gds, tuple, ostree.GenOptions{MaxDepth: l - 1})
+	} else {
+		tree, _, err = sizel.PrelimL(src, gds, tuple, l, sizel.PrelimOptions{MaxDepth: l - 1})
+	}
+	if err != nil {
+		return Summary{}, err
+	}
+
+	var res sizel.Result
+	switch opts.Algorithm {
+	case AlgoDP:
+		res, err = sizel.DP(context.Background(), tree, l)
+	case AlgoBottomUp:
+		res, err = sizel.BottomUp(tree, l)
+	case AlgoTopPath:
+		res, err = sizel.TopPath(tree, l, sizel.TopPathOptions{})
+	default:
+		return Summary{}, fmt.Errorf("sizelos: unknown algorithm %q", opts.Algorithm)
+	}
+	if err != nil {
+		return Summary{}, err
+	}
+
+	text := tree.Render(ostree.RenderOptions{Keep: res.Nodes, ShowWeights: opts.ShowWeights})
+	return Summary{
+		DSRel:    dsRel,
+		Tuple:    tuple,
+		Headline: headline(e.db, dsRel, tuple),
+		Result:   res,
+		Tree:     tree,
+		Text:     text,
+	}, nil
+}
+
+// RankedSearch implements the combined size-l and top-k ranking of OSs the
+// paper leaves as future work (§7): candidates matching the keywords are
+// summarized first, then ranked by the importance Im(S) of their size-l OS
+// — the summary's weight, not just the DS tuple's own global score — and
+// the best k are returned. A DS whose neighborhood is important outranks a
+// well-connected but shallow one.
+func (e *Engine) RankedSearch(dsRel, query string, l, k int, opts SearchOptions) ([]Summary, error) {
+	opts.fill()
+	if k < 1 {
+		return nil, fmt.Errorf("sizelos: k must be >= 1, got %d", k)
+	}
+	sc, err := e.Scores(opts.Setting)
+	if err != nil {
+		return nil, err
+	}
+	matches := e.index.Search(dsRel, query, sc)
+	out := make([]Summary, 0, len(matches))
+	for _, m := range matches {
+		s, err := e.SizeL(dsRel, m.Tuple, l, opts)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, s)
+	}
+	sort.SliceStable(out, func(a, b int) bool {
+		if out[a].Result.Importance != out[b].Result.Importance {
+			return out[a].Result.Importance > out[b].Result.Importance
+		}
+		return out[a].Tuple < out[b].Tuple
+	})
+	if len(out) > k {
+		out = out[:k]
+	}
+	return out, nil
+}
+
+// RegisterAutoGDS derives a G_DS for dsRel automatically from the schema
+// (schemagraph.Treealize) instead of using an expert preset: junctions
+// names the pure M:N connector relations, theta prunes low-affinity
+// branches (0 uses the engine default θ).
+func (e *Engine) RegisterAutoGDS(dsRel string, junctions []string, theta float64) error {
+	if theta == 0 {
+		theta = Theta
+	}
+	jset := make(map[string]bool, len(junctions))
+	for _, j := range junctions {
+		jset[j] = true
+	}
+	gds, err := schemagraph.Treealize(e.db, dsRel, schemagraph.AutoOptions{
+		Junctions: jset,
+		Theta:     theta,
+	})
+	if err != nil {
+		return err
+	}
+	return e.RegisterGDS(gds)
+}
+
+// headline renders the DS tuple's first displayable string attribute.
+func headline(db *relational.DB, rel string, tuple relational.TupleID) string {
+	r := db.Relation(rel)
+	tup := r.Tuples[tuple]
+	for ci, col := range r.Columns {
+		if col.Kind == relational.KindString && ci != r.PKCol {
+			return tup[ci].Str
+		}
+	}
+	return fmt.Sprintf("%s #%d", rel, r.PK(tuple))
+}
+
+// OpenDBLP generates the DBLP-like database and returns an engine with the
+// paper's four settings and the Author and Paper G_DSs registered.
+func OpenDBLP(cfg datagen.DBLPConfig) (*Engine, error) {
+	db, err := datagen.GenerateDBLP(cfg)
+	if err != nil {
+		return nil, err
+	}
+	eng, err := NewEngine(db, DefaultSettings(datagen.DBLPGA1(), datagen.DBLPGA2()))
+	if err != nil {
+		return nil, err
+	}
+	// At θ=0.7 the DBLP G_DSs keep all their relations (paper §2.1), so
+	// thresholding is a no-op kept for symmetry with OpenTPCH.
+	if err := eng.RegisterGDS(datagen.AuthorGDS().Threshold(Theta)); err != nil {
+		return nil, err
+	}
+	if err := eng.RegisterGDS(datagen.PaperGDS().Threshold(Theta)); err != nil {
+		return nil, err
+	}
+	return eng, nil
+}
+
+// Theta is the affinity threshold θ applied to G_DSs (§2.1): the paper's
+// experiments use G_DS(0.7), which e.g. reduces the Customer G_DS to
+// Customer, Nation, Region, Order, Lineitem and Partsupp.
+const Theta = 0.7
+
+// OpenTPCH generates the TPC-H-like database and returns an engine with the
+// paper's four settings (ValueRank GA1, ObjectRank GA2) and the Customer
+// and Supplier G_DS(θ) registered.
+func OpenTPCH(cfg datagen.TPCHConfig) (*Engine, error) {
+	db, err := datagen.GenerateTPCH(cfg)
+	if err != nil {
+		return nil, err
+	}
+	eng, err := NewEngine(db, DefaultSettings(datagen.TPCHGA1(), datagen.TPCHGA2()))
+	if err != nil {
+		return nil, err
+	}
+	if err := eng.RegisterGDS(datagen.CustomerGDS().Threshold(Theta)); err != nil {
+		return nil, err
+	}
+	if err := eng.RegisterGDS(datagen.SupplierGDS().Threshold(Theta)); err != nil {
+		return nil, err
+	}
+	return eng, nil
+}

@@ -1,0 +1,92 @@
+// Algorithm comparison on one data subject: compute the same size-l OS with
+// the optimal DP, Bottom-Up Pruning and Update Top-Path-l — from both the
+// complete OS and the prelim-l OS — and report importance, approximation
+// ratio and timing side by side (a miniature of the paper's Figures 9 and
+// 10).
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"time"
+
+	"sizelos"
+	"sizelos/internal/datagen"
+	"sizelos/internal/ostree"
+	"sizelos/internal/sizel"
+)
+
+func main() {
+	cfg := datagen.DefaultDBLPConfig()
+	cfg.Authors = 300
+	cfg.Papers = 1500
+	eng, err := sizelos.OpenDBLP(cfg)
+	if err != nil {
+		log.Fatalf("open dblp: %v", err)
+	}
+	const l = 20
+
+	scores, err := eng.Scores(sizelos.DefaultSetting)
+	if err != nil {
+		log.Fatal(err)
+	}
+	gds, err := eng.GDS("Author", sizelos.DefaultSetting)
+	if err != nil {
+		log.Fatal(err)
+	}
+	root, ok := eng.DB().Relation("Author").LookupPK(1) // Christos
+	if !ok {
+		log.Fatal("author 1 missing")
+	}
+	src := ostree.NewGraphSource(eng.Graph(), scores)
+
+	complete, err := ostree.Generate(src, gds, root, ostree.GenOptions{MaxDepth: l - 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	prelim, pstats, err := sizel.PrelimL(src, gds, root, l, sizel.PrelimOptions{MaxDepth: l - 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("complete OS: %d tuples;  prelim-%d OS: %d tuples "+
+		"(AC1 skips: %d, AC2 TOP-l joins: %d)\n\n",
+		complete.Len(), l, prelim.Len(), pstats.AC1Skips, pstats.AC2TopL)
+
+	opt, err := sizel.DP(context.Background(), complete, l)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	type method struct {
+		name string
+		run  func(*ostree.Tree) (sizel.Result, error)
+	}
+	methods := []method{
+		{"DP (optimal)", func(t *ostree.Tree) (sizel.Result, error) {
+			return sizel.DP(context.Background(), t, l)
+		}},
+		{"Bottom-Up", func(t *ostree.Tree) (sizel.Result, error) {
+			return sizel.BottomUp(t, l)
+		}},
+		{"Top-Path", func(t *ostree.Tree) (sizel.Result, error) {
+			return sizel.TopPath(t, l, sizel.TopPathOptions{})
+		}},
+	}
+	fmt.Printf("%-14s %-12s %10s %8s %12s\n", "method", "input", "Im(S)", "approx", "time")
+	for _, m := range methods {
+		for _, in := range []struct {
+			name string
+			tree *ostree.Tree
+		}{{"complete", complete}, {"prelim-l", prelim}} {
+			start := time.Now()
+			res, err := m.run(in.tree)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("%-14s %-12s %10.2f %7.2f%% %12v\n",
+				m.name, in.name, res.Importance,
+				100*res.Importance/opt.Importance, time.Since(start).Round(time.Microsecond))
+		}
+	}
+}

@@ -1,0 +1,320 @@
+package datagen
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"sizelos/internal/rank"
+	"sizelos/internal/relational"
+	"sizelos/internal/schemagraph"
+)
+
+// DBLPConfig sizes the synthetic bibliographic database. The defaults give
+// a laptop-scale database whose prolific authors have complete OSs in the
+// paper's reported range (hundreds to >1300 tuples, Fig. 10e).
+type DBLPConfig struct {
+	Seed        int64
+	Authors     int
+	Papers      int
+	Conferences int
+	StartYear   int
+	YearSpan    int
+	// AuthorZipf is the skew exponent of author productivity (0 = uniform).
+	AuthorZipf float64
+	// MeanCitations is the mean outgoing citations per paper; targets are
+	// drawn with preferential attachment so in-citations are heavy-tailed.
+	MeanCitations int
+	// MaxAuthorsPerPaper caps the author list length (min 1).
+	MaxAuthorsPerPaper int
+}
+
+// DefaultDBLPConfig is the configuration used by tests, examples and the
+// benchmark harness.
+func DefaultDBLPConfig() DBLPConfig {
+	return DBLPConfig{
+		Seed:               1,
+		Authors:            1200,
+		Papers:             4000,
+		Conferences:        20,
+		StartYear:          1988,
+		YearSpan:           15,
+		AuthorZipf:         0.62,
+		MeanCitations:      4,
+		MaxAuthorsPerPaper: 4,
+	}
+}
+
+// famousAuthors are fixed, high-productivity authors inserted first so that
+// the paper's running example (Q1: "Faloutsos") works verbatim against the
+// synthetic database.
+var famousAuthors = []string{
+	"Christos Faloutsos",
+	"Michalis Faloutsos",
+	"Petros Faloutsos",
+	"Rakesh Agrawal",
+	"Nikos Mamoulis",
+	"Dimitris Papadias",
+}
+
+var confNames = []string{
+	"SIGMOD", "VLDB", "ICDE", "PODS", "KDD", "SIGCOMM", "SIGGRAPH", "WWW",
+	"EDBT", "CIKM", "SIGIR", "ICDT", "PVLDB", "TKDE", "SODA", "STOC",
+	"FOCS", "NIPS", "ICML", "SOSP", "OSDI", "NSDI", "PDIS", "SPIE",
+}
+
+var givenNames = []string{
+	"Alex", "Bing", "Carlos", "Dana", "Elena", "Feng", "Georgia", "Hiro",
+	"Irene", "Jorge", "Katerina", "Liang", "Maria", "Nikos", "Olga",
+	"Pavel", "Qing", "Rosa", "Stefan", "Tomas", "Uma", "Viktor", "Wei",
+	"Xenia", "Yannis", "Zoe",
+}
+
+var surnames = []string{
+	"Anagnostou", "Brown", "Chen", "Dimitriou", "Eriksson", "Fernandez",
+	"Gupta", "Hansen", "Ivanov", "Jensen", "Kumar", "Laskaris", "Muller",
+	"Nakamura", "Oliveira", "Papadakis", "Quinn", "Rodriguez", "Schmidt",
+	"Takahashi", "Ueda", "Vasquez", "Wang", "Xanthos", "Yamada", "Zhang",
+}
+
+var titleWords = []string{
+	"Efficient", "Scalable", "Adaptive", "Distributed", "Parallel",
+	"Indexing", "Querying", "Mining", "Clustering", "Ranking", "Searching",
+	"Summarization", "Estimation", "Sampling", "Caching", "Joins",
+	"Keyword", "Spatial", "Temporal", "Streaming", "Relational", "Graph",
+	"Multimedia", "Similarity", "Declustering", "Fractals", "Power-law",
+	"Topology", "Multicast", "Animation", "Databases", "Networks",
+	"Systems", "Structures", "Algorithms", "Models",
+}
+
+// GenerateDBLP builds the DBLP-like database with the schema of the paper's
+// Figure 1: Conference, Year (one tuple per conference-year), Paper, Author,
+// and the junctions Writes (Paper-Author) and Cites (Paper-Paper).
+func GenerateDBLP(cfg DBLPConfig) (*relational.DB, error) {
+	if cfg.Authors < len(famousAuthors) {
+		return nil, fmt.Errorf("datagen: need at least %d authors, got %d", len(famousAuthors), cfg.Authors)
+	}
+	if cfg.Papers < 1 || cfg.Conferences < 1 || cfg.YearSpan < 1 {
+		return nil, fmt.Errorf("datagen: papers, conferences and year span must be positive")
+	}
+	if cfg.MaxAuthorsPerPaper < 1 {
+		cfg.MaxAuthorsPerPaper = 1
+	}
+	r := rand.New(rand.NewSource(cfg.Seed))
+	db := relational.NewDB("dblp")
+
+	conf := relational.MustNewRelation("Conference",
+		[]relational.Column{
+			{Name: "id", Kind: relational.KindInt, Affinity: 1},
+			{Name: "name", Kind: relational.KindString, Affinity: 1},
+		}, "id", nil)
+	year := relational.MustNewRelation("Year",
+		[]relational.Column{
+			{Name: "id", Kind: relational.KindInt, Affinity: 1},
+			{Name: "conf", Kind: relational.KindInt, Affinity: 1},
+			{Name: "year", Kind: relational.KindInt, Affinity: 1},
+		}, "id", []relational.ForeignKey{{Column: "conf", Ref: "Conference"}})
+	paper := relational.MustNewRelation("Paper",
+		[]relational.Column{
+			{Name: "id", Kind: relational.KindInt, Affinity: 1},
+			{Name: "year", Kind: relational.KindInt, Affinity: 1},
+			{Name: "title", Kind: relational.KindString, Affinity: 1},
+		}, "id", []relational.ForeignKey{{Column: "year", Ref: "Year"}})
+	author := relational.MustNewRelation("Author",
+		[]relational.Column{
+			{Name: "id", Kind: relational.KindInt, Affinity: 1},
+			{Name: "name", Kind: relational.KindString, Affinity: 1},
+		}, "id", nil)
+	writes := relational.MustNewRelation("Writes",
+		[]relational.Column{
+			{Name: "id", Kind: relational.KindInt, Affinity: 1},
+			{Name: "paper", Kind: relational.KindInt, Affinity: 1},
+			{Name: "author", Kind: relational.KindInt, Affinity: 1},
+		}, "id", []relational.ForeignKey{
+			{Column: "paper", Ref: "Paper"},
+			{Column: "author", Ref: "Author"},
+		})
+	cites := relational.MustNewRelation("Cites",
+		[]relational.Column{
+			{Name: "id", Kind: relational.KindInt, Affinity: 1},
+			{Name: "citing", Kind: relational.KindInt, Affinity: 1},
+			{Name: "cited", Kind: relational.KindInt, Affinity: 1},
+		}, "id", []relational.ForeignKey{
+			{Column: "citing", Ref: "Paper"},
+			{Column: "cited", Ref: "Paper"},
+		})
+	for _, rel := range []*relational.Relation{conf, year, paper, author, writes, cites} {
+		db.MustAddRelation(rel)
+	}
+
+	// Conferences and conference-year instances.
+	for i := 0; i < cfg.Conferences; i++ {
+		name := confNames[i%len(confNames)]
+		if i >= len(confNames) {
+			name = fmt.Sprintf("%s-%d", name, i/len(confNames)+2)
+		}
+		conf.MustInsert(relational.Tuple{
+			relational.IntVal(int64(i + 1)), relational.StrVal(name),
+		})
+	}
+	yearID := int64(0)
+	for c := 0; c < cfg.Conferences; c++ {
+		for y := 0; y < cfg.YearSpan; y++ {
+			yearID++
+			year.MustInsert(relational.Tuple{
+				relational.IntVal(yearID),
+				relational.IntVal(int64(c + 1)),
+				relational.IntVal(int64(cfg.StartYear + y)),
+			})
+		}
+	}
+
+	// Authors: the fixed famous ones first (most productive), then random
+	// names.
+	for i := 0; i < cfg.Authors; i++ {
+		var name string
+		if i < len(famousAuthors) {
+			name = famousAuthors[i]
+		} else {
+			name = fmt.Sprintf("%s %s",
+				givenNames[r.Intn(len(givenNames))],
+				surnames[r.Intn(len(surnames))])
+			// Keep names unique so every author is addressable by keyword.
+			name = fmt.Sprintf("%s %04d", name, i)
+		}
+		author.MustInsert(relational.Tuple{
+			relational.IntVal(int64(i + 1)), relational.StrVal(name),
+		})
+	}
+
+	// Papers with Zipf-skewed author assignment.
+	zipf := newZipfWeights(cfg.Authors, cfg.AuthorZipf)
+	writesID := int64(0)
+	for p := 0; p < cfg.Papers; p++ {
+		title := paperTitle(r)
+		yid := int64(r.Intn(cfg.Conferences*cfg.YearSpan) + 1)
+		paper.MustInsert(relational.Tuple{
+			relational.IntVal(int64(p + 1)), relational.IntVal(yid), relational.StrVal(title),
+		})
+		nAuthors := 1 + r.Intn(cfg.MaxAuthorsPerPaper)
+		seen := make(map[int]bool, nAuthors)
+		for len(seen) < nAuthors {
+			a := zipf.sample(r)
+			if seen[a] {
+				// Degenerate tiny configs could loop; widen by one step.
+				a = (a + 1) % cfg.Authors
+				if seen[a] {
+					break
+				}
+			}
+			seen[a] = true
+			writesID++
+			writes.MustInsert(relational.Tuple{
+				relational.IntVal(writesID),
+				relational.IntVal(int64(p + 1)),
+				relational.IntVal(int64(a + 1)),
+			})
+		}
+	}
+
+	// Citations with preferential attachment: paper p cites earlier papers,
+	// preferring already-cited ones. citedCount[i] tracks in-degree.
+	citedCount := make([]int, cfg.Papers)
+	citesID := int64(0)
+	for p := 1; p < cfg.Papers; p++ {
+		n := r.Intn(2*cfg.MeanCitations + 1) // uniform 0..2·mean, mean = MeanCitations
+		if n > p {
+			n = p
+		}
+		chosen := make(map[int]bool, n)
+		for k := 0; k < n; k++ {
+			target := prefAttachTarget(r, citedCount, p)
+			if target < 0 || chosen[target] {
+				continue
+			}
+			chosen[target] = true
+			citedCount[target]++
+			citesID++
+			cites.MustInsert(relational.Tuple{
+				relational.IntVal(citesID),
+				relational.IntVal(int64(p + 1)),
+				relational.IntVal(int64(target + 1)),
+			})
+		}
+	}
+	return db, nil
+}
+
+// prefAttachTarget picks a citation target among papers [0, limit) with
+// probability proportional to citedCount+1 (preferential attachment). Two
+// rejection rounds keep it O(1) amortized; -1 signals "skip".
+func prefAttachTarget(r *rand.Rand, citedCount []int, limit int) int {
+	for attempt := 0; attempt < 4; attempt++ {
+		i := r.Intn(limit)
+		// Accept with probability (count+1)/(maxPlausible); a simple
+		// Bernoulli thinning against a slowly-growing bound keeps the
+		// distribution heavy-tailed without bookkeeping.
+		bound := 1 + citedCount[i]
+		if r.Intn(4) < bound {
+			return i
+		}
+	}
+	return r.Intn(limit)
+}
+
+func paperTitle(r *rand.Rand) string {
+	n := 3 + r.Intn(4)
+	words := make([]string, n)
+	for i := range words {
+		words[i] = titleWords[r.Intn(len(titleWords))]
+	}
+	return strings.Join(words, " ")
+}
+
+// DBLPGA1 is the default DBLP Authority Transfer Schema Graph (paper Figure
+// 13a): citations transfer 0.7 forward and 0 backward; papers confer
+// authority on authors (0.3) and mildly vice versa (0.1); Paper/Year and
+// Year/Conference exchange 0.2/0.2 and 0.3/0.3.
+func DBLPGA1() *rank.GA {
+	return rank.NewGA("GA1").
+		Hop("Cites", 0, 1, 0.7).        // citing -> cited
+		Hop("Writes", 0, 1, 0.3).       // paper -> author
+		Hop("Writes", 1, 0, 0.1).       // author -> paper
+		Direct("Paper", 0, true, 0.2).  // paper -> year
+		Direct("Paper", 0, false, 0.2). // year -> papers
+		Direct("Year", 0, true, 0.3).   // year -> conference
+		Direct("Year", 0, false, 0.3)   // conference -> years
+}
+
+// DBLPGA2 is the paper's GA2 for DBLP: the same flow topology with common
+// transfer rates of 0.3 on every edge.
+func DBLPGA2() *rank.GA {
+	return DBLPGA1().UniformLike("GA2", 0.3)
+}
+
+// AuthorGDS is the expert Author G_DS of Figure 2 with the paper's
+// affinities: Paper 0.92, Co-Author 0.82, Year 0.83, Conference 0.78,
+// PaperCites/PaperCitedBy 0.77.
+func AuthorGDS() *schemagraph.GDS {
+	g := schemagraph.New("Author")
+	paper := g.Root.AddJunction("Paper", "Paper", "Writes", 1, 0, 0.92)
+	paper.AddJunction("Co-Author", "Author", "Writes", 0, 1, 0.82)
+	year := paper.AddParentFK("Year", "Year", 0, 0.83)
+	year.AddParentFK("Conference", "Conference", 0, 0.78)
+	paper.AddJunction("PaperCites", "Paper", "Cites", 0, 1, 0.77)
+	paper.AddJunction("PaperCitedBy", "Paper", "Cites", 1, 0, 0.77)
+	return g
+}
+
+// PaperGDS is the expert Paper G_DS (§6.2): Paper -> (Author, PaperCitedBy,
+// PaperCites, Year -> Conference). The paper reports that local importance
+// on this G_DS is monotone in practice, making Bottom-Up optimal (Lemma 2).
+func PaperGDS() *schemagraph.GDS {
+	g := schemagraph.New("Paper")
+	g.Root.AddJunction("Author", "Author", "Writes", 0, 1, 0.85)
+	g.Root.AddJunction("PaperCitedBy", "Paper", "Cites", 1, 0, 0.77)
+	g.Root.AddJunction("PaperCites", "Paper", "Cites", 0, 1, 0.77)
+	year := g.Root.AddParentFK("Year", "Year", 0, 0.83)
+	year.AddParentFK("Conference", "Conference", 0, 0.78)
+	return g
+}

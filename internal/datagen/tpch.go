@@ -1,0 +1,305 @@
+package datagen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"sizelos/internal/rank"
+	"sizelos/internal/relational"
+	"sizelos/internal/schemagraph"
+)
+
+// TPCHConfig sizes the synthetic trading database. ScaleFactor follows the
+// dbgen convention: sf=1 would be 150k customers / 1.5M orders / ~6M
+// lineitems; the defaults use a laptop-scale fraction with the same ratios
+// (paper Figure 11 schema).
+type TPCHConfig struct {
+	Seed        int64
+	ScaleFactor float64
+}
+
+// DefaultTPCHConfig is used by tests, examples and the benchmark harness.
+func DefaultTPCHConfig() TPCHConfig {
+	return TPCHConfig{Seed: 7, ScaleFactor: 0.004}
+}
+
+var regionNames = []string{"AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EAST"}
+
+var nationNames = []string{
+	"ALGERIA", "ARGENTINA", "BRAZIL", "CANADA", "EGYPT", "ETHIOPIA",
+	"FRANCE", "GERMANY", "INDIA", "INDONESIA", "IRAN", "IRAQ", "JAPAN",
+	"JORDAN", "KENYA", "MOROCCO", "MOZAMBIQUE", "PERU", "CHINA", "ROMANIA",
+	"SAUDI ARABIA", "VIETNAM", "RUSSIA", "UNITED KINGDOM", "UNITED STATES",
+}
+
+var partAdjectives = []string{
+	"antique", "burnished", "chocolate", "dim", "economy", "forest",
+	"gainsboro", "honeydew", "ivory", "khaki", "lavender", "metallic",
+	"navajo", "olive", "peru", "rosy", "saddle", "thistle", "violet", "wheat",
+}
+
+var partNouns = []string{
+	"brass widget", "copper gear", "steel bolt", "tin plate", "nickel rod",
+	"chrome spring", "zinc bracket", "pewter hinge", "bronze valve", "iron shaft",
+}
+
+// tpchCounts derives table cardinalities from the scale factor with dbgen's
+// ratios, clamped to small minimums so tiny factors still produce a
+// connected database.
+type tpchCounts struct {
+	regions, nations, suppliers, parts, partsupps, customers, orders int
+	lineitemsPerOrderMax                                             int
+}
+
+func countsFor(sf float64) tpchCounts {
+	c := tpchCounts{
+		regions:              5,
+		nations:              25,
+		suppliers:            maxInt(10, int(10000*sf)),
+		parts:                maxInt(40, int(200000*sf)),
+		customers:            maxInt(30, int(150000*sf)),
+		orders:               maxInt(300, int(1500000*sf)),
+		lineitemsPerOrderMax: 7,
+	}
+	c.partsupps = 4 * c.parts // dbgen: 4 suppliers per part
+	return c
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// GenerateTPCH builds the TPC-H-like database of Figure 11: Region, Nation,
+// Customer, Supplier, Parts, Partsupp, Orders, Lineitem. Value columns
+// (TotalPrice, ExtendedPrice, SupplyCost, RetailPrice, AcctBal) are drawn
+// from wide ranges so that ValueRank is discriminative; Orders.TotalPrice is
+// the exact sum of the order's Lineitem extended prices, as in TPC-H.
+func GenerateTPCH(cfg TPCHConfig) (*relational.DB, error) {
+	if cfg.ScaleFactor <= 0 {
+		return nil, fmt.Errorf("datagen: scale factor must be positive, got %v", cfg.ScaleFactor)
+	}
+	r := rand.New(rand.NewSource(cfg.Seed))
+	n := countsFor(cfg.ScaleFactor)
+	db := relational.NewDB("tpch")
+
+	region := relational.MustNewRelation("Region",
+		[]relational.Column{
+			{Name: "id", Kind: relational.KindInt, Affinity: 1},
+			{Name: "name", Kind: relational.KindString, Affinity: 1},
+		}, "id", nil)
+	nation := relational.MustNewRelation("Nation",
+		[]relational.Column{
+			{Name: "id", Kind: relational.KindInt, Affinity: 1},
+			{Name: "region", Kind: relational.KindInt, Affinity: 1},
+			{Name: "name", Kind: relational.KindString, Affinity: 1},
+		}, "id", []relational.ForeignKey{{Column: "region", Ref: "Region"}})
+	customer := relational.MustNewRelation("Customer",
+		[]relational.Column{
+			{Name: "id", Kind: relational.KindInt, Affinity: 1},
+			{Name: "nation", Kind: relational.KindInt, Affinity: 1},
+			{Name: "name", Kind: relational.KindString, Affinity: 1},
+			{Name: "acctbal", Kind: relational.KindFloat, Affinity: 1},
+		}, "id", []relational.ForeignKey{{Column: "nation", Ref: "Nation"}})
+	supplier := relational.MustNewRelation("Supplier",
+		[]relational.Column{
+			{Name: "id", Kind: relational.KindInt, Affinity: 1},
+			{Name: "nation", Kind: relational.KindInt, Affinity: 1},
+			{Name: "name", Kind: relational.KindString, Affinity: 1},
+			{Name: "acctbal", Kind: relational.KindFloat, Affinity: 1},
+		}, "id", []relational.ForeignKey{{Column: "nation", Ref: "Nation"}})
+	parts := relational.MustNewRelation("Parts",
+		[]relational.Column{
+			{Name: "id", Kind: relational.KindInt, Affinity: 1},
+			{Name: "name", Kind: relational.KindString, Affinity: 1},
+			{Name: "retailprice", Kind: relational.KindFloat, Affinity: 1},
+		}, "id", nil)
+	partsupp := relational.MustNewRelation("Partsupp",
+		[]relational.Column{
+			{Name: "id", Kind: relational.KindInt, Affinity: 1},
+			{Name: "part", Kind: relational.KindInt, Affinity: 1},
+			{Name: "supplier", Kind: relational.KindInt, Affinity: 1},
+			{Name: "supplycost", Kind: relational.KindFloat, Affinity: 1},
+			{Name: "availqty", Kind: relational.KindInt, Affinity: 1},
+			// Comment is excluded from Customer OSs via attribute affinity
+			// (§2.1: "Comment is excluded from Partsupp relation as it is
+			// not relevant to Customer DSs").
+			{Name: "comment", Kind: relational.KindString, Affinity: 0.3},
+		}, "id", []relational.ForeignKey{
+			{Column: "part", Ref: "Parts"},
+			{Column: "supplier", Ref: "Supplier"},
+		})
+	orders := relational.MustNewRelation("Orders",
+		[]relational.Column{
+			{Name: "id", Kind: relational.KindInt, Affinity: 1},
+			{Name: "customer", Kind: relational.KindInt, Affinity: 1},
+			{Name: "totalprice", Kind: relational.KindFloat, Affinity: 1},
+			{Name: "orderdate", Kind: relational.KindString, Affinity: 1},
+		}, "id", []relational.ForeignKey{{Column: "customer", Ref: "Customer"}})
+	lineitem := relational.MustNewRelation("Lineitem",
+		[]relational.Column{
+			{Name: "id", Kind: relational.KindInt, Affinity: 1},
+			{Name: "order", Kind: relational.KindInt, Affinity: 1},
+			{Name: "partsupp", Kind: relational.KindInt, Affinity: 1},
+			{Name: "extendedprice", Kind: relational.KindFloat, Affinity: 1},
+			{Name: "quantity", Kind: relational.KindInt, Affinity: 1},
+		}, "id", []relational.ForeignKey{
+			{Column: "order", Ref: "Orders"},
+			{Column: "partsupp", Ref: "Partsupp"},
+		})
+	for _, rel := range []*relational.Relation{region, nation, customer, supplier, parts, partsupp, orders, lineitem} {
+		db.MustAddRelation(rel)
+	}
+
+	for i, name := range regionNames {
+		region.MustInsert(relational.Tuple{relational.IntVal(int64(i + 1)), relational.StrVal(name)})
+	}
+	for i := 0; i < n.nations; i++ {
+		nation.MustInsert(relational.Tuple{
+			relational.IntVal(int64(i + 1)),
+			relational.IntVal(int64(i%n.regions + 1)),
+			relational.StrVal(nationNames[i%len(nationNames)]),
+		})
+	}
+	for i := 0; i < n.customers; i++ {
+		customer.MustInsert(relational.Tuple{
+			relational.IntVal(int64(i + 1)),
+			relational.IntVal(int64(r.Intn(n.nations) + 1)),
+			relational.StrVal(fmt.Sprintf("Customer#%06d", i+1)),
+			relational.FloatVal(float64(r.Intn(999999)) / 100),
+		})
+	}
+	for i := 0; i < n.suppliers; i++ {
+		supplier.MustInsert(relational.Tuple{
+			relational.IntVal(int64(i + 1)),
+			relational.IntVal(int64(r.Intn(n.nations) + 1)),
+			relational.StrVal(fmt.Sprintf("Supplier#%06d", i+1)),
+			relational.FloatVal(float64(r.Intn(999999)) / 100),
+		})
+	}
+	for i := 0; i < n.parts; i++ {
+		parts.MustInsert(relational.Tuple{
+			relational.IntVal(int64(i + 1)),
+			relational.StrVal(fmt.Sprintf("%s %s",
+				partAdjectives[r.Intn(len(partAdjectives))],
+				partNouns[r.Intn(len(partNouns))])),
+			relational.FloatVal(900 + float64(r.Intn(110000))/100),
+		})
+	}
+	psID := int64(0)
+	for p := 0; p < n.parts; p++ {
+		for s := 0; s < 4; s++ {
+			psID++
+			partsupp.MustInsert(relational.Tuple{
+				relational.IntVal(psID),
+				relational.IntVal(int64(p + 1)),
+				relational.IntVal(int64(r.Intn(n.suppliers) + 1)),
+				relational.FloatVal(1 + float64(r.Intn(99900))/100),
+				relational.IntVal(int64(1 + r.Intn(9999))),
+				relational.StrVal("generated filler comment"),
+			})
+		}
+	}
+	// Orders with skewed per-customer counts (some customers order a lot),
+	// each with 1..7 lineitems; TotalPrice = Σ ExtendedPrice.
+	custZipf := newZipfWeights(n.customers, 0.4)
+	liID := int64(0)
+	for o := 0; o < n.orders; o++ {
+		cust := custZipf.sample(r) + 1
+		nLines := 1 + r.Intn(n.lineitemsPerOrderMax)
+		total := 0.0
+		lines := make([]relational.Tuple, 0, nLines)
+		for li := 0; li < nLines; li++ {
+			liID++
+			qty := 1 + r.Intn(50)
+			ps := int64(r.Intn(int(psID)) + 1)
+			price := float64(qty) * (10 + float64(r.Intn(19000))/100)
+			total += price
+			lines = append(lines, relational.Tuple{
+				relational.IntVal(liID),
+				relational.IntVal(int64(o + 1)),
+				relational.IntVal(ps),
+				relational.FloatVal(price),
+				relational.IntVal(int64(qty)),
+			})
+		}
+		orders.MustInsert(relational.Tuple{
+			relational.IntVal(int64(o + 1)),
+			relational.IntVal(int64(cust)),
+			relational.FloatVal(total),
+			relational.StrVal(fmt.Sprintf("19%02d-%02d-%02d", 92+r.Intn(7), 1+r.Intn(12), 1+r.Intn(28))),
+		})
+		for _, t := range lines {
+			lineitem.MustInsert(t)
+		}
+	}
+	return db, nil
+}
+
+// TPCHGA1 is the default TPC-H ValueRank G_A (paper Figure 13b): order and
+// lineitem flows are weighted by monetary value (0.5·f(TotalPrice),
+// 0.1·f(ExtendedPrice), 0.2/0.5·f(SupplyCost)), the geography edges carry
+// small constant rates.
+func TPCHGA1() *rank.GA {
+	return rank.NewGA("GA1").
+		// Geography.
+		Direct("Nation", 0, true, 0.1).    // nation -> region
+		Direct("Nation", 0, false, 0.1).   // region -> nations
+		Direct("Customer", 0, true, 0.1).  // customer -> nation
+		Direct("Customer", 0, false, 0.1). // nation -> customers
+		Direct("Supplier", 0, true, 0.1).  // supplier -> nation
+		Direct("Supplier", 0, false, 0.1). // nation -> suppliers
+		// Trade: value-weighted authority.
+		DirectValue("Orders", 0, false, 0.5, "totalprice").      // customer -> orders ∝ value
+		Direct("Orders", 0, true, 0.2).                          // order -> customer
+		DirectValue("Lineitem", 0, false, 0.1, "extendedprice"). // order -> lineitems ∝ value
+		Direct("Lineitem", 0, true, 0.3).                        // lineitem -> order
+		Direct("Lineitem", 1, true, 0.2).                        // lineitem -> partsupp
+		DirectValue("Lineitem", 1, false, 0.1, "extendedprice"). // partsupp -> lineitems ∝ value
+		Direct("Partsupp", 0, true, 0.1).                        // partsupp -> part
+		DirectValue("Partsupp", 0, false, 0.5, "supplycost").    // part -> partsupps ∝ cost
+		Direct("Partsupp", 1, true, 0.1).                        // partsupp -> supplier
+		DirectValue("Partsupp", 1, false, 0.2, "supplycost")     // supplier -> partsupps ∝ cost
+}
+
+// TPCHGA2 is the paper's GA2 for TPC-H: GA1 with values neglected, i.e. a
+// plain ObjectRank G_A.
+func TPCHGA2() *rank.GA {
+	return TPCHGA1().StripValues("GA2")
+}
+
+// CustomerGDS is the expert Customer G_DS of Figure 12 with the paper's
+// affinities. At θ=0.7 it reduces to Customer, Nation, Region, Order,
+// Lineitem and Partsupp, exactly as §2.1 states.
+func CustomerGDS() *schemagraph.GDS {
+	g := schemagraph.New("Customer")
+	nation := g.Root.AddParentFK("Nation", "Nation", 0, 0.97)
+	nation.AddParentFK("Region", "Region", 0, 0.91)
+	supp := nation.AddChildFK("Supplier", "Supplier", 0, 0.52)
+	ps2 := supp.AddChildFK("PartsuppOfSupplier", "Partsupp", 1, 0.43)
+	ps2.AddChildFK("LineitemOfPartsupp", "Lineitem", 1, 0.34)
+	ps2.AddParentFK("PartsOfPartsupp", "Parts", 0, 0.36)
+	order := g.Root.AddChildFK("Order", "Orders", 0, 0.95)
+	li := order.AddChildFK("Lineitem", "Lineitem", 0, 0.87)
+	ps := li.AddParentFK("Partsupp", "Partsupp", 1, 0.77)
+	ps.AddParentFK("Parts", "Parts", 0, 0.65)
+	ps.AddParentFK("Supplier2", "Supplier", 1, 0.65)
+	return g
+}
+
+// SupplierGDS is the expert Supplier G_DS (not drawn in the paper; built
+// analogously to Figure 12 — Supplier OSs are the largest tested, averaging
+// 1341 tuples in §6.2).
+func SupplierGDS() *schemagraph.GDS {
+	g := schemagraph.New("Supplier")
+	nation := g.Root.AddParentFK("Nation", "Nation", 0, 0.97)
+	nation.AddParentFK("Region", "Region", 0, 0.91)
+	ps := g.Root.AddChildFK("Partsupp", "Partsupp", 1, 0.95)
+	ps.AddParentFK("Parts", "Parts", 0, 0.78)
+	li := ps.AddChildFK("Lineitem", "Lineitem", 1, 0.87)
+	order := li.AddParentFK("Order", "Orders", 0, 0.80)
+	order.AddParentFK("Customer", "Customer", 0, 0.72)
+	return g
+}

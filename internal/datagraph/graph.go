@@ -1,0 +1,216 @@
+// Package datagraph builds and serves the tuple-level data graph of a
+// relational database: one node per tuple, one edge per foreign-key pair.
+// The paper (§6.3, Fig. 10f) uses exactly such an in-memory graph as an
+// index to accelerate OS generation — "data-graph nodes correspond to the
+// database tuples and edges to tuples relationships (through their primary
+// and foreign keys) ... the data-graph is only an index and does not contain
+// actual data as nodes capture only keys and global importance".
+//
+// The same graph is the substrate for ObjectRank/ValueRank power iteration
+// (package rank), which needs typed edges: authority transfer rates are
+// declared per schema edge and direction.
+package datagraph
+
+import (
+	"fmt"
+
+	"sizelos/internal/relational"
+)
+
+// NodeID identifies a tuple globally: the relation ordinal (registration
+// order in the DB) and the TupleID within that relation.
+type NodeID struct {
+	Rel   int32
+	Tuple relational.TupleID
+}
+
+// EdgeType identifies one foreign key in the schema: the relation owning the
+// FK and the FK ordinal within it. Each EdgeType yields edges in two
+// directions: forward (owner -> referenced, the M:1 direction) and backward
+// (referenced -> owner, the 1:M direction).
+type EdgeType struct {
+	Rel string // relation owning the foreign key
+	FK  int    // ordinal in Relation.FKs
+}
+
+// String renders the edge type as Rel.column->Ref.
+func (e EdgeType) String() string { return fmt.Sprintf("%s.fk%d", e.Rel, e.FK) }
+
+// adjacency holds, for one relation and one incident edge type, the
+// CSR-style neighbor lists of every tuple.
+type adjacency struct {
+	// offsets has len(tuples)+1 entries; neighbors[offsets[i]:offsets[i+1]]
+	// are tuple i's neighbors along this edge type and direction.
+	offsets   []int32
+	neighbors []relational.TupleID
+}
+
+// relEdges describes one direction of one edge type as seen from a source
+// relation.
+type relEdges struct {
+	Type     EdgeType
+	Forward  bool   // true: source owns the FK (M:1); false: 1:M direction
+	Other    string // the relation on the far end
+	adj      adjacency
+	otherIdx int32 // relation ordinal of Other
+}
+
+// Graph is the immutable tuple-level data graph.
+type Graph struct {
+	DB *relational.DB
+	// edges[relOrdinal] lists every incident edge-type direction of that
+	// relation, in deterministic schema order.
+	edges [][]relEdges
+	// counts of nodes per relation, cached.
+	sizes []int
+}
+
+// Build constructs the data graph from the database's foreign keys. Cost is
+// linear in tuples+edges; the experiments report this as the data-graph
+// construction time of Fig. 10f.
+func Build(db *relational.DB) (*Graph, error) {
+	g := &Graph{
+		DB:    db,
+		edges: make([][]relEdges, len(db.Relations)),
+		sizes: make([]int, len(db.Relations)),
+	}
+	for i, r := range db.Relations {
+		g.sizes[i] = r.Len()
+	}
+	for _, r := range db.Relations {
+		src := db.RelIndex(r.Name)
+		for fi, fk := range r.FKs {
+			ref := db.Relation(fk.Ref)
+			if ref == nil {
+				return nil, fmt.Errorf("datagraph: %s.%s references unknown relation %s", r.Name, fk.Column, fk.Ref)
+			}
+			dst := db.RelIndex(fk.Ref)
+			et := EdgeType{Rel: r.Name, FK: fi}
+
+			fwd, err := buildForward(r, fi, ref)
+			if err != nil {
+				return nil, err
+			}
+			g.edges[src] = append(g.edges[src], relEdges{
+				Type: et, Forward: true, Other: fk.Ref, adj: fwd, otherIdx: int32(dst),
+			})
+
+			bwd := buildBackward(r, fi, ref)
+			g.edges[dst] = append(g.edges[dst], relEdges{
+				Type: et, Forward: false, Other: r.Name, adj: bwd, otherIdx: int32(src),
+			})
+		}
+	}
+	return g, nil
+}
+
+// buildForward maps each tuple of owner to the single referenced tuple.
+func buildForward(owner *relational.Relation, fkOrd int, ref *relational.Relation) (adjacency, error) {
+	col := owner.ColIndex(owner.FKs[fkOrd].Column)
+	n := owner.Len()
+	adj := adjacency{
+		offsets:   make([]int32, n+1),
+		neighbors: make([]relational.TupleID, 0, n),
+	}
+	for i := 0; i < n; i++ {
+		adj.offsets[i] = int32(len(adj.neighbors))
+		key := owner.Tuples[i][col].Int
+		if id, ok := ref.LookupPK(key); ok {
+			adj.neighbors = append(adj.neighbors, id)
+		} else {
+			return adjacency{}, fmt.Errorf("datagraph: %s tuple %d: dangling FK %s=%d into %s",
+				owner.Name, i, owner.FKs[fkOrd].Column, key, ref.Name)
+		}
+	}
+	adj.offsets[n] = int32(len(adj.neighbors))
+	return adj, nil
+}
+
+// buildBackward maps each tuple of ref to the owner tuples referencing it,
+// in owner insertion order.
+func buildBackward(owner *relational.Relation, fkOrd int, ref *relational.Relation) adjacency {
+	col := owner.ColIndex(owner.FKs[fkOrd].Column)
+	n := ref.Len()
+	counts := make([]int32, n)
+	for i := 0; i < owner.Len(); i++ {
+		key := owner.Tuples[i][col].Int
+		if id, ok := ref.LookupPK(key); ok {
+			counts[id]++
+		}
+	}
+	adj := adjacency{offsets: make([]int32, n+1)}
+	total := int32(0)
+	for i := 0; i < n; i++ {
+		adj.offsets[i] = total
+		total += counts[i]
+	}
+	adj.offsets[n] = total
+	adj.neighbors = make([]relational.TupleID, total)
+	fill := make([]int32, n)
+	copy(fill, adj.offsets[:n])
+	for i := 0; i < owner.Len(); i++ {
+		key := owner.Tuples[i][col].Int
+		if id, ok := ref.LookupPK(key); ok {
+			adj.neighbors[fill[id]] = relational.TupleID(i)
+			fill[id]++
+		}
+	}
+	return adj
+}
+
+// NumNodes returns the total node count.
+func (g *Graph) NumNodes() int {
+	n := 0
+	for _, s := range g.sizes {
+		n += s
+	}
+	return n
+}
+
+// RelSize returns the node count of relation ordinal rel.
+func (g *Graph) RelSize(rel int) int { return g.sizes[rel] }
+
+// EdgeDirs returns the incident edge-type directions of relation ordinal
+// rel, in deterministic order.
+func (g *Graph) EdgeDirs(rel int) []EdgeDir {
+	dirs := make([]EdgeDir, len(g.edges[rel]))
+	for i := range g.edges[rel] {
+		e := &g.edges[rel][i]
+		dirs[i] = EdgeDir{Type: e.Type, Forward: e.Forward, Other: e.Other, OtherIdx: int(e.otherIdx)}
+	}
+	return dirs
+}
+
+// EdgeDir is the public view of one incident edge-type direction.
+type EdgeDir struct {
+	Type     EdgeType
+	Forward  bool
+	Other    string
+	OtherIdx int
+}
+
+// Neighbors returns the tuples adjacent to (rel, t) along the dir-th
+// incident edge direction of rel. The returned slice aliases internal
+// storage and must not be modified.
+func (g *Graph) Neighbors(rel int, t relational.TupleID, dir int) []relational.TupleID {
+	adj := &g.edges[rel][dir].adj
+	return adj.neighbors[adj.offsets[t]:adj.offsets[t+1]]
+}
+
+// Degree returns the out-degree of (rel, t) along incident direction dir.
+func (g *Graph) Degree(rel int, t relational.TupleID, dir int) int {
+	adj := &g.edges[rel][dir].adj
+	return int(adj.offsets[t+1] - adj.offsets[t])
+}
+
+// NeighborsAlong returns neighbors along a specific edge type and direction,
+// or nil if that edge direction is not incident to rel.
+func (g *Graph) NeighborsAlong(rel int, t relational.TupleID, et EdgeType, forward bool) []relational.TupleID {
+	for i := range g.edges[rel] {
+		e := &g.edges[rel][i]
+		if e.Type == et && e.Forward == forward {
+			return g.Neighbors(rel, t, i)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,156 @@
+// Package keyword implements the query front-end of the OS paradigm: an
+// inverted index over string attributes that maps a keyword query to the
+// data-subject tuples t_DS containing the keyword(s) as part of an
+// attribute's value (paper §2.1). One size-l OS is then produced per
+// matching DS tuple, as in Example 5.
+package keyword
+
+import (
+	"sort"
+	"strings"
+	"unicode"
+
+	"sizelos/internal/relational"
+)
+
+// Match is one data-subject candidate for a keyword query.
+type Match struct {
+	Relation string
+	Tuple    relational.TupleID
+	// Score is the tuple's global importance under the ranking setting the
+	// index was asked to rank with; candidates are returned best-first.
+	Score float64
+}
+
+// Index is an inverted index token -> tuples, per relation.
+type Index struct {
+	db *relational.DB
+	// postings[rel][token] lists tuple ids containing token in any string
+	// attribute, in ascending order.
+	postings map[string]map[string][]relational.TupleID
+}
+
+// Tokenize lower-cases and splits a string on any non-letter/digit rune.
+// It is exported so queries and documents are guaranteed to agree.
+func Tokenize(s string) []string {
+	return strings.FieldsFunc(strings.ToLower(s), func(r rune) bool {
+		return !unicode.IsLetter(r) && !unicode.IsDigit(r)
+	})
+}
+
+// BuildIndex indexes every string attribute of every relation.
+func BuildIndex(db *relational.DB) *Index {
+	idx := &Index{db: db, postings: make(map[string]map[string][]relational.TupleID)}
+	for _, rel := range db.Relations {
+		tokens := make(map[string][]relational.TupleID)
+		for ci, col := range rel.Columns {
+			if col.Kind != relational.KindString {
+				continue
+			}
+			for ti, tup := range rel.Tuples {
+				for _, tok := range Tokenize(tup[ci].Str) {
+					list := tokens[tok]
+					if len(list) > 0 && list[len(list)-1] == relational.TupleID(ti) {
+						continue // same tuple, multiple hits
+					}
+					tokens[tok] = append(list, relational.TupleID(ti))
+				}
+			}
+		}
+		idx.postings[rel.Name] = tokens
+	}
+	return idx
+}
+
+// Lookup returns the tuples of one relation containing every keyword
+// (logical AND over tokens, the R-KwS candidate semantics for a single
+// relation).
+func (idx *Index) Lookup(rel string, keywords []string) []relational.TupleID {
+	tokens := idx.postings[rel]
+	if tokens == nil || len(keywords) == 0 {
+		return nil
+	}
+	var acc []relational.TupleID
+	for i, kw := range keywords {
+		list := tokens[strings.ToLower(kw)]
+		if len(list) == 0 {
+			return nil
+		}
+		if i == 0 {
+			acc = append([]relational.TupleID(nil), list...)
+			continue
+		}
+		acc = intersect(acc, list)
+		if len(acc) == 0 {
+			return nil
+		}
+	}
+	return acc
+}
+
+// intersect merges two ascending posting lists.
+func intersect(a, b []relational.TupleID) []relational.TupleID {
+	var out []relational.TupleID
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] == b[j]:
+			out = append(out, a[i])
+			i++
+			j++
+		case a[i] < b[j]:
+			i++
+		default:
+			j++
+		}
+	}
+	return out
+}
+
+// Search finds the data-subject candidates for a keyword query within the
+// given DS relation, ranked by descending global importance (ties by tuple
+// id). This mirrors the paper's Q1: "Faloutsos" against Author returns the
+// three brothers, each of which roots an OS.
+func (idx *Index) Search(dsRel string, query string, scores relational.DBScores) []Match {
+	keywords := Tokenize(query)
+	ids := idx.Lookup(dsRel, keywords)
+	if len(ids) == 0 {
+		return nil
+	}
+	s := scores[dsRel]
+	out := make([]Match, 0, len(ids))
+	for _, id := range ids {
+		m := Match{Relation: dsRel, Tuple: id}
+		if int(id) < len(s) {
+			m.Score = s[id]
+		}
+		out = append(out, m)
+	}
+	sort.SliceStable(out, func(a, b int) bool {
+		if out[a].Score != out[b].Score {
+			return out[a].Score > out[b].Score
+		}
+		return out[a].Tuple < out[b].Tuple
+	})
+	return out
+}
+
+// SearchAll runs Search against every relation that has at least one hit,
+// useful when the DS relation is not known in advance (e.g. TPC-H queries
+// naming either a customer or a supplier).
+func (idx *Index) SearchAll(query string, scores relational.DBScores) []Match {
+	var out []Match
+	for _, rel := range idx.db.Relations {
+		out = append(out, idx.Search(rel.Name, query, scores)...)
+	}
+	sort.SliceStable(out, func(a, b int) bool {
+		if out[a].Score != out[b].Score {
+			return out[a].Score > out[b].Score
+		}
+		if out[a].Relation != out[b].Relation {
+			return out[a].Relation < out[b].Relation
+		}
+		return out[a].Tuple < out[b].Tuple
+	})
+	return out
+}

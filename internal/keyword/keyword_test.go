@@ -1,0 +1,158 @@
+package keyword
+
+import (
+	"reflect"
+	"testing"
+
+	"sizelos/internal/relational"
+)
+
+func libraryDB(t *testing.T) *relational.DB {
+	t.Helper()
+	db := relational.NewDB("lib")
+	author := relational.MustNewRelation("Author",
+		[]relational.Column{
+			{Name: "id", Kind: relational.KindInt},
+			{Name: "name", Kind: relational.KindString},
+		}, "id", nil)
+	book := relational.MustNewRelation("Book",
+		[]relational.Column{
+			{Name: "id", Kind: relational.KindInt},
+			{Name: "title", Kind: relational.KindString},
+			{Name: "blurb", Kind: relational.KindString},
+		}, "id", nil)
+	db.MustAddRelation(author)
+	db.MustAddRelation(book)
+	author.MustInsert(relational.Tuple{relational.IntVal(1), relational.StrVal("Christos Faloutsos")})
+	author.MustInsert(relational.Tuple{relational.IntVal(2), relational.StrVal("Michalis Faloutsos")})
+	author.MustInsert(relational.Tuple{relational.IntVal(3), relational.StrVal("Rakesh Agrawal")})
+	book.MustInsert(relational.Tuple{relational.IntVal(1), relational.StrVal("Graph Mining"), relational.StrVal("power laws by Faloutsos")})
+	book.MustInsert(relational.Tuple{relational.IntVal(2), relational.StrVal("Mining the Web"), relational.StrVal("classic text")})
+	return db
+}
+
+func TestTokenize(t *testing.T) {
+	tests := []struct {
+		in   string
+		want []string
+	}{
+		{"Christos Faloutsos", []string{"christos", "faloutsos"}},
+		{"Power-law, Topology!", []string{"power", "law", "topology"}},
+		{"", nil},
+		{"  ", nil},
+		{"C3PO meets R2D2", []string{"c3po", "meets", "r2d2"}},
+	}
+	for _, tc := range tests {
+		got := Tokenize(tc.in)
+		if len(got) == 0 && len(tc.want) == 0 {
+			continue
+		}
+		if !reflect.DeepEqual(got, tc.want) {
+			t.Errorf("Tokenize(%q) = %v, want %v", tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestLookupSingleKeyword(t *testing.T) {
+	idx := BuildIndex(libraryDB(t))
+	got := idx.Lookup("Author", []string{"faloutsos"})
+	want := []relational.TupleID{0, 1}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("Lookup(faloutsos) = %v, want %v", got, want)
+	}
+}
+
+func TestLookupAND(t *testing.T) {
+	idx := BuildIndex(libraryDB(t))
+	got := idx.Lookup("Author", []string{"christos", "faloutsos"})
+	if !reflect.DeepEqual(got, []relational.TupleID{0}) {
+		t.Errorf("Lookup(christos faloutsos) = %v, want [0]", got)
+	}
+	if got := idx.Lookup("Author", []string{"christos", "agrawal"}); got != nil {
+		t.Errorf("conflicting keywords matched %v", got)
+	}
+}
+
+func TestLookupMisses(t *testing.T) {
+	idx := BuildIndex(libraryDB(t))
+	if got := idx.Lookup("Author", []string{"nobody"}); got != nil {
+		t.Errorf("Lookup(nobody) = %v", got)
+	}
+	if got := idx.Lookup("Ghost", []string{"faloutsos"}); got != nil {
+		t.Errorf("Lookup on unknown relation = %v", got)
+	}
+	if got := idx.Lookup("Author", nil); got != nil {
+		t.Errorf("Lookup with no keywords = %v", got)
+	}
+}
+
+func TestLookupMultipleColumns(t *testing.T) {
+	idx := BuildIndex(libraryDB(t))
+	// "mining" appears in two books' titles; "faloutsos" in one blurb.
+	got := idx.Lookup("Book", []string{"mining"})
+	if !reflect.DeepEqual(got, []relational.TupleID{0, 1}) {
+		t.Errorf("Lookup(mining) = %v", got)
+	}
+	got = idx.Lookup("Book", []string{"mining", "faloutsos"})
+	if !reflect.DeepEqual(got, []relational.TupleID{0}) {
+		t.Errorf("Lookup(mining faloutsos) = %v", got)
+	}
+}
+
+func TestSearchRanked(t *testing.T) {
+	db := libraryDB(t)
+	idx := BuildIndex(db)
+	scores := relational.DBScores{
+		"Author": relational.Scores{1.0, 7.0, 3.0}, // Michalis outranks Christos
+		"Book":   relational.Scores{1, 1},
+	}
+	got := idx.Search("Author", "Faloutsos", scores)
+	if len(got) != 2 {
+		t.Fatalf("Search returned %d matches, want 2", len(got))
+	}
+	if got[0].Tuple != 1 || got[1].Tuple != 0 {
+		t.Errorf("ranking wrong: %+v", got)
+	}
+	if got[0].Score != 7 {
+		t.Errorf("score = %v, want 7", got[0].Score)
+	}
+}
+
+func TestSearchAll(t *testing.T) {
+	db := libraryDB(t)
+	idx := BuildIndex(db)
+	scores := relational.DBScores{
+		"Author": relational.Scores{1, 2, 3},
+		"Book":   relational.Scores{9, 1},
+	}
+	got := idx.SearchAll("faloutsos", scores)
+	if len(got) != 3 {
+		t.Fatalf("SearchAll returned %d matches, want 3 (2 authors + 1 book)", len(got))
+	}
+	if got[0].Relation != "Book" || got[0].Tuple != 0 {
+		t.Errorf("best match should be the book (score 9): %+v", got[0])
+	}
+}
+
+func TestSearchEmptyQuery(t *testing.T) {
+	idx := BuildIndex(libraryDB(t))
+	if got := idx.Search("Author", "  ", relational.DBScores{}); got != nil {
+		t.Errorf("empty query matched %v", got)
+	}
+}
+
+func TestIntersect(t *testing.T) {
+	tests := []struct {
+		a, b, want []relational.TupleID
+	}{
+		{[]relational.TupleID{1, 2, 3}, []relational.TupleID{2, 3, 4}, []relational.TupleID{2, 3}},
+		{[]relational.TupleID{1}, []relational.TupleID{2}, nil},
+		{nil, []relational.TupleID{1}, nil},
+		{[]relational.TupleID{5, 9}, []relational.TupleID{5, 9}, []relational.TupleID{5, 9}},
+	}
+	for _, tc := range tests {
+		if got := intersect(tc.a, tc.b); !reflect.DeepEqual(got, tc.want) {
+			t.Errorf("intersect(%v,%v) = %v, want %v", tc.a, tc.b, got, tc.want)
+		}
+	}
+}

@@ -1,0 +1,93 @@
+package ostree
+
+import (
+	"fmt"
+
+	"sizelos/internal/relational"
+	"sizelos/internal/schemagraph"
+)
+
+// GenOptions controls complete-OS generation.
+type GenOptions struct {
+	// MaxDepth excludes tuples deeper than this from the OS; generating for
+	// a size-l query passes l-1, implementing the paper's footnote 1 ("any
+	// tuples or subtrees which have distance at least l from the root are
+	// excluded"). Zero means unbounded.
+	MaxDepth int
+	// MaxNodes aborts generation beyond this many tuples (safety valve for
+	// pathological G_DS configurations). Zero means unbounded.
+	MaxNodes int
+}
+
+// Generate materializes the complete OS for the data subject tuple root
+// (identified within the G_DS root relation) by breadth-first traversal of
+// the G_DS: the paper's Algorithm 5. Each node is annotated with its local
+// importance Im(OS, t_i) = Im(t_i)·Af(R_i).
+//
+// A child tuple identical to its grandparent node (same relation and tuple)
+// is skipped: hopping Author -> Paper -> Co-Author must not re-list the
+// author we came from, matching Example 4 where Christos never appears as
+// his own co-author.
+func Generate(src Source, gds *schemagraph.GDS, root relational.TupleID, opts GenOptions) (*Tree, error) {
+	db := src.DB()
+	rootRel := db.Relation(gds.DSName)
+	if rootRel == nil {
+		return nil, fmt.Errorf("ostree: unknown data subject relation %s", gds.DSName)
+	}
+	if int(root) < 0 || int(root) >= rootRel.Len() {
+		return nil, fmt.Errorf("ostree: root tuple %d out of range for %s", root, gds.DSName)
+	}
+	scores := src.Scores()
+	t := &Tree{GDS: gds, DB: db}
+	t.addNode(Node{
+		GDS:    gds.Root,
+		Rel:    int32(db.RelIndex(gds.DSName)),
+		Tuple:  root,
+		Weight: relScores(scores, gds.DSName)[root] * gds.Root.Affinity,
+		Parent: None,
+		Depth:  0,
+	})
+
+	queue := []NodeID{0}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		curNode := t.Nodes[cur]
+		if opts.MaxDepth > 0 && int(curNode.Depth) >= opts.MaxDepth {
+			continue
+		}
+		for _, gchild := range curNode.GDS.Children {
+			childScores := relScores(scores, gchild.Rel)
+			childRel := int32(db.RelIndex(gchild.Rel))
+			for _, ct := range src.Children(gchild, curNode.Tuple) {
+				if skipBacktrack(t, cur, childRel, ct) {
+					continue
+				}
+				id := t.addNode(Node{
+					GDS:    gchild,
+					Rel:    childRel,
+					Tuple:  ct,
+					Weight: childScores[ct] * gchild.Affinity,
+					Parent: cur,
+					Depth:  curNode.Depth + 1,
+				})
+				if opts.MaxNodes > 0 && len(t.Nodes) > opts.MaxNodes {
+					return nil, fmt.Errorf("ostree: OS exceeds %d nodes", opts.MaxNodes)
+				}
+				queue = append(queue, id)
+			}
+		}
+	}
+	return t, nil
+}
+
+// skipBacktrack reports whether the candidate child (rel, tuple) is the
+// same tuple as the would-be grandparent node.
+func skipBacktrack(t *Tree, parent NodeID, rel int32, tuple relational.TupleID) bool {
+	gp := t.Nodes[parent].Parent
+	if gp == None {
+		return false
+	}
+	g := &t.Nodes[gp]
+	return g.Rel == rel && g.Tuple == tuple
+}

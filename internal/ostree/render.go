@@ -1,0 +1,94 @@
+package ostree
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// RenderOptions controls OS rendering.
+type RenderOptions struct {
+	// AttrTheta is the attribute-affinity threshold θ′ (§2.1): columns with
+	// affinity below it are not displayed. Key columns are never displayed.
+	AttrTheta float64
+	// Keep restricts rendering to a node subset (a size-l OS); nil renders
+	// the whole tree. The subset must contain the root to render anything.
+	Keep []NodeID
+	// ShowWeights appends each node's local importance, as in the paper's
+	// Figure 3.
+	ShowWeights bool
+}
+
+// Render prints the OS in the indented style of the paper's Examples 4 and
+// 5: one tuple per line, children indented under their parent, each line
+// "Label: attr, attr, ...".
+func (t *Tree) Render(opts RenderOptions) string {
+	var keep map[NodeID]bool
+	if opts.Keep != nil {
+		keep = make(map[NodeID]bool, len(opts.Keep))
+		for _, id := range opts.Keep {
+			keep[id] = true
+		}
+		if !keep[t.Root()] {
+			return ""
+		}
+	}
+	var b strings.Builder
+	t.renderNode(&b, t.Root(), keep, opts)
+	return b.String()
+}
+
+func (t *Tree) renderNode(b *strings.Builder, id NodeID, keep map[NodeID]bool, opts RenderOptions) {
+	n := &t.Nodes[id]
+	indent := strings.Repeat(".", int(n.Depth)*2)
+	if n.Depth > 0 {
+		indent += " "
+	}
+	fmt.Fprintf(b, "%s%s: %s", indent, n.GDS.Label, t.describe(id, opts.AttrTheta))
+	if opts.ShowWeights {
+		fmt.Fprintf(b, "  [%.2f]", n.Weight)
+	}
+	b.WriteByte('\n')
+	// Children are rendered grouped by G_DS role, highest-weight first
+	// within a role, which mirrors the paper's examples (papers first, then
+	// details).
+	children := make([]NodeID, 0, len(n.Children))
+	for _, c := range n.Children {
+		if keep == nil || keep[c] {
+			children = append(children, c)
+		}
+	}
+	sort.SliceStable(children, func(a, b int) bool {
+		ca, cb := &t.Nodes[children[a]], &t.Nodes[children[b]]
+		if ca.GDS != cb.GDS {
+			return false // preserve role grouping as generated
+		}
+		return ca.Weight > cb.Weight
+	})
+	for _, c := range children {
+		t.renderNode(b, c, keep, opts)
+	}
+}
+
+// describe renders the displayable attributes of a node's tuple: non-key
+// columns whose attribute affinity passes θ′.
+func (t *Tree) describe(id NodeID, attrTheta float64) string {
+	n := &t.Nodes[id]
+	rel := t.DB.Relations[n.Rel]
+	tup := rel.Tuples[n.Tuple]
+	var parts []string
+	for ci, col := range rel.Columns {
+		if ci == rel.PKCol || rel.FKIndexOf(col.Name) >= 0 {
+			continue
+		}
+		if col.Affinity < attrTheta {
+			continue
+		}
+		parts = append(parts, tup[ci].String())
+	}
+	if len(parts) == 0 {
+		// Fall back to the primary key so every tuple renders something.
+		return fmt.Sprintf("#%d", rel.PK(n.Tuple))
+	}
+	return strings.Join(parts, ", ")
+}

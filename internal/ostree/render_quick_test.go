@@ -1,0 +1,52 @@
+package ostree
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"sizelos/internal/datagen"
+)
+
+// Property: subset rendering prints exactly the kept nodes whose whole
+// root path is kept (the connected component of the root within the keep
+// set) — never disconnected fragments.
+func TestRenderSubsetConnectivityProperty(t *testing.T) {
+	f := getFixture(t)
+	gds := datagen.AuthorGDS()
+	tree, err := Generate(f.graphSource(), gds, authorRoot(t, f, 1), GenOptions{})
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	r := rand.New(rand.NewSource(555))
+	for trial := 0; trial < 30; trial++ {
+		keep := []NodeID{tree.Root()}
+		inKeep := map[NodeID]bool{tree.Root(): true}
+		for i := 1; i < tree.Len(); i++ {
+			if r.Intn(3) == 0 {
+				keep = append(keep, NodeID(i))
+				inKeep[NodeID(i)] = true
+			}
+		}
+		// Expected visible set: kept nodes whose entire ancestor chain is
+		// kept.
+		want := 0
+		for _, id := range keep {
+			visible := true
+			for cur := id; cur != tree.Root(); cur = tree.Nodes[cur].Parent {
+				if !inKeep[tree.Nodes[cur].Parent] {
+					visible = false
+					break
+				}
+			}
+			if visible {
+				want++
+			}
+		}
+		out := tree.Render(RenderOptions{Keep: keep})
+		if got := strings.Count(out, "\n"); got != want {
+			t.Fatalf("trial %d: rendered %d lines, want %d (keep size %d)",
+				trial, got, want, len(keep))
+		}
+	}
+}

@@ -1,0 +1,269 @@
+package ostree
+
+import (
+	"fmt"
+	"sort"
+
+	"sizelos/internal/datagraph"
+	"sizelos/internal/relational"
+	"sizelos/internal/schemagraph"
+)
+
+// Source extracts the child tuples of an OS node under a G_DS node's
+// traversal step. Two implementations exist: DBSource runs joins against
+// the relational engine ("directly from the database"), GraphSource walks
+// the in-memory data graph — the two OS generation paths compared in Figure
+// 10f. Junction tuples are hopped over and never returned.
+type Source interface {
+	// Children returns all child tuples of parent under gn, in extraction
+	// order.
+	Children(gn *schemagraph.Node, parent relational.TupleID) []relational.TupleID
+	// ChildrenTopL returns up to limit child tuples whose *global* score is
+	// strictly greater than minScore, in descending score order: the
+	// Avoidance Condition 2 extraction of Algorithm 4 (line 10). Callers
+	// convert local-importance thresholds by dividing by the node's
+	// affinity.
+	ChildrenTopL(gn *schemagraph.Node, parent relational.TupleID, minScore float64, limit int) []relational.TupleID
+	// DB returns the underlying database (for schema and rendering).
+	DB() *relational.DB
+	// Scores returns the active global-importance setting.
+	Scores() relational.DBScores
+	// Accesses returns the number of extraction operations performed.
+	Accesses() int64
+	// ResetAccesses zeroes the counter and returns its prior value.
+	ResetAccesses() int64
+}
+
+// relScores resolves the scores array of a relation, panicking on a
+// missing relation — a configuration error, not a runtime condition.
+func relScores(scores relational.DBScores, rel string) relational.Scores {
+	s, ok := scores[rel]
+	if !ok {
+		panic(fmt.Sprintf("ostree: no scores for relation %s", rel))
+	}
+	return s
+}
+
+// DBSource extracts children with joins against the relational engine.
+// TOP-l extractions use importance-ordered FK indexes, built lazily per
+// (G_DS node); this models a database index on the local-importance
+// attribute li that the paper's SQL assumes.
+type DBSource struct {
+	db     *relational.DB
+	scores relational.DBScores
+
+	ordered map[*schemagraph.Node]*relational.OrderedFKIndex
+	// junction caches, per junction-step G_DS node: children of each parent
+	// key sorted by descending child score.
+	junction map[*schemagraph.Node]map[int64][]relational.TupleID
+}
+
+// NewDBSource creates a database-backed extraction source for one ranking
+// setting.
+func NewDBSource(db *relational.DB, scores relational.DBScores) *DBSource {
+	return &DBSource{
+		db:       db,
+		scores:   scores,
+		ordered:  make(map[*schemagraph.Node]*relational.OrderedFKIndex),
+		junction: make(map[*schemagraph.Node]map[int64][]relational.TupleID),
+	}
+}
+
+// DB implements Source.
+func (s *DBSource) DB() *relational.DB { return s.db }
+
+// Scores implements Source.
+func (s *DBSource) Scores() relational.DBScores { return s.scores }
+
+// Accesses implements Source.
+func (s *DBSource) Accesses() int64 { return s.db.Accesses }
+
+// ResetAccesses implements Source.
+func (s *DBSource) ResetAccesses() int64 { return s.db.ResetAccesses() }
+
+// Children implements Source.
+func (s *DBSource) Children(gn *schemagraph.Node, parent relational.TupleID) []relational.TupleID {
+	db := s.db
+	parentRel := db.Relation(gn.Parent.Rel)
+	switch gn.Step.Kind {
+	case schemagraph.StepChildFK:
+		child := db.Relation(gn.Rel)
+		return db.JoinChildren(child, gn.Step.FKOrd, parentRel.PK(parent))
+	case schemagraph.StepParentFK:
+		child := db.Relation(gn.Rel)
+		fkCol := parentRel.ColIndex(parentRel.FKs[gn.Step.FKOrd].Column)
+		key := parentRel.Tuples[parent][fkCol].Int
+		if id, ok := db.LookupParent(child, key); ok {
+			return []relational.TupleID{id}
+		}
+		return nil
+	case schemagraph.StepJunction:
+		j := db.Relation(gn.Step.Junction)
+		child := db.Relation(gn.Rel)
+		rows := db.JoinChildren(j, gn.Step.JFKParent, parentRel.PK(parent))
+		if len(rows) == 0 {
+			return nil
+		}
+		db.Accesses++ // resolving the far side is the second join of the hop
+		farCol := j.ColIndex(j.FKs[gn.Step.JFKChild].Column)
+		out := make([]relational.TupleID, 0, len(rows))
+		for _, row := range rows {
+			if id, ok := child.LookupPK(j.Tuples[row][farCol].Int); ok {
+				out = append(out, id)
+			}
+		}
+		return out
+	default:
+		return nil
+	}
+}
+
+// ChildrenTopL implements Source.
+func (s *DBSource) ChildrenTopL(gn *schemagraph.Node, parent relational.TupleID, minScore float64, limit int) []relational.TupleID {
+	db := s.db
+	parentRel := db.Relation(gn.Parent.Rel)
+	switch gn.Step.Kind {
+	case schemagraph.StepChildFK:
+		idx, ok := s.ordered[gn]
+		if !ok {
+			child := db.Relation(gn.Rel)
+			idx = relational.BuildOrderedFKIndex(child, gn.Step.FKOrd, relScores(s.scores, gn.Rel))
+			s.ordered[gn] = idx
+		}
+		return idx.TopL(db, parentRel.PK(parent), minScore, limit)
+	case schemagraph.StepParentFK:
+		ids := s.Children(gn, parent)
+		return filterTopL(ids, relScores(s.scores, gn.Rel), minScore, limit)
+	case schemagraph.StepJunction:
+		lists, ok := s.junction[gn]
+		if !ok {
+			lists = buildJunctionLists(db, gn, relScores(s.scores, gn.Rel))
+			s.junction[gn] = lists
+		}
+		db.Accesses++ // the TOP-l join is charged even when empty (§5.3)
+		return topLFromSorted(lists[parentRel.PK(parent)], relScores(s.scores, gn.Rel), minScore, limit)
+	default:
+		return nil
+	}
+}
+
+// buildJunctionLists materializes, for one junction-step G_DS node, the
+// children of every parent key sorted by descending child score — the
+// equivalent of an ORDER BY li index over the junction join.
+func buildJunctionLists(db *relational.DB, gn *schemagraph.Node, childScores relational.Scores) map[int64][]relational.TupleID {
+	j := db.Relation(gn.Step.Junction)
+	child := db.Relation(gn.Rel)
+	parentCol := j.ColIndex(j.FKs[gn.Step.JFKParent].Column)
+	childCol := j.ColIndex(j.FKs[gn.Step.JFKChild].Column)
+	lists := make(map[int64][]relational.TupleID)
+	for _, row := range j.Tuples {
+		pk := row[parentCol].Int
+		if cid, ok := child.LookupPK(row[childCol].Int); ok {
+			lists[pk] = append(lists[pk], cid)
+		}
+	}
+	for pk, ids := range lists {
+		sort.Slice(ids, func(a, b int) bool {
+			sa, sb := childScores[ids[a]], childScores[ids[b]]
+			if sa != sb {
+				return sa > sb
+			}
+			return ids[a] < ids[b]
+		})
+		lists[pk] = ids
+	}
+	return lists
+}
+
+func topLFromSorted(sorted []relational.TupleID, scores relational.Scores, minScore float64, limit int) []relational.TupleID {
+	var out []relational.TupleID
+	for _, id := range sorted {
+		if len(out) >= limit {
+			break
+		}
+		if scores[id] <= minScore {
+			break
+		}
+		out = append(out, id)
+	}
+	return out
+}
+
+func filterTopL(ids []relational.TupleID, scores relational.Scores, minScore float64, limit int) []relational.TupleID {
+	sorted := make([]relational.TupleID, len(ids))
+	copy(sorted, ids)
+	sort.Slice(sorted, func(a, b int) bool {
+		sa, sb := scores[sorted[a]], scores[sorted[b]]
+		if sa != sb {
+			return sa > sb
+		}
+		return sorted[a] < sorted[b]
+	})
+	return topLFromSorted(sorted, scores, minScore, limit)
+}
+
+// GraphSource extracts children by walking the in-memory data graph, the
+// fast OS-generation path of Figure 10f ("the OSs are generated much faster
+// using the data graph").
+type GraphSource struct {
+	g        *datagraph.Graph
+	scores   relational.DBScores
+	accesses int64
+}
+
+// NewGraphSource creates a data-graph-backed extraction source.
+func NewGraphSource(g *datagraph.Graph, scores relational.DBScores) *GraphSource {
+	return &GraphSource{g: g, scores: scores}
+}
+
+// DB implements Source.
+func (s *GraphSource) DB() *relational.DB { return s.g.DB }
+
+// Scores implements Source.
+func (s *GraphSource) Scores() relational.DBScores { return s.scores }
+
+// Accesses implements Source.
+func (s *GraphSource) Accesses() int64 { return s.accesses }
+
+// ResetAccesses implements Source.
+func (s *GraphSource) ResetAccesses() int64 {
+	n := s.accesses
+	s.accesses = 0
+	return n
+}
+
+// Children implements Source.
+func (s *GraphSource) Children(gn *schemagraph.Node, parent relational.TupleID) []relational.TupleID {
+	s.accesses++
+	db := s.g.DB
+	parentIdx := db.RelIndex(gn.Parent.Rel)
+	switch gn.Step.Kind {
+	case schemagraph.StepChildFK:
+		et := datagraph.EdgeType{Rel: gn.Rel, FK: gn.Step.FKOrd}
+		return s.g.NeighborsAlong(parentIdx, parent, et, false)
+	case schemagraph.StepParentFK:
+		et := datagraph.EdgeType{Rel: gn.Parent.Rel, FK: gn.Step.FKOrd}
+		return s.g.NeighborsAlong(parentIdx, parent, et, true)
+	case schemagraph.StepJunction:
+		jIdx := db.RelIndex(gn.Step.Junction)
+		etIn := datagraph.EdgeType{Rel: gn.Step.Junction, FK: gn.Step.JFKParent}
+		etOut := datagraph.EdgeType{Rel: gn.Step.Junction, FK: gn.Step.JFKChild}
+		rows := s.g.NeighborsAlong(parentIdx, parent, etIn, false)
+		if len(rows) == 0 {
+			return nil
+		}
+		out := make([]relational.TupleID, 0, len(rows))
+		for _, row := range rows {
+			out = append(out, s.g.NeighborsAlong(jIdx, row, etOut, true)...)
+		}
+		return out
+	default:
+		return nil
+	}
+}
+
+// ChildrenTopL implements Source.
+func (s *GraphSource) ChildrenTopL(gn *schemagraph.Node, parent relational.TupleID, minScore float64, limit int) []relational.TupleID {
+	ids := s.Children(gn, parent)
+	return filterTopL(ids, relScores(s.scores, gn.Rel), minScore, limit)
+}

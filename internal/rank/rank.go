@@ -1,0 +1,457 @@
+// Package rank computes global tuple-importance scores over the data graph.
+// It implements the two scoring schemes the paper uses (§2.2, §6):
+//
+//   - ObjectRank (Balmin et al., VLDB 2004): PageRank generalized with an
+//     Authority Transfer Schema Graph G_A that assigns an authority transfer
+//     rate to each schema edge and direction. Used for DBLP.
+//   - ValueRank (Fakas & Cai, DBRank 2009): ObjectRank extended so that the
+//     authority a tuple passes along an edge is distributed proportionally
+//     to the values of the receiving tuples (e.g. a $100 order receives more
+//     of its customer's authority than a $10 one). Used for TPC-H.
+//
+// Plain PageRank is also provided as a baseline. The size-l algorithms are
+// orthogonal to the scheme (§2.2 note); they only consume the resulting
+// per-tuple scores.
+//
+// Authority flows are declared on the *conceptual* schema graph, where an
+// M:N relationship (Paper—Author through the Writes junction) is a single
+// edge. A junction flow pushes authority through the junction rows to the
+// far side in one step, so junction tuples neither hold nor echo authority
+// for that flow — matching how G_A figures like the paper's Figure 13 are
+// drawn.
+package rank
+
+import (
+	"fmt"
+	"math"
+
+	"sizelos/internal/datagraph"
+	"sizelos/internal/relational"
+)
+
+// Flow is one authority-transfer edge of G_A: authority moves from tuples
+// of a source relation to adjacent tuples of a target relation at the given
+// rate.
+type Flow struct {
+	// Direct foreign-key step: the FK identified by (Rel, FK); Forward=true
+	// pushes from the FK owner to the referenced tuple (M:1 direction),
+	// Forward=false the opposite.
+	Rel     string
+	FK      int
+	Forward bool
+
+	// Junction step (set Junction != ""): authority moves from the relation
+	// referenced by the junction's JFKFrom to the relation referenced by
+	// JFKTo, hopping over the junction rows.
+	Junction string
+	JFKFrom  int
+	JFKTo    int
+
+	// Rate is the authority transfer rate α(e) of this flow. The rate mass
+	// of a source tuple is split among the tuples it reaches.
+	Rate float64
+	// ValueCol optionally names a numeric column on the *target* relation;
+	// if set, the split is proportional to f(value) of each receiving tuple
+	// (ValueRank, e.g. "Si = 0.5*f(TotalPrice)"); otherwise uniform
+	// (ObjectRank).
+	ValueCol string
+}
+
+// GA is an Authority Transfer Schema Graph: a named list of flows.
+// Directions not listed transfer no authority, which is how the paper
+// expresses e.g. "cited 0" for DBLP.
+type GA struct {
+	Name  string
+	Flows []Flow
+}
+
+// NewGA creates an empty authority transfer graph.
+func NewGA(name string) *GA { return &GA{Name: name} }
+
+// Direct appends a direct FK flow and returns ga for chaining.
+func (ga *GA) Direct(rel string, fk int, forward bool, rate float64) *GA {
+	ga.Flows = append(ga.Flows, Flow{Rel: rel, FK: fk, Forward: forward, Rate: rate})
+	return ga
+}
+
+// DirectValue appends a direct FK flow whose split is proportional to the
+// target relation's valueCol (ValueRank).
+func (ga *GA) DirectValue(rel string, fk int, forward bool, rate float64, valueCol string) *GA {
+	ga.Flows = append(ga.Flows, Flow{Rel: rel, FK: fk, Forward: forward, Rate: rate, ValueCol: valueCol})
+	return ga
+}
+
+// Hop appends a junction flow from the relation referenced by junction's
+// jfkFrom to the one referenced by jfkTo.
+func (ga *GA) Hop(junction string, jfkFrom, jfkTo int, rate float64) *GA {
+	ga.Flows = append(ga.Flows, Flow{Junction: junction, JFKFrom: jfkFrom, JFKTo: jfkTo, Rate: rate})
+	return ga
+}
+
+// HopValue appends a value-weighted junction flow.
+func (ga *GA) HopValue(junction string, jfkFrom, jfkTo int, rate float64, valueCol string) *GA {
+	ga.Flows = append(ga.Flows, Flow{Junction: junction, JFKFrom: jfkFrom, JFKTo: jfkTo, Rate: rate, ValueCol: valueCol})
+	return ga
+}
+
+// UniformLike copies ga's flow topology with every rate replaced by rate and
+// value columns stripped: the paper's GA2 for DBLP ("common transfer rates
+// (0.3) for all edges").
+func (ga *GA) UniformLike(name string, rate float64) *GA {
+	out := NewGA(name)
+	for _, f := range ga.Flows {
+		f.Rate = rate
+		f.ValueCol = ""
+		out.Flows = append(out.Flows, f)
+	}
+	return out
+}
+
+// StripValues copies ga with every ValueCol cleared, keeping rates: the
+// paper's GA2 for TPC-H ("neglects values, i.e. becomes an ObjectRank GA").
+func (ga *GA) StripValues(name string) *GA {
+	out := NewGA(name)
+	for _, f := range ga.Flows {
+		f.ValueCol = ""
+		out.Flows = append(out.Flows, f)
+	}
+	return out
+}
+
+// Options controls the power iteration.
+type Options struct {
+	// Damping is the PageRank damping factor d. The paper evaluates
+	// d1=0.85 (default), d2=0.10 and d3=0.99.
+	Damping float64
+	// Epsilon is the convergence threshold on the max per-node delta.
+	Epsilon float64
+	// MaxIter caps the number of iterations.
+	MaxIter int
+	// ValueFunc is the f(·) applied to value columns in ValueRank splits.
+	// Nil means identity. It must map non-negative inputs to non-negative
+	// outputs.
+	ValueFunc func(float64) float64
+	// NormalizeMax, if positive, linearly rescales the final scores so the
+	// global maximum equals this value. The paper reports local-importance
+	// magnitudes like 21.74; scaling is cosmetic and preserves all rankings.
+	NormalizeMax float64
+}
+
+// DefaultOptions mirrors the paper's default setting: d=0.85, converged
+// power iteration, scores scaled to a human-friendly range.
+func DefaultOptions() Options {
+	return Options{Damping: 0.85, Epsilon: 1e-9, MaxIter: 500, NormalizeMax: 100}
+}
+
+// Stats reports how the computation went.
+type Stats struct {
+	Iterations int
+	Converged  bool
+	MaxDelta   float64
+}
+
+// plan is one compiled flow: a CSR adjacency from every tuple of srcRel to
+// its targets, with optional per-edge split weights.
+type plan struct {
+	srcRel  int
+	dstRel  int
+	rate    float64
+	offsets []int32
+	targets []relational.TupleID
+	weights []float64 // nil => uniform split per source tuple
+}
+
+// compile resolves ga's flows against the data graph into push plans.
+func compile(g *datagraph.Graph, ga *GA, vf func(float64) float64) ([]plan, error) {
+	db := g.DB
+	var plans []plan
+	for _, f := range ga.Flows {
+		if f.Rate == 0 {
+			continue
+		}
+		var p plan
+		var err error
+		if f.Junction != "" {
+			p, err = compileJunction(g, f)
+		} else {
+			p, err = compileDirect(g, f)
+		}
+		if err != nil {
+			return nil, err
+		}
+		p.rate = f.Rate
+		if f.ValueCol != "" {
+			target := db.Relations[p.dstRel]
+			col := target.ColIndex(f.ValueCol)
+			if col < 0 {
+				return nil, fmt.Errorf("rank: %s has no value column %s", target.Name, f.ValueCol)
+			}
+			p.weights = splitWeights(p, target, col, vf)
+		}
+		plans = append(plans, p)
+	}
+	return plans, nil
+}
+
+func compileDirect(g *datagraph.Graph, f Flow) (plan, error) {
+	db := g.DB
+	rel := db.Relation(f.Rel)
+	if rel == nil {
+		return plan{}, fmt.Errorf("rank: flow on unknown relation %s", f.Rel)
+	}
+	if f.FK < 0 || f.FK >= len(rel.FKs) {
+		return plan{}, fmt.Errorf("rank: flow on %s: FK ordinal %d out of range", f.Rel, f.FK)
+	}
+	et := datagraph.EdgeType{Rel: f.Rel, FK: f.FK}
+	var src int
+	if f.Forward {
+		src = db.RelIndex(f.Rel)
+	} else {
+		src = db.RelIndex(rel.FKs[f.FK].Ref)
+	}
+	for di, ed := range g.EdgeDirs(src) {
+		if ed.Type == et && ed.Forward == f.Forward {
+			p := plan{srcRel: src, dstRel: ed.OtherIdx}
+			n := g.RelSize(src)
+			p.offsets = make([]int32, n+1)
+			for t := 0; t < n; t++ {
+				p.offsets[t] = int32(len(p.targets))
+				p.targets = append(p.targets, g.Neighbors(src, relational.TupleID(t), di)...)
+			}
+			p.offsets[n] = int32(len(p.targets))
+			return p, nil
+		}
+	}
+	return plan{}, fmt.Errorf("rank: edge %v (forward=%v) not incident to relation ordinal %d", et, f.Forward, src)
+}
+
+func compileJunction(g *datagraph.Graph, f Flow) (plan, error) {
+	db := g.DB
+	j := db.Relation(f.Junction)
+	if j == nil {
+		return plan{}, fmt.Errorf("rank: unknown junction %s", f.Junction)
+	}
+	if f.JFKFrom < 0 || f.JFKFrom >= len(j.FKs) || f.JFKTo < 0 || f.JFKTo >= len(j.FKs) {
+		return plan{}, fmt.Errorf("rank: junction %s: FK ordinals (%d,%d) out of range", f.Junction, f.JFKFrom, f.JFKTo)
+	}
+	src := db.RelIndex(j.FKs[f.JFKFrom].Ref)
+	dst := db.RelIndex(j.FKs[f.JFKTo].Ref)
+	jIdx := db.RelIndex(f.Junction)
+	etFrom := datagraph.EdgeType{Rel: f.Junction, FK: f.JFKFrom}
+	etTo := datagraph.EdgeType{Rel: f.Junction, FK: f.JFKTo}
+
+	p := plan{srcRel: src, dstRel: dst}
+	n := g.RelSize(src)
+	p.offsets = make([]int32, n+1)
+	for t := 0; t < n; t++ {
+		p.offsets[t] = int32(len(p.targets))
+		rows := g.NeighborsAlong(src, relational.TupleID(t), etFrom, false)
+		for _, row := range rows {
+			far := g.NeighborsAlong(jIdx, row, etTo, true)
+			p.targets = append(p.targets, far...)
+		}
+	}
+	p.offsets[n] = int32(len(p.targets))
+	return p, nil
+}
+
+// splitWeights computes value-proportional split weights aligned with the
+// plan's target list. A source tuple whose targets' values sum to zero
+// falls back to a uniform split.
+func splitWeights(p plan, target *relational.Relation, col int, vf func(float64) float64) []float64 {
+	weights := make([]float64, len(p.targets))
+	for t := 0; t+1 < len(p.offsets); t++ {
+		lo, hi := p.offsets[t], p.offsets[t+1]
+		if lo == hi {
+			continue
+		}
+		sum := 0.0
+		for k := lo; k < hi; k++ {
+			v := numericValue(target.Tuples[p.targets[k]][col])
+			w := vf(v)
+			if w < 0 {
+				w = 0
+			}
+			weights[k] = w
+			sum += w
+		}
+		if sum == 0 {
+			u := 1 / float64(hi-lo)
+			for k := lo; k < hi; k++ {
+				weights[k] = u
+			}
+		} else {
+			for k := lo; k < hi; k++ {
+				weights[k] /= sum
+			}
+		}
+	}
+	return weights
+}
+
+func numericValue(v relational.Value) float64 {
+	switch v.Kind {
+	case relational.KindInt:
+		return float64(v.Int)
+	case relational.KindFloat:
+		return v.Float
+	default:
+		return 0
+	}
+}
+
+// Compute runs ObjectRank/ValueRank power iteration on the data graph under
+// the given G_A and returns one score per tuple, keyed by relation name.
+//
+// The recurrence per tuple v is
+//
+//	r(v) = d · Σ_{u→v} α(e)·w(u→v)·r(u) + (1−d)/N
+//
+// where the sum ranges over incoming flows, α(e) is the flow rate and
+// w(u→v) is u's split weight over the tuples it reaches on that flow
+// (uniform, or value-proportional when the flow carries a ValueCol).
+func Compute(g *datagraph.Graph, ga *GA, opts Options) (relational.DBScores, Stats, error) {
+	if opts.Damping < 0 || opts.Damping > 1 {
+		return nil, Stats{}, fmt.Errorf("rank: damping %v outside [0,1]", opts.Damping)
+	}
+	if opts.MaxIter <= 0 {
+		opts.MaxIter = 500
+	}
+	if opts.Epsilon <= 0 {
+		opts.Epsilon = 1e-9
+	}
+	vf := opts.ValueFunc
+	if vf == nil {
+		vf = func(x float64) float64 { return x }
+	}
+	plans, err := compile(g, ga, vf)
+	if err != nil {
+		return nil, Stats{}, err
+	}
+	return iterate(g, opts, func(cur, next [][]float64) {
+		for _, p := range plans {
+			for t := 0; t+1 < len(p.offsets); t++ {
+				lo, hi := p.offsets[t], p.offsets[t+1]
+				if lo == hi {
+					continue
+				}
+				out := opts.Damping * p.rate * cur[p.srcRel][t]
+				if p.weights == nil {
+					share := out / float64(hi-lo)
+					for k := lo; k < hi; k++ {
+						next[p.dstRel][p.targets[k]] += share
+					}
+				} else {
+					for k := lo; k < hi; k++ {
+						next[p.dstRel][p.targets[k]] += out * p.weights[k]
+					}
+				}
+			}
+		}
+	})
+}
+
+// ComputePageRank runs plain PageRank on the data graph: every tuple splits
+// its full authority uniformly across all neighbors over all edge types and
+// directions. It serves as a G_A-free baseline (§2.2 cites PageRank-inspired
+// ranking in BANKS).
+func ComputePageRank(g *datagraph.Graph, opts Options) (relational.DBScores, Stats, error) {
+	if opts.Damping < 0 || opts.Damping > 1 {
+		return nil, Stats{}, fmt.Errorf("rank: damping %v outside [0,1]", opts.Damping)
+	}
+	if opts.MaxIter <= 0 {
+		opts.MaxIter = 500
+	}
+	if opts.Epsilon <= 0 {
+		opts.Epsilon = 1e-9
+	}
+	db := g.DB
+	return iterate(g, opts, func(cur, next [][]float64) {
+		for ri := range db.Relations {
+			dirs := g.EdgeDirs(ri)
+			for t := 0; t < g.RelSize(ri); t++ {
+				total := 0
+				for di := range dirs {
+					total += g.Degree(ri, relational.TupleID(t), di)
+				}
+				if total == 0 {
+					continue
+				}
+				share := opts.Damping * cur[ri][t] / float64(total)
+				for di, ed := range dirs {
+					for _, nb := range g.Neighbors(ri, relational.TupleID(t), di) {
+						next[ed.OtherIdx][nb] += share
+					}
+				}
+			}
+		}
+	})
+}
+
+// iterate runs the shared power-iteration loop; push adds one round of
+// authority flow from cur into next (which has been reset to the base
+// score).
+func iterate(g *datagraph.Graph, opts Options, push func(cur, next [][]float64)) (relational.DBScores, Stats, error) {
+	db := g.DB
+	n := g.NumNodes()
+	if n == 0 {
+		return relational.DBScores{}, Stats{Converged: true}, nil
+	}
+	nRel := len(db.Relations)
+	cur := make([][]float64, nRel)
+	next := make([][]float64, nRel)
+	for ri := range db.Relations {
+		size := g.RelSize(ri)
+		cur[ri] = make([]float64, size)
+		next[ri] = make([]float64, size)
+		for i := range cur[ri] {
+			cur[ri][i] = 1 / float64(n)
+		}
+	}
+	base := (1 - opts.Damping) / float64(n)
+	stats := Stats{}
+	for it := 0; it < opts.MaxIter; it++ {
+		for ri := range next {
+			for i := range next[ri] {
+				next[ri][i] = base
+			}
+		}
+		push(cur, next)
+		maxDelta := 0.0
+		for ri := range cur {
+			for i := range cur[ri] {
+				d := math.Abs(next[ri][i] - cur[ri][i])
+				if d > maxDelta {
+					maxDelta = d
+				}
+			}
+		}
+		cur, next = next, cur
+		stats.Iterations = it + 1
+		stats.MaxDelta = maxDelta
+		if maxDelta < opts.Epsilon {
+			stats.Converged = true
+			break
+		}
+	}
+
+	scores := make(relational.DBScores, nRel)
+	maxScore := 0.0
+	for ri, r := range db.Relations {
+		s := make(relational.Scores, len(cur[ri]))
+		copy(s, cur[ri])
+		scores[r.Name] = s
+		if m := s.MaxScore(); m > maxScore {
+			maxScore = m
+		}
+	}
+	if opts.NormalizeMax > 0 && maxScore > 0 {
+		f := opts.NormalizeMax / maxScore
+		for _, s := range scores {
+			for i := range s {
+				s[i] *= f
+			}
+		}
+	}
+	return scores, stats, nil
+}

@@ -1,0 +1,118 @@
+package rank
+
+import (
+	"bufio"
+	"encoding/gob"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+
+	"sizelos/internal/relational"
+)
+
+// Store holds the computed scores of a database under several ranking
+// settings (e.g. "GA1-d1", "GA2-d1"). It is the persistent companion of
+// relational.DB: the paper's experiments precompute global ObjectRank /
+// ValueRank once and reuse them across queries.
+type Store struct {
+	settings map[string]relational.DBScores
+}
+
+// NewStore creates an empty score store.
+func NewStore() *Store {
+	return &Store{settings: make(map[string]relational.DBScores)}
+}
+
+// Put registers scores under a setting name, replacing any previous entry.
+func (s *Store) Put(setting string, scores relational.DBScores) {
+	s.settings[setting] = scores
+}
+
+// Get returns the scores of a setting, or an error naming the available
+// settings when absent.
+func (s *Store) Get(setting string) (relational.DBScores, error) {
+	if sc, ok := s.settings[setting]; ok {
+		return sc, nil
+	}
+	return nil, fmt.Errorf("rank: unknown setting %q (have %v)", setting, s.Settings())
+}
+
+// Settings lists the registered setting names, sorted.
+func (s *Store) Settings() []string {
+	out := make([]string, 0, len(s.settings))
+	for k := range s.settings {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+type storeWire struct {
+	Settings map[string]map[string][]float64
+}
+
+// Encode serializes the store with encoding/gob.
+func (s *Store) Encode(w io.Writer) error {
+	wire := storeWire{Settings: make(map[string]map[string][]float64, len(s.settings))}
+	for name, dbs := range s.settings {
+		m := make(map[string][]float64, len(dbs))
+		for rel, sc := range dbs {
+			m[rel] = sc
+		}
+		wire.Settings[name] = m
+	}
+	return gob.NewEncoder(w).Encode(&wire)
+}
+
+// ReadStore deserializes a store written by Encode.
+func ReadStore(r io.Reader) (*Store, error) {
+	var wire storeWire
+	if err := gob.NewDecoder(r).Decode(&wire); err != nil {
+		return nil, fmt.Errorf("decode rank store: %w", err)
+	}
+	s := NewStore()
+	for name, m := range wire.Settings {
+		dbs := make(relational.DBScores, len(m))
+		for rel, sc := range m {
+			dbs[rel] = sc
+		}
+		s.settings[name] = dbs
+	}
+	return s, nil
+}
+
+// SaveFile writes the store to path atomically.
+func (s *Store) SaveFile(path string) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	bw := bufio.NewWriter(f)
+	if err := s.Encode(bw); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := bw.Flush(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// LoadStoreFile reads a store written with SaveFile.
+func LoadStoreFile(path string) (*Store, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadStore(bufio.NewReader(f))
+}

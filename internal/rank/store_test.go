@@ -1,0 +1,105 @@
+package rank
+
+import (
+	"bytes"
+	"math"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"sizelos/internal/relational"
+)
+
+func sampleStore() *Store {
+	s := NewStore()
+	s.Put("GA1-d1", relational.DBScores{
+		"Paper":  relational.Scores{1, 2, 3},
+		"Author": relational.Scores{0.5},
+	})
+	s.Put("GA2-d1", relational.DBScores{
+		"Paper": relational.Scores{3, 2, 1},
+	})
+	return s
+}
+
+func TestStoreGetPut(t *testing.T) {
+	s := sampleStore()
+	got, err := s.Get("GA1-d1")
+	if err != nil {
+		t.Fatalf("Get: %v", err)
+	}
+	if !reflect.DeepEqual(got["Paper"], relational.Scores{1, 2, 3}) {
+		t.Errorf("Paper scores = %v", got["Paper"])
+	}
+	if _, err := s.Get("missing"); err == nil || !strings.Contains(err.Error(), "unknown setting") {
+		t.Errorf("Get(missing) err = %v", err)
+	}
+	want := []string{"GA1-d1", "GA2-d1"}
+	if got := s.Settings(); !reflect.DeepEqual(got, want) {
+		t.Errorf("Settings = %v, want %v", got, want)
+	}
+}
+
+func TestStoreRoundTrip(t *testing.T) {
+	s := sampleStore()
+	var buf bytes.Buffer
+	if err := s.Encode(&buf); err != nil {
+		t.Fatalf("Encode: %v", err)
+	}
+	got, err := ReadStore(&buf)
+	if err != nil {
+		t.Fatalf("ReadStore: %v", err)
+	}
+	for _, setting := range s.Settings() {
+		a, _ := s.Get(setting)
+		b, err := got.Get(setting)
+		if err != nil {
+			t.Fatalf("round-trip lost setting %s", setting)
+		}
+		for rel, sc := range a {
+			if !scoresEqual(sc, b[rel]) {
+				t.Errorf("setting %s rel %s: %v != %v", setting, rel, sc, b[rel])
+			}
+		}
+	}
+}
+
+func scoresEqual(a, b relational.Scores) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if math.Abs(a[i]-b[i]) > 1e-15 {
+			return false
+		}
+	}
+	return true
+}
+
+func TestStoreSaveLoadFile(t *testing.T) {
+	s := sampleStore()
+	path := filepath.Join(t.TempDir(), "scores.gob")
+	if err := s.SaveFile(path); err != nil {
+		t.Fatalf("SaveFile: %v", err)
+	}
+	got, err := LoadStoreFile(path)
+	if err != nil {
+		t.Fatalf("LoadStoreFile: %v", err)
+	}
+	if !reflect.DeepEqual(got.Settings(), s.Settings()) {
+		t.Errorf("Settings = %v", got.Settings())
+	}
+}
+
+func TestLoadStoreFileMissing(t *testing.T) {
+	if _, err := LoadStoreFile(filepath.Join(t.TempDir(), "nope.gob")); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}
+
+func TestReadStoreGarbage(t *testing.T) {
+	if _, err := ReadStore(strings.NewReader("garbage")); err == nil {
+		t.Fatal("garbage accepted")
+	}
+}

@@ -1,0 +1,102 @@
+package relational
+
+import (
+	"bufio"
+	"encoding/gob"
+	"fmt"
+	"io"
+	"os"
+)
+
+// relationWire is the persisted form of a Relation: schema plus tuples.
+// Indexes are rebuilt on load — they are derivable and rebuilding keeps the
+// file format small and forward-compatible.
+type relationWire struct {
+	Name    string
+	Columns []Column
+	PKCol   string
+	FKs     []ForeignKey
+	Tuples  []Tuple
+}
+
+type dbWire struct {
+	Name      string
+	Relations []relationWire
+}
+
+// Encode serializes the database with encoding/gob. The format is
+// self-describing; DBScores are not persisted (they are derived state owned
+// by the ranking layer, see rank.Store).
+func (db *DB) Encode(w io.Writer) error {
+	wire := dbWire{Name: db.Name}
+	for _, r := range db.Relations {
+		wire.Relations = append(wire.Relations, relationWire{
+			Name:    r.Name,
+			Columns: r.Columns,
+			PKCol:   r.Columns[r.PKCol].Name,
+			FKs:     r.FKs,
+			Tuples:  r.Tuples,
+		})
+	}
+	return gob.NewEncoder(w).Encode(&wire)
+}
+
+// ReadDB deserializes a database written by Encode and rebuilds all
+// indexes.
+func ReadDB(rd io.Reader) (*DB, error) {
+	var wire dbWire
+	if err := gob.NewDecoder(rd).Decode(&wire); err != nil {
+		return nil, fmt.Errorf("decode db: %w", err)
+	}
+	db := NewDB(wire.Name)
+	for _, rw := range wire.Relations {
+		rel, err := NewRelation(rw.Name, rw.Columns, rw.PKCol, rw.FKs)
+		if err != nil {
+			return nil, fmt.Errorf("rebuild relation %s: %w", rw.Name, err)
+		}
+		for _, t := range rw.Tuples {
+			if _, err := rel.Insert(t); err != nil {
+				return nil, fmt.Errorf("reload relation %s: %w", rw.Name, err)
+			}
+		}
+		if err := db.AddRelation(rel); err != nil {
+			return nil, err
+		}
+	}
+	return db, nil
+}
+
+// SaveFile writes the database to path atomically (write temp, rename).
+func (db *DB) SaveFile(path string) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	bw := bufio.NewWriter(f)
+	if err := db.Encode(bw); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := bw.Flush(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// LoadFile reads a database previously written with SaveFile.
+func LoadFile(path string) (*DB, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadDB(bufio.NewReader(f))
+}

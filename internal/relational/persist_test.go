@@ -1,0 +1,73 @@
+package relational
+
+import (
+	"bytes"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestRoundTripWire(t *testing.T) {
+	db := buildPetDB(t)
+	var buf bytes.Buffer
+	if err := db.Encode(&buf); err != nil {
+		t.Fatalf("Encode: %v", err)
+	}
+	got, err := ReadDB(&buf)
+	if err != nil {
+		t.Fatalf("ReadDB: %v", err)
+	}
+	if got.Name != db.Name {
+		t.Errorf("Name = %q, want %q", got.Name, db.Name)
+	}
+	if len(got.Relations) != len(db.Relations) {
+		t.Fatalf("relation count = %d, want %d", len(got.Relations), len(db.Relations))
+	}
+	for i, r := range db.Relations {
+		gr := got.Relations[i]
+		if gr.Name != r.Name || !reflect.DeepEqual(gr.Tuples, r.Tuples) {
+			t.Errorf("relation %s round-trip mismatch", r.Name)
+		}
+		if gr.PKCol != r.PKCol || !reflect.DeepEqual(gr.FKs, r.FKs) {
+			t.Errorf("relation %s schema mismatch", r.Name)
+		}
+	}
+	// Indexes must be rebuilt and functional.
+	pet := got.Relation("Pet")
+	ids := got.JoinChildren(pet, 0, 1)
+	if len(ids) != 2 {
+		t.Errorf("rebuilt FK index: JoinChildren = %v, want 2 tuples", ids)
+	}
+	if _, ok := pet.LookupPK(12); !ok {
+		t.Error("rebuilt PK index misses key 12")
+	}
+}
+
+func TestSaveLoadFile(t *testing.T) {
+	db := buildPetDB(t)
+	path := filepath.Join(t.TempDir(), "pets.gob")
+	if err := db.SaveFile(path); err != nil {
+		t.Fatalf("SaveFile: %v", err)
+	}
+	got, err := LoadFile(path)
+	if err != nil {
+		t.Fatalf("LoadFile: %v", err)
+	}
+	if got.TotalTuples() != db.TotalTuples() {
+		t.Errorf("TotalTuples = %d, want %d", got.TotalTuples(), db.TotalTuples())
+	}
+}
+
+func TestLoadFileMissing(t *testing.T) {
+	if _, err := LoadFile(filepath.Join(t.TempDir(), "nope.gob")); err == nil {
+		t.Fatal("LoadFile on missing path should fail")
+	}
+}
+
+func TestReadDBGarbage(t *testing.T) {
+	_, err := ReadDB(strings.NewReader("not a gob stream"))
+	if err == nil || !strings.Contains(err.Error(), "decode db") {
+		t.Fatalf("ReadDB(garbage) err = %v, want decode error", err)
+	}
+}

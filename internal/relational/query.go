@@ -1,0 +1,138 @@
+package relational
+
+import "sort"
+
+// Scores holds one global-importance score per tuple of a relation, indexed
+// by TupleID. Scores are produced by the ranking layer (ObjectRank or
+// ValueRank) and kept outside the storage engine because a database has one
+// set of tuples but many importance settings (GA1-d1, GA1-d2, ...).
+type Scores []float64
+
+// DBScores maps relation name to its per-tuple scores under one ranking
+// setting.
+type DBScores map[string]Scores
+
+// MaxScore returns the maximum score in s, or 0 for an empty relation. It is
+// the global statistic behind the paper's max(Ri) annotation (Def. 2).
+func (s Scores) MaxScore() float64 {
+	m := 0.0
+	for _, v := range s {
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}
+
+// JoinChildren returns, in insertion order, the tuples of r whose foreign
+// key fkOrd equals key: the paper's Ri(tj) extraction
+// "SELECT * FROM Ri WHERE tj.ID = Ri.ID" (Alg. 5 line 6). One database
+// access is charged.
+func (db *DB) JoinChildren(r *Relation, fkOrd int, key int64) []TupleID {
+	db.Accesses++
+	return r.fkIndex[fkOrd][key]
+}
+
+// LookupParent resolves the M:1 side of a join: the single tuple in parent
+// referenced by the FK value key. One access is charged.
+func (db *DB) LookupParent(parent *Relation, key int64) (TupleID, bool) {
+	db.Accesses++
+	id, ok := parent.LookupPK(key)
+	return id, ok
+}
+
+// OrderedFKIndex is a foreign-key index whose posting lists are sorted by
+// descending tuple score (ties broken by ascending TupleID for determinism).
+// It supports Avoidance Condition 2 of the prelim-l generation (Alg. 4 line
+// 10): extracting only the up-to-l joining tuples whose local importance
+// exceeds the current largest-l, without computing the complete join.
+//
+// Because the local importance of every tuple of a relation is its global
+// score times the relation's (constant) affinity, ordering by global score
+// is identical to ordering by local importance, so one index per
+// (relation, FK, ranking-setting) serves all affinity values.
+type OrderedFKIndex struct {
+	rel    *Relation
+	fkOrd  int
+	scores Scores
+	lists  map[int64][]TupleID
+}
+
+// BuildOrderedFKIndex sorts every posting list of the given FK of r by
+// descending score.
+func BuildOrderedFKIndex(r *Relation, fkOrd int, scores Scores) *OrderedFKIndex {
+	idx := &OrderedFKIndex{
+		rel:    r,
+		fkOrd:  fkOrd,
+		scores: scores,
+		lists:  make(map[int64][]TupleID, len(r.fkIndex[fkOrd])),
+	}
+	for key, ids := range r.fkIndex[fkOrd] {
+		sorted := make([]TupleID, len(ids))
+		copy(sorted, ids)
+		sort.Slice(sorted, func(a, b int) bool {
+			sa, sb := scores[sorted[a]], scores[sorted[b]]
+			if sa != sb {
+				return sa > sb
+			}
+			return sorted[a] < sorted[b]
+		})
+		idx.lists[key] = sorted
+	}
+	return idx
+}
+
+// TopL returns up to limit tuples joining key whose global score is strictly
+// greater than minScore, in descending score order. One access is charged to
+// the database even when the result is empty — the paper notes Avoidance
+// Condition 2 "still requires an I/O access even when it returns no results"
+// (§5.3).
+func (idx *OrderedFKIndex) TopL(db *DB, key int64, minScore float64, limit int) []TupleID {
+	db.Accesses++
+	list := idx.lists[key]
+	var out []TupleID
+	for _, id := range list {
+		if len(out) >= limit {
+			break
+		}
+		if idx.scores[id] <= minScore {
+			break // sorted descending: nothing further qualifies
+		}
+		out = append(out, id)
+	}
+	return out
+}
+
+// ScanEqInt returns, in TupleID order, all tuples of r whose integer column
+// col equals v (a full scan; used only by tests and small tools — keyword
+// lookup goes through the inverted index).
+func (db *DB) ScanEqInt(r *Relation, col int, v int64) []TupleID {
+	db.Accesses++
+	var out []TupleID
+	for id, t := range r.Tuples {
+		if t[col].Kind == KindInt && t[col].Int == v {
+			out = append(out, TupleID(id))
+		}
+	}
+	return out
+}
+
+// ScanEqStr returns, in TupleID order, all tuples of r whose string column
+// col equals v.
+func (db *DB) ScanEqStr(r *Relation, col int, v string) []TupleID {
+	db.Accesses++
+	var out []TupleID
+	for id, t := range r.Tuples {
+		if t[col].Kind == KindString && t[col].Str == v {
+			out = append(out, TupleID(id))
+		}
+	}
+	return out
+}
+
+// ResetAccesses zeroes the access counter and returns its previous value.
+func (db *DB) ResetAccesses() int64 {
+	n := db.Accesses
+	db.Accesses = 0
+	return n
+}

@@ -1,0 +1,188 @@
+package relational
+
+import (
+	"strings"
+	"testing"
+)
+
+func personRel(t *testing.T) *Relation {
+	t.Helper()
+	r, err := NewRelation("Person",
+		[]Column{
+			{Name: "id", Kind: KindInt, Affinity: 1},
+			{Name: "name", Kind: KindString, Affinity: 1},
+			{Name: "age", Kind: KindInt, Affinity: 0.5},
+		},
+		"id", nil)
+	if err != nil {
+		t.Fatalf("NewRelation: %v", err)
+	}
+	return r
+}
+
+func petRel(t *testing.T) *Relation {
+	t.Helper()
+	r, err := NewRelation("Pet",
+		[]Column{
+			{Name: "id", Kind: KindInt, Affinity: 1},
+			{Name: "owner", Kind: KindInt, Affinity: 1},
+			{Name: "species", Kind: KindString, Affinity: 1},
+		},
+		"id", []ForeignKey{{Column: "owner", Ref: "Person"}})
+	if err != nil {
+		t.Fatalf("NewRelation: %v", err)
+	}
+	return r
+}
+
+func TestNewRelationErrors(t *testing.T) {
+	cols := []Column{{Name: "id", Kind: KindInt}, {Name: "x", Kind: KindString}}
+	tests := []struct {
+		name    string
+		cols    []Column
+		pk      string
+		fks     []ForeignKey
+		wantSub string
+	}{
+		{"missing pk", cols, "nope", nil, "not found"},
+		{"pk not int", cols, "x", nil, "must be INTEGER"},
+		{"dup column", []Column{{Name: "id", Kind: KindInt}, {Name: "id", Kind: KindInt}}, "id", nil, "duplicate column"},
+		{"fk missing col", cols, "id", []ForeignKey{{Column: "nope", Ref: "Other"}}, "not found"},
+		{"fk not int", cols, "id", []ForeignKey{{Column: "x", Ref: "Other"}}, "must be INTEGER"},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := NewRelation("R", tc.cols, tc.pk, tc.fks)
+			if err == nil || !strings.Contains(err.Error(), tc.wantSub) {
+				t.Fatalf("got err %v, want substring %q", err, tc.wantSub)
+			}
+		})
+	}
+}
+
+func TestInsertAndLookup(t *testing.T) {
+	r := personRel(t)
+	id, err := r.Insert(Tuple{IntVal(7), StrVal("Ada"), IntVal(36)})
+	if err != nil {
+		t.Fatalf("Insert: %v", err)
+	}
+	if id != 0 {
+		t.Errorf("first TupleID = %d, want 0", id)
+	}
+	got, ok := r.LookupPK(7)
+	if !ok || got != id {
+		t.Errorf("LookupPK(7) = %d,%v; want %d,true", got, ok, id)
+	}
+	if pk := r.PK(id); pk != 7 {
+		t.Errorf("PK(%d) = %d, want 7", id, pk)
+	}
+	if _, ok := r.LookupPK(8); ok {
+		t.Error("LookupPK(8) should miss")
+	}
+	if r.Len() != 1 {
+		t.Errorf("Len = %d, want 1", r.Len())
+	}
+}
+
+func TestInsertErrors(t *testing.T) {
+	r := personRel(t)
+	r.MustInsert(Tuple{IntVal(1), StrVal("Ada"), IntVal(36)})
+
+	if _, err := r.Insert(Tuple{IntVal(1), StrVal("Bob"), IntVal(20)}); err == nil {
+		t.Error("duplicate PK accepted")
+	}
+	if _, err := r.Insert(Tuple{IntVal(2), StrVal("Bob")}); err == nil {
+		t.Error("wrong arity accepted")
+	}
+	if _, err := r.Insert(Tuple{IntVal(2), IntVal(5), IntVal(20)}); err == nil {
+		t.Error("wrong kind accepted")
+	}
+}
+
+func TestMustInsertPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustInsert did not panic on bad tuple")
+		}
+	}()
+	r := personRel(t)
+	r.MustInsert(Tuple{IntVal(1)})
+}
+
+func TestColIndexAndFKIndexOf(t *testing.T) {
+	r := petRel(t)
+	if i := r.ColIndex("species"); i != 2 {
+		t.Errorf("ColIndex(species) = %d, want 2", i)
+	}
+	if i := r.ColIndex("nope"); i != -1 {
+		t.Errorf("ColIndex(nope) = %d, want -1", i)
+	}
+	if i := r.FKIndexOf("owner"); i != 0 {
+		t.Errorf("FKIndexOf(owner) = %d, want 0", i)
+	}
+	if i := r.FKIndexOf("species"); i != -1 {
+		t.Errorf("FKIndexOf(species) = %d, want -1", i)
+	}
+}
+
+func buildPetDB(t *testing.T) *DB {
+	t.Helper()
+	db := NewDB("pets")
+	person := personRel(t)
+	pet := petRel(t)
+	db.MustAddRelation(person)
+	db.MustAddRelation(pet)
+	person.MustInsert(Tuple{IntVal(1), StrVal("Ada"), IntVal(36)})
+	person.MustInsert(Tuple{IntVal(2), StrVal("Bob"), IntVal(20)})
+	pet.MustInsert(Tuple{IntVal(10), IntVal(1), StrVal("cat")})
+	pet.MustInsert(Tuple{IntVal(11), IntVal(1), StrVal("dog")})
+	pet.MustInsert(Tuple{IntVal(12), IntVal(2), StrVal("fish")})
+	return db
+}
+
+func TestDBRelationRegistry(t *testing.T) {
+	db := buildPetDB(t)
+	if db.Relation("Person") == nil || db.Relation("Pet") == nil {
+		t.Fatal("registered relations not found")
+	}
+	if db.Relation("Nope") != nil {
+		t.Error("unknown relation resolved")
+	}
+	if i := db.RelIndex("Pet"); i != 1 {
+		t.Errorf("RelIndex(Pet) = %d, want 1", i)
+	}
+	if i := db.RelIndex("Nope"); i != -1 {
+		t.Errorf("RelIndex(Nope) = %d, want -1", i)
+	}
+	if n := db.TotalTuples(); n != 5 {
+		t.Errorf("TotalTuples = %d, want 5", n)
+	}
+	if err := db.AddRelation(db.Relation("Pet")); err == nil {
+		t.Error("duplicate relation registration accepted")
+	}
+}
+
+func TestValidate(t *testing.T) {
+	db := buildPetDB(t)
+	if errs := db.Validate(); len(errs) != 0 {
+		t.Fatalf("valid db reported errors: %v", errs)
+	}
+	// Dangling FK.
+	db.Relation("Pet").MustInsert(Tuple{IntVal(13), IntVal(99), StrVal("owl")})
+	if errs := db.Validate(); len(errs) != 1 {
+		t.Fatalf("want 1 integrity error, got %v", errs)
+	}
+}
+
+func TestValidateUnknownRef(t *testing.T) {
+	db := NewDB("bad")
+	orphan := MustNewRelation("Orphan",
+		[]Column{{Name: "id", Kind: KindInt}, {Name: "ref", Kind: KindInt}},
+		"id", []ForeignKey{{Column: "ref", Ref: "Ghost"}})
+	db.MustAddRelation(orphan)
+	orphan.MustInsert(Tuple{IntVal(1), IntVal(1)})
+	errs := db.Validate()
+	if len(errs) != 1 || !strings.Contains(errs[0].Error(), "unknown relation") {
+		t.Fatalf("want unknown-relation error, got %v", errs)
+	}
+}

@@ -1,0 +1,78 @@
+package relational
+
+import "testing"
+
+func TestValueString(t *testing.T) {
+	tests := []struct {
+		v    Value
+		want string
+	}{
+		{IntVal(42), "42"},
+		{IntVal(-3), "-3"},
+		{FloatVal(2.5), "2.50"},
+		{StrVal("SIGMOD"), "SIGMOD"},
+		{Value{Kind: Kind(9)}, "?"},
+	}
+	for _, tc := range tests {
+		if got := tc.v.String(); got != tc.want {
+			t.Errorf("%#v.String() = %q, want %q", tc.v, got, tc.want)
+		}
+	}
+}
+
+func TestKindString(t *testing.T) {
+	tests := []struct {
+		k    Kind
+		want string
+	}{
+		{KindInt, "INTEGER"},
+		{KindFloat, "FLOAT"},
+		{KindString, "VARCHAR"},
+		{Kind(7), "Kind(7)"},
+	}
+	for _, tc := range tests {
+		if got := tc.k.String(); got != tc.want {
+			t.Errorf("Kind(%d).String() = %q, want %q", tc.k, got, tc.want)
+		}
+	}
+}
+
+func TestValueEqual(t *testing.T) {
+	tests := []struct {
+		a, b Value
+		want bool
+	}{
+		{IntVal(1), IntVal(1), true},
+		{IntVal(1), IntVal(2), false},
+		{FloatVal(1.5), FloatVal(1.5), true},
+		{FloatVal(1.5), FloatVal(2.5), false},
+		{StrVal("a"), StrVal("a"), true},
+		{StrVal("a"), StrVal("b"), false},
+		{IntVal(1), FloatVal(1), false},
+		{IntVal(1), StrVal("1"), false},
+	}
+	for _, tc := range tests {
+		if got := tc.a.Equal(tc.b); got != tc.want {
+			t.Errorf("Equal(%v,%v) = %v, want %v", tc.a, tc.b, got, tc.want)
+		}
+	}
+}
+
+func TestValueLess(t *testing.T) {
+	tests := []struct {
+		a, b Value
+		want bool
+	}{
+		{IntVal(1), IntVal(2), true},
+		{IntVal(2), IntVal(1), false},
+		{FloatVal(1), FloatVal(2), true},
+		{StrVal("a"), StrVal("b"), true},
+		{StrVal("b"), StrVal("a"), false},
+		{IntVal(5), FloatVal(0), true}, // kind ordering: int < float
+	}
+	for _, tc := range tests {
+		if got := tc.a.Less(tc.b); got != tc.want {
+			t.Errorf("Less(%v,%v) = %v, want %v", tc.a, tc.b, got, tc.want)
+		}
+	}
+}

@@ -1,0 +1,103 @@
+package schemagraph
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+// randomGDS builds a random expert G_DS with affinities decreasing along
+// paths (as Eq. 1 guarantees).
+func randomGDS(r *rand.Rand) *GDS {
+	g := New("R0")
+	nodes := []*Node{g.Root}
+	n := 1 + r.Intn(15)
+	for i := 0; i < n; i++ {
+		parent := nodes[r.Intn(len(nodes))]
+		aff := parent.Affinity * (0.3 + 0.7*r.Float64())
+		c := parent.AddChildFK("N"+string(rune('a'+i)), "R", 0, aff)
+		nodes = append(nodes, c)
+	}
+	return g
+}
+
+func gdsQuickConfig(seed int64) *quick.Config {
+	return &quick.Config{
+		MaxCount: 60,
+		Rand:     rand.New(rand.NewSource(seed)),
+		Values: func(vals []reflect.Value, r *rand.Rand) {
+			vals[0] = reflect.ValueOf(randomGDS(r))
+			vals[1] = reflect.ValueOf(r.Float64())
+		},
+	}
+}
+
+// Property: Threshold keeps exactly the nodes with affinity >= theta whose
+// ancestors are all kept, preserves pre-order, and never mutates the
+// source.
+func TestQuickThreshold(t *testing.T) {
+	prop := func(g *GDS, theta float64) bool {
+		before := len(g.Nodes())
+		pruned := g.Threshold(theta)
+		if len(g.Nodes()) != before {
+			return false // source mutated
+		}
+		ok := true
+		pruned.Walk(func(n *Node) bool {
+			if n.Parent != nil && n.Affinity < theta {
+				ok = false
+				return false
+			}
+			if n.Parent != nil && n.Affinity > n.Parent.Affinity {
+				ok = false
+				return false
+			}
+			return true
+		})
+		if !ok {
+			return false
+		}
+		// Count check: kept nodes = nodes whose whole ancestor path passes.
+		want := 0
+		g.Walk(func(n *Node) bool {
+			for p := n; p != nil; p = p.Parent {
+				if p.Parent != nil && p.Affinity < theta {
+					return true // this node is dropped; keep walking others
+				}
+			}
+			want++
+			return true
+		})
+		return len(pruned.Nodes()) == want
+	}
+	if err := quick.Check(prop, gdsQuickConfig(11)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Clone produces an identical, disjoint tree.
+func TestQuickClone(t *testing.T) {
+	prop := func(g *GDS, _ float64) bool {
+		c := g.Clone()
+		a, b := g.Nodes(), c.Nodes()
+		if len(a) != len(b) {
+			return false
+		}
+		for i := range a {
+			if a[i] == b[i] {
+				return false // must be distinct *Node values
+			}
+			if a[i].Label != b[i].Label || a[i].Affinity != b[i].Affinity ||
+				a[i].Depth != b[i].Depth || a[i].Step != b[i].Step {
+				return false
+			}
+		}
+		// Mutating the clone leaves the source untouched.
+		b[0].Affinity = -1
+		return a[0].Affinity != -1
+	}
+	if err := quick.Check(prop, gdsQuickConfig(13)); err != nil {
+		t.Fatal(err)
+	}
+}

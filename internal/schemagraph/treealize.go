@@ -1,0 +1,237 @@
+package schemagraph
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"sizelos/internal/relational"
+)
+
+// AffinityWeights configures the metric mix of Eq. 1,
+//
+//	Af(Ri) = (Σ_j m_j·w_j) · Af(R_Parent),
+//
+// where the metrics follow the paper's summary of [8]: schema distance and
+// connectivity properties on the schema and the data graph. Weights should
+// sum to 1 so that affinities stay in (0, 1].
+type AffinityWeights struct {
+	// Distance weights the per-hop decay metric m1 (a constant < 1 per
+	// edge; affinity decays geometrically with schema distance).
+	Distance float64
+	// Connectivity weights m2 = 1/(1+outdeg), penalizing relations whose
+	// schema neighborhood fans out widely.
+	Connectivity float64
+	// Cardinality weights m3 = 1/(1+log2(1+avg fanout)), penalizing steps
+	// that explode on the data graph (e.g. Customer -> Lineitem).
+	Cardinality float64
+	// HopDecay is the m1 constant (default 0.95).
+	HopDecay float64
+}
+
+// DefaultAffinityWeights reproduces sensible magnitudes: one FK hop from the
+// root lands near 0.9, second-level relations near 0.8, heavy-fanout or
+// highly-connected relations lower — the same ballpark as the paper's
+// Figures 2 and 12.
+func DefaultAffinityWeights() AffinityWeights {
+	return AffinityWeights{Distance: 0.7, Connectivity: 0.1, Cardinality: 0.2, HopDecay: 0.97}
+}
+
+// AutoOptions configures Treealize.
+type AutoOptions struct {
+	// Junctions names the relations that are pure M:N connectors; they are
+	// traversed through but never appear as G_DS nodes (Writes, Cites).
+	Junctions map[string]bool
+	// MaxDepth caps the tree depth (root = 0). Zero means 4.
+	MaxDepth int
+	// Theta prunes nodes with affinity < Theta (0 keeps everything):
+	// applying it during construction is what bounds replication.
+	Theta float64
+	// Weights selects the affinity metric mix. Zero value means defaults.
+	Weights AffinityWeights
+}
+
+// Treealize derives a G_DS from the database schema around dsRel, applying
+// the replication rules the paper describes (§2.1):
+//
+//   - M:1 and 1:M foreign-key neighbors become child nodes, except the exact
+//     inverse of the step that led to the current node (no trivial
+//     backtracking).
+//   - Junction relations produce M:N hops to their far side, including hops
+//     that return to an ancestor relation — these are the replicated roles
+//     (Co-Author; PaperCites/PaperCitedBy from a self-referencing junction).
+//   - A node whose relation already occurs among its ancestors is kept as a
+//     leaf but not expanded (termination).
+//
+// Affinities follow Eq. 1 with the configured metric weights; nodes whose
+// affinity falls below Theta are dropped along with their subtrees.
+func Treealize(db *relational.DB, dsRel string, opts AutoOptions) (*GDS, error) {
+	if db.Relation(dsRel) == nil {
+		return nil, fmt.Errorf("treealize: unknown relation %s", dsRel)
+	}
+	if opts.Junctions[dsRel] {
+		return nil, fmt.Errorf("treealize: data-subject relation %s is a junction", dsRel)
+	}
+	if opts.MaxDepth == 0 {
+		opts.MaxDepth = 4
+	}
+	w := opts.Weights
+	if w == (AffinityWeights{}) {
+		w = DefaultAffinityWeights()
+	}
+
+	g := New(dsRel)
+	expand(db, g.Root, opts, w, map[string]bool{dsRel: true})
+	return g, nil
+}
+
+// candidate is one potential child of a node during treealization.
+type candidate struct {
+	label string
+	rel   string
+	step  Step
+	// fanout is the average number of tuples reached per parent tuple,
+	// feeding the cardinality metric.
+	fanout float64
+	// outdeg is the schema out-degree of the candidate relation, feeding
+	// the connectivity metric.
+	outdeg int
+}
+
+func expand(db *relational.DB, n *Node, opts AutoOptions, w AffinityWeights, onPath map[string]bool) {
+	if n.Depth >= opts.MaxDepth {
+		return
+	}
+	for _, cand := range neighbors(db, n, opts) {
+		m1 := w.HopDecay
+		m2 := 1 / (1 + float64(cand.outdeg))
+		m3 := 1 / (1 + math.Log2(1+cand.fanout))
+		aff := (w.Distance*m1 + w.Connectivity*m2 + w.Cardinality*m3) * n.Affinity
+		if aff < opts.Theta {
+			continue
+		}
+		child := n.addChild(cand.label, cand.rel, cand.step, aff)
+		if onPath[cand.rel] {
+			continue // replicated role: keep as leaf, do not expand
+		}
+		onPath[cand.rel] = true
+		expand(db, child, opts, w, onPath)
+		delete(onPath, cand.rel)
+	}
+}
+
+// neighbors enumerates the candidate children of node n, in deterministic
+// order (relation registration order, FK ordinal order).
+func neighbors(db *relational.DB, n *Node, opts AutoOptions) []candidate {
+	rel := db.Relation(n.Rel)
+	var cands []candidate
+
+	// M:1 steps: FKs owned by n's relation.
+	for fi, fk := range rel.FKs {
+		if opts.Junctions[fk.Ref] {
+			continue
+		}
+		if n.Step.Kind == StepChildFK && n.Step.FKOrd == fi && n.Parent != nil && n.Parent.Rel == fk.Ref {
+			continue // exact inverse of the arriving 1:M step
+		}
+		cands = append(cands, candidate{
+			label:  roleLabel(fk.Ref, n, ""),
+			rel:    fk.Ref,
+			step:   Step{Kind: StepParentFK, FKOrd: fi},
+			fanout: 1, // M:1 reaches exactly one tuple
+			outdeg: schemaOutdeg(db, fk.Ref),
+		})
+	}
+
+	// 1:M and M:N steps: relations owning FKs that reference n's relation.
+	for _, other := range db.Relations {
+		for fi, fk := range other.FKs {
+			if fk.Ref != n.Rel {
+				continue
+			}
+			if opts.Junctions[other.Name] {
+				// M:N hop through the junction to every other FK side.
+				for fj, far := range other.FKs {
+					if fj == fi {
+						continue
+					}
+					cands = append(cands, candidate{
+						label: roleLabel(far.Ref, n, other.Name+junctionSide(fj)),
+						rel:   far.Ref,
+						step: Step{
+							Kind: StepJunction, Junction: other.Name,
+							JFKParent: fi, JFKChild: fj,
+						},
+						fanout: junctionFanout(db, other, fi),
+						outdeg: schemaOutdeg(db, far.Ref),
+					})
+				}
+				continue
+			}
+			// Plain 1:M step, unless it is the exact inverse of the arriving
+			// M:1 step.
+			if n.Step.Kind == StepParentFK && n.Parent != nil && n.Parent.Rel == other.Name && n.Step.FKOrd == fi {
+				continue
+			}
+			cands = append(cands, candidate{
+				label:  roleLabel(other.Name, n, ""),
+				rel:    other.Name,
+				step:   Step{Kind: StepChildFK, FKOrd: fi},
+				fanout: avgFanout(other.Len(), rel.Len()),
+				outdeg: schemaOutdeg(db, other.Name),
+			})
+		}
+	}
+
+	sort.SliceStable(cands, func(a, b int) bool { return cands[a].label < cands[b].label })
+	return cands
+}
+
+// roleLabel disambiguates replicated occurrences: a relation reached again
+// somewhere on the path, or reached through a junction side, gets a role
+// suffix so every G_DS label is meaningful ("AuthorViaWritesB" ~ Co-Author).
+func roleLabel(rel string, parent *Node, via string) string {
+	replicated := false
+	for p := parent; p != nil; p = p.Parent {
+		if p.Rel == rel {
+			replicated = true
+			break
+		}
+	}
+	if !replicated && via == "" {
+		return rel
+	}
+	if via == "" {
+		return rel + "Of" + parent.Label
+	}
+	return rel + "Via" + via
+}
+
+func junctionSide(fk int) string {
+	return string(rune('A' + fk))
+}
+
+func schemaOutdeg(db *relational.DB, rel string) int {
+	r := db.Relation(rel)
+	deg := len(r.FKs)
+	for _, other := range db.Relations {
+		for _, fk := range other.FKs {
+			if fk.Ref == rel {
+				deg++
+			}
+		}
+	}
+	return deg
+}
+
+func avgFanout(childLen, parentLen int) float64 {
+	if parentLen == 0 {
+		return 0
+	}
+	return float64(childLen) / float64(parentLen)
+}
+
+func junctionFanout(db *relational.DB, junction *relational.Relation, jfkParent int) float64 {
+	parent := db.Relation(junction.FKs[jfkParent].Ref)
+	return avgFanout(junction.Len(), parent.Len())
+}

@@ -1,0 +1,74 @@
+package sizel
+
+import (
+	"fmt"
+
+	"sizelos/internal/ostree"
+)
+
+// BruteForce enumerates every candidate size-l OS (every connected,
+// root-containing subtree of exactly min(l, n) nodes) and returns the best:
+// the paper's "direct approach requiring exponential time" (§1, §3.3). It
+// exists to certify the optimality of DP in tests and to demonstrate the
+// exponential wall in the ablation benchmarks; trees beyond maxBruteNodes
+// nodes are rejected.
+func BruteForce(t *ostree.Tree, l int) (Result, error) {
+	const name = "brute-force"
+	if err := checkArgs(t, l); err != nil {
+		return Result{}, err
+	}
+	if t.Len() > maxBruteNodes {
+		return Result{}, fmt.Errorf("sizel: brute force limited to %d nodes, OS has %d", maxBruteNodes, t.Len())
+	}
+	n := t.Len()
+	if l >= n {
+		return wholeTree(t, name), nil
+	}
+
+	// Breadth-first enumeration over connected sets represented as
+	// bitmasks. A set grows by adding any node whose parent is in the set.
+	type state = uint64
+	rootMask := state(1)
+	frontier := map[state]bool{rootMask: true}
+	for size := 1; size < l; size++ {
+		next := make(map[state]bool, len(frontier)*2)
+		for s := range frontier {
+			for v := 1; v < n; v++ {
+				bit := state(1) << uint(v)
+				if s&bit != 0 {
+					continue
+				}
+				parent := t.Nodes[v].Parent
+				if s&(state(1)<<uint(parent)) != 0 {
+					next[s|bit] = true
+				}
+			}
+		}
+		frontier = next
+	}
+
+	best := Result{}
+	found := false
+	for s := range frontier {
+		var nodes []ostree.NodeID
+		sum := 0.0
+		for v := 0; v < n; v++ {
+			if s&(state(1)<<uint(v)) != 0 {
+				nodes = append(nodes, ostree.NodeID(v))
+				sum += t.Nodes[v].Weight
+			}
+		}
+		if !found || sum > best.Importance {
+			best = normalize(t, nodes, name)
+			found = true
+		}
+	}
+	if !found {
+		return Result{}, fmt.Errorf("sizel: no feasible size-%d OS", l)
+	}
+	return best, nil
+}
+
+// maxBruteNodes bounds brute-force inputs; 64 nodes fit the bitmask and the
+// state space is already astronomically large well before that.
+const maxBruteNodes = 64

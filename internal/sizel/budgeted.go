@@ -1,0 +1,169 @@
+package sizel
+
+import (
+	"context"
+	"fmt"
+
+	"sizelos/internal/ostree"
+)
+
+// Budgeted computes the most important connected, root-containing subtree
+// whose total *cost* does not exceed budget, where each node's cost is
+// given by cost(id) (e.g. its rendered word or attribute count). This
+// implements the paper's §7 future-work proposal of selecting l "based on
+// the amount of attributes or words it will result" — a weighted tree
+// knapsack generalizing the unit-cost DP of Algorithm 1.
+//
+// Costs must be positive. The root's cost must fit in the budget.
+func Budgeted(ctx context.Context, t *ostree.Tree, budget int, cost func(ostree.NodeID) int) (Result, error) {
+	const name = "budgeted-dp"
+	if t == nil || t.Len() == 0 {
+		return Result{}, fmt.Errorf("sizel: empty OS")
+	}
+	if budget < 1 {
+		return Result{}, fmt.Errorf("sizel: budget must be >= 1, got %d", budget)
+	}
+	n := t.Len()
+	costs := make([]int, n)
+	for i := 0; i < n; i++ {
+		c := cost(ostree.NodeID(i))
+		if c <= 0 {
+			return Result{}, fmt.Errorf("sizel: node %d has non-positive cost %d", i, c)
+		}
+		costs[i] = c
+	}
+	if costs[0] > budget {
+		return Result{}, fmt.Errorf("sizel: root cost %d exceeds budget %d", costs[0], budget)
+	}
+
+	// best[v][b] = max importance of a subtree rooted at v with total cost
+	// exactly <= b (monotone in b by construction), for b in 0..cap(v)
+	// where cap(v) = budget - (cost of v's ancestors). b < cost(v) => v
+	// cannot be taken => -inf except b=0 semantics: we store "v taken"
+	// tables only, with best[v][b] = -inf when b < cost(v).
+	best := make([][]float64, n)
+	take := make([][][]int32, n)
+
+	// ancestor cost (path cost excluding v).
+	pathCost := make([]int, n)
+	for i := 1; i < n; i++ {
+		p := t.Nodes[i].Parent
+		pathCost[i] = pathCost[p] + costs[p]
+	}
+
+	for v := n - 1; v >= 0; v-- {
+		if ctx.Err() != nil {
+			return Result{}, ctx.Err()
+		}
+		capV := budget - pathCost[v]
+		if capV < costs[v] {
+			continue // cannot ever be included
+		}
+		row := make([]float64, capV+1)
+		for b := 0; b < costs[v]; b++ {
+			row[b] = negInf
+		}
+		childBudget := capV - costs[v]
+		comb := make([]float64, childBudget+1)
+		var usable []ostree.NodeID
+		for _, c := range t.Nodes[v].Children {
+			if best[c] != nil {
+				usable = append(usable, c)
+			}
+		}
+		takeV := make([][]int32, len(usable))
+		for ci, c := range usable {
+			childBest := best[c]
+			tk := make([]int32, childBudget+1)
+			for b := childBudget; b >= 0; b-- {
+				bestVal := comb[b]
+				bestTake := int32(0)
+				maxB := len(childBest) - 1
+				if maxB > b {
+					maxB = b
+				}
+				for k := costs[c]; k <= maxB; k++ {
+					if childBest[k] == negInf || comb[b-k] == negInf {
+						continue
+					}
+					if val := comb[b-k] + childBest[k]; val > bestVal {
+						bestVal = val
+						bestTake = int32(k)
+					}
+				}
+				comb[b] = bestVal
+				tk[b] = bestTake
+			}
+			takeV[ci] = tk
+		}
+		for b := costs[v]; b <= capV; b++ {
+			cb := b - costs[v]
+			if cb > childBudget {
+				cb = childBudget
+			}
+			row[b] = t.Nodes[v].Weight + comb[cb]
+		}
+		best[v] = row
+		take[v] = takeV
+	}
+
+	// Reconstruct from the root at full budget.
+	var chosen []ostree.NodeID
+	var rec func(v ostree.NodeID, b int)
+	rec = func(v ostree.NodeID, b int) {
+		chosen = append(chosen, v)
+		remaining := b - costs[v]
+		var usable []ostree.NodeID
+		for _, c := range t.Nodes[v].Children {
+			if best[c] != nil {
+				usable = append(usable, c)
+			}
+		}
+		for ci := len(usable) - 1; ci >= 0 && remaining > 0; ci-- {
+			k := int(take[v][ci][remaining])
+			if k > 0 {
+				rec(usable[ci], k)
+				remaining -= k
+			}
+		}
+	}
+	rec(0, budget)
+	return normalize(t, chosen, name), nil
+}
+
+// WordCost returns a cost function charging each node its rendered word
+// count (minimum 1): the concrete budget unit §7 suggests.
+func WordCost(t *ostree.Tree) func(ostree.NodeID) int {
+	return func(id ostree.NodeID) int {
+		n := &t.Nodes[id]
+		rel := t.DB.Relations[n.Rel]
+		tup := rel.Tuples[n.Tuple]
+		words := 0
+		for ci, col := range rel.Columns {
+			if ci == rel.PKCol || rel.FKIndexOf(col.Name) >= 0 {
+				continue
+			}
+			words += countWords(tup[ci].String())
+		}
+		if words < 1 {
+			words = 1
+		}
+		return words
+	}
+}
+
+func countWords(s string) int {
+	inWord := false
+	n := 0
+	for _, r := range s {
+		if r == ' ' || r == '\t' || r == '\n' {
+			inWord = false
+			continue
+		}
+		if !inWord {
+			n++
+			inWord = true
+		}
+	}
+	return n
+}

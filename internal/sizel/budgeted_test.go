@@ -1,0 +1,177 @@
+package sizel
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+
+	"sizelos/internal/ostree"
+)
+
+func unitCost(ostree.NodeID) int { return 1 }
+
+// With unit costs and budget=l, Budgeted must coincide with DP.
+func TestBudgetedUnitCostEqualsDP(t *testing.T) {
+	r := rand.New(rand.NewSource(77))
+	for trial := 0; trial < 60; trial++ {
+		n := 3 + r.Intn(40)
+		tree := randomTree(r, n, false)
+		l := 1 + r.Intn(n)
+		dp, err := DP(context.Background(), tree, l)
+		if err != nil {
+			t.Fatalf("DP: %v", err)
+		}
+		bg, err := Budgeted(context.Background(), tree, l, unitCost)
+		if err != nil {
+			t.Fatalf("Budgeted: %v", err)
+		}
+		if !approx(dp.Importance, bg.Importance) {
+			t.Fatalf("trial %d (n=%d,l=%d): budgeted %v != dp %v", trial, n, l, bg.Importance, dp.Importance)
+		}
+		if !tree.IsConnectedSubtree(bg.Nodes) {
+			t.Fatalf("trial %d: disconnected", trial)
+		}
+	}
+}
+
+func TestBudgetedRespectsBudget(t *testing.T) {
+	r := rand.New(rand.NewSource(13))
+	for trial := 0; trial < 40; trial++ {
+		n := 3 + r.Intn(30)
+		tree := randomTree(r, n, false)
+		costs := make([]int, n)
+		for i := range costs {
+			costs[i] = 1 + r.Intn(7)
+		}
+		budget := costs[0] + r.Intn(40)
+		res, err := Budgeted(context.Background(), tree, budget, func(id ostree.NodeID) int { return costs[id] })
+		if err != nil {
+			t.Fatalf("Budgeted: %v", err)
+		}
+		total := 0
+		for _, id := range res.Nodes {
+			total += costs[id]
+		}
+		if total > budget {
+			t.Fatalf("trial %d: cost %d exceeds budget %d", trial, total, budget)
+		}
+		if !tree.IsConnectedSubtree(res.Nodes) {
+			t.Fatalf("trial %d: disconnected", trial)
+		}
+	}
+}
+
+// Brute-force reference for small weighted instances: enumerate connected
+// subtrees and keep the best within budget.
+func TestBudgetedMatchesBruteForce(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 60; trial++ {
+		n := 2 + r.Intn(10)
+		tree := randomTree(r, n, false)
+		costs := make([]int, n)
+		for i := range costs {
+			costs[i] = 1 + r.Intn(4)
+		}
+		budget := costs[0] + r.Intn(12)
+		res, err := Budgeted(context.Background(), tree, budget, func(id ostree.NodeID) int { return costs[id] })
+		if err != nil {
+			t.Fatalf("Budgeted: %v", err)
+		}
+		want := bruteBudgeted(tree, budget, costs)
+		if !approx(res.Importance, want) {
+			t.Fatalf("trial %d: budgeted %v != brute %v (budget %d costs %v)",
+				trial, res.Importance, want, budget, costs)
+		}
+	}
+}
+
+// bruteBudgeted enumerates all connected root-containing subsets within
+// budget via bitmask expansion.
+func bruteBudgeted(t *ostree.Tree, budget int, costs []int) float64 {
+	n := t.Len()
+	type state = uint32
+	seen := map[state]bool{1: true}
+	queue := []state{1}
+	best := t.Nodes[0].Weight // root alone (budget >= cost[0] guaranteed)
+	costOf := func(s state) int {
+		c := 0
+		for v := 0; v < n; v++ {
+			if s&(1<<uint(v)) != 0 {
+				c += costs[v]
+			}
+		}
+		return c
+	}
+	weightOf := func(s state) float64 {
+		w := 0.0
+		for v := 0; v < n; v++ {
+			if s&(1<<uint(v)) != 0 {
+				w += t.Nodes[v].Weight
+			}
+		}
+		return w
+	}
+	for len(queue) > 0 {
+		s := queue[0]
+		queue = queue[1:]
+		for v := 1; v < n; v++ {
+			bit := state(1) << uint(v)
+			if s&bit != 0 {
+				continue
+			}
+			if s&(state(1)<<uint(t.Nodes[v].Parent)) == 0 {
+				continue
+			}
+			ns := s | bit
+			if seen[ns] || costOf(ns) > budget {
+				continue
+			}
+			seen[ns] = true
+			queue = append(queue, ns)
+			if w := weightOf(ns); w > best {
+				best = w
+			}
+		}
+	}
+	return best
+}
+
+func TestBudgetedErrors(t *testing.T) {
+	tree := figure4Tree(t, 12)
+	if _, err := Budgeted(context.Background(), tree, 0, unitCost); err == nil {
+		t.Error("budget 0 accepted")
+	}
+	if _, err := Budgeted(context.Background(), nil, 5, unitCost); err == nil {
+		t.Error("nil tree accepted")
+	}
+	if _, err := Budgeted(context.Background(), tree, 5, func(ostree.NodeID) int { return 0 }); err == nil {
+		t.Error("zero cost accepted")
+	}
+	if _, err := Budgeted(context.Background(), tree, 1, func(ostree.NodeID) int { return 9 }); err == nil {
+		t.Error("root exceeding budget accepted")
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	big := randomTree(rand.New(rand.NewSource(2)), 3000, false)
+	if _, err := Budgeted(ctx, big, 40, unitCost); err == nil {
+		t.Error("cancelled context accepted")
+	}
+}
+
+func TestCountWords(t *testing.T) {
+	tests := []struct {
+		in   string
+		want int
+	}{
+		{"", 0},
+		{"one", 1},
+		{"two words", 2},
+		{"  padded   words  ", 2},
+		{"tab\tand\nnewline", 3},
+	}
+	for _, tc := range tests {
+		if got := countWords(tc.in); got != tc.want {
+			t.Errorf("countWords(%q) = %d, want %d", tc.in, got, tc.want)
+		}
+	}
+}

@@ -1,0 +1,156 @@
+package sizel
+
+import (
+	"context"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"sizelos/internal/ostree"
+)
+
+// quickTree is the generated input for the quick.Check properties below:
+// a random tree plus a random l.
+type quickTree struct {
+	parents []int
+	weights []float64
+	l       int
+}
+
+func quickConfig(seed int64, maxN int) *quick.Config {
+	return &quick.Config{
+		MaxCount: 80,
+		Rand:     rand.New(rand.NewSource(seed)),
+		Values: func(vals []reflect.Value, r *rand.Rand) {
+			n := 1 + r.Intn(maxN)
+			qt := quickTree{
+				parents: make([]int, n),
+				weights: make([]float64, n),
+				l:       1 + r.Intn(n+3),
+			}
+			qt.parents[0] = -1
+			qt.weights[0] = r.Float64() * 100
+			for i := 1; i < n; i++ {
+				qt.parents[i] = r.Intn(i)
+				qt.weights[i] = r.Float64() * 100
+			}
+			vals[0] = reflect.ValueOf(qt)
+		},
+	}
+}
+
+func (qt quickTree) tree() *ostree.Tree {
+	return buildTree(nil, qt.parents, qt.weights)
+}
+
+// Property: every algorithm returns a connected, root-containing selection
+// of exactly min(l, n) nodes whose reported importance equals the true sum.
+func TestQuickSelectionInvariants(t *testing.T) {
+	algos := map[string]func(*ostree.Tree, int) (Result, error){
+		"dp": func(tr *ostree.Tree, l int) (Result, error) {
+			return DP(context.Background(), tr, l)
+		},
+		"bottom-up": BottomUp,
+		"top-path": func(tr *ostree.Tree, l int) (Result, error) {
+			return TopPath(tr, l, TopPathOptions{})
+		},
+	}
+	for name, algo := range algos {
+		name, algo := name, algo
+		t.Run(name, func(t *testing.T) {
+			prop := func(qt quickTree) bool {
+				tr := qt.tree()
+				res, err := algo(tr, qt.l)
+				if err != nil {
+					return false
+				}
+				want := qt.l
+				if want > tr.Len() {
+					want = tr.Len()
+				}
+				if len(res.Nodes) != want {
+					return false
+				}
+				if !tr.IsConnectedSubtree(res.Nodes) {
+					return false
+				}
+				return approx(res.Importance, tr.ImportanceOf(res.Nodes))
+			}
+			if err := quick.Check(prop, quickConfig(1000, 60)); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// Property: DP's importance upper-bounds both greedy heuristics.
+func TestQuickDPDominates(t *testing.T) {
+	prop := func(qt quickTree) bool {
+		tr := qt.tree()
+		opt, err := DP(context.Background(), tr, qt.l)
+		if err != nil {
+			return false
+		}
+		bu, err := BottomUp(tr, qt.l)
+		if err != nil {
+			return false
+		}
+		tp, err := TopPath(tr, qt.l, TopPathOptions{})
+		if err != nil {
+			return false
+		}
+		return bu.Importance <= opt.Importance+1e-9 && tp.Importance <= opt.Importance+1e-9
+	}
+	if err := quick.Check(prop, quickConfig(2000, 50)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: result node lists are sorted ascending and duplicate-free
+// (normalize's contract).
+func TestQuickResultNormalized(t *testing.T) {
+	prop := func(qt quickTree) bool {
+		tr := qt.tree()
+		res, err := TopPath(tr, qt.l, TopPathOptions{})
+		if err != nil {
+			return false
+		}
+		for i := 1; i < len(res.Nodes); i++ {
+			if res.Nodes[i] <= res.Nodes[i-1] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, quickConfig(3000, 60)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: shifting every weight by the same positive constant never
+// changes the DP-selected node *count* semantics, and scaling weights by a
+// positive constant preserves the optimal selection's importance ratio —
+// i.e. selection is scale-invariant.
+func TestQuickDPScaleInvariant(t *testing.T) {
+	prop := func(qt quickTree) bool {
+		tr := qt.tree()
+		a, err := DP(context.Background(), tr, qt.l)
+		if err != nil {
+			return false
+		}
+		scaled := qt
+		scaled.weights = make([]float64, len(qt.weights))
+		for i, w := range qt.weights {
+			scaled.weights[i] = w * 3.5
+		}
+		b, err := DP(context.Background(), scaled.tree(), qt.l)
+		if err != nil {
+			return false
+		}
+		return approx(b.Importance, a.Importance*3.5)
+	}
+	if err := quick.Check(prop, quickConfig(4000, 40)); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,63 @@
+// Package sizel implements the paper's primary contribution: computing a
+// size-l Object Summary — the connected, root-containing subtree of exactly
+// l tuples with maximum total local importance (Problem 1) — from a
+// complete or preliminary OS tree.
+//
+// Four algorithms are provided:
+//
+//   - DP (Algorithm 1): exact dynamic programming over the tree.
+//   - BruteForce: exhaustive enumeration of candidate size-l OSs, feasible
+//     only on tiny trees; used to verify DP in tests.
+//   - BottomUp (Algorithm 2): greedy leaf pruning with a priority queue,
+//     O(n log n); optimal whenever local importance is monotone
+//     non-increasing with depth (Lemma 2).
+//   - TopPath (Algorithm 3): greedy path insertion by maximum average path
+//     importance AI(p_i), with the subtree-champion optimization the paper
+//     sketches (s(v)).
+//
+// PrelimL (Algorithm 4) generates the preliminary partial OS with the two
+// avoidance conditions, on which any of the above can run.
+package sizel
+
+import (
+	"fmt"
+	"sort"
+
+	"sizelos/internal/ostree"
+)
+
+// Result is a computed size-l OS.
+type Result struct {
+	// Nodes are the selected tree node ids, in ascending id order. They
+	// always form a connected subtree containing the root (Definition 1).
+	Nodes []ostree.NodeID
+	// Importance is Im(S): the sum of selected local importances (Eq. 2).
+	Importance float64
+	// Algorithm names the method that produced the result.
+	Algorithm string
+}
+
+// normalize sorts and sums a selection.
+func normalize(t *ostree.Tree, nodes []ostree.NodeID, algorithm string) Result {
+	sort.Slice(nodes, func(a, b int) bool { return nodes[a] < nodes[b] })
+	return Result{Nodes: nodes, Importance: t.ImportanceOf(nodes), Algorithm: algorithm}
+}
+
+// wholeTree returns every node: the answer whenever l >= |OS|.
+func wholeTree(t *ostree.Tree, algorithm string) Result {
+	nodes := make([]ostree.NodeID, t.Len())
+	for i := range nodes {
+		nodes[i] = ostree.NodeID(i)
+	}
+	return normalize(t, nodes, algorithm)
+}
+
+func checkArgs(t *ostree.Tree, l int) error {
+	if t == nil || t.Len() == 0 {
+		return fmt.Errorf("sizel: empty OS")
+	}
+	if l < 1 {
+		return fmt.Errorf("sizel: l must be >= 1, got %d", l)
+	}
+	return nil
+}

@@ -1,0 +1,164 @@
+package sizel
+
+import (
+	"container/heap"
+
+	"sizelos/internal/ostree"
+)
+
+// TopPathOptions tunes the Update Top-Path-l algorithm.
+type TopPathOptions struct {
+	// NoChampionCache disables the s(v) subtree-champion optimization the
+	// paper sketches (§5.2) and recomputes every AI(p_i) from scratch after
+	// each path selection. Used by the ablation benchmarks; results are
+	// identical.
+	NoChampionCache bool
+}
+
+// TopPath computes a size-l OS with the Update Top-Path-l heuristic
+// (Algorithm 3): repeatedly select the path (from the current forest root
+// down) with the largest average importance per tuple AI(p_i), append it to
+// the summary, split the forest at the removed path, and update AI for the
+// affected subtrees. If fewer slots remain than the path length, only the
+// top nodes of the path are taken (they are the ones connected to the
+// current summary).
+func TopPath(t *ostree.Tree, l int, opts TopPathOptions) (Result, error) {
+	const name = "top-path"
+	if err := checkArgs(t, l); err != nil {
+		return Result{}, err
+	}
+	n := t.Len()
+	if l >= n {
+		return wholeTree(t, name), nil
+	}
+
+	selected := make([]bool, n)
+	count := 0
+	var chosen []ostree.NodeID
+
+	// The forest starts as the single tree root. For each forest root we
+	// track its champion: the node with max AI in its subtree, where AI is
+	// the average weight along the path from the forest root.
+	pq := &championHeap{}
+	push := func(root ostree.NodeID) {
+		champ, ai, pathLen := subtreeChampion(t, root)
+		heap.Push(pq, championEntry{root: root, champ: champ, ai: ai, pathLen: pathLen})
+	}
+	push(t.Root())
+
+	for count < l && pq.Len() > 0 {
+		entry := heap.Pop(pq).(championEntry)
+		if opts.NoChampionCache {
+			// Ablation mode: recompute this root's champion at pop time
+			// instead of trusting the value cached at push time. Results
+			// are identical (a root's subtree never changes while it waits
+			// in the queue); the flag measures the recomputation cost.
+			champ, ai, pathLen := subtreeChampion(t, entry.root)
+			entry.champ, entry.ai, entry.pathLen = champ, ai, pathLen
+		}
+		// Collect the path from the forest root down to the champion.
+		path := pathDown(t, entry.root, entry.champ)
+		// Take the top nodes first; stop when the summary is full.
+		took := path
+		if len(path) > l-count {
+			took = path[:l-count]
+		}
+		for _, id := range took {
+			selected[id] = true
+			chosen = append(chosen, id)
+		}
+		count += len(took)
+		if count >= l {
+			break
+		}
+		// Split the forest: every unselected child of a removed path node
+		// roots a new tree.
+		for _, id := range took {
+			for _, c := range t.Nodes[id].Children {
+				if !selected[c] {
+					push(c)
+				}
+			}
+		}
+	}
+	return normalize(t, chosen, name), nil
+}
+
+// subtreeChampion finds, in the subtree rooted at root (within the live
+// forest), the node maximizing AI = average weight along the path from
+// root. It returns the champion, its AI, and the path length. Ties go to
+// the smaller node id for determinism.
+//
+// This is the s(v) computation of §5.2: the champion of a subtree stays
+// valid however the forest above it changes, so each subtree is scanned
+// once, when it becomes a forest root.
+func subtreeChampion(t *ostree.Tree, root ostree.NodeID) (ostree.NodeID, float64, int) {
+	type frame struct {
+		id    ostree.NodeID
+		sum   float64
+		depth int
+	}
+	bestID := root
+	bestAI := t.Nodes[root].Weight
+	bestLen := 1
+	stack := []frame{{root, t.Nodes[root].Weight, 1}}
+	for len(stack) > 0 {
+		f := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		ai := f.sum / float64(f.depth)
+		if ai > bestAI || (ai == bestAI && f.id < bestID) {
+			bestID, bestAI, bestLen = f.id, ai, f.depth
+		}
+		for _, c := range t.Nodes[f.id].Children {
+			stack = append(stack, frame{c, f.sum + t.Nodes[c].Weight, f.depth + 1})
+		}
+	}
+	return bestID, bestAI, bestLen
+}
+
+// pathDown returns the nodes from root down to target, inclusive, in
+// root-first order.
+func pathDown(t *ostree.Tree, root, target ostree.NodeID) []ostree.NodeID {
+	var rev []ostree.NodeID
+	for id := target; ; id = t.Nodes[id].Parent {
+		rev = append(rev, id)
+		if id == root {
+			break
+		}
+	}
+	for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
+		rev[i], rev[j] = rev[j], rev[i]
+	}
+	return rev
+}
+
+type championEntry struct {
+	root    ostree.NodeID
+	champ   ostree.NodeID
+	ai      float64
+	pathLen int
+}
+
+// championHeap is a max-heap over forest roots by champion AI.
+type championHeap struct {
+	items []championEntry
+}
+
+func (h *championHeap) Len() int { return len(h.items) }
+
+func (h *championHeap) Less(a, b int) bool {
+	if h.items[a].ai != h.items[b].ai {
+		return h.items[a].ai > h.items[b].ai
+	}
+	return h.items[a].root < h.items[b].root
+}
+
+func (h *championHeap) Swap(a, b int) { h.items[a], h.items[b] = h.items[b], h.items[a] }
+
+func (h *championHeap) Push(x any) { h.items = append(h.items, x.(championEntry)) }
+
+func (h *championHeap) Pop() any {
+	last := h.items[len(h.items)-1]
+	h.items = h.items[:len(h.items)-1]
+	return last
+}
