@@ -1,0 +1,28 @@
+GO ?= go
+
+.PHONY: all build vet test race bench bench-json clean
+
+all: vet build test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# Quick textual benchmark pass over the perf-critical families.
+bench:
+	$(GO) test -run '^$$' -bench 'RankCompute|RankCompile|NewEngine|EndToEndSearch' -benchmem .
+
+# Archive the Fig-10 + rank + search benchmarks as the next BENCH_<n>.json.
+bench-json:
+	$(GO) run ./cmd/benchjson
+
+clean:
+	$(GO) clean ./...

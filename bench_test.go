@@ -18,6 +18,7 @@ package sizelos_test
 import (
 	"context"
 	"fmt"
+	"runtime"
 	"sync"
 	"testing"
 
@@ -364,24 +365,119 @@ func BenchmarkAblationBruteForceWall(b *testing.B) {
 }
 
 // BenchmarkEndToEndSearch times the full paradigm: keyword -> DS tuples ->
-// prelim-l -> Top-Path -> rendered summaries (the user-visible latency).
+// prelim-l -> Top-Path -> rendered summaries (the user-visible latency),
+// serial vs the bounded summary worker pool vs the warm LRU cache.
 func BenchmarkEndToEndSearch(b *testing.B) {
 	e := getEnv(b)
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		res, err := e.dblp.Search("Author", "Faloutsos", 15, sizelos.SearchOptions{})
+	run := func(b *testing.B, opts sizelos.SearchOptions) {
+		b.Helper()
+		for i := 0; i < b.N; i++ {
+			res, err := e.dblp.Search("Author", "Faloutsos", 15, opts)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if len(res) != 3 {
+				b.Fatalf("want 3 results, got %d", len(res))
+			}
+		}
+	}
+	b.Run("serial", func(b *testing.B) {
+		run(b, sizelos.SearchOptions{Parallel: 1})
+	})
+	b.Run("parallel", func(b *testing.B) {
+		run(b, sizelos.SearchOptions{})
+	})
+	b.Run("cached", func(b *testing.B) {
+		e.dblp.EnableSummaryCache(256)
+		defer e.dblp.EnableSummaryCache(0)
+		run(b, sizelos.SearchOptions{})
+		if st, ok := e.dblp.SummaryCacheStats(); ok {
+			b.ReportMetric(100*st.HitRate(), "cache_hit_pct")
+		}
+	})
+}
+
+// rankBenchGraph builds the BenchmarkRankCompute fixture once.
+var rankGraphOnce struct {
+	sync.Once
+	g   *datagraph.Graph
+	err error
+}
+
+func rankBenchGraph(b *testing.B) *datagraph.Graph {
+	b.Helper()
+	rankGraphOnce.Do(func() {
+		cfg := datagen.DefaultDBLPConfig()
+		cfg.Authors = 300
+		cfg.Papers = 1200
+		db, err := datagen.GenerateDBLP(cfg)
+		if err != nil {
+			rankGraphOnce.err = err
+			return
+		}
+		rankGraphOnce.g, rankGraphOnce.err = datagraph.Build(db)
+	})
+	if rankGraphOnce.err != nil {
+		b.Fatal(rankGraphOnce.err)
+	}
+	return rankGraphOnce.g
+}
+
+// BenchmarkRankCompute times global ObjectRank computation (the setup cost
+// the paper precomputes offline): the serial baseline, the multicore push
+// phase, and a compiled-plans run that isolates the iteration cost the
+// engine pays per extra damping.
+func BenchmarkRankCompute(b *testing.B) {
+	g := rankBenchGraph(b)
+	ga := datagen.DBLPGA1()
+	b.Run("serial", func(b *testing.B) {
+		opts := rank.DefaultOptions()
+		opts.Parallel = 1
+		for i := 0; i < b.N; i++ {
+			if _, _, err := rank.Compute(g, ga, opts); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("parallel", func(b *testing.B) {
+		opts := rank.DefaultOptions()
+		opts.Parallel = runtime.GOMAXPROCS(0)
+		for i := 0; i < b.N; i++ {
+			if _, _, err := rank.Compute(g, ga, opts); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("precompiled", func(b *testing.B) {
+		plans, err := rank.Compile(g, ga, nil)
 		if err != nil {
 			b.Fatal(err)
 		}
-		if len(res) != 3 {
-			b.Fatalf("want 3 results, got %d", len(res))
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, _, err := plans.Run(rank.DefaultOptions()); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkRankCompile isolates the plan-compilation cost that NewEngine
+// now pays once per G_A instead of once per setting.
+func BenchmarkRankCompile(b *testing.B) {
+	g := rankBenchGraph(b)
+	ga := datagen.DBLPGA1()
+	for i := 0; i < b.N; i++ {
+		if _, err := rank.Compile(g, ga, nil); err != nil {
+			b.Fatal(err)
 		}
 	}
 }
 
-// BenchmarkRankCompute times global ObjectRank computation (the setup cost
-// the paper precomputes offline).
-func BenchmarkRankCompute(b *testing.B) {
+// BenchmarkNewEngine times full engine setup — data graph, keyword index,
+// and all four settings' power iterations (compiled once per G_A, run
+// concurrently).
+func BenchmarkNewEngine(b *testing.B) {
 	cfg := datagen.DefaultDBLPConfig()
 	cfg.Authors = 300
 	cfg.Papers = 1200
@@ -389,14 +485,10 @@ func BenchmarkRankCompute(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	g, err := datagraph.Build(db)
-	if err != nil {
-		b.Fatal(err)
-	}
-	ga := datagen.DBLPGA1()
+	settings := sizelos.DefaultSettings(datagen.DBLPGA1(), datagen.DBLPGA2())
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, _, err := rank.Compute(g, ga, rank.DefaultOptions()); err != nil {
+		if _, err := sizelos.NewEngine(db, settings); err != nil {
 			b.Fatal(err)
 		}
 	}

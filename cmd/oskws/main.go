@@ -31,6 +31,7 @@ func main() {
 		weights  = flag.Bool("weights", false, "show local importance per tuple")
 		topK     = flag.Int("k", 0, "max data subjects to summarize (0 = all)")
 		seed     = flag.Int64("seed", 1, "generator seed")
+		parallel = flag.Int("parallel", 0, "summary workers per query (0 = GOMAXPROCS, 1 = serial)")
 	)
 	flag.Parse()
 	query := strings.Join(flag.Args(), " ")
@@ -68,6 +69,7 @@ func main() {
 		FromDatabase: *fromDB,
 		TopK:         *topK,
 		ShowWeights:  *weights,
+		Parallel:     *parallel,
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "oskws: %v\n", err)

@@ -21,6 +21,8 @@ import (
 	"context"
 	"fmt"
 	"sort"
+	"sync"
+	"sync/atomic"
 
 	"sizelos/internal/datagen"
 	"sizelos/internal/datagraph"
@@ -29,6 +31,7 @@ import (
 	"sizelos/internal/rank"
 	"sizelos/internal/relational"
 	"sizelos/internal/schemagraph"
+	"sizelos/internal/searchexec"
 	"sizelos/internal/sizel"
 )
 
@@ -84,11 +87,19 @@ type Engine struct {
 	gds map[string]map[string]*schemagraph.GDS
 	// baseGDS[dsRel] is the unannotated original.
 	baseGDS map[string]*schemagraph.GDS
+	// cache, when non-nil, memoizes size-l summaries across queries. Held
+	// through an atomic pointer so EnableSummaryCache can be toggled while
+	// searches are in flight.
+	cache atomic.Pointer[searchexec.LRU[summaryKey, Summary]]
 }
 
 // NewEngine builds an engine over db: computes every setting's global
 // importance on the data graph and indexes keywords. Register G_DSs with
 // RegisterGDS before searching.
+//
+// Each distinct G_A is compiled to push plans exactly once (the three GA1
+// dampings share one compilation) and the independent settings' power
+// iterations run concurrently.
 func NewEngine(db *relational.DB, settings []Setting) (*Engine, error) {
 	if len(settings) == 0 {
 		return nil, fmt.Errorf("sizelos: at least one ranking setting required")
@@ -105,23 +116,54 @@ func NewEngine(db *relational.DB, settings []Setting) (*Engine, error) {
 		gds:     make(map[string]map[string]*schemagraph.GDS),
 		baseGDS: make(map[string]*schemagraph.GDS),
 	}
+	plansByGA := make(map[*rank.GA]*rank.Plans, len(settings))
 	for _, s := range settings {
-		opts := rank.DefaultOptions()
-		opts.Damping = s.Damping
-		sc, st, err := rank.Compute(g, s.GA, opts)
+		if _, ok := plansByGA[s.GA]; ok {
+			continue
+		}
+		ps, err := rank.Compile(g, s.GA, nil)
 		if err != nil {
 			return nil, fmt.Errorf("sizelos: setting %s: %w", s.Name, err)
 		}
-		if !st.Converged {
-			return nil, fmt.Errorf("sizelos: setting %s did not converge after %d iterations", s.Name, st.Iterations)
+		plansByGA[s.GA] = ps
+	}
+	results := make([]relational.DBScores, len(settings))
+	errs := make([]error, len(settings))
+	var wg sync.WaitGroup
+	for i, s := range settings {
+		wg.Add(1)
+		go func(i int, s Setting) {
+			defer wg.Done()
+			opts := rank.DefaultOptions()
+			opts.Damping = s.Damping
+			sc, st, err := plansByGA[s.GA].Run(opts)
+			if err != nil {
+				errs[i] = fmt.Errorf("sizelos: setting %s: %w", s.Name, err)
+				return
+			}
+			if !st.Converged {
+				errs[i] = fmt.Errorf("sizelos: setting %s did not converge after %d iterations", s.Name, st.Iterations)
+				return
+			}
+			results[i] = sc
+		}(i, s)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
 		}
-		e.scores[s.Name] = sc
+	}
+	for i, s := range settings {
+		e.scores[s.Name] = results[i]
 	}
 	return e, nil
 }
 
 // RegisterGDS installs a Data Subject Schema Graph; one annotated clone is
-// prepared per ranking setting.
+// prepared per ranking setting. Registration is a setup-phase operation:
+// it mutates the engine's G_DS tables and must not run concurrently with
+// in-flight searches (the summary cache, by contrast, may be toggled live).
 func (e *Engine) RegisterGDS(gds *schemagraph.GDS) error {
 	if err := gds.Validate(e.db); err != nil {
 		return err
@@ -136,6 +178,18 @@ func (e *Engine) RegisterGDS(gds *schemagraph.GDS) error {
 	}
 	e.baseGDS[gds.DSName] = gds
 	e.gds[gds.DSName] = perSetting
+	// Summaries cached under the previous G_DS of this DS relation are now
+	// stale; swap in a fresh cache of the same capacity. CAS so a
+	// concurrent EnableSummaryCache reconfiguration wins over the swap.
+	for {
+		c := e.cache.Load()
+		if c == nil {
+			break
+		}
+		if e.cache.CompareAndSwap(c, searchexec.NewLRU[summaryKey, Summary](c.Stats().Cap)) {
+			break
+		}
+	}
 	return nil
 }
 
@@ -195,6 +249,10 @@ type SearchOptions struct {
 	TopK int
 	// ShowWeights annotates rendered summaries with local importance.
 	ShowWeights bool
+	// Parallel bounds the worker pool summarizing the keyword matches of
+	// one Search/RankedSearch call: 0 sizes it by GOMAXPROCS, 1 forces
+	// serial. Output order and content are identical at every setting.
+	Parallel int
 }
 
 func (o *SearchOptions) fill() {
@@ -223,7 +281,10 @@ type Summary struct {
 
 // Search runs a keyword query against the DS relation and returns one
 // size-l OS per matching data subject, ranked by DS global importance: the
-// paper's end-to-end paradigm (Q1 "Faloutsos", l=15 → Example 5).
+// paper's end-to-end paradigm (Q1 "Faloutsos", l=15 → Example 5). Matches
+// are summarized concurrently (see SearchOptions.Parallel); the result
+// order — descending DS global importance, as produced by the keyword
+// index — is deterministic regardless of the pool size.
 func (e *Engine) Search(dsRel, query string, l int, opts SearchOptions) ([]Summary, error) {
 	opts.fill()
 	sc, err := e.Scores(opts.Setting)
@@ -234,20 +295,88 @@ func (e *Engine) Search(dsRel, query string, l int, opts SearchOptions) ([]Summa
 	if opts.TopK > 0 && len(matches) > opts.TopK {
 		matches = matches[:opts.TopK]
 	}
-	out := make([]Summary, 0, len(matches))
-	for _, m := range matches {
-		s, err := e.SizeL(dsRel, m.Tuple, l, opts)
+	return e.summarizeAll(dsRel, matches, l, opts)
+}
+
+// summarizeAll computes one size-l summary per keyword match across a
+// bounded worker pool, writing each result into its match's slot so output
+// order is independent of scheduling.
+func (e *Engine) summarizeAll(dsRel string, matches []keyword.Match, l int, opts SearchOptions) ([]Summary, error) {
+	out := make([]Summary, len(matches))
+	err := searchexec.ForEach(len(matches), opts.Parallel, func(i int) error {
+		s, err := e.SizeL(dsRel, matches[i].Tuple, l, opts)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		out = append(out, s)
+		out[i] = s
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
+}
+
+// summaryKey identifies one memoizable size-l computation: every
+// SearchOptions field that affects the produced Summary participates.
+type summaryKey struct {
+	DSRel        string
+	Tuple        relational.TupleID
+	L            int
+	Setting      string
+	Algorithm    Algorithm
+	UseComplete  bool
+	FromDatabase bool
+	ShowWeights  bool
+}
+
+// EnableSummaryCache installs an LRU cache of up to capacity size-l
+// summaries, keyed by (DS relation, tuple, l, setting, algorithm,
+// complete/prelim, source, weights). Repeated queries from many users then
+// skip regeneration entirely. Cached summaries share their Tree pointer;
+// treat returned summaries as read-only. capacity <= 0 disables caching.
+// Safe to toggle while searches are in flight: running queries finish
+// against the cache they started with.
+func (e *Engine) EnableSummaryCache(capacity int) {
+	if capacity <= 0 {
+		e.cache.Store(nil)
+		return
+	}
+	e.cache.Store(searchexec.NewLRU[summaryKey, Summary](capacity))
+}
+
+// SummaryCacheStats snapshots the cache's hit/miss counters; ok is false
+// when no cache is enabled.
+func (e *Engine) SummaryCacheStats() (stats searchexec.CacheStats, ok bool) {
+	c := e.cache.Load()
+	if c == nil {
+		return searchexec.CacheStats{}, false
+	}
+	return c.Stats(), true
 }
 
 // SizeL computes the size-l OS of one data subject tuple.
 func (e *Engine) SizeL(dsRel string, tuple relational.TupleID, l int, opts SearchOptions) (Summary, error) {
 	opts.fill()
+	r := e.db.Relation(dsRel)
+	if r == nil {
+		return Summary{}, fmt.Errorf("sizelos: unknown relation %q", dsRel)
+	}
+	if tuple < 0 || int(tuple) >= r.Len() {
+		return Summary{}, fmt.Errorf("sizelos: tuple %d out of range for %s (%d tuples)", tuple, dsRel, r.Len())
+	}
+	key := summaryKey{
+		DSRel: dsRel, Tuple: tuple, L: l,
+		Setting: opts.Setting, Algorithm: opts.Algorithm,
+		UseComplete: opts.UseComplete, FromDatabase: opts.FromDatabase,
+		ShowWeights: opts.ShowWeights,
+	}
+	cache := e.cache.Load()
+	if cache != nil {
+		if s, ok := cache.Get(key); ok {
+			return s, nil
+		}
+	}
 	sc, err := e.Scores(opts.Setting)
 	if err != nil {
 		return Summary{}, err
@@ -289,14 +418,18 @@ func (e *Engine) SizeL(dsRel string, tuple relational.TupleID, l int, opts Searc
 	}
 
 	text := tree.Render(ostree.RenderOptions{Keep: res.Nodes, ShowWeights: opts.ShowWeights})
-	return Summary{
+	sum := Summary{
 		DSRel:    dsRel,
 		Tuple:    tuple,
 		Headline: headline(e.db, dsRel, tuple),
 		Result:   res,
 		Tree:     tree,
 		Text:     text,
-	}, nil
+	}
+	if cache != nil {
+		cache.Put(key, sum)
+	}
+	return sum, nil
 }
 
 // RankedSearch implements the combined size-l and top-k ranking of OSs the
@@ -315,13 +448,9 @@ func (e *Engine) RankedSearch(dsRel, query string, l, k int, opts SearchOptions)
 		return nil, err
 	}
 	matches := e.index.Search(dsRel, query, sc)
-	out := make([]Summary, 0, len(matches))
-	for _, m := range matches {
-		s, err := e.SizeL(dsRel, m.Tuple, l, opts)
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, s)
+	out, err := e.summarizeAll(dsRel, matches, l, opts)
+	if err != nil {
+		return nil, err
 	}
 	sort.SliceStable(out, func(a, b int) bool {
 		if out[a].Result.Importance != out[b].Result.Importance {
@@ -358,8 +487,16 @@ func (e *Engine) RegisterAutoGDS(dsRel string, junctions []string, theta float64
 }
 
 // headline renders the DS tuple's first displayable string attribute.
+// Callers validate rel and tuple; the checks here are defense in depth so a
+// bad input degrades to a placeholder instead of a panic.
 func headline(db *relational.DB, rel string, tuple relational.TupleID) string {
 	r := db.Relation(rel)
+	if r == nil {
+		return fmt.Sprintf("%s #%d (unknown relation)", rel, tuple)
+	}
+	if tuple < 0 || int(tuple) >= r.Len() {
+		return fmt.Sprintf("%s #%d (out of range)", rel, tuple)
+	}
 	tup := r.Tuples[tuple]
 	for ci, col := range r.Columns {
 		if col.Kind == relational.KindString && ci != r.PKCol {

@@ -1,0 +1,3 @@
+module sizelos
+
+go 1.24

@@ -76,7 +76,7 @@ func (s *DBSource) DB() *relational.DB { return s.db }
 func (s *DBSource) Scores() relational.DBScores { return s.scores }
 
 // Accesses implements Source.
-func (s *DBSource) Accesses() int64 { return s.db.Accesses }
+func (s *DBSource) Accesses() int64 { return s.db.Accesses() }
 
 // ResetAccesses implements Source.
 func (s *DBSource) ResetAccesses() int64 { return s.db.ResetAccesses() }
@@ -104,7 +104,7 @@ func (s *DBSource) Children(gn *schemagraph.Node, parent relational.TupleID) []r
 		if len(rows) == 0 {
 			return nil
 		}
-		db.Accesses++ // resolving the far side is the second join of the hop
+		db.ChargeAccess() // resolving the far side is the second join of the hop
 		farCol := j.ColIndex(j.FKs[gn.Step.JFKChild].Column)
 		out := make([]relational.TupleID, 0, len(rows))
 		for _, row := range rows {
@@ -140,7 +140,7 @@ func (s *DBSource) ChildrenTopL(gn *schemagraph.Node, parent relational.TupleID,
 			lists = buildJunctionLists(db, gn, relScores(s.scores, gn.Rel))
 			s.junction[gn] = lists
 		}
-		db.Accesses++ // the TOP-l join is charged even when empty (§5.3)
+		db.ChargeAccess() // the TOP-l join is charged even when empty (§5.3)
 		return topLFromSorted(lists[parentRel.PK(parent)], relScores(s.scores, gn.Rel), minScore, limit)
 	default:
 		return nil

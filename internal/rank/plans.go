@@ -1,0 +1,254 @@
+package rank
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+
+	"sizelos/internal/datagraph"
+	"sizelos/internal/relational"
+)
+
+// Plans is a G_A compiled against one data graph: the reusable half of the
+// power iteration. Compilation resolves every flow into CSR push plans,
+// lays the per-relation score vectors out in one contiguous arena, and
+// transposes the flows into per-destination contribution lists so the push
+// phase can be partitioned across workers without write conflicts.
+//
+// A *Plans is immutable after Compile and safe for concurrent Run calls:
+// the engine compiles each G_A once and runs the three GA1 dampings over
+// the same compiled plans, concurrently.
+type Plans struct {
+	g     *datagraph.Graph
+	plans []plan
+
+	// Arena layout: scores of relation ordinal ri live at
+	// arena[relOff[ri]:relOff[ri+1]]; n is the total node count.
+	relOff []int32
+	n      int
+
+	// Pull form: the transpose of every push plan, concatenated in
+	// canonical order (plan ordinal, then source tuple, then target
+	// ordinal). Destination arena index d receives contributions
+	// pullW[k]*cur[pullSrc[k]] for k in [pullOff[d], pullOff[d+1]).
+	// pullW folds together the flow rate and the split weight (uniform
+	// 1/outdegree, or the value-proportional ValueRank weight), so one
+	// fused multiply-add per contribution is the whole push phase.
+	pullOff []int32
+	pullSrc []int32
+	pullW   []float64
+}
+
+// Compile resolves ga's flows against the data graph into reusable push
+// plans. vf is the ValueRank f(·) applied to value columns (nil means
+// identity); it is baked into the compiled split weights, so Run ignores
+// Options.ValueFunc.
+func Compile(g *datagraph.Graph, ga *GA, vf func(float64) float64) (*Plans, error) {
+	if vf == nil {
+		vf = func(x float64) float64 { return x }
+	}
+	plans, err := compile(g, ga, vf)
+	if err != nil {
+		return nil, err
+	}
+	db := g.DB
+	nRel := len(db.Relations)
+	ps := &Plans{g: g, plans: plans, relOff: make([]int32, nRel+1)}
+	for ri := 0; ri < nRel; ri++ {
+		ps.relOff[ri+1] = ps.relOff[ri] + int32(g.RelSize(ri))
+	}
+	ps.n = int(ps.relOff[nRel])
+	// The pull CSR uses int32 offsets; guard the total contribution count
+	// before building so overflow surfaces as an error, not corruption.
+	total := int64(0)
+	for pi := range ps.plans {
+		total += int64(len(ps.plans[pi].targets))
+	}
+	if total > math.MaxInt32 {
+		return nil, fmt.Errorf("rank: %d flow contributions exceed the int32 plan layout", total)
+	}
+	ps.buildPull()
+	return ps, nil
+}
+
+// buildPull transposes the push plans into per-destination CSR lists. The
+// canonical contribution order per destination — plan ordinal, then source
+// tuple ascending, then target position — fixes the floating-point
+// accumulation order, so Run produces bit-for-bit identical scores no
+// matter how many workers split the destination range.
+func (ps *Plans) buildPull() {
+	counts := make([]int32, ps.n+1)
+	for pi := range ps.plans {
+		p := &ps.plans[pi]
+		dstOff := ps.relOff[p.dstRel]
+		for _, t := range p.targets {
+			counts[dstOff+int32(t)+1]++
+		}
+	}
+	for d := 0; d < ps.n; d++ {
+		counts[d+1] += counts[d]
+	}
+	ps.pullOff = counts
+	total := ps.pullOff[ps.n]
+	ps.pullSrc = make([]int32, total)
+	ps.pullW = make([]float64, total)
+	fill := make([]int32, ps.n)
+	copy(fill, ps.pullOff[:ps.n])
+	for pi := range ps.plans {
+		p := &ps.plans[pi]
+		srcOff := ps.relOff[p.srcRel]
+		dstOff := ps.relOff[p.dstRel]
+		for t := 0; t+1 < len(p.offsets); t++ {
+			lo, hi := p.offsets[t], p.offsets[t+1]
+			if lo == hi {
+				continue
+			}
+			src := srcOff + int32(t)
+			uniform := p.rate / float64(hi-lo)
+			for k := lo; k < hi; k++ {
+				w := uniform
+				if p.weights != nil {
+					w = p.rate * p.weights[k]
+				}
+				d := dstOff + int32(p.targets[k])
+				ps.pullSrc[fill[d]] = src
+				ps.pullW[fill[d]] = w
+				fill[d]++
+			}
+		}
+	}
+}
+
+// NumPlans reports how many flows compiled to non-trivial push plans.
+func (ps *Plans) NumPlans() int { return len(ps.plans) }
+
+// NumNodes reports the arena size (total tuples across all relations).
+func (ps *Plans) NumNodes() int { return ps.n }
+
+// NumContribs reports the total per-iteration contribution count (the edge
+// work of one push phase).
+func (ps *Plans) NumContribs() int { return len(ps.pullSrc) }
+
+// Run executes the power iteration over the compiled plans. Options
+// semantics match Compute, except ValueFunc is ignored (it was baked in at
+// Compile time). Safe to call concurrently on the same *Plans.
+//
+// Parallelism: Options.Parallel > 1 splits the destination arena into that
+// many contiguous worker ranges; 0 sizes the pool by GOMAXPROCS (falling
+// back to serial on small graphs where goroutine overhead dominates);
+// 1 forces serial. All settings produce bit-for-bit identical scores: each
+// destination's contributions are summed by exactly one worker in canonical
+// order, and the max-delta convergence scan is fused into the same pass.
+func (ps *Plans) Run(opts Options) (relational.DBScores, Stats, error) {
+	if opts.Damping < 0 || opts.Damping > 1 {
+		return nil, Stats{}, fmt.Errorf("rank: damping %v outside [0,1]", opts.Damping)
+	}
+	if opts.MaxIter <= 0 {
+		opts.MaxIter = 500
+	}
+	if opts.Epsilon <= 0 {
+		opts.Epsilon = 1e-9
+	}
+	db := ps.g.DB
+	if ps.n == 0 {
+		return relational.DBScores{}, Stats{Converged: true}, nil
+	}
+
+	workers := opts.Parallel
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+		// Auto mode: a tiny arena iterates faster than goroutines spawn.
+		if ps.n < 4096 {
+			workers = 1
+		}
+	}
+	if workers > ps.n {
+		workers = ps.n
+	}
+
+	cur := make([]float64, ps.n)
+	next := make([]float64, ps.n)
+	inv := 1 / float64(ps.n)
+	for i := range cur {
+		cur[i] = inv
+	}
+	base := (1 - opts.Damping) / float64(ps.n)
+
+	deltas := make([]float64, workers)
+	stats := Stats{}
+	for it := 0; it < opts.MaxIter; it++ {
+		if workers == 1 {
+			deltas[0] = ps.pushRange(cur, next, 0, ps.n, opts.Damping, base)
+		} else {
+			var wg sync.WaitGroup
+			chunk := (ps.n + workers - 1) / workers
+			for w := 0; w < workers; w++ {
+				lo := w * chunk
+				hi := lo + chunk
+				if hi > ps.n {
+					hi = ps.n
+				}
+				wg.Add(1)
+				go func(w, lo, hi int) {
+					defer wg.Done()
+					deltas[w] = ps.pushRange(cur, next, lo, hi, opts.Damping, base)
+				}(w, lo, hi)
+			}
+			wg.Wait()
+		}
+		maxDelta := 0.0
+		for _, d := range deltas {
+			if d > maxDelta {
+				maxDelta = d
+			}
+		}
+		cur, next = next, cur
+		stats.Iterations = it + 1
+		stats.MaxDelta = maxDelta
+		if maxDelta < opts.Epsilon {
+			stats.Converged = true
+			break
+		}
+	}
+
+	scores := make(relational.DBScores, len(db.Relations))
+	maxScore := 0.0
+	for ri, r := range db.Relations {
+		s := make(relational.Scores, ps.relOff[ri+1]-ps.relOff[ri])
+		copy(s, cur[ps.relOff[ri]:ps.relOff[ri+1]])
+		scores[r.Name] = s
+		if m := s.MaxScore(); m > maxScore {
+			maxScore = m
+		}
+	}
+	if opts.NormalizeMax > 0 && maxScore > 0 {
+		f := opts.NormalizeMax / maxScore
+		for _, s := range scores {
+			for i := range s {
+				s[i] *= f
+			}
+		}
+	}
+	return scores, stats, nil
+}
+
+// pushRange computes one iteration's scores for destination arena indices
+// [lo, hi) and returns the max |next-cur| delta over the range (the
+// convergence scan fused into the push).
+func (ps *Plans) pushRange(cur, next []float64, lo, hi int, damping, base float64) float64 {
+	maxDelta := 0.0
+	pullOff, pullSrc, pullW := ps.pullOff, ps.pullSrc, ps.pullW
+	for d := lo; d < hi; d++ {
+		sum := 0.0
+		for k := pullOff[d]; k < pullOff[d+1]; k++ {
+			sum += pullW[k] * cur[pullSrc[k]]
+		}
+		s := base + damping*sum
+		next[d] = s
+		if delta := math.Abs(s - cur[d]); delta > maxDelta {
+			maxDelta = delta
+		}
+	}
+	return maxDelta
+}

@@ -135,6 +135,11 @@ type Options struct {
 	// global maximum equals this value. The paper reports local-importance
 	// magnitudes like 21.74; scaling is cosmetic and preserves all rankings.
 	NormalizeMax float64
+	// Parallel sets the push-phase worker count: 0 sizes the pool by
+	// GOMAXPROCS (serial on small graphs), 1 forces serial, >1 forces that
+	// many workers. Every setting yields bit-for-bit identical scores; see
+	// Plans.Run.
+	Parallel int
 }
 
 // DefaultOptions mirrors the paper's default setting: d=0.85, converged
@@ -310,45 +315,19 @@ func numericValue(v relational.Value) float64 {
 // where the sum ranges over incoming flows, α(e) is the flow rate and
 // w(u→v) is u's split weight over the tuples it reaches on that flow
 // (uniform, or value-proportional when the flow carries a ValueCol).
+//
+// Compute is Compile + Run in one shot. Callers that evaluate several
+// dampings over the same G_A (the engine's GA1-d1/d2/d3) should Compile
+// once and Run per damping instead, which skips the redundant plan builds.
 func Compute(g *datagraph.Graph, ga *GA, opts Options) (relational.DBScores, Stats, error) {
 	if opts.Damping < 0 || opts.Damping > 1 {
 		return nil, Stats{}, fmt.Errorf("rank: damping %v outside [0,1]", opts.Damping)
 	}
-	if opts.MaxIter <= 0 {
-		opts.MaxIter = 500
-	}
-	if opts.Epsilon <= 0 {
-		opts.Epsilon = 1e-9
-	}
-	vf := opts.ValueFunc
-	if vf == nil {
-		vf = func(x float64) float64 { return x }
-	}
-	plans, err := compile(g, ga, vf)
+	plans, err := Compile(g, ga, opts.ValueFunc)
 	if err != nil {
 		return nil, Stats{}, err
 	}
-	return iterate(g, opts, func(cur, next [][]float64) {
-		for _, p := range plans {
-			for t := 0; t+1 < len(p.offsets); t++ {
-				lo, hi := p.offsets[t], p.offsets[t+1]
-				if lo == hi {
-					continue
-				}
-				out := opts.Damping * p.rate * cur[p.srcRel][t]
-				if p.weights == nil {
-					share := out / float64(hi-lo)
-					for k := lo; k < hi; k++ {
-						next[p.dstRel][p.targets[k]] += share
-					}
-				} else {
-					for k := lo; k < hi; k++ {
-						next[p.dstRel][p.targets[k]] += out * p.weights[k]
-					}
-				}
-			}
-		}
-	})
+	return plans.Run(opts)
 }
 
 // ComputePageRank runs plain PageRank on the data graph: every tuple splits

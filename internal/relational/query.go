@@ -29,14 +29,14 @@ func (s Scores) MaxScore() float64 {
 // "SELECT * FROM Ri WHERE tj.ID = Ri.ID" (Alg. 5 line 6). One database
 // access is charged.
 func (db *DB) JoinChildren(r *Relation, fkOrd int, key int64) []TupleID {
-	db.Accesses++
+	db.accesses.Add(1)
 	return r.fkIndex[fkOrd][key]
 }
 
 // LookupParent resolves the M:1 side of a join: the single tuple in parent
 // referenced by the FK value key. One access is charged.
 func (db *DB) LookupParent(parent *Relation, key int64) (TupleID, bool) {
-	db.Accesses++
+	db.accesses.Add(1)
 	id, ok := parent.LookupPK(key)
 	return id, ok
 }
@@ -88,7 +88,7 @@ func BuildOrderedFKIndex(r *Relation, fkOrd int, scores Scores) *OrderedFKIndex 
 // Condition 2 "still requires an I/O access even when it returns no results"
 // (§5.3).
 func (idx *OrderedFKIndex) TopL(db *DB, key int64, minScore float64, limit int) []TupleID {
-	db.Accesses++
+	db.accesses.Add(1)
 	list := idx.lists[key]
 	var out []TupleID
 	for _, id := range list {
@@ -107,7 +107,7 @@ func (idx *OrderedFKIndex) TopL(db *DB, key int64, minScore float64, limit int) 
 // col equals v (a full scan; used only by tests and small tools — keyword
 // lookup goes through the inverted index).
 func (db *DB) ScanEqInt(r *Relation, col int, v int64) []TupleID {
-	db.Accesses++
+	db.accesses.Add(1)
 	var out []TupleID
 	for id, t := range r.Tuples {
 		if t[col].Kind == KindInt && t[col].Int == v {
@@ -120,7 +120,7 @@ func (db *DB) ScanEqInt(r *Relation, col int, v int64) []TupleID {
 // ScanEqStr returns, in TupleID order, all tuples of r whose string column
 // col equals v.
 func (db *DB) ScanEqStr(r *Relation, col int, v string) []TupleID {
-	db.Accesses++
+	db.accesses.Add(1)
 	var out []TupleID
 	for id, t := range r.Tuples {
 		if t[col].Kind == KindString && t[col].Str == v {
@@ -130,9 +130,14 @@ func (db *DB) ScanEqStr(r *Relation, col int, v string) []TupleID {
 	return out
 }
 
+// Accesses returns the number of extraction operations charged so far.
+func (db *DB) Accesses() int64 { return db.accesses.Load() }
+
+// ChargeAccess charges one extraction to the database, for access paths
+// implemented outside this package (e.g. the junction hop's second join).
+func (db *DB) ChargeAccess() { db.accesses.Add(1) }
+
 // ResetAccesses zeroes the access counter and returns its previous value.
 func (db *DB) ResetAccesses() int64 {
-	n := db.Accesses
-	db.Accesses = 0
-	return n
+	return db.accesses.Swap(0)
 }

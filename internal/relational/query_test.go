@@ -22,8 +22,8 @@ func TestJoinChildren(t *testing.T) {
 	if got := db.JoinChildren(pet, fk, 3); len(got) != 0 {
 		t.Errorf("JoinChildren(owner=3) = %v, want empty", got)
 	}
-	if db.Accesses != 2 {
-		t.Errorf("Accesses = %d, want 2", db.Accesses)
+	if db.Accesses() != 2 {
+		t.Errorf("Accesses = %d, want 2", db.Accesses())
 	}
 }
 
@@ -63,8 +63,8 @@ func TestResetAccesses(t *testing.T) {
 	if n := db.ResetAccesses(); n != 1 {
 		t.Errorf("ResetAccesses = %d, want 1", n)
 	}
-	if db.Accesses != 0 {
-		t.Errorf("Accesses after reset = %d", db.Accesses)
+	if db.Accesses() != 0 {
+		t.Errorf("Accesses after reset = %d", db.Accesses())
 	}
 }
 
@@ -133,8 +133,8 @@ func TestOrderedFKIndexTopL(t *testing.T) {
 	if got := idx.TopL(db, 99, 0, 5); len(got) != 0 {
 		t.Errorf("TopL(missing key) = %v", got)
 	}
-	if db.Accesses != 1 {
-		t.Errorf("Accesses = %d, want 1 (empty result still charged)", db.Accesses)
+	if db.Accesses() != 1 {
+		t.Errorf("Accesses = %d, want 1 (empty result still charged)", db.Accesses())
 	}
 }
 

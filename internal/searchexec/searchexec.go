@@ -1,0 +1,75 @@
+// Package searchexec supplies the concurrency substrate of the engine's
+// query path: a bounded worker pool that preserves deterministic output
+// order, and a thread-safe LRU cache for size-l summaries so repeated
+// queries from many users skip regeneration.
+package searchexec
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// ForEach invokes fn(0..n-1) across a bounded worker pool and blocks until
+// every call returns. workers <= 0 sizes the pool by GOMAXPROCS. Results
+// must be written by fn into caller-owned slots indexed by i, which keeps
+// output order deterministic regardless of scheduling.
+//
+// On failure ForEach returns the error of the lowest failing index — the
+// same error a serial loop would hit first — so error behavior is
+// deterministic too. With workers == 1 the loop runs inline and stops at
+// the first error; the parallel path stops claiming new indices once any
+// task fails (indices are claimed in ascending order, so the lowest
+// failing index is always among those executed).
+func ForEach(n, workers int, fn func(i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers == 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	errs := make([]error, n)
+	var idx atomic.Int64
+	var failed atomic.Bool
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				// Stop claiming work once any task has failed; in-flight
+				// tasks finish, so every slot below the failing index is
+				// still populated before the error is reported.
+				if failed.Load() {
+					return
+				}
+				i := int(idx.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				if err := fn(i); err != nil {
+					errs[i] = err
+					failed.Store(true)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
