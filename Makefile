@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race bench bench-json clean
+.PHONY: all build vet test race bench bench-json gate serve clean
 
 all: vet build test
 
@@ -23,6 +23,15 @@ bench:
 # Archive the Fig-10 + rank + search benchmarks as the next BENCH_<n>.json.
 bench-json:
 	$(GO) run ./cmd/benchjson
+
+# Compare the gated ns/op families against the latest committed baseline
+# recorded on matching hardware; fails on >25% regression.
+gate:
+	$(GO) run ./cmd/benchgate
+
+# Run the multi-tenant search service on :8080 with the demo tenants.
+serve:
+	$(GO) run ./cmd/ossrv
 
 clean:
 	$(GO) clean ./...

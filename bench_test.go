@@ -26,6 +26,7 @@ import (
 	"sizelos/internal/datagen"
 	"sizelos/internal/datagraph"
 	"sizelos/internal/eval"
+	"sizelos/internal/keyword"
 	"sizelos/internal/ostree"
 	"sizelos/internal/rank"
 	"sizelos/internal/relational"
@@ -393,6 +394,29 @@ func BenchmarkEndToEndSearch(b *testing.B) {
 		run(b, sizelos.SearchOptions{})
 		if st, ok := e.dblp.SummaryCacheStats(); ok {
 			b.ReportMetric(100*st.HitRate(), "cache_hit_pct")
+		}
+	})
+}
+
+// BenchmarkIndexBuild times keyword-index construction over the DBLP
+// corpus: the serial flat layout vs the sharded parallel build at fixed and
+// CPU-sized shard counts. The bench-gate CI job watches this family; the
+// GOMAXPROCS=4 leg asserts sharded4 is >= 1.5x faster than flat.
+func BenchmarkIndexBuild(b *testing.B) {
+	db := getEnv(b).dblp.DB()
+	b.Run("flat", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			keyword.BuildIndex(db)
+		}
+	})
+	b.Run("sharded4", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			keyword.BuildSharded(db, keyword.ShardedOptions{NumShards: 4})
+		}
+	})
+	b.Run("sharded-auto", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			keyword.BuildSharded(db, keyword.ShardedOptions{})
 		}
 	})
 }

@@ -1,0 +1,220 @@
+// Command benchgate is the CI benchmark-regression gate: it re-runs the
+// gated benchmark families, compares their ns/op against the latest
+// committed BENCH_<n>.json baseline recorded on matching hardware, and
+// fails (exit 1) when any family regresses beyond the threshold.
+//
+// Hardware honesty: a baseline measured under a different processor count
+// is not comparable, so when no committed baseline matches this run's
+// GOMAXPROCS the gate emits a GitHub Actions notice annotation and exits 0
+// instead of failing — regressions are only ever judged against like
+// hardware.
+//
+//	go run ./cmd/benchgate                      # gate against latest matching baseline
+//	go run ./cmd/benchgate -threshold 0.10      # stricter gate
+//	go run ./cmd/benchgate -baseline BENCH_3.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+
+	"sizelos/internal/benchfmt"
+)
+
+func main() {
+	var (
+		bench      = flag.String("bench", benchfmt.GateFamilies, "benchmark regex to gate")
+		pkg        = flag.String("pkg", ".", "package to benchmark")
+		dir        = flag.String("dir", ".", "directory holding committed BENCH_<n>.json baselines")
+		baseline   = flag.String("baseline", "", "explicit baseline file (default: latest BENCH_<n>.json with matching cores)")
+		threshold  = flag.Float64("threshold", 0.25, "relative ns/op regression that fails the gate")
+		benchtime  = flag.String("benchtime", "", "go test -benchtime (empty = default)")
+		count      = flag.Int("count", 1, "go test -count")
+		cores      = flag.Int("cores", 0, "override the processor count for the hardware match (0 = runtime.GOMAXPROCS, what both the baseline and this run measure under)")
+		skipMarker = flag.String("skip-marker", "", "file to create when the gate is skipped for lack of a matching-hardware baseline (lets CI record one)")
+	)
+	flag.Parse()
+	if *cores == 0 {
+		// Match on GOMAXPROCS, not NumCPU: baselines record GOMAXPROCS and
+		// the gate's own re-run executes under it, so this is the value
+		// that must agree for timings to be comparable (e.g. under
+		// GOMAXPROCS=4 on a 16-core box, or container CPU limits).
+		*cores = runtime.GOMAXPROCS(0)
+	}
+	code, err := run(*bench, *pkg, *dir, *baseline, *benchtime, *skipMarker, *threshold, *count, *cores)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchgate:", err)
+		os.Exit(1)
+	}
+	os.Exit(code)
+}
+
+func run(bench, pkg, dir, baselinePath, benchtime, skipMarker string, threshold float64, count, cores int) (int, error) {
+	base, path, ok, err := pickBaseline(dir, baselinePath, cores)
+	if err != nil {
+		return 1, err
+	}
+	if !ok {
+		// Annotated inside pickBaseline. Leave the marker so CI can record
+		// a baseline for this hardware and surface it as an artifact.
+		if skipMarker != "" {
+			if err := os.WriteFile(skipMarker, []byte("benchgate: no matching-hardware baseline\n"), 0o644); err != nil {
+				return 1, err
+			}
+		}
+		return 0, nil
+	}
+	fmt.Printf("benchgate: baseline %s (go %s, %d cores, generated %s)\n",
+		path, base.GoVersion, base.GOMAXPROCS, base.Generated)
+
+	current, err := runBenchmarks(bench, pkg, benchtime, count)
+	if err != nil {
+		return 1, err
+	}
+
+	baseByName := base.ResultByName()
+	var regressions, compared, added []string
+	for _, cur := range dedupe(current) {
+		b, ok := baseByName[cur.Name]
+		if !ok {
+			added = append(added, cur.Name)
+			continue
+		}
+		if b.NsPerOp <= 0 || cur.NsPerOp <= 0 {
+			continue
+		}
+		ratio := cur.NsPerOp / b.NsPerOp
+		status := "ok"
+		if ratio > 1+threshold {
+			status = "REGRESSION"
+			regressions = append(regressions, fmt.Sprintf(
+				"%s: %.0f ns/op vs baseline %.0f ns/op (%.2fx, threshold %.2fx)",
+				cur.Name, cur.NsPerOp, b.NsPerOp, ratio, 1+threshold))
+		}
+		compared = append(compared, fmt.Sprintf("%-55s %12.0f %12.0f %8.2fx  %s",
+			cur.Name, b.NsPerOp, cur.NsPerOp, ratio, status))
+	}
+	sort.Strings(compared)
+	fmt.Printf("%-55s %12s %12s %9s\n", "benchmark", "baseline", "current", "ratio")
+	for _, line := range compared {
+		fmt.Println(line)
+	}
+	if len(added) > 0 {
+		sort.Strings(added)
+		fmt.Printf("benchgate: %d benchmark(s) without baseline (gated next time): %s\n",
+			len(added), strings.Join(added, ", "))
+	}
+	if len(compared) == 0 {
+		annotate("notice", fmt.Sprintf("baseline %s shares no ns/op families with the current run — gate skipped", path))
+		return 0, nil
+	}
+	if len(regressions) > 0 {
+		for _, r := range regressions {
+			annotate("error", r)
+		}
+		fmt.Printf("benchgate: FAIL — %d of %d gated families regressed >%d%%\n",
+			len(regressions), len(compared), int(threshold*100))
+		return 1, nil
+	}
+	fmt.Printf("benchgate: PASS — %d families within %d%% of %s\n",
+		len(compared), int(threshold*100), path)
+	return 0, nil
+}
+
+// pickBaseline resolves the comparison baseline, honoring the hardware
+// match rule. ok is false when the gate should be skipped (already
+// annotated).
+func pickBaseline(dir, explicit string, cores int) (benchfmt.Report, string, bool, error) {
+	if explicit != "" {
+		r, err := benchfmt.Load(explicit)
+		if err != nil {
+			return benchfmt.Report{}, "", false, err
+		}
+		if r.GOMAXPROCS != cores {
+			annotate("notice", fmt.Sprintf(
+				"baseline %s was recorded on %d core(s) but this runner has %d — benchmark gate skipped, not failed",
+				explicit, r.GOMAXPROCS, cores))
+			return benchfmt.Report{}, "", false, nil
+		}
+		return r, explicit, true, nil
+	}
+	r, path, ok, err := benchfmt.Latest(dir, func(r benchfmt.Report) bool {
+		return r.GOMAXPROCS == cores
+	})
+	if err != nil {
+		return benchfmt.Report{}, "", false, err
+	}
+	if ok {
+		return r, path, true, nil
+	}
+	// Explain which baseline exists on what hardware, then skip.
+	any, anyPath, anyOK, err := benchfmt.Latest(dir, nil)
+	if err != nil {
+		return benchfmt.Report{}, "", false, err
+	}
+	if !anyOK {
+		annotate("notice", fmt.Sprintf("no BENCH_<n>.json baseline in %s — benchmark gate skipped", dir))
+	} else {
+		annotate("notice", fmt.Sprintf(
+			"no baseline recorded on %d-core hardware (latest is %s with %d core(s)) — benchmark gate skipped, not failed; run cmd/benchjson on this hardware and commit the result to arm the gate",
+			cores, anyPath, any.GOMAXPROCS))
+	}
+	return benchfmt.Report{}, "", false, nil
+}
+
+func runBenchmarks(bench, pkg, benchtime string, count int) ([]benchfmt.Result, error) {
+	args := []string{"test", "-run", "^$", "-bench", bench, "-benchmem",
+		"-count", strconv.Itoa(count)}
+	if benchtime != "" {
+		args = append(args, "-benchtime", benchtime)
+	}
+	args = append(args, pkg)
+	fmt.Fprintln(os.Stderr, "benchgate: go", strings.Join(args, " "))
+	cmd := exec.Command("go", args...)
+	cmd.Stderr = os.Stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go test: %w\n%s", err, out)
+	}
+	results := benchfmt.Parse(string(out))
+	if len(results) == 0 {
+		return nil, fmt.Errorf("no benchmark lines matched %q; raw output:\n%s", bench, out)
+	}
+	return results, nil
+}
+
+// dedupe collapses -count > 1 repeats per name with benchfmt.Faster — the
+// same rule Report.ResultByName applies to the baseline side — preserving
+// first-seen order.
+func dedupe(results []benchfmt.Result) []benchfmt.Result {
+	best := make(map[string]benchfmt.Result, len(results))
+	var order []string
+	for _, r := range results {
+		prev, ok := best[r.Name]
+		if !ok {
+			order = append(order, r.Name)
+			best[r.Name] = r
+			continue
+		}
+		if benchfmt.Faster(r, prev) {
+			best[r.Name] = r
+		}
+	}
+	out := make([]benchfmt.Result, 0, len(order))
+	for _, name := range order {
+		out = append(out, best[name])
+	}
+	return out
+}
+
+// annotate emits a GitHub Actions workflow annotation; outside Actions the
+// line is still a readable log record.
+func annotate(level, msg string) {
+	fmt.Printf("::%s title=bench-gate::%s\n", level, msg)
+}

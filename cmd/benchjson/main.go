@@ -1,7 +1,8 @@
 // Command benchjson runs the repo's benchmark suite and archives the
 // results as machine-readable JSON, seeding the performance trajectory
 // across PRs: each invocation writes the next free BENCH_<n>.json so
-// successive runs can be diffed.
+// successive runs can be diffed (and so cmd/benchgate has baselines to
+// compare CI runs against).
 //
 //	go run ./cmd/benchjson                          # default Fig-10 + rank + search set
 //	go run ./cmd/benchjson -bench 'RankCompute' -count 5
@@ -13,40 +14,16 @@ import (
 	"fmt"
 	"os"
 	"os/exec"
-	"path/filepath"
-	"regexp"
 	"runtime"
 	"strconv"
 	"strings"
 	"time"
+
+	"sizelos/internal/benchfmt"
 )
 
-// Result is one parsed benchmark line.
-type Result struct {
-	Name       string             `json:"name"`
-	Iterations int64              `json:"iterations"`
-	NsPerOp    float64            `json:"ns_per_op,omitempty"`
-	BytesPerOp float64            `json:"bytes_per_op,omitempty"`
-	AllocsOp   float64            `json:"allocs_per_op,omitempty"`
-	Metrics    map[string]float64 `json:"metrics,omitempty"`
-}
-
-// Report is the BENCH_<n>.json document.
-type Report struct {
-	Generated  string   `json:"generated"`
-	GoVersion  string   `json:"go_version"`
-	GOMAXPROCS int      `json:"gomaxprocs"`
-	BenchRegex string   `json:"bench_regex"`
-	Package    string   `json:"package"`
-	Count      int      `json:"count"`
-	Results    []Result `json:"results"`
-}
-
-var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+(.*)$`)
-
 func main() {
-	bench := flag.String("bench", "Fig10|RankCompute|RankCompile|NewEngine|EndToEndSearch|DataGraphBuild",
-		"benchmark regex passed to go test -bench")
+	bench := flag.String("bench", benchfmt.ArchiveFamilies, "benchmark regex passed to go test -bench")
 	pkg := flag.String("pkg", ".", "package to benchmark")
 	count := flag.Int("count", 1, "go test -count")
 	benchtime := flag.String("benchtime", "", "go test -benchtime (empty = default)")
@@ -72,11 +49,11 @@ func run(bench, pkg string, count int, benchtime, outDir string) error {
 	if err != nil {
 		return fmt.Errorf("go test: %w\n%s", err, out)
 	}
-	results := parse(string(out))
+	results := benchfmt.Parse(string(out))
 	if len(results) == 0 {
 		return fmt.Errorf("no benchmark lines matched %q; raw output:\n%s", bench, out)
 	}
-	report := Report{
+	report := benchfmt.Report{
 		Generated:  time.Now().UTC().Format(time.RFC3339),
 		GoVersion:  runtime.Version(),
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
@@ -85,7 +62,7 @@ func run(bench, pkg string, count int, benchtime, outDir string) error {
 		Count:      count,
 		Results:    results,
 	}
-	path, err := nextFree(outDir)
+	path, err := benchfmt.NextFree(outDir)
 	if err != nil {
 		return err
 	}
@@ -98,55 +75,4 @@ func run(bench, pkg string, count int, benchtime, outDir string) error {
 	}
 	fmt.Println(path)
 	return nil
-}
-
-// parse extracts Result entries from go test -bench textual output.
-func parse(out string) []Result {
-	var results []Result
-	for _, line := range strings.Split(out, "\n") {
-		m := benchLine.FindStringSubmatch(strings.TrimSpace(line))
-		if m == nil {
-			continue
-		}
-		iters, err := strconv.ParseInt(m[2], 10, 64)
-		if err != nil {
-			continue
-		}
-		r := Result{Name: m[1], Iterations: iters}
-		fields := strings.Fields(m[3])
-		for i := 0; i+1 < len(fields); i += 2 {
-			val, err := strconv.ParseFloat(fields[i], 64)
-			if err != nil {
-				continue
-			}
-			switch unit := fields[i+1]; unit {
-			case "ns/op":
-				r.NsPerOp = val
-			case "B/op":
-				r.BytesPerOp = val
-			case "allocs/op":
-				r.AllocsOp = val
-			default:
-				if r.Metrics == nil {
-					r.Metrics = make(map[string]float64)
-				}
-				r.Metrics[unit] = val
-			}
-		}
-		results = append(results, r)
-	}
-	return results
-}
-
-// nextFree returns the first BENCH_<n>.json path that does not exist yet.
-func nextFree(dir string) (string, error) {
-	for n := 1; n < 10000; n++ {
-		path := filepath.Join(dir, fmt.Sprintf("BENCH_%d.json", n))
-		if _, err := os.Stat(path); os.IsNotExist(err) {
-			return path, nil
-		} else if err != nil {
-			return "", err
-		}
-	}
-	return "", fmt.Errorf("no free BENCH_<n>.json slot in %s", dir)
 }

@@ -1,0 +1,84 @@
+// Command ossrv is the long-running multi-tenant search service: it builds
+// one engine per configured tenant, registers them in a tenancy registry
+// sharing a machine-wide summary pool, and serves size-l Object Summaries
+// over HTTP/JSON.
+//
+//	ossrv -addr :8080 -tenant demo=dblp -tenant shop=tpch -cache 1024
+//
+//	curl 'localhost:8080/v1/tenants'
+//	curl 'localhost:8080/v1/demo/search?rel=Author&q=Faloutsos&l=15'
+//	curl 'localhost:8080/v1/demo/ranked?rel=Author&q=Faloutsos&l=15&k=3'
+//	curl 'localhost:8080/v1/demo/stats'
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"strings"
+
+	"sizelos"
+	"sizelos/internal/datagen"
+	"sizelos/internal/tenancy"
+)
+
+// tenantFlags collects repeated -tenant name=dataset definitions.
+type tenantFlags []string
+
+func (t *tenantFlags) String() string { return strings.Join(*t, ",") }
+
+func (t *tenantFlags) Set(v string) error {
+	*t = append(*t, v)
+	return nil
+}
+
+func main() {
+	var tenants tenantFlags
+	var (
+		addr  = flag.String("addr", ":8080", "listen address")
+		cache = flag.Int("cache", 1024, "per-tenant summary cache budget in entries (0 = off)")
+		pool  = flag.Int("pool", 0, "shared summary pool size across all tenants (0 = GOMAXPROCS)")
+		seed  = flag.Int64("seed", 1, "generator seed for the synthetic datasets")
+	)
+	flag.Var(&tenants, "tenant", "tenant definition name=dataset (dataset: dblp or tpch); repeatable")
+	flag.Parse()
+	if len(tenants) == 0 {
+		tenants = tenantFlags{"dblp=dblp", "tpch=tpch"}
+	}
+
+	reg := tenancy.NewRegistry(*pool)
+	for _, def := range tenants {
+		name, dataset, ok := strings.Cut(def, "=")
+		if !ok {
+			log.Fatalf("ossrv: bad -tenant %q (want name=dataset)", def)
+		}
+		eng, err := openDataset(dataset, *seed)
+		if err != nil {
+			log.Fatalf("ossrv: tenant %s: %v", name, err)
+		}
+		if _, err := reg.Register(name, eng, tenancy.Options{CacheBudget: *cache}); err != nil {
+			log.Fatalf("ossrv: %v", err)
+		}
+		log.Printf("ossrv: tenant %s ready (dataset %s, cache budget %d)", name, dataset, *cache)
+	}
+
+	log.Printf("ossrv: serving %d tenant(s) on %s (shared pool size %d)",
+		len(reg.Names()), *addr, reg.Pool().Stats().Size)
+	log.Fatal(http.ListenAndServe(*addr, reg.Handler()))
+}
+
+func openDataset(dataset string, seed int64) (*sizelos.Engine, error) {
+	switch dataset {
+	case "dblp":
+		cfg := datagen.DefaultDBLPConfig()
+		cfg.Seed = seed
+		return sizelos.OpenDBLP(cfg)
+	case "tpch":
+		cfg := datagen.DefaultTPCHConfig()
+		cfg.Seed = seed
+		return sizelos.OpenTPCH(cfg)
+	default:
+		return nil, fmt.Errorf("unknown dataset %q (want dblp or tpch)", dataset)
+	}
+}

@@ -80,7 +80,10 @@ const DefaultSetting = "GA1-d1"
 type Engine struct {
 	db    *relational.DB
 	graph *datagraph.Graph
-	index *keyword.Index
+	// index is held through the Searcher interface so the storage layout
+	// (flat, sharded, or a future remote index) is swappable; NewEngine
+	// installs the sharded layout.
+	index keyword.Searcher
 	// scores per setting name.
 	scores map[string]relational.DBScores
 	// gds[dsRel][setting] is the annotated G_DS clone for that setting.
@@ -111,7 +114,7 @@ func NewEngine(db *relational.DB, settings []Setting) (*Engine, error) {
 	e := &Engine{
 		db:      db,
 		graph:   g,
-		index:   keyword.BuildIndex(db),
+		index:   keyword.BuildSharded(db, keyword.ShardedOptions{}),
 		scores:  make(map[string]relational.DBScores, len(settings)),
 		gds:     make(map[string]map[string]*schemagraph.GDS),
 		baseGDS: make(map[string]*schemagraph.GDS),
@@ -196,6 +199,15 @@ func (e *Engine) RegisterGDS(gds *schemagraph.GDS) error {
 // DB exposes the underlying database (read-only by convention).
 func (e *Engine) DB() *relational.DB { return e.db }
 
+// Index exposes the keyword index the engine queries.
+func (e *Engine) Index() keyword.Searcher { return e.index }
+
+// SetIndex swaps the keyword index, e.g. for a different shard count or a
+// flat reference layout. Like RegisterGDS this is a setup-phase operation:
+// it must not run concurrently with in-flight searches. The index must
+// cover the engine's database.
+func (e *Engine) SetIndex(idx keyword.Searcher) { e.index = idx }
+
 // Graph exposes the tuple data graph.
 func (e *Engine) Graph() *datagraph.Graph { return e.graph }
 
@@ -253,6 +265,16 @@ type SearchOptions struct {
 	// one Search/RankedSearch call: 0 sizes it by GOMAXPROCS, 1 forces
 	// serial. Output order and content are identical at every setting.
 	Parallel int
+	// Pool, when non-nil, additionally bounds this call's summary work by a
+	// concurrency budget shared with other callers — the multi-tenant
+	// service hands every tenant the same pool so one machine-wide cap
+	// governs total in-flight work. nil imposes no shared limit.
+	Pool *searchexec.Pool
+	// CacheScope namespaces this call's summary-cache entries. Deployments
+	// that serve several tenants from one engine set it to the tenant name
+	// so per-tenant invalidation or quotas never bleed across tenants; the
+	// empty scope is the single-tenant default.
+	CacheScope string
 }
 
 func (o *SearchOptions) fill() {
@@ -304,7 +326,38 @@ func (e *Engine) Search(dsRel, query string, l int, opts SearchOptions) ([]Summa
 func (e *Engine) summarizeAll(dsRel string, matches []keyword.Match, l int, opts SearchOptions) ([]Summary, error) {
 	out := make([]Summary, len(matches))
 	err := searchexec.ForEach(len(matches), opts.Parallel, func(i int) error {
-		s, err := e.SizeL(dsRel, matches[i].Tuple, l, opts)
+		tuple := matches[i].Tuple
+		if err := e.validateSubject(dsRel, tuple); err != nil {
+			return err
+		}
+		// A cache hit is microseconds of work; serve it without waiting on
+		// the shared budget so hot cached queries stay fast even while the
+		// pool is saturated by cold computations.
+		key := e.summaryKeyFor(dsRel, tuple, l, opts)
+		if cache := e.cache.Load(); cache != nil {
+			if s, ok := cache.Get(key); ok {
+				out[i] = s
+				return nil
+			}
+		}
+		var s Summary
+		var err error
+		// Each computed summary holds one shared-pool slot for its
+		// duration, so the machine-wide budget is enforced regardless of
+		// per-call Parallel.
+		opts.Pool.Do(func() {
+			// Re-probe after the (possibly long) slot wait: a sibling may
+			// have cached this summary meanwhile, and recomputing it would
+			// waste scarce cold-compute budget. Stat-neutral — the probe
+			// above already recorded this lookup's outcome.
+			if cache := e.cache.Load(); cache != nil {
+				if hit, ok := cache.Peek(key); ok {
+					s = hit
+					return
+				}
+			}
+			s, err = e.computeSummary(dsRel, tuple, l, opts, key)
+		})
 		if err != nil {
 			return err
 		}
@@ -320,6 +373,8 @@ func (e *Engine) summarizeAll(dsRel string, matches []keyword.Match, l int, opts
 // summaryKey identifies one memoizable size-l computation: every
 // SearchOptions field that affects the produced Summary participates.
 type summaryKey struct {
+	// Scope isolates tenants sharing one engine (SearchOptions.CacheScope).
+	Scope        string
 	DSRel        string
 	Tuple        relational.TupleID
 	L            int
@@ -330,9 +385,23 @@ type summaryKey struct {
 	ShowWeights  bool
 }
 
+// summaryKeyFor builds the memoization key of one size-l computation;
+// opts must already be filled (or carry explicit values) so defaults and
+// explicit settings share entries.
+func (e *Engine) summaryKeyFor(dsRel string, tuple relational.TupleID, l int, opts SearchOptions) summaryKey {
+	return summaryKey{
+		Scope: opts.CacheScope,
+		DSRel: dsRel, Tuple: tuple, L: l,
+		Setting: opts.Setting, Algorithm: opts.Algorithm,
+		UseComplete: opts.UseComplete, FromDatabase: opts.FromDatabase,
+		ShowWeights: opts.ShowWeights,
+	}
+}
+
 // EnableSummaryCache installs an LRU cache of up to capacity size-l
-// summaries, keyed by (DS relation, tuple, l, setting, algorithm,
-// complete/prelim, source, weights). Repeated queries from many users then
+// summaries, keyed by (cache scope, DS relation, tuple, l, setting,
+// algorithm, complete/prelim, source, weights). Repeated queries from many
+// users then
 // skip regeneration entirely. Cached summaries share their Tree pointer;
 // treat returned summaries as read-only. capacity <= 0 disables caching.
 // Safe to toggle while searches are in flight: running queries finish
@@ -355,28 +424,43 @@ func (e *Engine) SummaryCacheStats() (stats searchexec.CacheStats, ok bool) {
 	return c.Stats(), true
 }
 
+// validateSubject checks the DS coordinates before any summary work.
+func (e *Engine) validateSubject(dsRel string, tuple relational.TupleID) error {
+	r := e.db.Relation(dsRel)
+	if r == nil {
+		return fmt.Errorf("sizelos: unknown relation %q", dsRel)
+	}
+	if tuple < 0 || int(tuple) >= r.Len() {
+		return fmt.Errorf("sizelos: tuple %d out of range for %s (%d tuples)", tuple, dsRel, r.Len())
+	}
+	return nil
+}
+
 // SizeL computes the size-l OS of one data subject tuple.
 func (e *Engine) SizeL(dsRel string, tuple relational.TupleID, l int, opts SearchOptions) (Summary, error) {
 	opts.fill()
-	r := e.db.Relation(dsRel)
-	if r == nil {
-		return Summary{}, fmt.Errorf("sizelos: unknown relation %q", dsRel)
+	if err := e.validateSubject(dsRel, tuple); err != nil {
+		return Summary{}, err
 	}
-	if tuple < 0 || int(tuple) >= r.Len() {
-		return Summary{}, fmt.Errorf("sizelos: tuple %d out of range for %s (%d tuples)", tuple, dsRel, r.Len())
-	}
-	key := summaryKey{
-		DSRel: dsRel, Tuple: tuple, L: l,
-		Setting: opts.Setting, Algorithm: opts.Algorithm,
-		UseComplete: opts.UseComplete, FromDatabase: opts.FromDatabase,
-		ShowWeights: opts.ShowWeights,
-	}
-	cache := e.cache.Load()
-	if cache != nil {
+	key := e.summaryKeyFor(dsRel, tuple, l, opts)
+	if cache := e.cache.Load(); cache != nil {
 		if s, ok := cache.Get(key); ok {
 			return s, nil
 		}
 	}
+	// The direct path honors the shared budget too (nil Pool runs inline).
+	var s Summary
+	var err error
+	opts.Pool.Do(func() {
+		s, err = e.computeSummary(dsRel, tuple, l, opts, key)
+	})
+	return s, err
+}
+
+// computeSummary generates, selects and renders one size-l OS, then
+// memoizes it under key. Callers have already validated the subject,
+// filled opts, and missed the cache (the single counted probe).
+func (e *Engine) computeSummary(dsRel string, tuple relational.TupleID, l int, opts SearchOptions, key summaryKey) (Summary, error) {
 	sc, err := e.Scores(opts.Setting)
 	if err != nil {
 		return Summary{}, err
@@ -426,7 +510,7 @@ func (e *Engine) SizeL(dsRel string, tuple relational.TupleID, l int, opts Searc
 		Tree:     tree,
 		Text:     text,
 	}
-	if cache != nil {
+	if cache := e.cache.Load(); cache != nil {
 		cache.Put(key, sum)
 	}
 	return sum, nil

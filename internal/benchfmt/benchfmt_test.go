@@ -1,0 +1,104 @@
+package benchfmt
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+const sampleOut = `
+goos: linux
+BenchmarkRankCompute/serial-4         	      10	 123456789 ns/op	 1024 B/op	      17 allocs/op
+BenchmarkRankCompute/parallel-4       	      40	  31234567 ns/op	 2048 B/op	      21 allocs/op
+BenchmarkEndToEndSearch/cached        	    5000	    240000 ns/op	    99.5 cache_hit_pct
+PASS
+ok  	sizelos	12.3s
+`
+
+func TestParse(t *testing.T) {
+	results := Parse(sampleOut)
+	if len(results) != 3 {
+		t.Fatalf("parsed %d results, want 3: %+v", len(results), results)
+	}
+	r := results[0]
+	if r.Name != "BenchmarkRankCompute/serial" || r.Iterations != 10 ||
+		r.NsPerOp != 123456789 || r.BytesPerOp != 1024 || r.AllocsOp != 17 {
+		t.Errorf("result[0] = %+v", r)
+	}
+	if got := results[2].Metrics["cache_hit_pct"]; got != 99.5 {
+		t.Errorf("custom metric = %v, want 99.5", got)
+	}
+}
+
+func writeReport(t *testing.T, dir string, n int, r Report) {
+	t.Helper()
+	data, err := json.Marshal(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "BENCH_"+itoa(n)+".json"), data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func itoa(n int) string {
+	if n >= 10 {
+		return itoa(n/10) + string(rune('0'+n%10))
+	}
+	return string(rune('0' + n))
+}
+
+func TestLatestPicksHighestMatching(t *testing.T) {
+	dir := t.TempDir()
+	writeReport(t, dir, 1, Report{GOMAXPROCS: 1, Generated: "one"})
+	writeReport(t, dir, 2, Report{GOMAXPROCS: 4, Generated: "two"})
+	writeReport(t, dir, 10, Report{GOMAXPROCS: 1, Generated: "ten"})
+
+	r, path, ok, err := Latest(dir, nil)
+	if err != nil || !ok {
+		t.Fatalf("Latest: %v %v", ok, err)
+	}
+	if r.Generated != "ten" || filepath.Base(path) != "BENCH_10.json" {
+		t.Errorf("unfiltered latest = %s (%s)", r.Generated, path)
+	}
+
+	r, path, ok, err = Latest(dir, func(r Report) bool { return r.GOMAXPROCS == 4 })
+	if err != nil || !ok {
+		t.Fatalf("Latest(4 cores): %v %v", ok, err)
+	}
+	if r.Generated != "two" || filepath.Base(path) != "BENCH_2.json" {
+		t.Errorf("filtered latest = %s (%s)", r.Generated, path)
+	}
+
+	if _, _, ok, err := Latest(dir, func(r Report) bool { return r.GOMAXPROCS == 64 }); err != nil || ok {
+		t.Errorf("Latest(64 cores) = %v, %v; want no match", ok, err)
+	}
+}
+
+func TestNextFree(t *testing.T) {
+	dir := t.TempDir()
+	writeReport(t, dir, 1, Report{})
+	writeReport(t, dir, 2, Report{})
+	path, err := NextFree(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if filepath.Base(path) != "BENCH_3.json" {
+		t.Errorf("NextFree = %s, want BENCH_3.json", path)
+	}
+}
+
+func TestResultByName(t *testing.T) {
+	r := Report{Results: []Result{
+		{Name: "A", NsPerOp: 9},
+		{Name: "A", NsPerOp: 1}, // -count > 1 duplicate; fastest wins
+		{Name: "A", NsPerOp: 4},
+		{Name: "B", NsPerOp: 2},
+		{Name: "B"}, // missing timing never displaces a timed run
+	}}
+	byName := r.ResultByName()
+	if len(byName) != 2 || byName["A"].NsPerOp != 1 || byName["B"].NsPerOp != 2 {
+		t.Errorf("ResultByName = %+v", byName)
+	}
+}

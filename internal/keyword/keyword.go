@@ -3,6 +3,11 @@
 // data-subject tuples t_DS containing the keyword(s) as part of an
 // attribute's value (paper §2.1). One size-l OS is then produced per
 // matching DS tuple, as in Example 5.
+//
+// Two implementations share the Searcher contract: Index is the flat
+// reference index built serially, Sharded hash-partitions tokens across
+// independent posting maps built and probed in parallel. Both return
+// identical results for every query; the engine uses Sharded.
 package keyword
 
 import (
@@ -22,13 +27,32 @@ type Match struct {
 	Score float64
 }
 
-// Index is an inverted index token -> tuples, per relation.
+// Searcher is the query-side contract of a keyword index. The engine holds
+// its index through this interface so flat and sharded layouts (or a future
+// remote index) are interchangeable; implementations must return identical
+// results for identical corpora.
+type Searcher interface {
+	// Lookup returns the tuples of one relation containing every keyword
+	// (logical AND over tokens), in ascending tuple order.
+	Lookup(rel string, keywords []string) []relational.TupleID
+	// Search ranks one relation's Lookup candidates by descending global
+	// importance (ties by ascending tuple id).
+	Search(dsRel, query string, scores relational.DBScores) []Match
+	// SearchAll runs Search against every relation with at least one hit,
+	// merged best-first (score desc, relation asc, tuple asc).
+	SearchAll(query string, scores relational.DBScores) []Match
+}
+
+// Index is the flat inverted index token -> tuples, per relation. It is the
+// serial reference implementation; Sharded must match it bit for bit.
 type Index struct {
 	db *relational.DB
 	// postings[rel][token] lists tuple ids containing token in any string
-	// attribute, in ascending order.
+	// attribute, in ascending order without duplicates.
 	postings map[string]map[string][]relational.TupleID
 }
+
+var _ Searcher = (*Index)(nil)
 
 // Tokenize lower-cases and splits a string on any non-letter/digit rune.
 // It is exported so queries and documents are guaranteed to agree.
@@ -39,27 +63,48 @@ func Tokenize(s string) []string {
 }
 
 // BuildIndex indexes every string attribute of every relation.
+//
+// Tuples are scanned tuple-major (all string columns of tuple i before any
+// column of tuple i+1) so postings stay ascending and a token occurring in
+// several columns of the same tuple — or several times in one value —
+// yields a single posting.
 func BuildIndex(db *relational.DB) *Index {
-	idx := &Index{db: db, postings: make(map[string]map[string][]relational.TupleID)}
+	idx := &Index{db: db, postings: make(map[string]map[string][]relational.TupleID, len(db.Relations))}
 	for _, rel := range db.Relations {
 		tokens := make(map[string][]relational.TupleID)
-		for ci, col := range rel.Columns {
-			if col.Kind != relational.KindString {
-				continue
-			}
-			for ti, tup := range rel.Tuples {
-				for _, tok := range Tokenize(tup[ci].Str) {
-					list := tokens[tok]
-					if len(list) > 0 && list[len(list)-1] == relational.TupleID(ti) {
-						continue // same tuple, multiple hits
-					}
-					tokens[tok] = append(list, relational.TupleID(ti))
-				}
-			}
-		}
+		indexTuples(rel, stringColumns(rel), 0, rel.Len(), tokens)
 		idx.postings[rel.Name] = tokens
 	}
 	return idx
+}
+
+// stringColumns returns the ordinals of rel's string-kind columns.
+func stringColumns(rel *relational.Relation) []int {
+	var cols []int
+	for ci, col := range rel.Columns {
+		if col.Kind == relational.KindString {
+			cols = append(cols, ci)
+		}
+	}
+	return cols
+}
+
+// indexTuples tokenizes tuples [lo, hi) of rel into tokens, tuple-major.
+// The last-posting check suffices for dedup because tuple ids only ascend
+// within one call.
+func indexTuples(rel *relational.Relation, strCols []int, lo, hi int, tokens map[string][]relational.TupleID) {
+	for ti := lo; ti < hi; ti++ {
+		tup := rel.Tuples[ti]
+		for _, ci := range strCols {
+			for _, tok := range Tokenize(tup[ci].Str) {
+				list := tokens[tok]
+				if len(list) > 0 && list[len(list)-1] == relational.TupleID(ti) {
+					continue // same tuple already posted for this token
+				}
+				tokens[tok] = append(list, relational.TupleID(ti))
+			}
+		}
+	}
 }
 
 // Lookup returns the tuples of one relation containing every keyword
@@ -107,13 +152,10 @@ func intersect(a, b []relational.TupleID) []relational.TupleID {
 	return out
 }
 
-// Search finds the data-subject candidates for a keyword query within the
-// given DS relation, ranked by descending global importance (ties by tuple
-// id). This mirrors the paper's Q1: "Faloutsos" against Author returns the
-// three brothers, each of which roots an OS.
-func (idx *Index) Search(dsRel string, query string, scores relational.DBScores) []Match {
-	keywords := Tokenize(query)
-	ids := idx.Lookup(dsRel, keywords)
+// rankMatches turns one relation's candidate ids into Matches sorted by
+// descending global importance, ties by ascending tuple id. Shared by both
+// index layouts so their rankings cannot drift apart.
+func rankMatches(dsRel string, ids []relational.TupleID, scores relational.DBScores) []Match {
 	if len(ids) == 0 {
 		return nil
 	}
@@ -135,6 +177,14 @@ func (idx *Index) Search(dsRel string, query string, scores relational.DBScores)
 	return out
 }
 
+// Search finds the data-subject candidates for a keyword query within the
+// given DS relation, ranked by descending global importance (ties by tuple
+// id). This mirrors the paper's Q1: "Faloutsos" against Author returns the
+// three brothers, each of which roots an OS.
+func (idx *Index) Search(dsRel string, query string, scores relational.DBScores) []Match {
+	return rankMatches(dsRel, idx.Lookup(dsRel, Tokenize(query)), scores)
+}
+
 // SearchAll runs Search against every relation that has at least one hit,
 // useful when the DS relation is not known in advance (e.g. TPC-H queries
 // naming either a customer or a supplier).
@@ -144,13 +194,19 @@ func (idx *Index) SearchAll(query string, scores relational.DBScores) []Match {
 		out = append(out, idx.Search(rel.Name, query, scores)...)
 	}
 	sort.SliceStable(out, func(a, b int) bool {
-		if out[a].Score != out[b].Score {
-			return out[a].Score > out[b].Score
-		}
-		if out[a].Relation != out[b].Relation {
-			return out[a].Relation < out[b].Relation
-		}
-		return out[a].Tuple < out[b].Tuple
+		return matchLess(out[a], out[b])
 	})
 	return out
+}
+
+// matchLess is the global best-first order: score desc, relation asc,
+// tuple asc. Total over any one database, so every layout agrees.
+func matchLess(a, b Match) bool {
+	if a.Score != b.Score {
+		return a.Score > b.Score
+	}
+	if a.Relation != b.Relation {
+		return a.Relation < b.Relation
+	}
+	return a.Tuple < b.Tuple
 }

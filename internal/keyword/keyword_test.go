@@ -141,6 +141,44 @@ func TestSearchEmptyQuery(t *testing.T) {
 	}
 }
 
+// TestCrossColumnDedup is the regression test for the adjacent-only dedup
+// bug: a token appearing in two different string columns of the same tuple
+// used to produce a duplicate posting (the old column-major scan only
+// collapsed repeats within one column), which in turn broke the ascending
+// order the intersection relies on.
+func TestCrossColumnDedup(t *testing.T) {
+	db := relational.NewDB("dups")
+	doc := relational.MustNewRelation("Doc",
+		[]relational.Column{
+			{Name: "id", Kind: relational.KindInt},
+			{Name: "title", Kind: relational.KindString},
+			{Name: "body", Kind: relational.KindString},
+		}, "id", nil)
+	db.MustAddRelation(doc)
+	// "graphs" in both columns of tuple 0; "mining" only in tuple 1's body,
+	// then both columns of tuple 2 — the old scan produced [1 2 0 2].
+	doc.MustInsert(relational.Tuple{relational.IntVal(1), relational.StrVal("Graphs Everywhere"), relational.StrVal("a book about graphs")})
+	doc.MustInsert(relational.Tuple{relational.IntVal(2), relational.StrVal("Streams"), relational.StrVal("stream mining")})
+	doc.MustInsert(relational.Tuple{relational.IntVal(3), relational.StrVal("Mining"), relational.StrVal("mining text")})
+
+	for name, idx := range map[string]Searcher{
+		"flat":    BuildIndex(db),
+		"sharded": BuildSharded(db, ShardedOptions{NumShards: 4}),
+	} {
+		if got, want := idx.Lookup("Doc", []string{"graphs"}), []relational.TupleID{0}; !reflect.DeepEqual(got, want) {
+			t.Errorf("%s: Lookup(graphs) = %v, want %v (cross-column duplicate)", name, got, want)
+		}
+		if got, want := idx.Lookup("Doc", []string{"mining"}), []relational.TupleID{1, 2}; !reflect.DeepEqual(got, want) {
+			t.Errorf("%s: Lookup(mining) = %v, want %v (postings must stay ascending and unique)", name, got, want)
+		}
+		// The AND path would previously see the unsorted [1 2 0 2] list and
+		// drop tuple 2 from intersections.
+		if got, want := idx.Lookup("Doc", []string{"mining", "text"}), []relational.TupleID{2}; !reflect.DeepEqual(got, want) {
+			t.Errorf("%s: Lookup(mining text) = %v, want %v", name, got, want)
+		}
+	}
+}
+
 func TestIntersect(t *testing.T) {
 	tests := []struct {
 		a, b, want []relational.TupleID

@@ -62,6 +62,19 @@ func (c *LRU[K, V]) Get(key K) (V, bool) {
 	return zero, false
 }
 
+// Peek returns the cached value without touching the hit/miss counters or
+// the recency order. For double-checked probes whose first Get already
+// recorded the lookup's outcome.
+func (c *LRU[K, V]) Peek(key K) (V, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		return el.Value.(*lruEntry[K, V]).val, true
+	}
+	var zero V
+	return zero, false
+}
+
 // Put inserts or refreshes a value, evicting the least recently used entry
 // when the cache is full.
 func (c *LRU[K, V]) Put(key K, val V) {

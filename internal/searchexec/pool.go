@@ -1,0 +1,64 @@
+package searchexec
+
+import (
+	"runtime"
+	"sync/atomic"
+)
+
+// PoolStats reports a shared pool's configuration and load.
+type PoolStats struct {
+	// Size is the concurrency budget.
+	Size int
+	// InFlight is the number of slots currently held.
+	InFlight int
+	// Waited counts acquisitions that had to block because the pool was
+	// saturated — the back-pressure signal for capacity planning.
+	Waited uint64
+}
+
+// Pool is a shared concurrency budget for CPU-bound work spanning many
+// independent callers — e.g. summary generation across every tenant of a
+// multi-tenant service. Unlike the per-call worker count of ForEach, one
+// Pool caps total in-flight work machine-wide: each unit of work holds one
+// slot for its duration, and callers beyond the budget block until a slot
+// frees. A nil *Pool is valid and imposes no limit.
+type Pool struct {
+	sem    chan struct{}
+	waited atomic.Uint64
+}
+
+// NewPool creates a pool with the given number of slots; size <= 0 uses
+// GOMAXPROCS, matching the CPU-bound workloads the pool is meant to bound.
+func NewPool(size int) *Pool {
+	if size <= 0 {
+		size = runtime.GOMAXPROCS(0)
+	}
+	return &Pool{sem: make(chan struct{}, size)}
+}
+
+// Do runs fn while holding one pool slot, blocking first if the pool is
+// saturated. Safe for any number of concurrent callers; fn must not call
+// Do on the same pool (slots are not reentrant).
+func (p *Pool) Do(fn func()) {
+	if p == nil {
+		fn()
+		return
+	}
+	select {
+	case p.sem <- struct{}{}:
+	default:
+		p.waited.Add(1)
+		p.sem <- struct{}{}
+	}
+	defer func() { <-p.sem }()
+	fn()
+}
+
+// Stats snapshots the pool's load counters. Stats on a nil pool reports an
+// unlimited (zero-size) pool.
+func (p *Pool) Stats() PoolStats {
+	if p == nil {
+		return PoolStats{}
+	}
+	return PoolStats{Size: cap(p.sem), InFlight: len(p.sem), Waited: p.waited.Load()}
+}

@@ -1,0 +1,99 @@
+package searchexec
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// TestPoolCapsConcurrency hammers one pool from many more goroutines than
+// it has slots and verifies the in-flight high-water mark never exceeds the
+// budget.
+func TestPoolCapsConcurrency(t *testing.T) {
+	const size, callers = 3, 24
+	p := NewPool(size)
+	var inFlight, peak atomic.Int64
+	var wg sync.WaitGroup
+	for c := 0; c < callers; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				p.Do(func() {
+					cur := inFlight.Add(1)
+					for {
+						old := peak.Load()
+						if cur <= old || peak.CompareAndSwap(old, cur) {
+							break
+						}
+					}
+					inFlight.Add(-1)
+				})
+			}
+		}()
+	}
+	wg.Wait()
+	if got := peak.Load(); got > size {
+		t.Fatalf("peak in-flight %d exceeds pool size %d", got, size)
+	}
+	st := p.Stats()
+	if st.Size != size {
+		t.Errorf("Stats.Size = %d, want %d", st.Size, size)
+	}
+	if st.InFlight != 0 {
+		t.Errorf("Stats.InFlight = %d after drain, want 0", st.InFlight)
+	}
+}
+
+// TestPoolBlocksWhenSaturated pins the pool's only slot and verifies a
+// second caller registers as waiting before it gets through.
+func TestPoolBlocksWhenSaturated(t *testing.T) {
+	p := NewPool(1)
+	started := make(chan struct{})
+	release := make(chan struct{})
+	go p.Do(func() {
+		close(started)
+		<-release
+	})
+	<-started
+	done := make(chan struct{})
+	go func() {
+		p.Do(func() {})
+		close(done)
+	}()
+	// The blocked caller bumps Waited before parking on the semaphore.
+	for p.Stats().Waited == 0 {
+		runtime.Gosched()
+	}
+	select {
+	case <-done:
+		t.Fatal("second caller finished while the slot was held")
+	default:
+	}
+	close(release)
+	<-done
+	if st := p.Stats(); st.Waited != 1 {
+		t.Errorf("Stats.Waited = %d, want 1", st.Waited)
+	}
+}
+
+// TestPoolNil verifies the unlimited nil-pool fast path.
+func TestPoolNil(t *testing.T) {
+	var p *Pool
+	ran := false
+	p.Do(func() { ran = true })
+	if !ran {
+		t.Fatal("nil pool did not run fn")
+	}
+	if st := p.Stats(); st != (PoolStats{}) {
+		t.Fatalf("nil pool stats = %+v", st)
+	}
+}
+
+// TestPoolDefaultSize covers the GOMAXPROCS default.
+func TestPoolDefaultSize(t *testing.T) {
+	if st := NewPool(0).Stats(); st.Size < 1 {
+		t.Fatalf("default pool size %d", st.Size)
+	}
+}

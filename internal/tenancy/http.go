@@ -1,0 +1,217 @@
+package tenancy
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+
+	"sizelos"
+)
+
+// SummaryJSON is one size-l OS in a service response.
+type SummaryJSON struct {
+	Relation   string  `json:"relation"`
+	Tuple      int     `json:"tuple"`
+	Headline   string  `json:"headline"`
+	Importance float64 `json:"importance"`
+	Tuples     int     `json:"tuples"`
+	Text       string  `json:"text"`
+}
+
+// SearchResponse is the body of /v1/{tenant}/search and /v1/{tenant}/ranked.
+type SearchResponse struct {
+	Tenant   string        `json:"tenant"`
+	Relation string        `json:"relation"`
+	Query    string        `json:"query"`
+	L        int           `json:"l"`
+	Count    int           `json:"count"`
+	Results  []SummaryJSON `json:"results"`
+}
+
+// StatsResponse is the body of /v1/{tenant}/stats.
+type StatsResponse struct {
+	Tenant       string              `json:"tenant"`
+	CacheEnabled bool                `json:"cache_enabled"`
+	Cache        searchexecCacheJSON `json:"cache"`
+	Pool         searchexecPoolJSON  `json:"pool"`
+	Settings     []string            `json:"settings"`
+}
+
+type searchexecCacheJSON struct {
+	Hits   uint64  `json:"hits"`
+	Misses uint64  `json:"misses"`
+	Len    int     `json:"len"`
+	Cap    int     `json:"cap"`
+	Rate   float64 `json:"hit_rate"`
+}
+
+type searchexecPoolJSON struct {
+	Size     int    `json:"size"`
+	InFlight int    `json:"in_flight"`
+	Waited   uint64 `json:"waited"`
+}
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+// Handler serves the registry over HTTP/JSON:
+//
+//	GET /v1/tenants                  -> {"tenants": [...]}
+//	GET /v1/{tenant}/search?rel=&q=  -> SearchResponse (one OS per match)
+//	GET /v1/{tenant}/ranked?rel=&q=  -> SearchResponse (top-k by Im(S))
+//	GET /v1/{tenant}/stats           -> StatsResponse
+//
+// Common query parameters: l (summary size, default 15), setting, algo,
+// topk (search), k (ranked, default 10). Tenants may be registered on a
+// live registry; requests for unknown tenants get 404.
+func (r *Registry) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /v1/tenants", func(w http.ResponseWriter, req *http.Request) {
+		writeJSON(w, http.StatusOK, map[string][]string{"tenants": r.Names()})
+	})
+	mux.HandleFunc("GET /v1/{tenant}/search", func(w http.ResponseWriter, req *http.Request) {
+		r.serveQuery(w, req, false)
+	})
+	mux.HandleFunc("GET /v1/{tenant}/ranked", func(w http.ResponseWriter, req *http.Request) {
+		r.serveQuery(w, req, true)
+	})
+	mux.HandleFunc("GET /v1/{tenant}/stats", func(w http.ResponseWriter, req *http.Request) {
+		t, ok := r.Get(req.PathValue("tenant"))
+		if !ok {
+			writeJSON(w, http.StatusNotFound, errorResponse{Error: "unknown tenant"})
+			return
+		}
+		cs, enabled := t.Engine.SummaryCacheStats()
+		ps := r.pool.Stats()
+		writeJSON(w, http.StatusOK, StatsResponse{
+			Tenant:       t.Name,
+			CacheEnabled: enabled,
+			Cache: searchexecCacheJSON{
+				Hits: cs.Hits, Misses: cs.Misses, Len: cs.Len, Cap: cs.Cap,
+				Rate: cs.HitRate(),
+			},
+			Pool:     searchexecPoolJSON{Size: ps.Size, InFlight: ps.InFlight, Waited: ps.Waited},
+			Settings: t.Engine.SettingNames(),
+		})
+	})
+	return mux
+}
+
+func (r *Registry) serveQuery(w http.ResponseWriter, req *http.Request, ranked bool) {
+	t, ok := r.Get(req.PathValue("tenant"))
+	if !ok {
+		writeJSON(w, http.StatusNotFound, errorResponse{Error: "unknown tenant"})
+		return
+	}
+	params := req.URL.Query()
+	q := Query{
+		Rel:       params.Get("rel"),
+		Keywords:  params.Get("q"),
+		L:         15,
+		Setting:   params.Get("setting"),
+		Algorithm: params.Get("algo"),
+	}
+	if q.Rel == "" || q.Keywords == "" {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "rel and q parameters are required"})
+		return
+	}
+	// k belongs to /ranked and topk to /search; accepting the other would
+	// silently do nothing (and fragment single-flight batching), so reject
+	// it outright.
+	if ranked && params.Get("topk") != "" {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "topk applies to /search only (use k on /ranked)"})
+		return
+	}
+	if !ranked && params.Get("k") != "" {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "k applies to /ranked only (use topk on /search)"})
+		return
+	}
+	intParams := map[string]*int{"l": &q.L, "topk": &q.TopK}
+	if ranked {
+		intParams = map[string]*int{"l": &q.L, "k": &q.K}
+	}
+	var badParam string
+	for name, dst := range intParams {
+		raw := params.Get(name)
+		if raw == "" {
+			continue
+		}
+		v, err := strconv.Atoi(raw)
+		if err != nil || v < 0 {
+			badParam = name
+			break
+		}
+		*dst = v
+	}
+	// An explicit k=0 is rejected like any other invalid k, rather than
+	// silently coerced to the default (the engine itself requires k >= 1).
+	if badParam == "" && ranked && params.Get("k") != "" && q.K < 1 {
+		badParam = "k"
+	}
+	if badParam != "" || q.L < 1 {
+		if badParam == "" {
+			badParam = "l"
+		}
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "invalid " + badParam + " parameter"})
+		return
+	}
+	// Client-input problems must surface as 400s, not 500s: validate the
+	// names the engine would otherwise reject mid-search.
+	if t.Engine.DB().Relation(q.Rel) == nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: fmt.Sprintf("unknown relation %q", q.Rel)})
+		return
+	}
+	if q.Setting != "" {
+		if _, err := t.Engine.Scores(q.Setting); err != nil {
+			writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
+			return
+		}
+	}
+	switch sizelos.Algorithm(q.Algorithm) {
+	case "", sizelos.AlgoDP, sizelos.AlgoBottomUp, sizelos.AlgoTopPath:
+	default:
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: fmt.Sprintf("unknown algorithm %q", q.Algorithm)})
+		return
+	}
+	var (
+		results []sizelos.Summary
+		err     error
+	)
+	if ranked {
+		results, err = t.Ranked(q)
+	} else {
+		results, err = t.Search(q)
+	}
+	if err != nil {
+		writeJSON(w, http.StatusInternalServerError, errorResponse{Error: err.Error()})
+		return
+	}
+	resp := SearchResponse{
+		Tenant:   t.Name,
+		Relation: q.Rel,
+		Query:    q.Keywords,
+		L:        q.L,
+		Count:    len(results),
+		Results:  make([]SummaryJSON, 0, len(results)),
+	}
+	for _, s := range results {
+		resp.Results = append(resp.Results, SummaryJSON{
+			Relation:   s.DSRel,
+			Tuple:      int(s.Tuple),
+			Headline:   s.Headline,
+			Importance: s.Result.Importance,
+			Tuples:     len(s.Result.Nodes),
+			Text:       s.Text,
+		})
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	// Encode errors past the header write are unrecoverable; ignore them.
+	_ = json.NewEncoder(w).Encode(v)
+}

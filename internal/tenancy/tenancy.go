@@ -1,0 +1,284 @@
+// Package tenancy turns the single-engine library into a multi-tenant
+// search substrate: a registry owns many named (DB, Engine, Index) triples
+// behind a lock-striped map, every tenant's summary work is bounded by one
+// shared searchexec pool, and concurrent identical requests to the same
+// tenant are batched through a per-tenant single-flight group so a burst of
+// the same hot query costs one computation. cmd/ossrv serves this registry
+// over HTTP.
+package tenancy
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"sync"
+
+	"sizelos"
+	"sizelos/internal/searchexec"
+)
+
+// numStripes is the lock-striping width of the registry map. 16 stripes
+// keep cross-tenant contention negligible at far more tenants than one
+// machine serves while costing a few hundred bytes.
+const numStripes = 16
+
+// Options configures one tenant at registration.
+type Options struct {
+	// CacheBudget is the tenant's summary-cache capacity in entries;
+	// <= 0 leaves caching off. The budget is installed on the tenant's
+	// engine only when the engine has no cache yet: tenants sharing one
+	// engine share the first-installed budget (so a later registration
+	// can never wipe a sibling's warm cache), while cache entries stay
+	// per-tenant (keys are scoped by tenant name).
+	CacheBudget int
+}
+
+// Tenant is one registered (DB, Engine, Index) triple plus its service
+// state. Fields are immutable after registration; query methods are safe
+// for concurrent use.
+type Tenant struct {
+	Name        string
+	Engine      *sizelos.Engine
+	CacheBudget int
+
+	pool   *searchexec.Pool
+	flight flightGroup
+}
+
+// Registry maps tenant names to tenants behind striped locks and owns the
+// shared summary pool. The zero value is not usable; construct with
+// NewRegistry.
+type Registry struct {
+	pool    *searchexec.Pool
+	stripes [numStripes]struct {
+		mu      sync.RWMutex
+		tenants map[string]*Tenant
+	}
+}
+
+// NewRegistry creates an empty registry whose tenants share one summary
+// pool of poolSize slots (<= 0: GOMAXPROCS).
+func NewRegistry(poolSize int) *Registry {
+	r := &Registry{pool: searchexec.NewPool(poolSize)}
+	for i := range r.stripes {
+		r.stripes[i].tenants = make(map[string]*Tenant)
+	}
+	return r
+}
+
+// Pool exposes the shared summary pool, e.g. for load reporting.
+func (r *Registry) Pool() *searchexec.Pool { return r.pool }
+
+func (r *Registry) stripe(name string) *struct {
+	mu      sync.RWMutex
+	tenants map[string]*Tenant
+} {
+	h := fnv.New32a()
+	h.Write([]byte(name))
+	return &r.stripes[h.Sum32()%numStripes]
+}
+
+// validName keeps tenant names URL-path-safe: letters, digits, '.', '_',
+// '-', excluding the path elements "." and ".." (ServeMux cleans those out
+// of request paths, so such tenants could never be addressed).
+func validName(name string) bool {
+	if name == "" || name == "." || name == ".." {
+		return false
+	}
+	for _, c := range name {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9',
+			c == '.', c == '_', c == '-':
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// Register adds a tenant. The engine must be fully set up (G_DSs
+// registered); registration installs the tenant's cache budget and wires
+// the shared pool. Registering a live registry is safe while other tenants
+// serve traffic.
+func (r *Registry) Register(name string, eng *sizelos.Engine, opts Options) (*Tenant, error) {
+	if !validName(name) {
+		return nil, fmt.Errorf("tenancy: invalid tenant name %q (want [A-Za-z0-9._-]+)", name)
+	}
+	if eng == nil {
+		return nil, fmt.Errorf("tenancy: tenant %q: nil engine", name)
+	}
+	t := &Tenant{
+		Name:        name,
+		Engine:      eng,
+		CacheBudget: opts.CacheBudget,
+		pool:        r.pool,
+	}
+	s := r.stripe(name)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, dup := s.tenants[name]; dup {
+		// Fail before touching the engine: a duplicate Register (config
+		// reload, retry) must not wipe the live tenant's warm cache.
+		return nil, fmt.Errorf("tenancy: tenant %q already registered", name)
+	}
+	// Install the budget only on a cache-less engine: EnableSummaryCache
+	// swaps in an empty LRU, so re-installing on an engine shared with an
+	// already-live tenant would wipe that tenant's warm entries mid-traffic.
+	if _, enabled := eng.SummaryCacheStats(); !enabled && opts.CacheBudget > 0 {
+		eng.EnableSummaryCache(opts.CacheBudget)
+	}
+	s.tenants[name] = t
+	return t, nil
+}
+
+// Get returns a tenant by name.
+func (r *Registry) Get(name string) (*Tenant, bool) {
+	s := r.stripe(name)
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	t, ok := s.tenants[name]
+	return t, ok
+}
+
+// Deregister removes a tenant; in-flight queries on it finish normally.
+func (r *Registry) Deregister(name string) bool {
+	s := r.stripe(name)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.tenants[name]; !ok {
+		return false
+	}
+	delete(s.tenants, name)
+	return true
+}
+
+// Names lists registered tenants, sorted.
+func (r *Registry) Names() []string {
+	var out []string
+	for i := range r.stripes {
+		s := &r.stripes[i]
+		s.mu.RLock()
+		for name := range s.tenants {
+			out = append(out, name)
+		}
+		s.mu.RUnlock()
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Query is one tenant search request. Zero-value fields take the engine
+// defaults (DefaultSetting, top-path algorithm); L must be >= 1.
+type Query struct {
+	// Rel is the data-subject relation searched.
+	Rel string
+	// Keywords is the keyword string, tokenized by the index.
+	Keywords string
+	// L is the summary size.
+	L int
+	// K caps Ranked results (Ranked only).
+	K int
+	// TopK caps how many DS matches are summarized (Search only, 0 = all).
+	TopK int
+	// Setting selects the ranking configuration.
+	Setting string
+	// Algorithm selects the size-l method.
+	Algorithm string
+}
+
+func (q Query) options(t *Tenant) sizelos.SearchOptions {
+	return sizelos.SearchOptions{
+		Setting:    q.Setting,
+		Algorithm:  sizelos.Algorithm(q.Algorithm),
+		TopK:       q.TopK,
+		Pool:       t.pool,
+		CacheScope: t.Name,
+	}
+}
+
+// key canonicalizes a query for single-flight batching. kind separates the
+// search and ranked namespaces.
+func (q Query) key(kind string) string {
+	return fmt.Sprintf("%s\x00%s\x00%s\x00%d\x00%d\x00%d\x00%s\x00%s",
+		kind, q.Rel, q.Keywords, q.L, q.K, q.TopK, q.Setting, q.Algorithm)
+}
+
+// Search runs the tenant's keyword search through the shared pool.
+// Concurrent identical queries are batched: one computation runs, every
+// caller receives the same summaries (read-only by the engine's cache
+// contract).
+func (t *Tenant) Search(q Query) ([]sizelos.Summary, error) {
+	return t.flight.do(q.key("search"), func() ([]sizelos.Summary, error) {
+		return t.Engine.Search(q.Rel, q.Keywords, q.L, q.options(t))
+	})
+}
+
+// Ranked runs the tenant's top-k ranked search (rank by Im(S) of the
+// size-l OS) with the same pooling and batching as Search.
+func (t *Tenant) Ranked(q Query) ([]sizelos.Summary, error) {
+	// Default K before building the flight key so an omitted k and an
+	// explicit k=10 batch as the identical computation they are.
+	if q.K <= 0 {
+		q.K = 10
+	}
+	return t.flight.do(q.key("ranked"), func() ([]sizelos.Summary, error) {
+		return t.Engine.RankedSearch(q.Rel, q.Keywords, q.L, q.K, q.options(t))
+	})
+}
+
+// flightGroup coalesces concurrent calls with the same key into one
+// execution whose result every waiter shares — the request-batching layer
+// under the HTTP service. Unlike a cache, results are not retained: once
+// the last waiter leaves, the next identical request computes afresh
+// (or hits the engine's summary cache).
+type flightGroup struct {
+	mu    sync.Mutex
+	calls map[string]*flightCall
+}
+
+type flightCall struct {
+	done chan struct{}
+	res  []sizelos.Summary
+	err  error
+}
+
+// inFlight reports how many keys are currently executing.
+func (g *flightGroup) inFlight() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return len(g.calls)
+}
+
+func (g *flightGroup) do(key string, fn func() ([]sizelos.Summary, error)) ([]sizelos.Summary, error) {
+	g.mu.Lock()
+	if g.calls == nil {
+		g.calls = make(map[string]*flightCall)
+	}
+	if c, ok := g.calls[key]; ok {
+		g.mu.Unlock()
+		<-c.done
+		return c.res, c.err
+	}
+	c := &flightCall{done: make(chan struct{})}
+	g.calls[key] = c
+	g.mu.Unlock()
+
+	// Settle the flight even if fn panics (net/http recovers handler
+	// panics): the entry must leave the map and done must close, or every
+	// later identical request would block forever on a wedged key. Waiters
+	// on a panicked flight get an error, not a silent empty result; the
+	// panic itself propagates from the leader's goroutine.
+	completed := false
+	defer func() {
+		if !completed {
+			c.err = fmt.Errorf("tenancy: in-flight query panicked")
+		}
+		g.mu.Lock()
+		delete(g.calls, key)
+		g.mu.Unlock()
+		close(c.done)
+	}()
+	c.res, c.err = fn()
+	completed = true
+	return c.res, c.err
+}

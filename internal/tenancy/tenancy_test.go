@@ -1,0 +1,379 @@
+package tenancy
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"sizelos"
+	"sizelos/internal/datagen"
+	"sizelos/internal/keyword"
+	"sizelos/internal/relational"
+)
+
+var engineCache struct {
+	sync.Mutex
+	engines map[int64]*sizelos.Engine
+}
+
+// testEngine builds a small DBLP engine, memoized per seed so the test file
+// pays engine setup once per fixture.
+func testEngine(t testing.TB, seed int64) *sizelos.Engine {
+	t.Helper()
+	engineCache.Lock()
+	defer engineCache.Unlock()
+	if engineCache.engines == nil {
+		engineCache.engines = make(map[int64]*sizelos.Engine)
+	}
+	if eng, ok := engineCache.engines[seed]; ok {
+		return eng
+	}
+	cfg := datagen.DefaultDBLPConfig()
+	cfg.Seed = seed
+	cfg.Authors = 40
+	cfg.Papers = 160
+	cfg.Conferences = 4
+	cfg.YearSpan = 3
+	eng, err := sizelos.OpenDBLP(cfg)
+	if err != nil {
+		t.Fatalf("OpenDBLP: %v", err)
+	}
+	engineCache.engines[seed] = eng
+	return eng
+}
+
+// authorQuery returns a keyword guaranteed to match at least one Author.
+func authorQuery(t testing.TB, eng *sizelos.Engine) string {
+	t.Helper()
+	rel := eng.DB().Relation("Author")
+	for _, tup := range rel.Tuples {
+		for ci, col := range rel.Columns {
+			if col.Kind != relational.KindString {
+				continue
+			}
+			if toks := keyword.Tokenize(tup[ci].Str); len(toks) > 0 {
+				return toks[0]
+			}
+		}
+	}
+	t.Fatal("no author tokens in fixture")
+	return ""
+}
+
+func TestRegistryBasics(t *testing.T) {
+	eng := testEngine(t, 1)
+	reg := NewRegistry(2)
+	if _, err := reg.Register("acme", eng, Options{CacheBudget: 8}); err != nil {
+		t.Fatalf("Register: %v", err)
+	}
+	if _, err := reg.Register("acme", eng, Options{}); err == nil {
+		t.Error("duplicate Register succeeded")
+	}
+	for _, bad := range []string{"", "a/b", "sp ace", "q?x"} {
+		if _, err := reg.Register(bad, eng, Options{}); err == nil {
+			t.Errorf("Register(%q) accepted an unsafe name", bad)
+		}
+	}
+	if _, err := reg.Register("nil-engine", nil, Options{}); err == nil {
+		t.Error("Register with nil engine succeeded")
+	}
+	tn, ok := reg.Get("acme")
+	if !ok || tn.Name != "acme" || tn.CacheBudget != 8 {
+		t.Fatalf("Get(acme) = %+v, %v", tn, ok)
+	}
+	if _, err := reg.Register("zeta", eng, Options{}); err != nil {
+		t.Fatalf("Register(zeta): %v", err)
+	}
+	if got, want := reg.Names(), []string{"acme", "zeta"}; !reflect.DeepEqual(got, want) {
+		t.Errorf("Names = %v, want %v", got, want)
+	}
+	if !reg.Deregister("zeta") || reg.Deregister("zeta") {
+		t.Error("Deregister semantics wrong")
+	}
+	if _, ok := reg.Get("zeta"); ok {
+		t.Error("deregistered tenant still resolvable")
+	}
+}
+
+// TestTenantSearchMatchesEngine verifies the tenancy layer adds pooling and
+// batching without changing results.
+func TestTenantSearchMatchesEngine(t *testing.T) {
+	eng := testEngine(t, 1)
+	reg := NewRegistry(2)
+	tn, err := reg.Register("acme", eng, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := authorQuery(t, eng)
+	want, err := eng.Search("Author", q, 10, sizelos.SearchOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := tn.Search(Query{Rel: "Author", Keywords: q, L: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("tenant search returned %d results, engine %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i].Text != want[i].Text || got[i].Tuple != want[i].Tuple {
+			t.Fatalf("result %d diverges: %+v vs %+v", i, got[i], want[i])
+		}
+	}
+}
+
+// TestFlightGroupBatches proves concurrent identical requests run the
+// underlying computation once.
+func TestFlightGroupBatches(t *testing.T) {
+	var g flightGroup
+	var calls atomic.Int32
+	gate := make(chan struct{})
+	const waiters = 8
+	results := make([][]sizelos.Summary, waiters)
+	var wg sync.WaitGroup
+	for i := 0; i < waiters; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			res, err := g.do("same-key", func() ([]sizelos.Summary, error) {
+				calls.Add(1)
+				<-gate // hold every other caller in the wait path
+				return []sizelos.Summary{{Headline: "shared"}}, nil
+			})
+			if err != nil {
+				t.Error(err)
+			}
+			results[i] = res
+		}(i)
+	}
+	// Let the goroutines pile onto the in-flight call, then release it.
+	for g.inFlight() == 0 {
+		runtime.Gosched()
+	}
+	close(gate)
+	wg.Wait()
+	if n := calls.Load(); n < 1 || n > waiters {
+		t.Fatalf("calls = %d", n)
+	}
+	for i, res := range results {
+		if len(res) != 1 || res[0].Headline != "shared" {
+			t.Fatalf("waiter %d got %+v", i, res)
+		}
+	}
+	// After the flight lands, the next call computes afresh.
+	before := calls.Load()
+	if _, err := g.do("same-key", func() ([]sizelos.Summary, error) {
+		calls.Add(1)
+		return nil, nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if calls.Load() != before+1 {
+		t.Error("post-flight call did not recompute")
+	}
+}
+
+func TestHTTPEndpoints(t *testing.T) {
+	// Dedicated engine: the stats assertions below need this tenant's
+	// budget to be the one installed (shared engines keep the first).
+	eng := testEngine(t, 3)
+	reg := NewRegistry(2)
+	if _, err := reg.Register("acme", eng, Options{CacheBudget: 64}); err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(reg.Handler())
+	defer srv.Close()
+	q := authorQuery(t, eng)
+
+	get := func(t *testing.T, path string, wantStatus int, into any) {
+		t.Helper()
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != wantStatus {
+			t.Fatalf("GET %s: status %d, want %d", path, resp.StatusCode, wantStatus)
+		}
+		if into != nil {
+			if err := json.NewDecoder(resp.Body).Decode(into); err != nil {
+				t.Fatalf("GET %s: decode: %v", path, err)
+			}
+		}
+	}
+
+	var tenants map[string][]string
+	get(t, "/v1/tenants", http.StatusOK, &tenants)
+	if !reflect.DeepEqual(tenants["tenants"], []string{"acme"}) {
+		t.Errorf("tenants = %v", tenants)
+	}
+
+	var sr SearchResponse
+	get(t, fmt.Sprintf("/v1/acme/search?rel=Author&q=%s&l=8", q), http.StatusOK, &sr)
+	if sr.Tenant != "acme" || sr.Count == 0 || sr.Count != len(sr.Results) {
+		t.Fatalf("search response: %+v", sr)
+	}
+	want, err := eng.Search("Author", q, 8, sizelos.SearchOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(want) != sr.Count || sr.Results[0].Text != want[0].Text {
+		t.Errorf("HTTP results diverge from engine: %d vs %d", sr.Count, len(want))
+	}
+
+	var rr SearchResponse
+	get(t, fmt.Sprintf("/v1/acme/ranked?rel=Author&q=%s&l=8&k=2", q), http.StatusOK, &rr)
+	if rr.Count > 2 {
+		t.Errorf("ranked returned %d > k=2 results", rr.Count)
+	}
+	for i := 1; i < len(rr.Results); i++ {
+		if rr.Results[i].Importance > rr.Results[i-1].Importance {
+			t.Errorf("ranked results out of order at %d", i)
+		}
+	}
+
+	var st StatsResponse
+	get(t, "/v1/acme/stats", http.StatusOK, &st)
+	if !st.CacheEnabled || st.Cache.Cap != 64 || st.Pool.Size != 2 {
+		t.Errorf("stats = %+v", st)
+	}
+
+	get(t, "/v1/ghost/search?rel=Author&q=x", http.StatusNotFound, nil)
+	get(t, "/v1/acme/search?rel=Author", http.StatusBadRequest, nil)
+	get(t, "/v1/acme/search?q=x", http.StatusBadRequest, nil)
+	get(t, fmt.Sprintf("/v1/acme/search?rel=Author&q=%s&l=zero", q), http.StatusBadRequest, nil)
+	get(t, fmt.Sprintf("/v1/acme/search?rel=Author&q=%s&l=0", q), http.StatusBadRequest, nil)
+	// Client typos in engine-level names are 400s, not 500s.
+	get(t, "/v1/acme/search?rel=Ghost&q=x", http.StatusBadRequest, nil)
+	get(t, fmt.Sprintf("/v1/acme/search?rel=Author&q=%s&setting=GA9-d9", q), http.StatusBadRequest, nil)
+	get(t, fmt.Sprintf("/v1/acme/ranked?rel=Author&q=%s&algo=quantum", q), http.StatusBadRequest, nil)
+	// Parameters of the other endpoint are rejected, not silently ignored.
+	get(t, fmt.Sprintf("/v1/acme/search?rel=Author&q=%s&k=2", q), http.StatusBadRequest, nil)
+	get(t, fmt.Sprintf("/v1/acme/ranked?rel=Author&q=%s&topk=2", q), http.StatusBadRequest, nil)
+	// Explicit k=0 is invalid like the engine says, not coerced to 10.
+	get(t, fmt.Sprintf("/v1/acme/ranked?rel=Author&q=%s&k=0", q), http.StatusBadRequest, nil)
+}
+
+// TestDuplicateRegisterPreservesCache guards the fix for duplicate
+// registration wiping a live tenant's warm summary cache.
+func TestDuplicateRegisterPreservesCache(t *testing.T) {
+	eng := testEngine(t, 1)
+	reg := NewRegistry(2)
+	tn, err := reg.Register("warm", eng, Options{CacheBudget: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := authorQuery(t, eng)
+	if _, err := tn.Search(Query{Rel: "Author", Keywords: q, L: 6}); err != nil {
+		t.Fatal(err)
+	}
+	before, ok := eng.SummaryCacheStats()
+	if !ok || before.Len == 0 {
+		t.Fatalf("cache not warmed: %+v (ok=%v)", before, ok)
+	}
+	if _, err := reg.Register("warm", eng, Options{CacheBudget: 999}); err == nil {
+		t.Fatal("duplicate Register succeeded")
+	}
+	after, ok := eng.SummaryCacheStats()
+	if !ok || after.Len < before.Len || after.Cap != before.Cap {
+		t.Errorf("failed duplicate Register disturbed the cache: before %+v, after %+v", before, after)
+	}
+}
+
+// TestSharedEngineKeepsFirstBudget verifies registering a second tenant on
+// an already-cached shared engine neither wipes the warm cache nor changes
+// the budget.
+func TestSharedEngineKeepsFirstBudget(t *testing.T) {
+	eng := testEngine(t, 4)
+	reg := NewRegistry(2)
+	first, err := reg.Register("first", eng, Options{CacheBudget: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := authorQuery(t, eng)
+	if _, err := first.Search(Query{Rel: "Author", Keywords: q, L: 6}); err != nil {
+		t.Fatal(err)
+	}
+	before, ok := eng.SummaryCacheStats()
+	if !ok || before.Cap != 32 || before.Len == 0 {
+		t.Fatalf("cache not installed/warmed: %+v (ok=%v)", before, ok)
+	}
+	if _, err := reg.Register("second", eng, Options{CacheBudget: 8}); err != nil {
+		t.Fatal(err)
+	}
+	after, _ := eng.SummaryCacheStats()
+	if after.Cap != 32 || after.Len < before.Len {
+		t.Errorf("second registration disturbed the shared cache: before %+v, after %+v", before, after)
+	}
+}
+
+// TestConcurrentSearchAndRegister is the multi-tenant race test: many
+// clients hammer tenant A's /v1/search while tenant B is registered and
+// queried on the live registry. Run under -race in CI.
+func TestConcurrentSearchAndRegister(t *testing.T) {
+	engA := testEngine(t, 1)
+	engB := testEngine(t, 2)
+	reg := NewRegistry(0)
+	if _, err := reg.Register("alpha", engA, Options{CacheBudget: 32}); err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(reg.Handler())
+	defer srv.Close()
+	qA := authorQuery(t, engA)
+	qB := authorQuery(t, engB)
+
+	const hammerers = 6
+	const reqs = 10
+	var wg sync.WaitGroup
+	errs := make(chan error, hammerers*reqs+1)
+	for h := 0; h < hammerers; h++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < reqs; i++ {
+				resp, err := http.Get(fmt.Sprintf("%s/v1/alpha/search?rel=Author&q=%s&l=6", srv.URL, qA))
+				if err != nil {
+					errs <- err
+					return
+				}
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK {
+					errs <- fmt.Errorf("alpha search status %d", resp.StatusCode)
+					return
+				}
+			}
+		}()
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		if _, err := reg.Register("beta", engB, Options{CacheBudget: 32}); err != nil {
+			errs <- err
+			return
+		}
+		resp, err := http.Get(fmt.Sprintf("%s/v1/beta/search?rel=Author&q=%s&l=6", srv.URL, qB))
+		if err != nil {
+			errs <- err
+			return
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			errs <- fmt.Errorf("beta search status %d", resp.StatusCode)
+		}
+	}()
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	if got, want := reg.Names(), []string{"alpha", "beta"}; !reflect.DeepEqual(got, want) {
+		t.Errorf("Names = %v, want %v", got, want)
+	}
+}

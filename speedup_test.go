@@ -1,0 +1,105 @@
+package sizelos
+
+// Multicore speedup assertions. The ROADMAP targets a >=2x parallel-vs-
+// serial RankCompute speedup and the sharded index build targets >=1.5x at
+// 4 shards, but the original dev box was single-core so neither had ever
+// been measured for real. These tests run only when SIZELOS_ASSERT_SPEEDUP
+// is set AND at least 4 CPUs are usable — the CI GOMAXPROCS=4 leg — so
+// ordinary local runs stay fast and never flake on small machines.
+
+import (
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"sizelos/internal/datagen"
+	"sizelos/internal/datagraph"
+	"sizelos/internal/keyword"
+	"sizelos/internal/rank"
+)
+
+const speedupEnv = "SIZELOS_ASSERT_SPEEDUP"
+
+func requireMulticoreAssert(t *testing.T) {
+	t.Helper()
+	if os.Getenv(speedupEnv) == "" {
+		t.Skipf("set %s=1 to assert multicore speedups (CI GOMAXPROCS=4 leg)", speedupEnv)
+	}
+	if p := runtime.GOMAXPROCS(0); p < 4 {
+		t.Skipf("GOMAXPROCS = %d; speedup assertions need >= 4", p)
+	}
+}
+
+// bestOf reports the fastest of n runs of fn, the standard noise-resistant
+// wall-clock measurement.
+func bestOf(n int, fn func()) time.Duration {
+	best := time.Duration(1<<63 - 1)
+	for i := 0; i < n; i++ {
+		start := time.Now()
+		fn()
+		if d := time.Since(start); d < best {
+			best = d
+		}
+	}
+	return best
+}
+
+// TestParallelRankSpeedupMulticore asserts the ROADMAP's >=2x multicore
+// RankCompute speedup on a real multi-core runner.
+func TestParallelRankSpeedupMulticore(t *testing.T) {
+	requireMulticoreAssert(t)
+	cfg := datagen.DefaultDBLPConfig()
+	cfg.Authors = 600
+	cfg.Papers = 2500
+	db, err := datagen.GenerateDBLP(cfg)
+	if err != nil {
+		t.Fatalf("GenerateDBLP: %v", err)
+	}
+	g, err := datagraph.Build(db)
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	ga := datagen.DBLPGA1()
+	compute := func(workers int) func() {
+		return func() {
+			opts := rank.DefaultOptions()
+			opts.Parallel = workers
+			if _, _, err := rank.Compute(g, ga, opts); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	compute(1)() // warm caches before timing either variant
+	serial := bestOf(3, compute(1))
+	parallel := bestOf(3, compute(runtime.GOMAXPROCS(0)))
+	speedup := float64(serial) / float64(parallel)
+	t.Logf("RankCompute serial %v, parallel %v, speedup %.2fx (GOMAXPROCS=%d)",
+		serial, parallel, speedup, runtime.GOMAXPROCS(0))
+	if speedup < 2.0 {
+		t.Errorf("parallel RankCompute speedup %.2fx < 2.0x target", speedup)
+	}
+}
+
+// TestShardedIndexBuildSpeedupMulticore asserts the sharded index's
+// parallel build is >= 1.5x faster than the serial flat build at 4 shards.
+func TestShardedIndexBuildSpeedupMulticore(t *testing.T) {
+	requireMulticoreAssert(t)
+	cfg := datagen.DefaultDBLPConfig()
+	cfg.Authors = 600
+	cfg.Papers = 2500
+	db, err := datagen.GenerateDBLP(cfg)
+	if err != nil {
+		t.Fatalf("GenerateDBLP: %v", err)
+	}
+	keyword.BuildIndex(db) // warm caches before timing either variant
+	flat := bestOf(3, func() { keyword.BuildIndex(db) })
+	sharded := bestOf(3, func() {
+		keyword.BuildSharded(db, keyword.ShardedOptions{NumShards: 4})
+	})
+	speedup := float64(flat) / float64(sharded)
+	t.Logf("IndexBuild flat %v, sharded4 %v, speedup %.2fx", flat, sharded, speedup)
+	if speedup < 1.5 {
+		t.Errorf("sharded index build speedup %.2fx < 1.5x target", speedup)
+	}
+}
