@@ -112,6 +112,13 @@ func run(bench, pkg, dir, baselinePath, benchtime, skipMarker string, threshold 
 	}
 	if len(compared) == 0 {
 		annotate("notice", fmt.Sprintf("baseline %s shares no ns/op families with the current run — gate skipped", path))
+		// This is a skip like any other: leave the marker so CI's fail-safe
+		// (and baseline-recording) steps see the gate did not actually arm.
+		if skipMarker != "" {
+			if err := os.WriteFile(skipMarker, []byte("benchgate: no shared ns/op families with baseline\n"), 0o644); err != nil {
+				return 1, err
+			}
+		}
 		return 0, nil
 	}
 	if len(regressions) > 0 {

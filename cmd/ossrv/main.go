@@ -1,7 +1,7 @@
 // Command ossrv is the long-running multi-tenant search service: it builds
 // one engine per configured tenant, registers them in a tenancy registry
 // sharing a machine-wide summary pool, and serves size-l Object Summaries
-// over HTTP/JSON.
+// — plus live tenant administration and tuple mutations — over HTTP/JSON.
 //
 //	ossrv -addr :8080 -tenant demo=dblp -tenant shop=tpch -cache 1024
 //
@@ -9,12 +9,20 @@
 //	curl 'localhost:8080/v1/demo/search?rel=Author&q=Faloutsos&l=15'
 //	curl 'localhost:8080/v1/demo/ranked?rel=Author&q=Faloutsos&l=15&k=3'
 //	curl 'localhost:8080/v1/demo/stats'
+//	curl -X POST localhost:8080/v1/tenants -d '{"name":"live","dataset":"dblp","cache":256}'
+//	curl -X POST localhost:8080/v1/live/tuples -d '{"inserts":[{"rel":"Author","values":[90001,"Ada Lovelace"]}]}'
+//	curl -X DELETE localhost:8080/v1/live
+//
+// Pass -tenant none to start with an empty registry and register every
+// tenant dynamically. -addr :0 picks a free port; the chosen address is in
+// the "listening on" log line.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"log"
+	"net"
 	"net/http"
 	"strings"
 
@@ -41,13 +49,26 @@ func main() {
 		pool  = flag.Int("pool", 0, "shared summary pool size across all tenants (0 = GOMAXPROCS)")
 		seed  = flag.Int64("seed", 1, "generator seed for the synthetic datasets")
 	)
-	flag.Var(&tenants, "tenant", "tenant definition name=dataset (dataset: dblp or tpch); repeatable")
+	flag.Var(&tenants, "tenant", "tenant definition name=dataset (dataset: dblp or tpch); repeatable; 'none' starts empty")
 	flag.Parse()
 	if len(tenants) == 0 {
 		tenants = tenantFlags{"dblp=dblp", "tpch=tpch"}
 	}
+	if len(tenants) == 1 && tenants[0] == "none" {
+		tenants = nil
+	}
 
 	reg := tenancy.NewRegistry(*pool)
+	// Dynamic registration (POST /v1/tenants) builds engines with the same
+	// opener as the startup flags; a request-supplied seed overrides the
+	// deployment default.
+	reg.SetOpener(func(dataset string, reqSeed int64) (*sizelos.Engine, error) {
+		s := *seed
+		if reqSeed > 0 {
+			s = reqSeed
+		}
+		return openDataset(dataset, s)
+	})
 	for _, def := range tenants {
 		name, dataset, ok := strings.Cut(def, "=")
 		if !ok {
@@ -63,9 +84,13 @@ func main() {
 		log.Printf("ossrv: tenant %s ready (dataset %s, cache budget %d)", name, dataset, *cache)
 	}
 
-	log.Printf("ossrv: serving %d tenant(s) on %s (shared pool size %d)",
-		len(reg.Names()), *addr, reg.Pool().Stats().Size)
-	log.Fatal(http.ListenAndServe(*addr, reg.Handler()))
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatalf("ossrv: listen %s: %v", *addr, err)
+	}
+	log.Printf("ossrv: listening on %s — serving %d tenant(s) (shared pool size %d)",
+		ln.Addr(), len(reg.Names()), reg.Pool().Stats().Size)
+	log.Fatal(http.Serve(ln, reg.Handler()))
 }
 
 func openDataset(dataset string, seed int64) (*sizelos.Engine, error) {

@@ -77,19 +77,45 @@ const DefaultSetting = "GA1-d1"
 // Engine bundles a database with its derived structures: data graph,
 // per-setting global importance, per-(DS relation, setting) annotated
 // G_DS, and the keyword index.
+//
+// The engine is mutation-aware: Mutate applies a batch of tuple inserts and
+// deletes, maintains the keyword index incrementally, rebuilds the data
+// graph, and advances per-relation epochs that rotate the summary-cache
+// keys of exactly the affected DS relations. Mutations serialize against
+// in-flight searches through an internal reader/writer lock: searches
+// observe either the full pre-batch or the full post-batch state, never a
+// mix, and a search that began before a mutation can never leak its result
+// into a post-mutation lookup.
 type Engine struct {
+	// mu orders mutations (write side) against searches and derived-state
+	// reads (read side).
+	mu    sync.RWMutex
 	db    *relational.DB
 	graph *datagraph.Graph
 	// index is held through the Searcher interface so the storage layout
 	// (flat, sharded, or a future remote index) is swappable; NewEngine
-	// installs the sharded layout.
+	// installs the sharded layout. Mutation support additionally requires
+	// the layout to implement keyword.Maintainer.
 	index keyword.Searcher
+	// settings are the ranking configurations NewEngine computed, retained
+	// so Mutate can re-run them on demand (MutationBatch.Rerank).
+	settings []Setting
 	// scores per setting name.
 	scores map[string]relational.DBScores
 	// gds[dsRel][setting] is the annotated G_DS clone for that setting.
 	gds map[string]map[string]*schemagraph.GDS
 	// baseGDS[dsRel] is the unannotated original.
 	baseGDS map[string]*schemagraph.GDS
+	// epochs counts, per relation, the mutation batches that touched it.
+	// A summary's cache key folds in the epochs of every relation its DS
+	// relation's G_DS can reach, so a mutation makes exactly the affected
+	// entries unreachable (they age out of the LRU) while every other
+	// tenant's and relation's warm entries keep hitting.
+	epochs map[string]uint64
+	// deps[dsRel] lists, sorted, the relations dsRel's G_DS touches
+	// (including junction relations) — the invalidation footprint of its
+	// summaries.
+	deps map[string][]string
 	// cache, when non-nil, memoizes size-l summaries across queries. Held
 	// through an atomic pointer so EnableSummaryCache can be toggled while
 	// searches are in flight.
@@ -112,13 +138,31 @@ func NewEngine(db *relational.DB, settings []Setting) (*Engine, error) {
 		return nil, fmt.Errorf("sizelos: build data graph: %w", err)
 	}
 	e := &Engine{
-		db:      db,
-		graph:   g,
-		index:   keyword.BuildSharded(db, keyword.ShardedOptions{}),
-		scores:  make(map[string]relational.DBScores, len(settings)),
-		gds:     make(map[string]map[string]*schemagraph.GDS),
-		baseGDS: make(map[string]*schemagraph.GDS),
+		db:       db,
+		graph:    g,
+		index:    keyword.BuildSharded(db, keyword.ShardedOptions{}),
+		settings: append([]Setting(nil), settings...),
+		gds:      make(map[string]map[string]*schemagraph.GDS),
+		baseGDS:  make(map[string]*schemagraph.GDS),
+		epochs:   make(map[string]uint64, len(db.Relations)),
+		deps:     make(map[string][]string),
 	}
+	for _, r := range db.Relations {
+		e.epochs[r.Name] = 0
+	}
+	scores, err := computeScores(g, e.settings)
+	if err != nil {
+		return nil, err
+	}
+	e.scores = scores
+	return e, nil
+}
+
+// computeScores compiles each distinct G_A once and runs every setting's
+// power iteration concurrently over graph g, returning one score table per
+// setting name. It is the ranking phase of NewEngine, reused by Mutate when
+// a batch asks for a re-rank.
+func computeScores(g *datagraph.Graph, settings []Setting) (map[string]relational.DBScores, error) {
 	plansByGA := make(map[*rank.GA]*rank.Plans, len(settings))
 	for _, s := range settings {
 		if _, ok := plansByGA[s.GA]; ok {
@@ -157,30 +201,30 @@ func NewEngine(db *relational.DB, settings []Setting) (*Engine, error) {
 			return nil, err
 		}
 	}
+	out := make(map[string]relational.DBScores, len(settings))
 	for i, s := range settings {
-		e.scores[s.Name] = results[i]
+		out[s.Name] = results[i]
 	}
-	return e, nil
+	return out, nil
 }
 
 // RegisterGDS installs a Data Subject Schema Graph; one annotated clone is
-// prepared per ranking setting. Registration is a setup-phase operation:
-// it mutates the engine's G_DS tables and must not run concurrently with
-// in-flight searches (the summary cache, by contrast, may be toggled live).
+// prepared per ranking setting. Registration takes the engine's write lock,
+// so it is safe while searches are in flight; the summaries cached under
+// the previous G_DS of this DS relation are discarded wholesale.
 func (e *Engine) RegisterGDS(gds *schemagraph.GDS) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
 	if err := gds.Validate(e.db); err != nil {
 		return err
 	}
-	perSetting := make(map[string]*schemagraph.GDS, len(e.scores))
-	for name, sc := range e.scores {
-		c := gds.Clone()
-		if err := c.Annotate(e.db, sc); err != nil {
-			return fmt.Errorf("sizelos: annotate %s under %s: %w", gds.DSName, name, err)
-		}
-		perSetting[name] = c
+	perSetting, err := e.annotateLocked(gds)
+	if err != nil {
+		return err
 	}
 	e.baseGDS[gds.DSName] = gds
 	e.gds[gds.DSName] = perSetting
+	e.deps[gds.DSName] = gdsDeps(gds)
 	// Summaries cached under the previous G_DS of this DS relation are now
 	// stale; swap in a fresh cache of the same capacity. CAS so a
 	// concurrent EnableSummaryCache reconfiguration wins over the swap.
@@ -196,32 +240,92 @@ func (e *Engine) RegisterGDS(gds *schemagraph.GDS) error {
 	return nil
 }
 
-// DB exposes the underlying database (read-only by convention).
+// annotateLocked clones gds once per setting and annotates each clone with
+// that setting's scores. Callers hold the write lock.
+func (e *Engine) annotateLocked(gds *schemagraph.GDS) (map[string]*schemagraph.GDS, error) {
+	perSetting := make(map[string]*schemagraph.GDS, len(e.scores))
+	for name, sc := range e.scores {
+		c := gds.Clone()
+		if err := c.Annotate(e.db, sc); err != nil {
+			return nil, fmt.Errorf("sizelos: annotate %s under %s: %w", gds.DSName, name, err)
+		}
+		perSetting[name] = c
+	}
+	return perSetting, nil
+}
+
+// gdsDeps lists, sorted and deduplicated, every relation a G_DS traversal
+// can touch: the node relations plus the junction relations hopped over.
+// A mutation outside this set cannot change any summary rooted at the G_DS.
+func gdsDeps(gds *schemagraph.GDS) []string {
+	set := make(map[string]bool)
+	for _, n := range gds.Nodes() {
+		set[n.Rel] = true
+		if n.Step.Junction != "" {
+			set[n.Step.Junction] = true
+		}
+	}
+	out := make([]string, 0, len(set))
+	for rel := range set {
+		out = append(out, rel)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// DB exposes the underlying database. Treat it as read-only: all mutations
+// must go through Mutate, which keeps the index, data graph and cache
+// epochs consistent.
 func (e *Engine) DB() *relational.DB { return e.db }
 
 // Index exposes the keyword index the engine queries.
-func (e *Engine) Index() keyword.Searcher { return e.index }
+func (e *Engine) Index() keyword.Searcher {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.index
+}
 
 // SetIndex swaps the keyword index, e.g. for a different shard count or a
-// flat reference layout. Like RegisterGDS this is a setup-phase operation:
-// it must not run concurrently with in-flight searches. The index must
-// cover the engine's database.
-func (e *Engine) SetIndex(idx keyword.Searcher) { e.index = idx }
+// flat reference layout. The index must cover the engine's database.
+func (e *Engine) SetIndex(idx keyword.Searcher) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.index = idx
+}
 
-// Graph exposes the tuple data graph.
-func (e *Engine) Graph() *datagraph.Graph { return e.graph }
+// Graph exposes the tuple data graph (rebuilt by Mutate; retain the
+// returned pointer only within one mutation quiescence).
+func (e *Engine) Graph() *datagraph.Graph {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.graph
+}
 
-// Scores returns the global importance of a setting.
+// Scores returns the global importance of a setting. The returned table is
+// live: a later Mutate may extend its per-relation vectors in place, so
+// don't read it concurrently with mutations.
 func (e *Engine) Scores(setting string) (relational.DBScores, error) {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.scoresLocked(setting)
+}
+
+func (e *Engine) scoresLocked(setting string) (relational.DBScores, error) {
 	sc, ok := e.scores[setting]
 	if !ok {
-		return nil, fmt.Errorf("sizelos: unknown setting %q (have %v)", setting, e.SettingNames())
+		return nil, fmt.Errorf("sizelos: unknown setting %q (have %v)", setting, e.settingNamesLocked())
 	}
 	return sc, nil
 }
 
 // SettingNames lists the configured settings, sorted.
 func (e *Engine) SettingNames() []string {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.settingNamesLocked()
+}
+
+func (e *Engine) settingNamesLocked() []string {
 	out := make([]string, 0, len(e.scores))
 	for k := range e.scores {
 		out = append(out, k)
@@ -232,6 +336,12 @@ func (e *Engine) SettingNames() []string {
 
 // GDS returns the annotated G_DS of a DS relation under a setting.
 func (e *Engine) GDS(dsRel, setting string) (*schemagraph.GDS, error) {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.gdsLocked(dsRel, setting)
+}
+
+func (e *Engine) gdsLocked(dsRel, setting string) (*schemagraph.GDS, error) {
 	per, ok := e.gds[dsRel]
 	if !ok {
 		return nil, fmt.Errorf("sizelos: no G_DS registered for %s", dsRel)
@@ -309,7 +419,12 @@ type Summary struct {
 // index — is deterministic regardless of the pool size.
 func (e *Engine) Search(dsRel, query string, l int, opts SearchOptions) ([]Summary, error) {
 	opts.fill()
-	sc, err := e.Scores(opts.Setting)
+	// The read lock spans match lookup and summarization: a mutation
+	// serializes before or after the whole query, so the summaries always
+	// describe one consistent database state.
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	sc, err := e.scoresLocked(opts.Setting)
 	if err != nil {
 		return nil, err
 	}
@@ -371,7 +486,12 @@ func (e *Engine) summarizeAll(dsRel string, matches []keyword.Match, l int, opts
 }
 
 // summaryKey identifies one memoizable size-l computation: every
-// SearchOptions field that affects the produced Summary participates.
+// SearchOptions field that affects the produced Summary participates, plus
+// the mutation epoch of the DS relation's dependency set — after a
+// mutation the epoch moves, so pre-mutation entries can never satisfy a
+// post-mutation lookup (they linger unreferenced until the LRU evicts
+// them), while entries whose dependency set the mutation missed keep
+// hitting.
 type summaryKey struct {
 	// Scope isolates tenants sharing one engine (SearchOptions.CacheScope).
 	Scope        string
@@ -383,11 +503,14 @@ type summaryKey struct {
 	UseComplete  bool
 	FromDatabase bool
 	ShowWeights  bool
+	// Epoch is the summed mutation epoch of every relation the DS
+	// relation's G_DS can reach (epochFor).
+	Epoch uint64
 }
 
 // summaryKeyFor builds the memoization key of one size-l computation;
 // opts must already be filled (or carry explicit values) so defaults and
-// explicit settings share entries.
+// explicit settings share entries. Callers hold at least the read lock.
 func (e *Engine) summaryKeyFor(dsRel string, tuple relational.TupleID, l int, opts SearchOptions) summaryKey {
 	return summaryKey{
 		Scope: opts.CacheScope,
@@ -395,17 +518,38 @@ func (e *Engine) summaryKeyFor(dsRel string, tuple relational.TupleID, l int, op
 		Setting: opts.Setting, Algorithm: opts.Algorithm,
 		UseComplete: opts.UseComplete, FromDatabase: opts.FromDatabase,
 		ShowWeights: opts.ShowWeights,
+		Epoch:       e.epochForLocked(dsRel),
 	}
+}
+
+// epochForLocked returns the invalidation epoch of one DS relation: the sum
+// of the mutation epochs of every relation its G_DS touches. Epoch counters
+// only grow, so the sum changes exactly when a mutation lands inside the
+// dependency set. Before a G_DS is registered the DS relation's own epoch
+// stands in. Callers hold at least the read lock.
+func (e *Engine) epochForLocked(dsRel string) uint64 {
+	deps, ok := e.deps[dsRel]
+	if !ok {
+		return e.epochs[dsRel]
+	}
+	var sum uint64
+	for _, rel := range deps {
+		sum += e.epochs[rel]
+	}
+	return sum
 }
 
 // EnableSummaryCache installs an LRU cache of up to capacity size-l
 // summaries, keyed by (cache scope, DS relation, tuple, l, setting,
-// algorithm, complete/prelim, source, weights). Repeated queries from many
-// users then
-// skip regeneration entirely. Cached summaries share their Tree pointer;
-// treat returned summaries as read-only. capacity <= 0 disables caching.
-// Safe to toggle while searches are in flight: running queries finish
-// against the cache they started with.
+// algorithm, complete/prelim, source, weights, mutation epoch). Repeated
+// queries from many users then skip regeneration entirely. Mutations never
+// wipe the cache: they advance the epoch of the touched relations, which
+// rotates the keys of exactly the DS relations whose G_DS reaches them —
+// stale entries become unreachable and age out, unrelated entries keep
+// hitting. Cached summaries share their Tree pointer; treat returned
+// summaries as read-only. capacity <= 0 disables caching. Safe to toggle
+// while searches are in flight: running queries finish against the cache
+// they started with.
 func (e *Engine) EnableSummaryCache(capacity int) {
 	if capacity <= 0 {
 		e.cache.Store(nil)
@@ -424,7 +568,8 @@ func (e *Engine) SummaryCacheStats() (stats searchexec.CacheStats, ok bool) {
 	return c.Stats(), true
 }
 
-// validateSubject checks the DS coordinates before any summary work.
+// validateSubject checks the DS coordinates before any summary work;
+// tombstoned tuples are rejected like out-of-range ones.
 func (e *Engine) validateSubject(dsRel string, tuple relational.TupleID) error {
 	r := e.db.Relation(dsRel)
 	if r == nil {
@@ -433,12 +578,17 @@ func (e *Engine) validateSubject(dsRel string, tuple relational.TupleID) error {
 	if tuple < 0 || int(tuple) >= r.Len() {
 		return fmt.Errorf("sizelos: tuple %d out of range for %s (%d tuples)", tuple, dsRel, r.Len())
 	}
+	if r.Deleted(tuple) {
+		return fmt.Errorf("sizelos: tuple %d of %s is deleted", tuple, dsRel)
+	}
 	return nil
 }
 
 // SizeL computes the size-l OS of one data subject tuple.
 func (e *Engine) SizeL(dsRel string, tuple relational.TupleID, l int, opts SearchOptions) (Summary, error) {
 	opts.fill()
+	e.mu.RLock()
+	defer e.mu.RUnlock()
 	if err := e.validateSubject(dsRel, tuple); err != nil {
 		return Summary{}, err
 	}
@@ -461,11 +611,11 @@ func (e *Engine) SizeL(dsRel string, tuple relational.TupleID, l int, opts Searc
 // memoizes it under key. Callers have already validated the subject,
 // filled opts, and missed the cache (the single counted probe).
 func (e *Engine) computeSummary(dsRel string, tuple relational.TupleID, l int, opts SearchOptions, key summaryKey) (Summary, error) {
-	sc, err := e.Scores(opts.Setting)
+	sc, err := e.scoresLocked(opts.Setting)
 	if err != nil {
 		return Summary{}, err
 	}
-	gds, err := e.GDS(dsRel, opts.Setting)
+	gds, err := e.gdsLocked(dsRel, opts.Setting)
 	if err != nil {
 		return Summary{}, err
 	}
@@ -527,7 +677,9 @@ func (e *Engine) RankedSearch(dsRel, query string, l, k int, opts SearchOptions)
 	if k < 1 {
 		return nil, fmt.Errorf("sizelos: k must be >= 1, got %d", k)
 	}
-	sc, err := e.Scores(opts.Setting)
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	sc, err := e.scoresLocked(opts.Setting)
 	if err != nil {
 		return nil, err
 	}

@@ -104,7 +104,9 @@ func Build(db *relational.DB) (*Graph, error) {
 	return g, nil
 }
 
-// buildForward maps each tuple of owner to the single referenced tuple.
+// buildForward maps each live tuple of owner to the single referenced
+// tuple. Tombstoned owners get an empty neighbor range — their node stays
+// (ids are positional) but is disconnected, so no traversal reaches them.
 func buildForward(owner *relational.Relation, fkOrd int, ref *relational.Relation) (adjacency, error) {
 	col := owner.ColIndex(owner.FKs[fkOrd].Column)
 	n := owner.Len()
@@ -114,6 +116,9 @@ func buildForward(owner *relational.Relation, fkOrd int, ref *relational.Relatio
 	}
 	for i := 0; i < n; i++ {
 		adj.offsets[i] = int32(len(adj.neighbors))
+		if owner.Deleted(relational.TupleID(i)) {
+			continue
+		}
 		key := owner.Tuples[i][col].Int
 		if id, ok := ref.LookupPK(key); ok {
 			adj.neighbors = append(adj.neighbors, id)
@@ -126,13 +131,17 @@ func buildForward(owner *relational.Relation, fkOrd int, ref *relational.Relatio
 	return adj, nil
 }
 
-// buildBackward maps each tuple of ref to the owner tuples referencing it,
-// in owner insertion order.
+// buildBackward maps each tuple of ref to the live owner tuples referencing
+// it, in owner insertion order. Tombstoned owners are skipped; tombstoned
+// refs collect no edges because their PK-index entry is gone.
 func buildBackward(owner *relational.Relation, fkOrd int, ref *relational.Relation) adjacency {
 	col := owner.ColIndex(owner.FKs[fkOrd].Column)
 	n := ref.Len()
 	counts := make([]int32, n)
 	for i := 0; i < owner.Len(); i++ {
+		if owner.Deleted(relational.TupleID(i)) {
+			continue
+		}
 		key := owner.Tuples[i][col].Int
 		if id, ok := ref.LookupPK(key); ok {
 			counts[id]++
@@ -149,6 +158,9 @@ func buildBackward(owner *relational.Relation, fkOrd int, ref *relational.Relati
 	fill := make([]int32, n)
 	copy(fill, adj.offsets[:n])
 	for i := 0; i < owner.Len(); i++ {
+		if owner.Deleted(relational.TupleID(i)) {
+			continue
+		}
 		key := owner.Tuples[i][col].Int
 		if id, ok := ref.LookupPK(key); ok {
 			adj.neighbors[fill[id]] = relational.TupleID(i)

@@ -89,19 +89,31 @@ func stringColumns(rel *relational.Relation) []int {
 	return cols
 }
 
-// indexTuples tokenizes tuples [lo, hi) of rel into tokens, tuple-major.
-// The last-posting check suffices for dedup because tuple ids only ascend
-// within one call.
+// postToken appends ti to tok's posting list unless ti is already the
+// list's tail: the one dedup rule every build and maintenance path shares.
+// It assumes tuple-major scans with ascending ids (so a tuple's repeat
+// occurrences — a token in several columns, or several times in one value
+// — are always the current tail), which is what keeps posting lists
+// ascending and duplicate-free across all layouts.
+func postToken(tokens map[string][]relational.TupleID, tok string, ti relational.TupleID) {
+	list := tokens[tok]
+	if len(list) > 0 && list[len(list)-1] == ti {
+		return // same tuple already posted for this token
+	}
+	tokens[tok] = append(list, ti)
+}
+
+// indexTuples tokenizes the live tuples of [lo, hi) of rel into tokens,
+// tuple-major; tombstoned slots contribute nothing.
 func indexTuples(rel *relational.Relation, strCols []int, lo, hi int, tokens map[string][]relational.TupleID) {
 	for ti := lo; ti < hi; ti++ {
+		if rel.Deleted(relational.TupleID(ti)) {
+			continue
+		}
 		tup := rel.Tuples[ti]
 		for _, ci := range strCols {
 			for _, tok := range Tokenize(tup[ci].Str) {
-				list := tokens[tok]
-				if len(list) > 0 && list[len(list)-1] == relational.TupleID(ti) {
-					continue // same tuple already posted for this token
-				}
-				tokens[tok] = append(list, relational.TupleID(ti))
+				postToken(tokens, tok, relational.TupleID(ti))
 			}
 		}
 	}

@@ -20,8 +20,9 @@ type Sharded struct {
 	db        *relational.DB
 	numShards int
 	// shards[s][rel][token] holds the postings of every token hashing to
-	// shard s. Read-only after BuildSharded returns, so concurrent lookups
-	// need no locking.
+	// shard s. Concurrent lookups need no locking; the only writer after
+	// BuildSharded is Apply, which callers must serialize against lookups
+	// (the engine holds its write lock across mutations).
 	shards []map[string]map[string][]relational.TupleID
 	// known marks relation names present in db, mirroring the flat index's
 	// "unknown relation -> nil" behavior without probing every shard.
@@ -138,25 +139,23 @@ func BuildSharded(db *relational.DB, opts ShardedOptions) *Sharded {
 	return idx
 }
 
-// tokenizeChunk scans tuples [lo, hi) of one relation tuple-major and
-// returns per-shard token -> postings maps for that range.
+// tokenizeChunk scans the live tuples of [lo, hi) of one relation
+// tuple-major and returns per-shard token -> postings maps for that range;
+// tombstoned slots contribute nothing.
 func tokenizeChunk(ch buildChunk, numShards int) []map[string][]relational.TupleID {
 	out := make([]map[string][]relational.TupleID, numShards)
 	for ti := ch.lo; ti < ch.hi; ti++ {
+		if ch.rel.Deleted(relational.TupleID(ti)) {
+			continue
+		}
 		tup := ch.rel.Tuples[ti]
 		for _, ci := range ch.strCols {
 			for _, tok := range Tokenize(tup[ci].Str) {
 				s := shardOf(tok, numShards)
-				m := out[s]
-				if m == nil {
-					m = make(map[string][]relational.TupleID)
-					out[s] = m
+				if out[s] == nil {
+					out[s] = make(map[string][]relational.TupleID)
 				}
-				list := m[tok]
-				if len(list) > 0 && list[len(list)-1] == relational.TupleID(ti) {
-					continue // same tuple already posted for this token
-				}
-				m[tok] = append(list, relational.TupleID(ti))
+				postToken(out[s], tok, relational.TupleID(ti))
 			}
 		}
 	}

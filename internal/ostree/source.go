@@ -156,7 +156,10 @@ func buildJunctionLists(db *relational.DB, gn *schemagraph.Node, childScores rel
 	parentCol := j.ColIndex(j.FKs[gn.Step.JFKParent].Column)
 	childCol := j.ColIndex(j.FKs[gn.Step.JFKChild].Column)
 	lists := make(map[int64][]relational.TupleID)
-	for _, row := range j.Tuples {
+	for ri, row := range j.Tuples {
+		if j.Deleted(relational.TupleID(ri)) {
+			continue // a retracted junction row no longer connects anything
+		}
 		pk := row[parentCol].Int
 		if cid, ok := child.LookupPK(row[childCol].Int); ok {
 			lists[pk] = append(lists[pk], cid)

@@ -1,0 +1,183 @@
+package relational
+
+import (
+	"fmt"
+	"sort"
+)
+
+// InsertOp is one tuple insertion in a Batch.
+type InsertOp struct {
+	Rel   string
+	Tuple Tuple
+}
+
+// DeleteOp names one tuple to delete by primary key.
+type DeleteOp struct {
+	Rel string
+	PK  int64
+}
+
+// Batch is an atomic group of mutations. Deletes apply first, in order,
+// then inserts, in order; within a batch this lets a caller retract
+// referencing tuples before their target (delete Writes rows, then the
+// Paper) and insert targets before their referers (insert a Paper, then the
+// Writes rows naming it).
+type Batch struct {
+	Deletes []DeleteOp
+	Inserts []InsertOp
+}
+
+// Empty reports whether the batch carries no operations.
+func (b Batch) Empty() bool { return len(b.Deletes) == 0 && len(b.Inserts) == 0 }
+
+// Relations returns the set of relation names the batch touches.
+func (b Batch) Relations() map[string]bool {
+	out := make(map[string]bool)
+	for _, d := range b.Deletes {
+		out[d.Rel] = true
+	}
+	for _, i := range b.Inserts {
+		out[i.Rel] = true
+	}
+	return out
+}
+
+// BatchResult reports what one successful Apply did, keyed the way derived
+// structures (keyword index deltas, cache epochs) consume it.
+type BatchResult struct {
+	// InsertedIDs holds the TupleID assigned to each insert, parallel to
+	// Batch.Inserts.
+	InsertedIDs []TupleID
+	// Inserted and Deleted group the touched TupleIDs per relation, each in
+	// ascending order.
+	Inserted map[string][]TupleID
+	Deleted  map[string][]TupleID
+	// Versions snapshots the post-batch version of every touched relation.
+	Versions map[string]uint64
+}
+
+// undoRecord is one entry of Apply's rollback log.
+type undoRecord struct {
+	rel    *Relation
+	id     TupleID
+	insert bool // true: undo an insert; false: restore a delete
+}
+
+// Apply executes a batch atomically: either every operation succeeds or the
+// database is returned to its exact pre-batch state (a failed batch still
+// bumps the touched relations' versions, which only ever move forward).
+//
+// Beyond the per-relation checks of Insert and Delete, Apply enforces
+// referential integrity: a delete is rejected while live tuples still
+// reference the target, and an insert's foreign keys must resolve to live
+// tuples at the time it applies.
+func (db *DB) Apply(b Batch) (BatchResult, error) {
+	res := BatchResult{
+		Inserted: make(map[string][]TupleID),
+		Deleted:  make(map[string][]TupleID),
+		Versions: make(map[string]uint64),
+	}
+	var log []undoRecord
+	rollback := func() {
+		for i := len(log) - 1; i >= 0; i-- {
+			u := log[i]
+			if u.insert {
+				u.rel.undoInsert(u.id)
+			} else {
+				u.rel.restore(u.id)
+			}
+		}
+	}
+	for _, d := range b.Deletes {
+		r := db.Relation(d.Rel)
+		if r == nil {
+			rollback()
+			return BatchResult{}, fmt.Errorf("relational: delete: unknown relation %q", d.Rel)
+		}
+		id, ok := r.LookupPK(d.PK)
+		if !ok {
+			rollback()
+			return BatchResult{}, fmt.Errorf("relational: delete: no live tuple with pk %d in %s", d.PK, d.Rel)
+		}
+		if n := db.referencers(d.Rel, d.PK); n > 0 {
+			rollback()
+			return BatchResult{}, fmt.Errorf("relational: delete: %s pk %d still referenced by %d live tuple(s)", d.Rel, d.PK, n)
+		}
+		if err := r.Delete(id); err != nil {
+			rollback()
+			return BatchResult{}, err
+		}
+		log = append(log, undoRecord{rel: r, id: id})
+		res.Deleted[d.Rel] = append(res.Deleted[d.Rel], id)
+	}
+	for _, in := range b.Inserts {
+		r := db.Relation(in.Rel)
+		if r == nil {
+			rollback()
+			return BatchResult{}, fmt.Errorf("relational: insert: unknown relation %q", in.Rel)
+		}
+		if err := db.checkFKs(r, in.Tuple); err != nil {
+			rollback()
+			return BatchResult{}, err
+		}
+		id, err := r.Insert(in.Tuple)
+		if err != nil {
+			rollback()
+			return BatchResult{}, err
+		}
+		log = append(log, undoRecord{rel: r, id: id, insert: true})
+		res.InsertedIDs = append(res.InsertedIDs, id)
+		res.Inserted[in.Rel] = append(res.Inserted[in.Rel], id)
+	}
+	// Per-relation id lists are a contract: ascending, whatever order the
+	// request named its operations in. Incremental index maintenance merges
+	// these lists against ascending posting lists and silently corrupts on
+	// unsorted input.
+	for _, m := range []map[string][]TupleID{res.Deleted, res.Inserted} {
+		for rel, ids := range m {
+			sort.Slice(ids, func(a, b int) bool { return ids[a] < ids[b] })
+			m[rel] = ids
+		}
+	}
+	for rel := range b.Relations() {
+		if r := db.Relation(rel); r != nil {
+			res.Versions[rel] = r.Version()
+		}
+	}
+	return res, nil
+}
+
+// checkFKs verifies every foreign-key value of t resolves to a live tuple.
+// Insert itself doesn't enforce this (bulk loaders validate once at the
+// end); the mutation path must, or OS extraction would chase dangling keys.
+func (db *DB) checkFKs(r *Relation, t Tuple) error {
+	if len(t) != len(r.Columns) {
+		return fmt.Errorf("relation %s: tuple arity %d, want %d", r.Name, len(t), len(r.Columns))
+	}
+	for fi, fk := range r.FKs {
+		ref := db.Relation(fk.Ref)
+		if ref == nil {
+			return fmt.Errorf("relation %s: fk %d references unknown relation %s", r.Name, fi, fk.Ref)
+		}
+		key := t[r.colByName[fk.Column]].Int
+		if _, ok := ref.LookupPK(key); !ok {
+			return fmt.Errorf("relational: insert into %s: %s=%d has no live match in %s", r.Name, fk.Column, key, fk.Ref)
+		}
+	}
+	return nil
+}
+
+// referencers counts live tuples (in any relation) whose foreign key points
+// at (rel, pk). FK posting lists hold live tuples only, so their lengths
+// are the answer.
+func (db *DB) referencers(rel string, pk int64) int {
+	n := 0
+	for _, r := range db.Relations {
+		for fi, fk := range r.FKs {
+			if fk.Ref == rel {
+				n += len(r.fkIndex[fi][pk])
+			}
+		}
+	}
+	return n
+}

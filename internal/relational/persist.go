@@ -26,16 +26,27 @@ type dbWire struct {
 
 // Encode serializes the database with encoding/gob. The format is
 // self-describing; DBScores are not persisted (they are derived state owned
-// by the ranking layer, see rank.Store).
+// by the ranking layer, see rank.Store). Tombstoned tuples are compacted
+// away — reloading a mutated database assigns fresh, dense TupleIDs, never
+// resurrects deleted rows.
 func (db *DB) Encode(w io.Writer) error {
 	wire := dbWire{Name: db.Name}
 	for _, r := range db.Relations {
+		tuples := r.Tuples
+		if r.tombstones > 0 {
+			tuples = make([]Tuple, 0, r.Live())
+			for id, t := range r.Tuples {
+				if !r.Deleted(TupleID(id)) {
+					tuples = append(tuples, t)
+				}
+			}
+		}
 		wire.Relations = append(wire.Relations, relationWire{
 			Name:    r.Name,
 			Columns: r.Columns,
 			PKCol:   r.Columns[r.PKCol].Name,
 			FKs:     r.FKs,
-			Tuples:  r.Tuples,
+			Tuples:  tuples,
 		})
 	}
 	return gob.NewEncoder(w).Encode(&wire)

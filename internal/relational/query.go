@@ -110,7 +110,7 @@ func (db *DB) ScanEqInt(r *Relation, col int, v int64) []TupleID {
 	db.accesses.Add(1)
 	var out []TupleID
 	for id, t := range r.Tuples {
-		if t[col].Kind == KindInt && t[col].Int == v {
+		if !r.Deleted(TupleID(id)) && t[col].Kind == KindInt && t[col].Int == v {
 			out = append(out, TupleID(id))
 		}
 	}
@@ -123,7 +123,7 @@ func (db *DB) ScanEqStr(r *Relation, col int, v string) []TupleID {
 	db.accesses.Add(1)
 	var out []TupleID
 	for id, t := range r.Tuples {
-		if t[col].Kind == KindString && t[col].Str == v {
+		if !r.Deleted(TupleID(id)) && t[col].Kind == KindString && t[col].Str == v {
 			out = append(out, TupleID(id))
 		}
 	}

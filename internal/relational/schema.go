@@ -31,8 +31,15 @@ type ForeignKey struct {
 }
 
 // Relation is a table: a schema plus the physical tuple store and its
-// indexes. Mutations are not concurrency-safe; the engine follows the
-// load-then-query lifecycle of the paper's experiments.
+// indexes. Mutations are not concurrency-safe in isolation; concurrent
+// deployments serialize them against reads one level up (the engine takes a
+// write lock for the duration of a mutation batch).
+//
+// Deletes are tombstones: the tuple keeps its physical slot (so TupleIDs,
+// data-graph node ids and score vector positions stay stable) but leaves
+// every index, so lookups, joins and scans no longer see it. The slot's
+// content is retained, which lets incremental index maintenance tokenize
+// the deleted tuple one last time to retract its postings.
 type Relation struct {
 	Name    string
 	Columns []Column
@@ -43,11 +50,21 @@ type Relation struct {
 	Tuples []Tuple
 
 	pkIndex map[int64]TupleID
-	// fkIndex[fk ordinal][key] lists the tuples whose FK equals key,
-	// in insertion order.
+	// fkIndex[fk ordinal][key] lists the live tuples whose FK equals key, in
+	// ascending TupleID order. For an append-only store ascending order is
+	// insertion order; Delete preserves it by removing in place and Insert by
+	// appending the (always largest) new id.
 	fkIndex []map[int64][]TupleID
 
 	colByName map[string]int
+
+	// deleted marks tombstoned slots; nil until the first Delete, then kept
+	// the same length as Tuples. tombstones counts the true entries.
+	deleted    []bool
+	tombstones int
+	// version counts mutations (inserts, deletes, restores) so derived
+	// structures can detect staleness cheaply.
+	version uint64
 }
 
 // NewRelation constructs an empty relation. pkCol names the primary-key
@@ -117,8 +134,22 @@ func (r *Relation) FKIndexOf(col string) int {
 	return -1
 }
 
-// Len returns the number of tuples.
+// Len returns the number of physical tuple slots, including tombstones.
+// TupleIDs range over [0, Len()).
 func (r *Relation) Len() int { return len(r.Tuples) }
+
+// Live returns the number of live (non-tombstoned) tuples.
+func (r *Relation) Live() int { return len(r.Tuples) - r.tombstones }
+
+// Deleted reports whether tuple id is a tombstoned slot.
+func (r *Relation) Deleted(id TupleID) bool {
+	return int(id) < len(r.deleted) && r.deleted[id]
+}
+
+// Version returns the relation's mutation counter. It starts at 0 and is
+// bumped by every Insert and Delete (and by the rollback restores of a
+// failed batch), so equality of versions implies identical content.
+func (r *Relation) Version() uint64 { return r.version }
 
 // Insert appends a tuple, maintaining all indexes. The tuple must match the
 // schema arity and kinds, and its primary key must be unique.
@@ -138,13 +169,98 @@ func (r *Relation) Insert(t Tuple) (TupleID, error) {
 	}
 	id := TupleID(len(r.Tuples))
 	r.Tuples = append(r.Tuples, t)
+	if r.deleted != nil {
+		r.deleted = append(r.deleted, false)
+	}
 	r.pkIndex[pk] = id
 	for fi, fk := range r.FKs {
 		ci := r.colByName[fk.Column]
 		key := t[ci].Int
 		r.fkIndex[fi][key] = append(r.fkIndex[fi][key], id)
 	}
+	r.version++
 	return id, nil
+}
+
+// Delete tombstones tuple id: the slot stays (content included) but the
+// tuple leaves the PK and FK indexes, so joins, scans and OS extraction no
+// longer reach it. Deleting does not check inbound foreign keys — DB.Apply
+// layers that integrity check on top.
+func (r *Relation) Delete(id TupleID) error {
+	if id < 0 || int(id) >= len(r.Tuples) {
+		return fmt.Errorf("relation %s: delete of tuple %d out of range (%d tuples)", r.Name, id, len(r.Tuples))
+	}
+	if r.Deleted(id) {
+		return fmt.Errorf("relation %s: tuple %d already deleted", r.Name, id)
+	}
+	if r.deleted == nil {
+		r.deleted = make([]bool, len(r.Tuples))
+	}
+	r.deleted[id] = true
+	r.tombstones++
+	delete(r.pkIndex, r.Tuples[id][r.PKCol].Int)
+	for fi, fk := range r.FKs {
+		ci := r.colByName[fk.Column]
+		key := r.Tuples[id][ci].Int
+		r.fkIndex[fi][key] = removeID(r.fkIndex[fi][key], id)
+		if len(r.fkIndex[fi][key]) == 0 {
+			delete(r.fkIndex[fi], key)
+		}
+	}
+	r.version++
+	return nil
+}
+
+// restore reverses a Delete during batch rollback: the tombstone is cleared
+// and the tuple rejoins the PK index and (in ascending-id position) every FK
+// posting list, restoring the exact pre-delete index state.
+func (r *Relation) restore(id TupleID) {
+	r.deleted[id] = false
+	r.tombstones--
+	r.pkIndex[r.Tuples[id][r.PKCol].Int] = id
+	for fi, fk := range r.FKs {
+		ci := r.colByName[fk.Column]
+		key := r.Tuples[id][ci].Int
+		r.fkIndex[fi][key] = insertID(r.fkIndex[fi][key], id)
+	}
+	r.version++
+}
+
+// undoInsert reverses the most recent Insert during batch rollback; id must
+// be the last slot.
+func (r *Relation) undoInsert(id TupleID) {
+	delete(r.pkIndex, r.Tuples[id][r.PKCol].Int)
+	for fi, fk := range r.FKs {
+		ci := r.colByName[fk.Column]
+		key := r.Tuples[id][ci].Int
+		r.fkIndex[fi][key] = removeID(r.fkIndex[fi][key], id)
+		if len(r.fkIndex[fi][key]) == 0 {
+			delete(r.fkIndex[fi], key)
+		}
+	}
+	r.Tuples = r.Tuples[:id]
+	if r.deleted != nil {
+		r.deleted = r.deleted[:id]
+	}
+	r.version++
+}
+
+// removeID deletes id from an ascending posting list, preserving order.
+func removeID(list []TupleID, id TupleID) []TupleID {
+	i := sort.Search(len(list), func(i int) bool { return list[i] >= id })
+	if i == len(list) || list[i] != id {
+		return list
+	}
+	return append(list[:i], list[i+1:]...)
+}
+
+// insertID adds id to an ascending posting list at its sorted position.
+func insertID(list []TupleID, id TupleID) []TupleID {
+	i := sort.Search(len(list), func(i int) bool { return list[i] >= id })
+	list = append(list, 0)
+	copy(list[i+1:], list[i:])
+	list[i] = id
+	return list
 }
 
 // MustInsert inserts a tuple generated by trusted code (the dataset

@@ -2,11 +2,13 @@ package tenancy
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"strconv"
 
 	"sizelos"
+	"sizelos/internal/relational"
 )
 
 // SummaryJSON is one size-l OS in a service response.
@@ -58,19 +60,38 @@ type errorResponse struct {
 
 // Handler serves the registry over HTTP/JSON:
 //
-//	GET /v1/tenants                  -> {"tenants": [...]}
-//	GET /v1/{tenant}/search?rel=&q=  -> SearchResponse (one OS per match)
-//	GET /v1/{tenant}/ranked?rel=&q=  -> SearchResponse (top-k by Im(S))
-//	GET /v1/{tenant}/stats           -> StatsResponse
+//	GET    /v1/tenants                  -> {"tenants": [...]}
+//	POST   /v1/tenants                  -> register a tenant (needs SetOpener)
+//	DELETE /v1/{tenant}                 -> deregister a tenant
+//	GET    /v1/{tenant}/search?rel=&q=  -> SearchResponse (one OS per match)
+//	GET    /v1/{tenant}/ranked?rel=&q=  -> SearchResponse (top-k by Im(S))
+//	POST   /v1/{tenant}/tuples          -> MutateResponse (atomic batch)
+//	GET    /v1/{tenant}/stats           -> StatsResponse
 //
 // Common query parameters: l (summary size, default 15), setting, algo,
-// topk (search), k (ranked, default 10). Tenants may be registered on a
-// live registry; requests for unknown tenants get 404.
+// topk (search), k (ranked, default 10). Tenants may be registered and
+// deregistered on a live registry; requests for unknown tenants — and for
+// any path the API does not define — get a JSON 404.
 func (r *Registry) Handler() http.Handler {
 	mux := http.NewServeMux()
+	// Everything the explicit routes below don't claim is a JSON 404, never
+	// an empty 200 or a text/plain fallback.
+	mux.HandleFunc("/", func(w http.ResponseWriter, req *http.Request) {
+		writeJSON(w, http.StatusNotFound, errorResponse{Error: "no such endpoint"})
+	})
 	mux.HandleFunc("GET /v1/tenants", func(w http.ResponseWriter, req *http.Request) {
 		writeJSON(w, http.StatusOK, map[string][]string{"tenants": r.Names()})
 	})
+	mux.HandleFunc("POST /v1/tenants", r.serveRegister)
+	mux.HandleFunc("DELETE /v1/{tenant}", func(w http.ResponseWriter, req *http.Request) {
+		name := req.PathValue("tenant")
+		if !r.Deregister(name) {
+			writeJSON(w, http.StatusNotFound, errorResponse{Error: "unknown tenant"})
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]string{"deregistered": name})
+	})
+	mux.HandleFunc("POST /v1/{tenant}/tuples", r.serveMutate)
 	mux.HandleFunc("GET /v1/{tenant}/search", func(w http.ResponseWriter, req *http.Request) {
 		r.serveQuery(w, req, false)
 	})
@@ -207,6 +228,215 @@ func (r *Registry) serveQuery(w http.ResponseWriter, req *http.Request, ranked b
 		})
 	}
 	writeJSON(w, http.StatusOK, resp)
+}
+
+// RegisterRequest is the body of POST /v1/tenants.
+type RegisterRequest struct {
+	Name    string `json:"name"`
+	Dataset string `json:"dataset"`
+	// Seed overrides the deployment's generator seed (0 = default).
+	Seed int64 `json:"seed"`
+	// Cache is the tenant's summary-cache budget in entries (0 = off).
+	Cache int `json:"cache"`
+}
+
+// RegisterResponse confirms a dynamic registration.
+type RegisterResponse struct {
+	Tenant   string   `json:"tenant"`
+	Dataset  string   `json:"dataset"`
+	Settings []string `json:"settings"`
+}
+
+// serveRegister builds an engine for the requested dataset and registers it
+// as a live tenant. The engine build runs outside every lock; only the
+// final Register touches the registry, so existing tenants keep serving.
+func (r *Registry) serveRegister(w http.ResponseWriter, req *http.Request) {
+	if r.opener == nil {
+		writeJSON(w, http.StatusNotImplemented, errorResponse{Error: "dynamic tenant registration is not configured"})
+		return
+	}
+	var body RegisterRequest
+	if err := json.NewDecoder(req.Body).Decode(&body); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "invalid JSON body: " + err.Error()})
+		return
+	}
+	if body.Name == "" || body.Dataset == "" {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "name and dataset are required"})
+		return
+	}
+	if !validName(body.Name) {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: fmt.Sprintf("invalid tenant name %q (want [A-Za-z0-9._-]+)", body.Name)})
+		return
+	}
+	// Cheap duplicate probe before the (expensive) engine build; Register
+	// re-checks under the stripe lock, so a racing duplicate still loses.
+	if _, dup := r.Get(body.Name); dup {
+		writeJSON(w, http.StatusConflict, errorResponse{Error: fmt.Sprintf("tenant %q already registered", body.Name)})
+		return
+	}
+	eng, err := r.opener(body.Dataset, body.Seed)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
+		return
+	}
+	t, err := r.Register(body.Name, eng, Options{CacheBudget: body.Cache})
+	if err != nil {
+		writeJSON(w, http.StatusConflict, errorResponse{Error: err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusCreated, RegisterResponse{
+		Tenant:   t.Name,
+		Dataset:  body.Dataset,
+		Settings: t.Engine.SettingNames(),
+	})
+}
+
+// InsertJSON is one tuple insertion in a MutateRequest: values in schema
+// order, JSON numbers for INTEGER/FLOAT columns and strings for VARCHAR.
+type InsertJSON struct {
+	Rel    string `json:"rel"`
+	Values []any  `json:"values"`
+}
+
+// DeleteJSON names one tuple to delete by primary key.
+type DeleteJSON struct {
+	Rel string `json:"rel"`
+	PK  int64  `json:"pk"`
+}
+
+// MutateRequest is the body of POST /v1/{tenant}/tuples: one atomic batch,
+// deletes applied before inserts.
+type MutateRequest struct {
+	Deletes []DeleteJSON `json:"deletes"`
+	Inserts []InsertJSON `json:"inserts"`
+	Rerank  bool         `json:"rerank"`
+}
+
+// MutateResponse reports an applied batch.
+type MutateResponse struct {
+	Tenant string `json:"tenant"`
+	// Inserted holds the tuple ids assigned to the batch's inserts, in
+	// request order.
+	Inserted []int `json:"inserted"`
+	// Versions and Epochs snapshot the touched relations' post-batch
+	// mutation counters and cache epochs.
+	Versions map[string]uint64 `json:"versions"`
+	Epochs   map[string]uint64 `json:"epochs"`
+	Reranked bool              `json:"reranked"`
+}
+
+// serveMutate decodes and applies one mutation batch against the tenant's
+// engine. Malformed requests are 400s; batches the store rejects (duplicate
+// or dangling keys, deletes of referenced tuples) are 409s and leave the
+// tenant untouched. A post-commit internal failure (ErrMutationInternal —
+// unreachable for batches that validate) is a 500: the batch DID apply, so
+// clients must not retry it.
+func (r *Registry) serveMutate(w http.ResponseWriter, req *http.Request) {
+	t, ok := r.Get(req.PathValue("tenant"))
+	if !ok {
+		writeJSON(w, http.StatusNotFound, errorResponse{Error: "unknown tenant"})
+		return
+	}
+	dec := json.NewDecoder(req.Body)
+	dec.UseNumber() // keep 64-bit keys exact; float64 round-trips corrupt them
+	var body MutateRequest
+	if err := dec.Decode(&body); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "invalid JSON body: " + err.Error()})
+		return
+	}
+	// A bare {"rerank": true} is a supported batch: recompute global
+	// importance over the current data without touching any tuple.
+	if len(body.Deletes) == 0 && len(body.Inserts) == 0 && !body.Rerank {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "empty batch: provide inserts, deletes, and/or rerank"})
+		return
+	}
+	batch := sizelos.MutationBatch{Rerank: body.Rerank}
+	db := t.Engine.DB()
+	for i, d := range body.Deletes {
+		// Naming a relation that doesn't exist is a malformed request (400,
+		// like the insert side), not a store conflict.
+		if db.Relation(d.Rel) == nil {
+			writeJSON(w, http.StatusBadRequest, errorResponse{Error: fmt.Sprintf("delete %d: unknown relation %q", i, d.Rel)})
+			return
+		}
+		batch.Deletes = append(batch.Deletes, sizelos.TupleDelete{Rel: d.Rel, PK: d.PK})
+	}
+	for i, in := range body.Inserts {
+		tuple, err := tupleFromJSON(db, in.Rel, in.Values)
+		if err != nil {
+			writeJSON(w, http.StatusBadRequest, errorResponse{Error: fmt.Sprintf("insert %d: %v", i, err)})
+			return
+		}
+		batch.Inserts = append(batch.Inserts, sizelos.TupleInsert{Rel: in.Rel, Tuple: tuple})
+	}
+	res, err := t.Mutate(batch)
+	if err != nil {
+		status := http.StatusConflict
+		if errors.Is(err, sizelos.ErrMutationInternal) {
+			status = http.StatusInternalServerError
+		}
+		writeJSON(w, status, errorResponse{Error: err.Error()})
+		return
+	}
+	resp := MutateResponse{
+		Tenant:   t.Name,
+		Inserted: make([]int, 0, len(res.Inserted)),
+		Versions: res.Versions,
+		Epochs:   res.Epochs,
+		Reranked: res.Reranked,
+	}
+	for _, id := range res.Inserted {
+		resp.Inserted = append(resp.Inserted, int(id))
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// tupleFromJSON converts a JSON values array into a typed tuple under the
+// relation's schema: json.Number -> INTEGER/FLOAT (integers checked
+// exactly), string -> VARCHAR.
+func tupleFromJSON(db *relational.DB, rel string, values []any) (relational.Tuple, error) {
+	r := db.Relation(rel)
+	if r == nil {
+		return nil, fmt.Errorf("unknown relation %q", rel)
+	}
+	if len(values) != len(r.Columns) {
+		return nil, fmt.Errorf("relation %s wants %d values, got %d", rel, len(r.Columns), len(values))
+	}
+	tuple := make(relational.Tuple, len(values))
+	for i, v := range values {
+		col := r.Columns[i]
+		switch col.Kind {
+		case relational.KindInt:
+			num, ok := v.(json.Number)
+			if !ok {
+				return nil, fmt.Errorf("column %s wants an integer, got %T", col.Name, v)
+			}
+			n, err := num.Int64()
+			if err != nil {
+				return nil, fmt.Errorf("column %s wants an integer, got %v", col.Name, num)
+			}
+			tuple[i] = relational.IntVal(n)
+		case relational.KindFloat:
+			num, ok := v.(json.Number)
+			if !ok {
+				return nil, fmt.Errorf("column %s wants a number, got %T", col.Name, v)
+			}
+			f, err := num.Float64()
+			if err != nil {
+				return nil, fmt.Errorf("column %s wants a number, got %v", col.Name, num)
+			}
+			tuple[i] = relational.FloatVal(f)
+		case relational.KindString:
+			s, ok := v.(string)
+			if !ok {
+				return nil, fmt.Errorf("column %s wants a string, got %T", col.Name, v)
+			}
+			tuple[i] = relational.StrVal(s)
+		default:
+			return nil, fmt.Errorf("column %s has unsupported kind %v", col.Name, col.Kind)
+		}
+	}
+	return tuple, nil
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {

@@ -49,12 +49,26 @@ type Tenant struct {
 // shared summary pool. The zero value is not usable; construct with
 // NewRegistry.
 type Registry struct {
-	pool    *searchexec.Pool
+	pool *searchexec.Pool
+	// opener, when set, builds an engine for a named dataset so tenants can
+	// be registered over HTTP (POST /v1/tenants) instead of only at
+	// startup. Set once with SetOpener before serving.
+	opener  Opener
 	stripes [numStripes]struct {
 		mu      sync.RWMutex
 		tenants map[string]*Tenant
 	}
 }
+
+// Opener builds a ready-to-serve engine (G_DSs registered) for a named
+// dataset; seed <= 0 means the deployment default. The admin handler calls
+// it outside any registry lock — engine builds take seconds and must not
+// block serving tenants.
+type Opener func(dataset string, seed int64) (*sizelos.Engine, error)
+
+// SetOpener enables dynamic tenant registration over HTTP. Call before
+// Handler is serving; the opener itself must be safe for concurrent use.
+func (r *Registry) SetOpener(fn Opener) { r.opener = fn }
 
 // NewRegistry creates an empty registry whose tenants share one summary
 // pool of poolSize slots (<= 0: GOMAXPROCS).
@@ -80,9 +94,10 @@ func (r *Registry) stripe(name string) *struct {
 
 // validName keeps tenant names URL-path-safe: letters, digits, '.', '_',
 // '-', excluding the path elements "." and ".." (ServeMux cleans those out
-// of request paths, so such tenants could never be addressed).
+// of request paths, so such tenants could never be addressed) and the
+// reserved word "tenants" (it names the collection endpoint /v1/tenants).
 func validName(name string) bool {
-	if name == "" || name == "." || name == ".." {
+	if name == "" || name == "." || name == ".." || name == "tenants" {
 		return false
 	}
 	for _, c := range name {
@@ -197,10 +212,16 @@ func (q Query) options(t *Tenant) sizelos.SearchOptions {
 }
 
 // key canonicalizes a query for single-flight batching. kind separates the
-// search and ranked namespaces.
-func (q Query) key(kind string) string {
-	return fmt.Sprintf("%s\x00%s\x00%s\x00%d\x00%d\x00%d\x00%s\x00%s",
-		kind, q.Rel, q.Keywords, q.L, q.K, q.TopK, q.Setting, q.Algorithm)
+// search and ranked namespaces. The DS relation's invalidation epoch is
+// part of the key: a leader whose engine call has returned but whose
+// flight entry hasn't been unregistered yet could otherwise be joined by a
+// request arriving after a completed mutation, handing it pre-mutation
+// summaries. With the epoch in the key, post-mutation requests hash to a
+// fresh flight and always recompute (or hit the epoch-keyed cache).
+func (q Query) key(kind string, t *Tenant) string {
+	return fmt.Sprintf("%s\x00%s\x00%s\x00%d\x00%d\x00%d\x00%s\x00%s\x00%d",
+		kind, q.Rel, q.Keywords, q.L, q.K, q.TopK, q.Setting, q.Algorithm,
+		t.Engine.EpochFor(q.Rel))
 }
 
 // Search runs the tenant's keyword search through the shared pool.
@@ -208,9 +229,20 @@ func (q Query) key(kind string) string {
 // caller receives the same summaries (read-only by the engine's cache
 // contract).
 func (t *Tenant) Search(q Query) ([]sizelos.Summary, error) {
-	return t.flight.do(q.key("search"), func() ([]sizelos.Summary, error) {
+	return t.flight.do(q.key("search", t), func() ([]sizelos.Summary, error) {
 		return t.Engine.Search(q.Rel, q.Keywords, q.L, q.options(t))
 	})
+}
+
+// Mutate applies one atomic batch of tuple mutations to the tenant's
+// engine. The engine serializes the batch against this tenant's (and any
+// engine-sharing sibling's) in-flight searches and advances the cache
+// epochs of the touched relations, so no post-mutation request is ever
+// served a pre-mutation summary. Single-flight batches that are already
+// executing finish against the pre-mutation state; their results are keyed
+// to the old epoch and never reused afterwards.
+func (t *Tenant) Mutate(b sizelos.MutationBatch) (sizelos.MutationResult, error) {
+	return t.Engine.Mutate(b)
 }
 
 // Ranked runs the tenant's top-k ranked search (rank by Im(S) of the
@@ -221,7 +253,7 @@ func (t *Tenant) Ranked(q Query) ([]sizelos.Summary, error) {
 	if q.K <= 0 {
 		q.K = 10
 	}
-	return t.flight.do(q.key("ranked"), func() ([]sizelos.Summary, error) {
+	return t.flight.do(q.key("ranked", t), func() ([]sizelos.Summary, error) {
 		return t.Engine.RankedSearch(q.Rel, q.Keywords, q.L, q.K, q.options(t))
 	})
 }

@@ -1,0 +1,187 @@
+package sizelos
+
+// This file is the engine's write path. A MutationBatch flows through four
+// layers under one write-lock acquisition: the relational store applies it
+// atomically (tombstone deletes, appended inserts, per-relation version
+// bumps), the keyword index folds the same delta in incrementally
+// (keyword.Maintainer), the data graph is rebuilt over the mutated store,
+// and the per-relation epochs advance so the summary cache forgets exactly
+// the DS relations whose G_DS can reach a touched relation.
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"sizelos/internal/datagraph"
+	"sizelos/internal/keyword"
+	"sizelos/internal/relational"
+)
+
+// ErrMutationInternal marks a Mutate failure that happened after the store
+// committed (data-graph rebuild or re-rank): the batch is applied but the
+// engine's derived state may be inconsistent. Callers must not treat such
+// an error as "batch rejected" — retrying the batch would double-apply.
+// Unreachable for batches that pass validation; test with errors.Is.
+var ErrMutationInternal = errors.New("sizelos: mutation failed after store commit")
+
+// TupleInsert adds one tuple (schema order, kinds matching the relation's
+// columns) to Rel.
+type TupleInsert struct {
+	Rel   string
+	Tuple relational.Tuple
+}
+
+// TupleDelete removes the tuple of Rel whose primary key is PK.
+type TupleDelete struct {
+	Rel string
+	PK  int64
+}
+
+// MutationBatch is one atomic group of engine mutations. Deletes apply
+// before inserts, each slice in order (see relational.Batch for the
+// referential-integrity consequences).
+type MutationBatch struct {
+	Deletes []TupleDelete
+	Inserts []TupleInsert
+	// Rerank re-runs every ranking setting's power iteration over the
+	// mutated data graph and re-annotates all registered G_DSs, so the new
+	// tuples earn real global importance. Without it the batch is cheap:
+	// new tuples score 0 until the next re-ranked batch, and every cached
+	// summary whose DS relation cannot reach a touched relation stays warm.
+	// A re-rank changes scores globally, so it advances every relation's
+	// epoch.
+	Rerank bool
+}
+
+// MutationResult reports what one successful Mutate did.
+type MutationResult struct {
+	// Inserted holds the TupleID assigned to each insert, parallel to
+	// MutationBatch.Inserts.
+	Inserted []relational.TupleID
+	// Versions snapshots the post-batch version of every touched relation.
+	Versions map[string]uint64
+	// Epochs snapshots the post-batch cache epoch of every relation whose
+	// epoch the batch advanced.
+	Epochs map[string]uint64
+	// Reranked reports whether global importance was recomputed.
+	Reranked bool
+}
+
+// Mutate applies a batch of tuple inserts and deletes end to end: the
+// relational store mutates atomically, the keyword index absorbs the
+// posting delta incrementally (per shard, for the sharded layout), the data
+// graph is rebuilt, score vectors grow to cover new tuples (at importance 0
+// unless Rerank is set), and the touched relations' epochs advance so
+// exactly the affected summary-cache entries stop being served. The write
+// lock serializes the batch against in-flight searches; a search that
+// began before the batch completes against the pre-batch state and its
+// cached summaries are keyed to the pre-batch epoch, never served
+// afterwards.
+//
+// On a batch validation error (unknown relation, duplicate or dangling
+// key, delete of a still-referenced tuple) the engine is untouched. Errors
+// after the store commit — data-graph rebuild or re-rank failures — leave
+// the engine inconsistent and are returned wrapping ErrMutationInternal;
+// they are not reachable for batches that pass validation.
+func (e *Engine) Mutate(b MutationBatch) (MutationResult, error) {
+	batch := relational.Batch{}
+	for _, d := range b.Deletes {
+		batch.Deletes = append(batch.Deletes, relational.DeleteOp{Rel: d.Rel, PK: d.PK})
+	}
+	for _, in := range b.Inserts {
+		batch.Inserts = append(batch.Inserts, relational.InsertOp{Rel: in.Rel, Tuple: in.Tuple})
+	}
+
+	e.mu.Lock()
+	defer e.mu.Unlock()
+
+	// Refuse up front, before any state changes, if the installed index
+	// cannot absorb deltas: a half-mutated engine must be unreachable.
+	maintainer, ok := e.index.(keyword.Maintainer)
+	if !ok && !batch.Empty() {
+		return MutationResult{}, fmt.Errorf("sizelos: index %T does not support incremental maintenance", e.index)
+	}
+
+	result := MutationResult{Epochs: make(map[string]uint64)}
+	touched := make([]string, 0, 4)
+	if !batch.Empty() {
+		res, err := e.db.Apply(batch)
+		if err != nil {
+			return MutationResult{}, err
+		}
+		result.Inserted = res.InsertedIDs
+		result.Versions = res.Versions
+		for rel := range batch.Relations() {
+			touched = append(touched, rel)
+		}
+		sort.Strings(touched)
+		for _, rel := range touched {
+			maintainer.Apply(rel, res.Inserted[rel], res.Deleted[rel])
+		}
+		g, err := datagraph.Build(e.db)
+		if err != nil {
+			return result, fmt.Errorf("%w: rebuild data graph: %v", ErrMutationInternal, err)
+		}
+		e.graph = g
+		// Grow every setting's score vectors over the new slots so ranking
+		// and extraction never index out of range; fresh tuples carry
+		// importance 0 until a re-rank.
+		for _, sc := range e.scores {
+			for _, rel := range touched {
+				r := e.db.Relation(rel)
+				if s := sc[rel]; len(s) < r.Len() {
+					sc[rel] = append(s, make(relational.Scores, r.Len()-len(s))...)
+				}
+			}
+		}
+	}
+
+	if b.Rerank {
+		scores, err := computeScores(e.graph, e.settings)
+		if err != nil {
+			return result, fmt.Errorf("%w: re-rank: %v", ErrMutationInternal, err)
+		}
+		e.scores = scores
+		for ds, base := range e.baseGDS {
+			perSetting, err := e.annotateLocked(base)
+			if err != nil {
+				return result, fmt.Errorf("%w: re-annotate: %v", ErrMutationInternal, err)
+			}
+			e.gds[ds] = perSetting
+		}
+		result.Reranked = true
+		// New scores invalidate every summary, not just the touched
+		// relations'.
+		for rel := range e.epochs {
+			e.epochs[rel]++
+			result.Epochs[rel] = e.epochs[rel]
+		}
+	} else {
+		for _, rel := range touched {
+			e.epochs[rel]++
+			result.Epochs[rel] = e.epochs[rel]
+		}
+	}
+	return result, nil
+}
+
+// Epoch returns the current mutation epoch of one relation — the number of
+// mutation batches that touched it (plus one per re-ranked batch). Exposed
+// for observability; summary-cache keys use the per-DS aggregate.
+func (e *Engine) Epoch(rel string) uint64 {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.epochs[rel]
+}
+
+// EpochFor returns the invalidation epoch of one DS relation: the summed
+// epochs of every relation its G_DS can reach (the value summary-cache
+// keys embed). Request-coalescing layers fold it into their batching keys
+// so a request issued after a mutation can never join — and inherit the
+// result of — a pre-mutation computation.
+func (e *Engine) EpochFor(dsRel string) uint64 {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.epochForLocked(dsRel)
+}

@@ -1,0 +1,330 @@
+package sizelos
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+
+	"sizelos/internal/datagen"
+	"sizelos/internal/relational"
+	"sizelos/internal/schemagraph"
+)
+
+// mutableDBLP builds a private small engine — mutation tests must not
+// share the package-level fixture.
+func mutableDBLP(t *testing.T) *Engine {
+	t.Helper()
+	cfg := datagen.DefaultDBLPConfig()
+	cfg.Authors = 80
+	cfg.Papers = 300
+	cfg.Conferences = 6
+	cfg.YearSpan = 4
+	eng, err := OpenDBLP(cfg)
+	if err != nil {
+		t.Fatalf("OpenDBLP: %v", err)
+	}
+	return eng
+}
+
+// insertAuthorBatch wires a new author with one paper into the citation
+// fabric: author + paper + writes rows, FKs copied from live tuples.
+func insertAuthorBatch(t *testing.T, eng *Engine, pkBase int64, name, title string) MutationBatch {
+	t.Helper()
+	paperRel := eng.DB().Relation("Paper")
+	yearFK := paperRel.Tuples[0][paperRel.ColIndex("year")].Int
+	return MutationBatch{Inserts: []TupleInsert{
+		{Rel: "Author", Tuple: relational.Tuple{relational.IntVal(pkBase), relational.StrVal(name)}},
+		{Rel: "Paper", Tuple: relational.Tuple{relational.IntVal(pkBase + 1), relational.IntVal(yearFK), relational.StrVal(title)}},
+		{Rel: "Writes", Tuple: relational.Tuple{relational.IntVal(pkBase + 2), relational.IntVal(pkBase + 1), relational.IntVal(pkBase)}},
+	}}
+}
+
+// TestMutateFreshSearchResults inserts, searches, deletes, and searches
+// again: every read after a mutation must reflect it — no stale summaries,
+// no ghost matches — with the summary cache enabled throughout.
+func TestMutateFreshSearchResults(t *testing.T) {
+	eng := mutableDBLP(t)
+	eng.EnableSummaryCache(256)
+
+	if res, err := eng.Search("Author", "Zephyrhopper", 5, SearchOptions{}); err != nil || len(res) != 0 {
+		t.Fatalf("pre-insert search = %d results, err %v", len(res), err)
+	}
+	mres, err := eng.Mutate(insertAuthorBatch(t, eng, 900001, "Grace Zephyrhopper", "A Singular Treatise"))
+	if err != nil {
+		t.Fatalf("Mutate: %v", err)
+	}
+	if len(mres.Inserted) != 3 {
+		t.Fatalf("Inserted = %v", mres.Inserted)
+	}
+	if mres.Epochs["Author"] == 0 || mres.Epochs["Paper"] == 0 || mres.Epochs["Writes"] == 0 {
+		t.Fatalf("epochs not advanced: %v", mres.Epochs)
+	}
+
+	res, err := eng.Search("Author", "Zephyrhopper", 5, SearchOptions{})
+	if err != nil {
+		t.Fatalf("post-insert search: %v", err)
+	}
+	if len(res) != 1 || !strings.Contains(res[0].Headline, "Zephyrhopper") {
+		t.Fatalf("post-insert search = %+v", res)
+	}
+	if !strings.Contains(res[0].Text, "Singular Treatise") {
+		t.Fatalf("summary does not reach the inserted paper:\n%s", res[0].Text)
+	}
+	// The fresh result must be served from cache on repeat, still fresh.
+	res2, err := eng.Search("Author", "Zephyrhopper", 5, SearchOptions{})
+	if err != nil || len(res2) != 1 || res2[0].Text != res[0].Text {
+		t.Fatalf("repeat search diverged: %v %+v", err, res2)
+	}
+
+	authorID := mres.Inserted[0]
+	del := MutationBatch{Deletes: []TupleDelete{
+		{Rel: "Writes", PK: 900003},
+		{Rel: "Paper", PK: 900002},
+		{Rel: "Author", PK: 900001},
+	}}
+	if _, err := eng.Mutate(del); err != nil {
+		t.Fatalf("Mutate delete: %v", err)
+	}
+	if res, err := eng.Search("Author", "Zephyrhopper", 5, SearchOptions{}); err != nil || len(res) != 0 {
+		t.Fatalf("post-delete search = %d results, err %v", len(res), err)
+	}
+	if _, err := eng.SizeL("Author", authorID, 5, SearchOptions{}); err == nil {
+		t.Fatal("SizeL on a deleted tuple succeeded")
+	}
+}
+
+// TestMutatePreciseInvalidation proves the cache forgets only what the
+// mutation can have changed: a Cites mutation rotates Author-rooted keys
+// (the Author G_DS reaches Cites) but keeps a Conference-rooted summary —
+// whose minimal G_DS touches only Conference and Year — warm.
+func TestMutatePreciseInvalidation(t *testing.T) {
+	eng := mutableDBLP(t)
+	confGDS := schemagraph.New("Conference")
+	confGDS.Root.AddChildFK("Year", "Year", 0, 0.9)
+	if err := eng.RegisterGDS(confGDS); err != nil {
+		t.Fatalf("RegisterGDS: %v", err)
+	}
+	eng.EnableSummaryCache(256)
+
+	warm := func() (confText string, authorText string) {
+		c, err := eng.SizeL("Conference", 0, 4, SearchOptions{})
+		if err != nil {
+			t.Fatalf("Conference SizeL: %v", err)
+		}
+		a, err := eng.Search("Author", "Faloutsos", 6, SearchOptions{})
+		if err != nil || len(a) == 0 {
+			t.Fatalf("Author search: %v (%d results)", err, len(a))
+		}
+		return c.Text, a[0].Text
+	}
+	warm()
+	warm() // both entries now cached and hit
+	before, _ := eng.SummaryCacheStats()
+
+	// Mutate Cites only: insert one citation between existing papers.
+	paperRel := eng.DB().Relation("Paper")
+	citesRel := eng.DB().Relation("Cites")
+	var maxCite int64
+	for i := 0; i < citesRel.Len(); i++ {
+		if !citesRel.Deleted(relational.TupleID(i)) && citesRel.PK(relational.TupleID(i)) > maxCite {
+			maxCite = citesRel.PK(relational.TupleID(i))
+		}
+	}
+	if _, err := eng.Mutate(MutationBatch{Inserts: []TupleInsert{{
+		Rel: "Cites",
+		Tuple: relational.Tuple{
+			relational.IntVal(maxCite + 1),
+			relational.IntVal(paperRel.PK(0)),
+			relational.IntVal(paperRel.PK(1)),
+		},
+	}}}); err != nil {
+		t.Fatalf("Mutate: %v", err)
+	}
+
+	// Conference entry must still hit; the Author entry must miss (its key
+	// rotated with the Cites epoch) and recompute.
+	if _, err := eng.SizeL("Conference", 0, 4, SearchOptions{}); err != nil {
+		t.Fatalf("Conference SizeL after mutation: %v", err)
+	}
+	mid, _ := eng.SummaryCacheStats()
+	if hits := mid.Hits - before.Hits; hits != 1 {
+		t.Fatalf("Conference lookup after unrelated mutation: %d hits, want 1 (stats %+v -> %+v)", hits, before, mid)
+	}
+	if mid.Misses != before.Misses {
+		t.Fatalf("Conference lookup missed: %+v -> %+v", before, mid)
+	}
+	if _, err := eng.Search("Author", "Faloutsos", 6, SearchOptions{}); err != nil {
+		t.Fatalf("Author search after mutation: %v", err)
+	}
+	after, _ := eng.SummaryCacheStats()
+	if after.Misses == mid.Misses {
+		t.Fatal("Author summaries were served from the pre-mutation cache")
+	}
+}
+
+// TestMutateRerank verifies Rerank recomputes global importance (the new
+// author earns a positive score in every setting) and rotates every epoch.
+func TestMutateRerank(t *testing.T) {
+	eng := mutableDBLP(t)
+	epoch0 := eng.Epoch("Conference")
+	batch := insertAuthorBatch(t, eng, 910001, "Ada Quorumgate", "Reranked Realities")
+	batch.Rerank = true
+	res, err := eng.Mutate(batch)
+	if err != nil {
+		t.Fatalf("Mutate: %v", err)
+	}
+	if !res.Reranked {
+		t.Fatal("Reranked not reported")
+	}
+	if eng.Epoch("Conference") != epoch0+1 {
+		t.Fatalf("untouched relation's epoch not rotated by rerank: %d", eng.Epoch("Conference"))
+	}
+	authorID := res.Inserted[0]
+	for _, setting := range eng.SettingNames() {
+		sc, err := eng.Scores(setting)
+		if err != nil {
+			t.Fatalf("Scores(%s): %v", setting, err)
+		}
+		if got := sc["Author"][authorID]; got <= 0 {
+			t.Fatalf("setting %s: new author's score = %v, want > 0 after rerank", setting, got)
+		}
+	}
+	// And without rerank the score stays 0 until the next one.
+	res2, err := eng.Mutate(insertAuthorBatch(t, eng, 920001, "Zero Scorewell", "Unranked"))
+	if err != nil {
+		t.Fatalf("Mutate: %v", err)
+	}
+	sc, _ := eng.Scores(DefaultSetting)
+	if got := sc["Author"][res2.Inserted[0]]; got != 0 {
+		t.Fatalf("non-reranked insert has score %v, want 0", got)
+	}
+}
+
+// TestMutateAtomicOnEngine drives a failing batch through the engine and
+// checks neither the store nor the index nor the epochs moved.
+func TestMutateAtomicOnEngine(t *testing.T) {
+	eng := mutableDBLP(t)
+	epoch0 := eng.Epoch("Author")
+	_, err := eng.Mutate(MutationBatch{Inserts: []TupleInsert{
+		{Rel: "Author", Tuple: relational.Tuple{relational.IntVal(930001), relational.StrVal("Half Doneski")}},
+		{Rel: "Writes", Tuple: relational.Tuple{relational.IntVal(930002), relational.IntVal(-77), relational.IntVal(930001)}}, // dangling paper
+	}})
+	if err == nil {
+		t.Fatal("batch with dangling FK succeeded")
+	}
+	if eng.Epoch("Author") != epoch0 {
+		t.Fatal("failed batch advanced an epoch")
+	}
+	if res, err := eng.Search("Author", "Doneski", 4, SearchOptions{}); err != nil || len(res) != 0 {
+		t.Fatalf("rolled-back insert visible to search: %v %v", res, err)
+	}
+}
+
+// TestMutateDeletesInDescendingOrder is the regression test for the
+// posting-retraction ordering bug: two same-relation deletes named
+// newest-first in one batch must still retract both tuples' postings (an
+// unsorted delta once left a ghost posting, and searches then failed on
+// the tombstoned tuple).
+func TestMutateDeletesInDescendingOrder(t *testing.T) {
+	eng := mutableDBLP(t)
+	if _, err := eng.Mutate(MutationBatch{Inserts: []TupleInsert{
+		{Rel: "Author", Tuple: relational.Tuple{relational.IntVal(960001), relational.StrVal("Ghost Postingworth")}},
+		{Rel: "Author", Tuple: relational.Tuple{relational.IntVal(960002), relational.StrVal("Second Postingworth")}},
+	}}); err != nil {
+		t.Fatalf("Mutate insert: %v", err)
+	}
+	if res, err := eng.Search("Author", "Postingworth", 4, SearchOptions{}); err != nil || len(res) != 2 {
+		t.Fatalf("pre-delete search: %d results, err %v", len(res), err)
+	}
+	if _, err := eng.Mutate(MutationBatch{Deletes: []TupleDelete{
+		{Rel: "Author", PK: 960002}, // newer tuple first
+		{Rel: "Author", PK: 960001},
+	}}); err != nil {
+		t.Fatalf("Mutate delete: %v", err)
+	}
+	res, err := eng.Search("Author", "Postingworth", 4, SearchOptions{})
+	if err != nil {
+		t.Fatalf("post-delete search errored (ghost posting): %v", err)
+	}
+	if len(res) != 0 {
+		t.Fatalf("post-delete search = %d results, want 0", len(res))
+	}
+}
+
+// TestDeletedJunctionRowLeavesDBSource retracts the single Writes row
+// linking a fresh author to their paper and checks BOTH extraction paths
+// forget the connection — the data graph (rebuilt) and the database joins
+// (whose TOP-l junction lists must skip tombstoned junction rows).
+func TestDeletedJunctionRowLeavesDBSource(t *testing.T) {
+	eng := mutableDBLP(t)
+	res, err := eng.Mutate(insertAuthorBatch(t, eng, 950001, "Junctia Retractsdottir", "A Severable Link"))
+	if err != nil {
+		t.Fatalf("Mutate: %v", err)
+	}
+	author := res.Inserted[0]
+	for _, fromDB := range []bool{false, true} {
+		s, err := eng.SizeL("Author", author, 5, SearchOptions{FromDatabase: fromDB})
+		if err != nil {
+			t.Fatalf("SizeL(fromDB=%v): %v", fromDB, err)
+		}
+		if !strings.Contains(s.Text, "Severable") {
+			t.Fatalf("fromDB=%v: summary misses the linked paper:\n%s", fromDB, s.Text)
+		}
+	}
+	// Retract only the junction row; author and paper stay.
+	if _, err := eng.Mutate(MutationBatch{Deletes: []TupleDelete{{Rel: "Writes", PK: 950003}}}); err != nil {
+		t.Fatalf("Mutate delete: %v", err)
+	}
+	for _, fromDB := range []bool{false, true} {
+		s, err := eng.SizeL("Author", author, 5, SearchOptions{FromDatabase: fromDB})
+		if err != nil {
+			t.Fatalf("SizeL(fromDB=%v) after retract: %v", fromDB, err)
+		}
+		if strings.Contains(s.Text, "Severable") {
+			t.Fatalf("fromDB=%v: retracted junction row still connects the paper:\n%s", fromDB, s.Text)
+		}
+	}
+}
+
+// TestMutateConcurrentWithSearches hammers the engine with concurrent
+// searches while mutation batches land, asserting (under -race) that every
+// search observes a consistent state and post-mutation searches see the
+// mutation. Run with -race in CI.
+func TestMutateConcurrentWithSearches(t *testing.T) {
+	eng := mutableDBLP(t)
+	eng.EnableSummaryCache(128)
+	const rounds = 6
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			queries := []string{"Faloutsos", "the", "of", "Mining"}
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if _, err := eng.Search("Author", queries[(i+w)%len(queries)], 5, SearchOptions{Parallel: 2}); err != nil {
+					t.Errorf("worker %d: %v", w, err)
+					return
+				}
+			}
+		}(w)
+	}
+	for r := 0; r < rounds; r++ {
+		name := fmt.Sprintf("Concurrentia%d Mutatello", r)
+		if _, err := eng.Mutate(insertAuthorBatch(t, eng, 940001+10*int64(r), name, "Parallel Epochs")); err != nil {
+			t.Fatalf("round %d: Mutate: %v", r, err)
+		}
+		res, err := eng.Search("Author", fmt.Sprintf("Concurrentia%d", r), 5, SearchOptions{})
+		if err != nil || len(res) != 1 {
+			t.Fatalf("round %d: post-mutation search = %d results, err %v", r, len(res), err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+}
