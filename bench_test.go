@@ -535,3 +535,126 @@ func BenchmarkDataGraphBuild(b *testing.B) {
 		}
 	}
 }
+
+// mutateBenchDB builds a fresh DBLP store plus a counter of free primary
+// keys for the stream benchmarks.
+func mutateBenchDB(b *testing.B) (*relational.DB, *int64) {
+	b.Helper()
+	cfg := datagen.DefaultDBLPConfig()
+	cfg.Authors = 300
+	cfg.Papers = 1200
+	db, err := datagen.GenerateDBLP(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	next := int64(50_000_000)
+	return db, &next
+}
+
+// citesStreamOp is the single-tuple stream op: one new citation between two
+// existing papers, retracting the citation the previous op added (prevPK,
+// 0 on the first op). Delete-then-insert keeps the live set stationary, so
+// per-op cost doesn't drift with b.N and the regression gate compares like
+// with like across runs.
+func citesStreamOp(db *relational.DB, pk, prevPK int64, i int) relational.Batch {
+	paper := db.Relation("Paper")
+	a := relational.TupleID(i % 1200)
+	c := relational.TupleID((i*7 + 13) % 1200)
+	b := relational.Batch{Inserts: []relational.InsertOp{{
+		Rel: "Cites",
+		Tuple: relational.Tuple{
+			relational.IntVal(pk),
+			relational.IntVal(paper.PK(a)),
+			relational.IntVal(paper.PK(c)),
+		},
+	}}}
+	if prevPK != 0 {
+		b.Deletes = []relational.DeleteOp{{Rel: "Cites", PK: prevPK}}
+	}
+	return b
+}
+
+// BenchmarkMutateIncremental measures graph maintenance on the small-batch
+// stream shape (one tuple per batch): the incremental splice
+// (datagraph.Graph.Apply) against the from-scratch rebuild every batch paid
+// before, plus the full engine write path end to end. The bench-gate CI job
+// watches this family; the acceptance bar is incremental >= 3x faster than
+// rebuild.
+func BenchmarkMutateIncremental(b *testing.B) {
+	b.Run("graph-incremental", func(b *testing.B) {
+		db, next := mutateBenchDB(b)
+		g, err := datagraph.Build(db)
+		if err != nil {
+			b.Fatal(err)
+		}
+		prev := int64(0)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			*next++
+			res, err := db.Apply(citesStreamOp(db, *next, prev, i))
+			if err != nil {
+				b.Fatal(err)
+			}
+			prev = *next
+			if err := g.Apply(res); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("graph-rebuild", func(b *testing.B) {
+		db, next := mutateBenchDB(b)
+		prev := int64(0)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			*next++
+			if _, err := db.Apply(citesStreamOp(db, *next, prev, i)); err != nil {
+				b.Fatal(err)
+			}
+			prev = *next
+			if _, err := datagraph.Build(db); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	engineStream := func(rerank bool) func(b *testing.B) {
+		return func(b *testing.B) {
+			db, next := mutateBenchDB(b)
+			eng, err := sizelos.NewEngine(db, sizelos.DefaultSettings(datagen.DBLPGA1(), datagen.DBLPGA2()))
+			if err != nil {
+				b.Fatal(err)
+			}
+			paper := db.Relation("Paper")
+			prev := int64(0)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				*next++
+				a := relational.TupleID(i % 1200)
+				c := relational.TupleID((i*7 + 13) % 1200)
+				batch := sizelos.MutationBatch{
+					Rerank: rerank,
+					Inserts: []sizelos.TupleInsert{{
+						Rel: "Cites",
+						Tuple: relational.Tuple{
+							relational.IntVal(*next),
+							relational.IntVal(paper.PK(a)),
+							relational.IntVal(paper.PK(c)),
+						},
+					}},
+				}
+				if prev != 0 {
+					batch.Deletes = []sizelos.TupleDelete{{Rel: "Cites", PK: prev}}
+				}
+				prev = *next
+				if _, err := eng.Mutate(batch); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	}
+	// The full write path per stream op (store + index delta + graph splice
+	// + epochs, including amortized compactions and overlay folds).
+	b.Run("engine-stream", engineStream(false))
+	// The warm-started re-rank a streaming deployment pays when it wants
+	// fresh global importance after every batch.
+	b.Run("rerank-warm", engineStream(true))
+}

@@ -100,8 +100,21 @@ type Engine struct {
 	// settings are the ranking configurations NewEngine computed, retained
 	// so Mutate can re-run them on demand (MutationBatch.Rerank).
 	settings []Setting
-	// scores per setting name.
+	// scores per setting name, normalized for presentation (NormalizeMax).
 	scores map[string]relational.DBScores
+	// rawScores per setting name: the unnormalized converged vectors, kept
+	// solely to warm-start the next re-rank's power iteration — a rescaled
+	// vector would sit far from the fixed point (rank.Options.Warm).
+	rawScores map[string]relational.DBScores
+	// coldIters records each setting's cold-start iteration count from
+	// NewEngine, the baseline warm-started re-ranks report savings against.
+	coldIters map[string]int
+	// compactMin and compactRatio are the auto-compaction trigger: a
+	// relation is physically compacted when it carries at least compactMin
+	// tombstones AND they exceed compactRatio of its slots. compactMin <= 0
+	// disables the automatic trigger (CompactNow still works).
+	compactMin   int
+	compactRatio float64
 	// gds[dsRel][setting] is the annotated G_DS clone for that setting.
 	gds map[string]map[string]*schemagraph.GDS
 	// baseGDS[dsRel] is the unannotated original.
@@ -138,43 +151,80 @@ func NewEngine(db *relational.DB, settings []Setting) (*Engine, error) {
 		return nil, fmt.Errorf("sizelos: build data graph: %w", err)
 	}
 	e := &Engine{
-		db:       db,
-		graph:    g,
-		index:    keyword.BuildSharded(db, keyword.ShardedOptions{}),
-		settings: append([]Setting(nil), settings...),
-		gds:      make(map[string]map[string]*schemagraph.GDS),
-		baseGDS:  make(map[string]*schemagraph.GDS),
-		epochs:   make(map[string]uint64, len(db.Relations)),
-		deps:     make(map[string][]string),
+		db:           db,
+		graph:        g,
+		index:        keyword.BuildSharded(db, keyword.ShardedOptions{}),
+		settings:     append([]Setting(nil), settings...),
+		gds:          make(map[string]map[string]*schemagraph.GDS),
+		baseGDS:      make(map[string]*schemagraph.GDS),
+		epochs:       make(map[string]uint64, len(db.Relations)),
+		deps:         make(map[string][]string),
+		coldIters:    make(map[string]int, len(settings)),
+		compactMin:   DefaultCompactMinTombstones,
+		compactRatio: DefaultCompactRatio,
 	}
 	for _, r := range db.Relations {
 		e.epochs[r.Name] = 0
 	}
-	scores, err := computeScores(g, e.settings)
+	scores, raw, stats, err := computeScores(g, e.settings, nil)
 	if err != nil {
 		return nil, err
 	}
 	e.scores = scores
+	e.rawScores = raw
+	for name, st := range stats {
+		e.coldIters[name] = st.Iterations
+	}
 	return e, nil
 }
 
+// DefaultCompactMinTombstones and DefaultCompactRatio are the engine's
+// auto-compaction trigger: a relation is physically compacted — tombstoned
+// slots reclaimed, TupleIDs remapped through the keyword index and score
+// vectors, the data graph rebuilt — once it carries at least
+// DefaultCompactMinTombstones tombstones and they exceed
+// DefaultCompactRatio of its slots. Below that, tombstones are cheaper than
+// the remap. SetCompactionPolicy overrides both.
+const (
+	DefaultCompactMinTombstones = 256
+	DefaultCompactRatio         = 0.5
+)
+
+// SetCompactionPolicy overrides the auto-compaction trigger: a relation
+// compacts when it holds at least minTombstones tombstones and they exceed
+// ratio of its physical slots. minTombstones <= 0 disables the automatic
+// trigger; ratio <= 0 keeps the current ratio.
+func (e *Engine) SetCompactionPolicy(minTombstones int, ratio float64) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.compactMin = minTombstones
+	if ratio > 0 {
+		e.compactRatio = ratio
+	}
+}
+
 // computeScores compiles each distinct G_A once and runs every setting's
-// power iteration concurrently over graph g, returning one score table per
-// setting name. It is the ranking phase of NewEngine, reused by Mutate when
-// a batch asks for a re-rank.
-func computeScores(g *datagraph.Graph, settings []Setting) (map[string]relational.DBScores, error) {
+// power iteration concurrently over graph g, returning the normalized score
+// table served to queries, the raw converged vectors (the warm-start seeds
+// of the next re-rank) and the per-setting iteration stats. warm, when
+// non-nil, supplies each setting's prior raw vector so the iteration starts
+// at the old fixed point instead of uniform — the difference between
+// converging in a handful of iterations and paying the full cold-start cost
+// after every mutation batch.
+func computeScores(g *datagraph.Graph, settings []Setting, warm map[string]relational.DBScores) (norm, raw map[string]relational.DBScores, stats map[string]rank.Stats, err error) {
 	plansByGA := make(map[*rank.GA]*rank.Plans, len(settings))
 	for _, s := range settings {
 		if _, ok := plansByGA[s.GA]; ok {
 			continue
 		}
-		ps, err := rank.Compile(g, s.GA, nil)
-		if err != nil {
-			return nil, fmt.Errorf("sizelos: setting %s: %w", s.Name, err)
+		ps, cerr := rank.Compile(g, s.GA, nil)
+		if cerr != nil {
+			return nil, nil, nil, fmt.Errorf("sizelos: setting %s: %w", s.Name, cerr)
 		}
 		plansByGA[s.GA] = ps
 	}
-	results := make([]relational.DBScores, len(settings))
+	rawResults := make([]relational.DBScores, len(settings))
+	statResults := make([]rank.Stats, len(settings))
 	errs := make([]error, len(settings))
 	var wg sync.WaitGroup
 	for i, s := range settings {
@@ -183,6 +233,10 @@ func computeScores(g *datagraph.Graph, settings []Setting) (map[string]relationa
 			defer wg.Done()
 			opts := rank.DefaultOptions()
 			opts.Damping = s.Damping
+			// Run unnormalized: the raw fixed point is what the next warm
+			// start must seed from. Presentation scaling happens below.
+			opts.NormalizeMax = 0
+			opts.Warm = warm[s.Name]
 			sc, st, err := plansByGA[s.GA].Run(opts)
 			if err != nil {
 				errs[i] = fmt.Errorf("sizelos: setting %s: %w", s.Name, err)
@@ -192,20 +246,31 @@ func computeScores(g *datagraph.Graph, settings []Setting) (map[string]relationa
 				errs[i] = fmt.Errorf("sizelos: setting %s did not converge after %d iterations", s.Name, st.Iterations)
 				return
 			}
-			results[i] = sc
+			rawResults[i] = sc
+			statResults[i] = st
 		}(i, s)
 	}
 	wg.Wait()
 	for _, err := range errs {
 		if err != nil {
-			return nil, err
+			return nil, nil, nil, err
 		}
 	}
-	out := make(map[string]relational.DBScores, len(settings))
+	norm = make(map[string]relational.DBScores, len(settings))
+	raw = make(map[string]relational.DBScores, len(settings))
+	stats = make(map[string]rank.Stats, len(settings))
+	normMax := rank.DefaultOptions().NormalizeMax
 	for i, s := range settings {
-		out[s.Name] = results[i]
+		raw[s.Name] = rawResults[i]
+		stats[s.Name] = statResults[i]
+		scaled := make(relational.DBScores, len(rawResults[i]))
+		for rel, sc := range rawResults[i] {
+			scaled[rel] = append(relational.Scores(nil), sc...)
+		}
+		rank.Normalize(scaled, normMax)
+		norm[s.Name] = scaled
 	}
-	return out, nil
+	return norm, raw, stats, nil
 }
 
 // RegisterGDS installs a Data Subject Schema Graph; one annotated clone is
@@ -293,8 +358,11 @@ func (e *Engine) SetIndex(idx keyword.Searcher) {
 	e.index = idx
 }
 
-// Graph exposes the tuple data graph (rebuilt by Mutate; retain the
-// returned pointer only within one mutation quiescence).
+// Graph exposes the tuple data graph. Mutate splices each batch into this
+// same object in place (it is replaced only by compaction or an overlay
+// fold), so the returned pointer must not be traversed concurrently with —
+// or retained across — any Mutate: use it within one mutation quiescence
+// and re-fetch afterwards.
 func (e *Engine) Graph() *datagraph.Graph {
 	e.mu.RLock()
 	defer e.mu.RUnlock()

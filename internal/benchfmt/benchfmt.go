@@ -16,8 +16,10 @@ import (
 )
 
 // GateFamilies is the ns/op family regex the CI regression gate watches:
-// the setup and query hot paths whose regressions would be user-visible.
-const GateFamilies = "RankCompute|RankCompile|NewEngine|EndToEndSearch|DataGraphBuild|IndexBuild"
+// the setup and query hot paths whose regressions would be user-visible,
+// plus the mutation write path (incremental graph maintenance and the
+// warm-started re-rank, the streaming-ingest hot loop).
+const GateFamilies = "RankCompute|RankCompile|NewEngine|EndToEndSearch|DataGraphBuild|IndexBuild|MutateIncremental"
 
 // ArchiveFamilies is the default benchjson archive set: every gated family
 // plus the Fig-10 paper-figure benches (measured for the trajectory but

@@ -1,0 +1,212 @@
+package datagraph
+
+// Incremental maintenance: Apply splices a committed mutation batch's FK
+// edges into the graph instead of rebuilding the CSR arrays. The relational
+// layer's stable TupleID slots are what make this sound — a tombstoned
+// tuple keeps its slot (and its content, so its outgoing FK values can
+// still be read to retract the mirror edges) and an inserted tuple always
+// takes a fresh slot larger than every existing id of its relation.
+//
+// After Apply the graph answers every Neighbors/Degree query exactly as a
+// from-scratch Build over the mutated database would; the randomized
+// mutation-equivalence harness (TestMutationEquivalence) asserts this edge
+// for edge. The overlay grows with the number of touched tuples, never with
+// database size; the engine folds it away when it rebuilds on compaction.
+
+import (
+	"fmt"
+	"sort"
+
+	"sizelos/internal/relational"
+)
+
+// Apply folds one committed relational batch into the graph in place. The
+// batch must already be applied to g's database (Apply reads the tombstone
+// flags, retained slot contents and PK index of the post-commit state), and
+// the per-relation id lists must be ascending — exactly the contract of
+// relational.BatchResult.
+//
+// Cost is O(Δ) list splices for a batch touching Δ tuples: each deleted
+// tuple clears its own lists and retracts itself from its FK targets'
+// mirror lists; each inserted tuple gains a single-target list per FK and
+// appends itself to the mirror lists. An error means the batch references a
+// relation the graph was not built over; the graph is then unspecified and
+// the caller must rebuild.
+func (g *Graph) Apply(res relational.BatchResult) error {
+	db := g.DB
+	// Deterministic relation order keeps the splice sequence reproducible
+	// (map iteration order must not leak into patch allocation patterns).
+	for _, rel := range sortedKeys(res.Deleted) {
+		ri := db.RelIndex(rel)
+		if ri < 0 {
+			return fmt.Errorf("datagraph: apply: unknown relation %q", rel)
+		}
+		r := db.Relations[ri]
+		for _, d := range res.Deleted[rel] {
+			// The tuple leaves every incident direction wholesale: its
+			// forward lists (it no longer references anyone), and its
+			// backward lists (referential integrity guarantees every owner
+			// that pointed at it is deleted too — those owners retract their
+			// own forward edges below, and a retract against a cleared list
+			// is a no-op). Already-empty directions need no patch entry:
+			// skipping them keeps Patched() counting real splices, so the
+			// overlay-fold heuristic doesn't fire early on delete churn over
+			// sparsely connected tuples.
+			for di := range g.edges[ri] {
+				if adj := &g.edges[ri][di].adj; len(adj.list(d)) > 0 {
+					adj.override(d, nil)
+				}
+			}
+			// Retract the mirror edge from each still-live FK target's
+			// backward list. The tombstoned slot retains its content, so the
+			// FK values are still readable; a target deleted in the same
+			// batch fails the PK lookup and needs nothing (its lists were —
+			// or will be — cleared wholesale). A target deleted and
+			// re-inserted under the same PK resolves to the fresh slot,
+			// where the retract is a harmless no-op.
+			for fi, fk := range r.FKs {
+				key := r.Tuples[d][r.ColIndex(fk.Column)].Int
+				ref := db.Relation(fk.Ref)
+				target, ok := ref.LookupPK(key)
+				if !ok {
+					continue
+				}
+				mi, err := g.mirrorDir(db.RelIndex(fk.Ref), rel, fi)
+				if err != nil {
+					return err
+				}
+				g.edges[db.RelIndex(fk.Ref)][mi].adj.retract(target, d)
+			}
+		}
+	}
+	for _, rel := range sortedKeys(res.Inserted) {
+		ri := db.RelIndex(rel)
+		if ri < 0 {
+			return fmt.Errorf("datagraph: apply: unknown relation %q", rel)
+		}
+		r := db.Relations[ri]
+		for _, id := range res.Inserted[rel] {
+			for fi, fk := range r.FKs {
+				key := r.Tuples[id][r.ColIndex(fk.Column)].Int
+				ref := db.Relation(fk.Ref)
+				target, ok := ref.LookupPK(key)
+				if !ok {
+					// Unreachable after a committed batch: inserts passed the
+					// FK check and nothing deleted the target afterwards
+					// (deletes precede inserts within a batch).
+					return fmt.Errorf("datagraph: apply: %s tuple %d: dangling FK %s=%d into %s",
+						rel, id, fk.Column, key, fk.Ref)
+				}
+				fwd, err := g.forwardDir(ri, rel, fi)
+				if err != nil {
+					return err
+				}
+				g.edges[ri][fwd].adj.override(id, []relational.TupleID{target})
+				mi, err := g.mirrorDir(db.RelIndex(fk.Ref), rel, fi)
+				if err != nil {
+					return err
+				}
+				// Ascending insert ids appended in order keep the backward
+				// list in owner-insertion order, matching buildBackward.
+				g.edges[db.RelIndex(fk.Ref)][mi].adj.extend(target, id)
+			}
+		}
+		g.sizes[ri] = r.Len()
+	}
+	return nil
+}
+
+// forwardDir locates the owner-side (M:1) direction of FK fi of rel among
+// relation ordinal ri's incident directions.
+func (g *Graph) forwardDir(ri int, rel string, fi int) (int, error) {
+	return g.findDir(ri, rel, fi, true)
+}
+
+// mirrorDir locates the referenced-side (1:M) direction of FK fi of rel
+// among relation ordinal refIdx's incident directions.
+func (g *Graph) mirrorDir(refIdx int, rel string, fi int) (int, error) {
+	return g.findDir(refIdx, rel, fi, false)
+}
+
+func (g *Graph) findDir(ri int, rel string, fi int, forward bool) (int, error) {
+	et := EdgeType{Rel: rel, FK: fi}
+	for di := range g.edges[ri] {
+		e := &g.edges[ri][di]
+		if e.Type == et && e.Forward == forward {
+			return di, nil
+		}
+	}
+	return 0, fmt.Errorf("datagraph: apply: edge %v (forward=%v) not incident to relation ordinal %d", et, forward, ri)
+}
+
+// EquivalentTo reports the first edge-level difference between g and other
+// ("" when none): same relation sizes, same incident directions, and the
+// same neighbor list on every (relation, tuple, direction). It is the
+// "edge-exact" relation the mutation-equivalence harness asserts between an
+// incrementally maintained graph and a from-scratch rebuild.
+func (g *Graph) EquivalentTo(other *Graph) string {
+	if len(g.edges) != len(other.edges) {
+		return fmt.Sprintf("relation count %d vs %d", len(g.edges), len(other.edges))
+	}
+	for ri := range g.edges {
+		if g.RelSize(ri) != other.RelSize(ri) {
+			return fmt.Sprintf("relation %d size %d vs %d", ri, g.RelSize(ri), other.RelSize(ri))
+		}
+		if len(g.edges[ri]) != len(other.edges[ri]) {
+			return fmt.Sprintf("relation %d has %d edge dirs vs %d", ri, len(g.edges[ri]), len(other.edges[ri]))
+		}
+		for di := range g.edges[ri] {
+			a, b := &g.edges[ri][di], &other.edges[ri][di]
+			if a.Type != b.Type || a.Forward != b.Forward || a.otherIdx != b.otherIdx {
+				return fmt.Sprintf("relation %d dir %d: %v/%v vs %v/%v", ri, di, a.Type, a.Forward, b.Type, b.Forward)
+			}
+			for t := 0; t < g.RelSize(ri); t++ {
+				ga := g.Neighbors(ri, relational.TupleID(t), di)
+				gb := other.Neighbors(ri, relational.TupleID(t), di)
+				if len(ga) == 0 && len(gb) == 0 {
+					continue
+				}
+				if !tupleIDsEqual(ga, gb) {
+					return fmt.Sprintf("relation %d tuple %d dir %d (%v fwd=%v): %v vs %v",
+						ri, t, di, a.Type, a.Forward, ga, gb)
+				}
+			}
+		}
+	}
+	return ""
+}
+
+func tupleIDsEqual(a, b []relational.TupleID) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Patched reports how many per-tuple overlay entries the graph currently
+// carries across all adjacencies — the memory the incremental path has
+// accumulated since the last full build. The engine reads it to decide when
+// folding the overlay into fresh CSR arrays (a rebuild) pays for itself.
+func (g *Graph) Patched() int {
+	n := 0
+	for ri := range g.edges {
+		for di := range g.edges[ri] {
+			n += len(g.edges[ri][di].adj.patch)
+		}
+	}
+	return n
+}
+
+func sortedKeys(m map[string][]relational.TupleID) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

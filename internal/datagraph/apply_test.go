@@ -1,0 +1,144 @@
+package datagraph
+
+import (
+	"testing"
+
+	"sizelos/internal/relational"
+)
+
+// assertGraphsEqual compares g against a from-scratch rebuild over the same
+// database, edge for edge: every relation, every incident direction, every
+// tuple slot. This is the package-level notion of "edge-exact" the
+// engine-level randomized harness reuses through EquivalentTo.
+func assertGraphsEqual(t *testing.T, db *relational.DB, g *Graph) {
+	t.Helper()
+	want, err := Build(db)
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	if msg := g.EquivalentTo(want); msg != "" {
+		t.Fatalf("incremental graph diverged from rebuild: %s", msg)
+	}
+}
+
+func apply(t *testing.T, db *relational.DB, g *Graph, b relational.Batch) relational.BatchResult {
+	t.Helper()
+	res, err := db.Apply(b)
+	if err != nil {
+		t.Fatalf("DB.Apply: %v", err)
+	}
+	if err := g.Apply(res); err != nil {
+		t.Fatalf("Graph.Apply: %v", err)
+	}
+	return res
+}
+
+// TestApplyInsertSplicesEdges inserts an author, a paper and the junction
+// row linking them, and checks the graph matches a rebuild without one.
+func TestApplyInsertSplicesEdges(t *testing.T) {
+	db := tinyDBLP(t)
+	g, err := Build(db)
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	apply(t, db, g, relational.Batch{Inserts: []relational.InsertOp{
+		{Rel: "Author", Tuple: relational.Tuple{relational.IntVal(3), relational.StrVal("a3")}},
+		{Rel: "Paper", Tuple: relational.Tuple{relational.IntVal(3), relational.StrVal("p3")}},
+		{Rel: "Writes", Tuple: relational.Tuple{relational.IntVal(4), relational.IntVal(3), relational.IntVal(3)}},
+		{Rel: "Cites", Tuple: relational.Tuple{relational.IntVal(2), relational.IntVal(3), relational.IntVal(1)}},
+	}})
+	assertGraphsEqual(t, db, g)
+	// The new paper's backward Writes list reaches the new junction row.
+	pi := db.RelIndex("Paper")
+	nb := g.NeighborsAlong(pi, 2, EdgeType{Rel: "Writes", FK: 0}, false)
+	if len(nb) != 1 || nb[0] != 3 {
+		t.Fatalf("new paper's Writes backlist = %v, want [3]", nb)
+	}
+	if g.NumNodes() != 12 {
+		t.Fatalf("NumNodes = %d, want 12", g.NumNodes())
+	}
+}
+
+// TestApplyDeleteClearsBothDirections deletes a junction row and checks the
+// paper and author both forget it, then cascades the paper away entirely.
+func TestApplyDeleteClearsBothDirections(t *testing.T) {
+	db := tinyDBLP(t)
+	g, err := Build(db)
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	// Delete writes row 2 (a1 writes p2), then the citation into p1, then
+	// paper p2 itself (now unreferenced).
+	apply(t, db, g, relational.Batch{Deletes: []relational.DeleteOp{
+		{Rel: "Writes", PK: 2},
+		{Rel: "Cites", PK: 1},
+		{Rel: "Paper", PK: 2},
+	}})
+	assertGraphsEqual(t, db, g)
+	wi := db.RelIndex("Writes")
+	if nb := g.Neighbors(wi, 1, 0); len(nb) != 0 {
+		t.Fatalf("deleted junction row keeps neighbors %v", nb)
+	}
+}
+
+// TestApplyDeleteThenReinsertSamePK reuses a primary key in one batch: the
+// old slot must stay disconnected, the fresh slot must carry the edges.
+func TestApplyDeleteThenReinsertSamePK(t *testing.T) {
+	db := tinyDBLP(t)
+	g, err := Build(db)
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	apply(t, db, g, relational.Batch{
+		Deletes: []relational.DeleteOp{{Rel: "Cites", PK: 1}},
+		Inserts: []relational.InsertOp{
+			{Rel: "Cites", Tuple: relational.Tuple{relational.IntVal(1), relational.IntVal(1), relational.IntVal(2)}},
+		},
+	})
+	assertGraphsEqual(t, db, g)
+}
+
+// TestApplyAcrossManyBatches drives a sequence of single-tuple batches —
+// the streaming shape the incremental path exists for — asserting
+// equivalence after every step and that the overlay stays bounded by the
+// touched tuples.
+func TestApplyAcrossManyBatches(t *testing.T) {
+	db := tinyDBLP(t)
+	g, err := Build(db)
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	for i := 0; i < 8; i++ {
+		pk := int64(100 + i)
+		apply(t, db, g, relational.Batch{Inserts: []relational.InsertOp{
+			{Rel: "Author", Tuple: relational.Tuple{relational.IntVal(pk), relational.StrVal("an")}},
+			{Rel: "Writes", Tuple: relational.Tuple{relational.IntVal(pk), relational.IntVal(1), relational.IntVal(pk)}},
+		}})
+		assertGraphsEqual(t, db, g)
+	}
+	for i := 0; i < 8; i++ {
+		pk := int64(100 + i)
+		apply(t, db, g, relational.Batch{Deletes: []relational.DeleteOp{
+			{Rel: "Writes", PK: pk},
+			{Rel: "Author", PK: pk},
+		}})
+		assertGraphsEqual(t, db, g)
+	}
+	if g.Patched() == 0 {
+		t.Fatal("no overlay entries after 16 incremental batches")
+	}
+}
+
+// TestApplyUnknownRelation feeds a result naming a relation the graph was
+// never built over.
+func TestApplyUnknownRelation(t *testing.T) {
+	db := tinyDBLP(t)
+	g, err := Build(db)
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	err = g.Apply(relational.BatchResult{Inserted: map[string][]relational.TupleID{"Nope": {0}}})
+	if err == nil {
+		t.Fatal("Apply with unknown relation succeeded")
+	}
+}

@@ -13,6 +13,7 @@ package datagraph
 
 import (
 	"fmt"
+	"sort"
 
 	"sizelos/internal/relational"
 )
@@ -37,12 +38,99 @@ type EdgeType struct {
 func (e EdgeType) String() string { return fmt.Sprintf("%s.fk%d", e.Rel, e.FK) }
 
 // adjacency holds, for one relation and one incident edge type, the
-// CSR-style neighbor lists of every tuple.
+// CSR-style neighbor lists of every tuple, plus a mutation overlay: Apply
+// splices per-tuple deltas into patch instead of rewriting the packed
+// arrays, so a small batch costs work proportional to the tuples it
+// touches, not to the graph.
 type adjacency struct {
-	// offsets has len(tuples)+1 entries; neighbors[offsets[i]:offsets[i+1]]
-	// are tuple i's neighbors along this edge type and direction.
+	// offsets has len(tuples)+1 entries (as of the last full build);
+	// neighbors[offsets[i]:offsets[i+1]] are tuple i's neighbors along this
+	// edge type and direction, unless patch overrides tuple i.
 	offsets   []int32
 	neighbors []relational.TupleID
+	// patch maps a tuple to its current neighbor list when it diverged from
+	// the packed arrays — tuples inserted after the build (beyond offsets),
+	// tombstoned tuples (empty list), and live tuples whose neighborhood a
+	// mutation changed. A present key with a nil value means "no neighbors".
+	patch map[relational.TupleID][]relational.TupleID
+}
+
+// list returns t's current neighbor list: the overlay entry if one exists,
+// the packed CSR range if t predates the last build, empty otherwise
+// (tuples inserted since the build start with no edges until patched).
+func (a *adjacency) list(t relational.TupleID) []relational.TupleID {
+	if a.patch != nil {
+		if l, ok := a.patch[t]; ok {
+			return l
+		}
+	}
+	if int(t)+1 < len(a.offsets) {
+		return a.neighbors[a.offsets[t]:a.offsets[t+1]]
+	}
+	return nil
+}
+
+// override installs list as t's neighbor list in the overlay (nil = none).
+func (a *adjacency) override(t relational.TupleID, list []relational.TupleID) {
+	if a.patch == nil {
+		a.patch = make(map[relational.TupleID][]relational.TupleID)
+	}
+	a.patch[t] = list
+}
+
+// owned returns t's overlay list when one exists. Every overlay slice is
+// allocated by this adjacency (never aliased into the packed arrays), so an
+// owned list may be mutated in place — the caller (the engine, under its
+// write lock) has exclusive access, and Neighbors results are documented
+// valid only until the next Apply. Mutating in place keeps a hot tuple's
+// repeated edge changes linear instead of copying its whole list per splice.
+func (a *adjacency) owned(t relational.TupleID) ([]relational.TupleID, bool) {
+	if a.patch == nil {
+		return nil, false
+	}
+	l, ok := a.patch[t]
+	return l, ok
+}
+
+// retract removes id from t's ascending neighbor list — in place when the
+// list is already an owned overlay copy, copy-on-write off the packed
+// arrays otherwise; a no-op when id is absent (the far end may already have
+// been cleared wholesale by its own delete).
+func (a *adjacency) retract(t, id relational.TupleID) {
+	if cur, ok := a.owned(t); ok {
+		i := sort.Search(len(cur), func(i int) bool { return cur[i] >= id })
+		if i == len(cur) || cur[i] != id {
+			return
+		}
+		a.patch[t] = append(cur[:i], cur[i+1:]...)
+		return
+	}
+	cur := a.list(t)
+	i := sort.Search(len(cur), func(i int) bool { return cur[i] >= id })
+	if i == len(cur) || cur[i] != id {
+		return
+	}
+	out := make([]relational.TupleID, 0, len(cur)-1)
+	out = append(out, cur[:i]...)
+	out = append(out, cur[i+1:]...)
+	a.override(t, out)
+}
+
+// extend appends id to t's neighbor list — in place when the list is
+// already an owned overlay copy, copy-on-write off the packed arrays
+// otherwise. Callers append in ascending id order (fresh inserts always
+// carry the largest ids), which keeps the list in the owner-insertion order
+// a full build produces.
+func (a *adjacency) extend(t, id relational.TupleID) {
+	if cur, ok := a.owned(t); ok {
+		a.patch[t] = append(cur, id)
+		return
+	}
+	cur := a.list(t)
+	out := make([]relational.TupleID, 0, len(cur)+1)
+	out = append(out, cur...)
+	out = append(out, id)
+	a.override(t, out)
 }
 
 // relEdges describes one direction of one edge type as seen from a source
@@ -55,7 +143,10 @@ type relEdges struct {
 	otherIdx int32 // relation ordinal of Other
 }
 
-// Graph is the immutable tuple-level data graph.
+// Graph is the tuple-level data graph. Build constructs it from scratch;
+// Apply folds a committed mutation batch in incrementally. Reads and
+// mutations are not synchronized here — the engine serializes Apply against
+// traversals under its write lock.
 type Graph struct {
 	DB *relational.DB
 	// edges[relOrdinal] lists every incident edge-type direction of that
@@ -203,16 +294,14 @@ type EdgeDir struct {
 
 // Neighbors returns the tuples adjacent to (rel, t) along the dir-th
 // incident edge direction of rel. The returned slice aliases internal
-// storage and must not be modified.
+// storage and must not be modified; it stays valid until the next Apply.
 func (g *Graph) Neighbors(rel int, t relational.TupleID, dir int) []relational.TupleID {
-	adj := &g.edges[rel][dir].adj
-	return adj.neighbors[adj.offsets[t]:adj.offsets[t+1]]
+	return g.edges[rel][dir].adj.list(t)
 }
 
 // Degree returns the out-degree of (rel, t) along incident direction dir.
 func (g *Graph) Degree(rel int, t relational.TupleID, dir int) int {
-	adj := &g.edges[rel][dir].adj
-	return int(adj.offsets[t+1] - adj.offsets[t])
+	return len(g.edges[rel][dir].adj.list(t))
 }
 
 // NeighborsAlong returns neighbors along a specific edge type and direction,

@@ -1,0 +1,60 @@
+package keyword
+
+// Physical compaction support: when the storage layer reclaims tombstoned
+// slots, every TupleID of the compacted relation shifts down. Posting lists
+// hold live tuples only (deletes retract their postings immediately), so
+// the index never needs re-tokenizing — remapping the stored ids is enough,
+// and because the remap is monotonic over live ids the lists stay ascending
+// and deduplicated, exactly what a rebuild over the compacted database
+// would produce.
+
+import (
+	"sizelos/internal/relational"
+	"sizelos/internal/searchexec"
+)
+
+// Compactor is the compaction-side contract of a keyword index: Remap
+// rewrites one relation's posting ids after the storage layer physically
+// compacted it. remap[old] is the new TupleID of each slot, -1 for
+// reclaimed tombstones; no live posting may map to -1. Like Maintainer,
+// Remap must be serialized against lookups by the caller.
+type Compactor interface {
+	Remap(rel string, remap []relational.TupleID)
+}
+
+var (
+	_ Compactor = (*Index)(nil)
+	_ Compactor = (*Sharded)(nil)
+)
+
+// remapPostings rewrites every posting list of one relation's token map in
+// place under the monotonic remap.
+func remapPostings(postings map[string][]relational.TupleID, remap []relational.TupleID) {
+	for _, list := range postings {
+		for i, id := range list {
+			list[i] = remap[id]
+		}
+	}
+}
+
+// Remap implements Compactor for the flat index.
+func (idx *Index) Remap(rel string, remap []relational.TupleID) {
+	if postings := idx.postings[rel]; postings != nil {
+		remapPostings(postings, remap)
+	}
+}
+
+// Remap implements Compactor for the sharded index: shards partition by
+// token, so every shard's slice of the relation remaps independently, one
+// goroutine per shard.
+func (idx *Sharded) Remap(rel string, remap []relational.TupleID) {
+	if !idx.known[rel] {
+		return
+	}
+	_ = searchexec.ForEach(idx.numShards, idx.numShards, func(s int) error {
+		if postings := idx.shards[s][rel]; postings != nil {
+			remapPostings(postings, remap)
+		}
+		return nil
+	})
+}

@@ -1,0 +1,93 @@
+package keyword
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"sizelos/internal/datagen"
+	"sizelos/internal/relational"
+)
+
+// TestRemapMatchesRebuild tombstones a slice of DBLP authors and papers,
+// applies the posting deltas, compacts the relations, remaps both index
+// layouts, and asserts each is identical — tokens and exact posting lists —
+// to an index rebuilt from the compacted database.
+func TestRemapMatchesRebuild(t *testing.T) {
+	cfg := datagen.DefaultDBLPConfig()
+	cfg.Authors = 60
+	cfg.Papers = 150
+	db, err := datagen.GenerateDBLP(cfg)
+	if err != nil {
+		t.Fatalf("GenerateDBLP: %v", err)
+	}
+	flat := BuildIndex(db)
+	sharded := BuildSharded(db, ShardedOptions{NumShards: 4})
+
+	// Cascade every fifth paper away: its Writes/Cites referencers first
+	// (ints only, no postings), then the paper itself (whose title tokens
+	// must leave the posting lists). Paper — a relation with real string
+	// postings — is then compacted and remapped.
+	var batch relational.Batch
+	paper := db.Relation("Paper")
+	seen := map[string]bool{}
+	for i := 0; i < paper.Len(); i += 5 {
+		pk := paper.PK(relational.TupleID(i))
+		for _, ref := range db.ReferencingTuples("Paper", pk) {
+			r := db.Relation(ref.Rel)
+			for _, id := range ref.IDs {
+				key := fmt.Sprintf("%s:%d", ref.Rel, r.PK(id))
+				if seen[key] {
+					continue // a Cites row can reference two doomed papers
+				}
+				seen[key] = true
+				batch.Deletes = append(batch.Deletes, relational.DeleteOp{Rel: ref.Rel, PK: r.PK(id)})
+			}
+		}
+		batch.Deletes = append(batch.Deletes, relational.DeleteOp{Rel: "Paper", PK: pk})
+	}
+	res, err := db.Apply(batch)
+	if err != nil {
+		t.Fatalf("Apply: %v", err)
+	}
+	for rel := range batch.Relations() {
+		flat.Apply(rel, res.Inserted[rel], res.Deleted[rel])
+		sharded.Apply(rel, res.Inserted[rel], res.Deleted[rel])
+	}
+
+	remap := paper.Compact()
+	if remap == nil {
+		t.Fatal("Compact returned nil")
+	}
+	flat.Remap("Paper", remap)
+	sharded.Remap("Paper", remap)
+
+	wantFlat := BuildIndex(db)
+	if !reflect.DeepEqual(flat.postings, wantFlat.postings) {
+		t.Fatal("flat postings after Remap differ from rebuild")
+	}
+	wantSharded := BuildSharded(db, ShardedOptions{NumShards: 4})
+	if !reflect.DeepEqual(sharded.shards, wantSharded.shards) {
+		t.Fatal("sharded postings after Remap differ from rebuild")
+	}
+
+	// Queries through both layouts agree post-compaction.
+	for _, q := range []string{"the", "mining", "data"} {
+		if got, want := flat.Lookup("Paper", Tokenize(q)), wantFlat.Lookup("Paper", Tokenize(q)); !reflect.DeepEqual(got, want) {
+			t.Fatalf("Lookup(%q) = %v, want %v", q, got, want)
+		}
+	}
+}
+
+// TestRemapUnknownRelation must not panic or create phantom entries.
+func TestRemapUnknownRelation(t *testing.T) {
+	cfg := datagen.DefaultDBLPConfig()
+	cfg.Authors = 10
+	cfg.Papers = 20
+	db, err := datagen.GenerateDBLP(cfg)
+	if err != nil {
+		t.Fatalf("GenerateDBLP: %v", err)
+	}
+	BuildIndex(db).Remap("Nope", nil)
+	BuildSharded(db, ShardedOptions{NumShards: 2}).Remap("Nope", nil)
+}

@@ -173,10 +173,25 @@ func (ps *Plans) Run(opts Options) (relational.DBScores, Stats, error) {
 	for i := range cur {
 		cur[i] = inv
 	}
+	warm := false
+	if opts.Warm != nil {
+		// Seed from the prior run's raw scores, positionally per relation;
+		// slots the prior doesn't cover keep the uniform start.
+		for ri, r := range db.Relations {
+			w := opts.Warm[r.Name]
+			off := int(ps.relOff[ri])
+			size := int(ps.relOff[ri+1]) - off
+			if len(w) > size {
+				w = w[:size]
+			}
+			copy(cur[off:off+len(w)], w)
+			warm = true
+		}
+	}
 	base := (1 - opts.Damping) / float64(ps.n)
 
 	deltas := make([]float64, workers)
-	stats := Stats{}
+	stats := Stats{WarmStart: warm}
 	for it := 0; it < opts.MaxIter; it++ {
 		if workers == 1 {
 			deltas[0] = ps.pushRange(cur, next, 0, ps.n, opts.Damping, base)
@@ -213,22 +228,13 @@ func (ps *Plans) Run(opts Options) (relational.DBScores, Stats, error) {
 	}
 
 	scores := make(relational.DBScores, len(db.Relations))
-	maxScore := 0.0
 	for ri, r := range db.Relations {
 		s := make(relational.Scores, ps.relOff[ri+1]-ps.relOff[ri])
 		copy(s, cur[ps.relOff[ri]:ps.relOff[ri+1]])
 		scores[r.Name] = s
-		if m := s.MaxScore(); m > maxScore {
-			maxScore = m
-		}
 	}
-	if opts.NormalizeMax > 0 && maxScore > 0 {
-		f := opts.NormalizeMax / maxScore
-		for _, s := range scores {
-			for i := range s {
-				s[i] *= f
-			}
-		}
+	if opts.NormalizeMax > 0 {
+		Normalize(scores, opts.NormalizeMax)
 	}
 	return scores, stats, nil
 }

@@ -1,0 +1,282 @@
+package relational
+
+// Fuzzing DB.Apply: random byte strings decode into mutation batches over a
+// small Parent/Child fixture — inserts with colliding or fresh primary
+// keys, FKs that may dangle, deletes of referenced, unreferenced or absent
+// tuples, delete-then-insert of the same key, duplicates within one batch.
+// Whatever the batch, two properties must hold:
+//
+//   - Atomicity: a rejected batch leaves the database observably identical
+//     to its pre-batch state (tombstone flags, PK lookups, FK posting
+//     lists, tuple contents — everything except version counters, which
+//     only move forward).
+//   - Consistency: an accepted batch leaves every index derivable from a
+//     clean scan — ascending live-only FK postings, a PK index covering
+//     exactly the live tuples — and a result whose id lists are ascending.
+//
+// The committed corpus under testdata/fuzz/FuzzApply seeds CI's short
+// -fuzztime smoke; `go test -fuzz=FuzzApply ./internal/relational` explores
+// further.
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+)
+
+// fuzzDB builds the fixture: parents 1..8, children 1..6 referencing
+// parents {1,1,2,3,4,5} — parents 6..8 start unreferenced and deletable.
+func fuzzDB(t *testing.T) *DB {
+	t.Helper()
+	db := NewDB("fuzz")
+	parent := MustNewRelation("Parent",
+		[]Column{{Name: "id", Kind: KindInt}, {Name: "name", Kind: KindString}},
+		"id", nil)
+	child := MustNewRelation("Child",
+		[]Column{{Name: "id", Kind: KindInt}, {Name: "parent", Kind: KindInt}},
+		"id", []ForeignKey{{Column: "parent", Ref: "Parent"}})
+	db.MustAddRelation(parent)
+	db.MustAddRelation(child)
+	for i := int64(1); i <= 8; i++ {
+		parent.MustInsert(Tuple{IntVal(i), StrVal(fmt.Sprintf("p%d", i))})
+	}
+	for i, p := range []int64{1, 1, 2, 3, 4, 5} {
+		child.MustInsert(Tuple{IntVal(int64(i + 1)), IntVal(p)})
+	}
+	return db
+}
+
+// decodeBatch turns a byte string into a batch: three bytes per operation
+// [kind, pk, fk]. Keys are folded into a 24-value space so collisions with
+// the fixture — and between operations — are common.
+func decodeBatch(data []byte) Batch {
+	var b Batch
+	for i := 0; i+2 < len(data) && len(b.Deletes)+len(b.Inserts) < 24; i += 3 {
+		kind, pk, fk := data[i]%5, int64(data[i+1]%24), int64(data[i+2]%24)
+		switch kind {
+		case 0:
+			b.Inserts = append(b.Inserts, InsertOp{Rel: "Parent", Tuple: Tuple{IntVal(pk), StrVal("fp")}})
+		case 1:
+			b.Inserts = append(b.Inserts, InsertOp{Rel: "Child", Tuple: Tuple{IntVal(pk), IntVal(fk)}})
+		case 2:
+			b.Deletes = append(b.Deletes, DeleteOp{Rel: "Parent", PK: pk})
+		case 3:
+			b.Deletes = append(b.Deletes, DeleteOp{Rel: "Child", PK: pk})
+		case 4:
+			// Malformed on purpose: wrong arity / kind / unknown relation,
+			// steered by fk so the corpus reaches each rejection path.
+			switch fk % 3 {
+			case 0:
+				b.Inserts = append(b.Inserts, InsertOp{Rel: "Parent", Tuple: Tuple{IntVal(pk)}})
+			case 1:
+				b.Inserts = append(b.Inserts, InsertOp{Rel: "Child", Tuple: Tuple{IntVal(pk), StrVal("notint")}})
+			default:
+				b.Deletes = append(b.Deletes, DeleteOp{Rel: "Ghost", PK: pk})
+			}
+		}
+	}
+	return b
+}
+
+// relSnapshot captures everything observable about a relation except the
+// version counter.
+type relSnapshot struct {
+	tuples     []Tuple
+	deleted    []bool
+	tombstones int
+	pkIndex    map[int64]TupleID
+	fkIndex    []map[int64][]TupleID
+}
+
+func snapshot(r *Relation) relSnapshot {
+	s := relSnapshot{
+		tuples:     append([]Tuple(nil), r.Tuples...),
+		deleted:    append([]bool(nil), r.deleted...),
+		tombstones: r.tombstones,
+		pkIndex:    make(map[int64]TupleID, len(r.pkIndex)),
+		fkIndex:    make([]map[int64][]TupleID, len(r.fkIndex)),
+	}
+	for k, v := range r.pkIndex {
+		s.pkIndex[k] = v
+	}
+	for fi, m := range r.fkIndex {
+		c := make(map[int64][]TupleID, len(m))
+		for k, v := range m {
+			c[k] = append([]TupleID(nil), v...)
+		}
+		s.fkIndex[fi] = c
+	}
+	return s
+}
+
+func (s relSnapshot) equal(r *Relation) string {
+	if !reflect.DeepEqual(s.tuples, r.Tuples) {
+		return "tuple store changed"
+	}
+	liveEq := len(s.deleted) == len(r.deleted)
+	if !liveEq && (len(s.deleted) == 0 || len(r.deleted) == 0) {
+		// nil vs all-false is the same observable state.
+		liveEq = true
+		for _, d := range s.deleted {
+			liveEq = liveEq && !d
+		}
+		for _, d := range r.deleted {
+			liveEq = liveEq && !d
+		}
+	} else if liveEq {
+		liveEq = reflect.DeepEqual(s.deleted, r.deleted)
+	}
+	if !liveEq {
+		return "tombstone flags changed"
+	}
+	if s.tombstones != r.tombstones {
+		return "tombstone count changed"
+	}
+	if !reflect.DeepEqual(s.pkIndex, r.pkIndex) {
+		return "pk index changed"
+	}
+	for fi := range s.fkIndex {
+		for k, v := range s.fkIndex[fi] {
+			if !reflect.DeepEqual(v, r.fkIndex[fi][k]) {
+				return fmt.Sprintf("fk index %d key %d changed", fi, k)
+			}
+		}
+		for k := range r.fkIndex[fi] {
+			if _, ok := s.fkIndex[fi][k]; !ok && len(r.fkIndex[fi][k]) > 0 {
+				return fmt.Sprintf("fk index %d gained key %d", fi, k)
+			}
+		}
+	}
+	return ""
+}
+
+// checkConsistent verifies every index against a clean scan of the store.
+func checkConsistent(t *testing.T, db *DB) {
+	t.Helper()
+	for _, r := range db.Relations {
+		if len(r.deleted) != 0 && len(r.deleted) != len(r.Tuples) {
+			t.Fatalf("%s: deleted flags len %d vs %d tuples", r.Name, len(r.deleted), len(r.Tuples))
+		}
+		tomb := 0
+		for _, d := range r.deleted {
+			if d {
+				tomb++
+			}
+		}
+		if tomb != r.tombstones {
+			t.Fatalf("%s: tombstones %d, flags say %d", r.Name, r.tombstones, tomb)
+		}
+		if len(r.pkIndex) != r.Live() {
+			t.Fatalf("%s: pk index has %d entries, %d live tuples", r.Name, len(r.pkIndex), r.Live())
+		}
+		for i := range r.Tuples {
+			id := TupleID(i)
+			pk := r.PK(id)
+			got, ok := r.pkIndex[pk]
+			if r.Deleted(id) {
+				if ok && got == id {
+					t.Fatalf("%s: tombstoned tuple %d still in pk index", r.Name, id)
+				}
+				continue
+			}
+			if !ok || got != id {
+				t.Fatalf("%s: live tuple %d (pk %d) mapped to %v,%v", r.Name, id, pk, got, ok)
+			}
+		}
+		for fi, fk := range r.FKs {
+			want := make(map[int64][]TupleID)
+			ci := r.colByName[fk.Column]
+			for i := range r.Tuples {
+				if r.Deleted(TupleID(i)) {
+					continue
+				}
+				key := r.Tuples[i][ci].Int
+				want[key] = append(want[key], TupleID(i))
+			}
+			got := r.fkIndex[fi]
+			if len(got) != len(want) {
+				t.Fatalf("%s: fk %d has %d keys, scan says %d", r.Name, fi, len(got), len(want))
+			}
+			for k, ids := range want {
+				if !reflect.DeepEqual(got[k], ids) {
+					t.Fatalf("%s: fk %d key %d = %v, scan says %v", r.Name, fi, k, got[k], ids)
+				}
+			}
+		}
+	}
+	if errs := db.Validate(); len(errs) > 0 {
+		t.Fatalf("integrity violations: %v", errs)
+	}
+}
+
+func ascending(ids []TupleID) bool {
+	for i := 1; i < len(ids); i++ {
+		if ids[i] <= ids[i-1] {
+			return false
+		}
+	}
+	return true
+}
+
+func FuzzApply(f *testing.F) {
+	// One seed per rejection and acceptance shape; the committed corpus
+	// mirrors these (see testdata/fuzz/FuzzApply).
+	f.Add([]byte{0, 20, 0})                      // fresh parent insert
+	f.Add([]byte{0, 1, 0})                       // duplicate parent pk
+	f.Add([]byte{1, 20, 1, 1, 21, 23})           // child ok + child dangling fk
+	f.Add([]byte{2, 6, 0, 0, 6, 0})              // delete parent then reinsert same pk
+	f.Add([]byte{2, 1, 0})                       // delete referenced parent
+	f.Add([]byte{3, 1, 0, 3, 1, 0})              // double-delete same child
+	f.Add([]byte{3, 6, 0, 3, 5, 0, 2, 5, 0})     // retract children newest-first, then parent
+	f.Add([]byte{4, 9, 0, 4, 9, 1, 4, 9, 2})     // malformed trio
+	f.Add([]byte{2, 7, 0, 1, 7, 7, 0, 7, 0})     // fk into parent deleted earlier in batch
+	f.Add([]byte{0, 23, 0, 1, 23, 23, 3, 23, 0}) // insert chain then delete it... (delete precedes, rejected)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		db := fuzzDB(t)
+		batch := decodeBatch(data)
+		before := make([]relSnapshot, len(db.Relations))
+		versions := make([]uint64, len(db.Relations))
+		for i, r := range db.Relations {
+			before[i] = snapshot(r)
+			versions[i] = r.Version()
+		}
+		res, err := db.Apply(batch)
+		if err != nil {
+			for i, r := range db.Relations {
+				if msg := before[i].equal(r); msg != "" {
+					t.Fatalf("rejected batch mutated %s: %s (batch %+v, err %v)", r.Name, msg, batch, err)
+				}
+			}
+			checkConsistent(t, db)
+			return
+		}
+		if len(res.InsertedIDs) != len(batch.Inserts) {
+			t.Fatalf("%d inserts, %d assigned ids", len(batch.Inserts), len(res.InsertedIDs))
+		}
+		for rel, ids := range res.Inserted {
+			if !ascending(ids) {
+				t.Fatalf("Inserted[%s] not strictly ascending: %v", rel, ids)
+			}
+		}
+		for rel, ids := range res.Deleted {
+			if !ascending(ids) {
+				t.Fatalf("Deleted[%s] not strictly ascending: %v", rel, ids)
+			}
+		}
+		for rel := range batch.Relations() {
+			r := db.Relation(rel)
+			if r == nil {
+				t.Fatalf("accepted batch touches unknown relation %s", rel)
+			}
+			if v, ok := res.Versions[rel]; !ok || v != r.Version() {
+				t.Fatalf("Versions[%s] = %d,%v; relation says %d", rel, v, ok, r.Version())
+			}
+		}
+		for i, r := range db.Relations {
+			if r.Version() < versions[i] {
+				t.Fatalf("%s version moved backwards", r.Name)
+			}
+		}
+		checkConsistent(t, db)
+	})
+}

@@ -181,3 +181,42 @@ func (db *DB) referencers(rel string, pk int64) int {
 	}
 	return n
 }
+
+// ReferencingTuples lists the live tuples whose foreign keys point at
+// (rel, pk), grouped by owning relation in registration order (ids
+// ascending, deduplicated — a tuple referencing pk through two FKs appears
+// once). Callers assembling a cascade delete walk this to schedule
+// referencers ahead of their target within one batch.
+func (db *DB) ReferencingTuples(rel string, pk int64) []RelTuples {
+	var out []RelTuples
+	for _, r := range db.Relations {
+		var ids []TupleID
+		for fi, fk := range r.FKs {
+			if fk.Ref != rel {
+				continue
+			}
+			for _, id := range r.fkIndex[fi][pk] {
+				ids = insertIDUnique(ids, id)
+			}
+		}
+		if len(ids) > 0 {
+			out = append(out, RelTuples{Rel: r.Name, IDs: ids})
+		}
+	}
+	return out
+}
+
+// RelTuples names a group of tuples of one relation.
+type RelTuples struct {
+	Rel string
+	IDs []TupleID
+}
+
+// insertIDUnique adds id to an ascending list unless already present.
+func insertIDUnique(list []TupleID, id TupleID) []TupleID {
+	i := sort.Search(len(list), func(i int) bool { return list[i] >= id })
+	if i < len(list) && list[i] == id {
+		return list
+	}
+	return insertID(list, id)
+}

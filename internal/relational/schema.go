@@ -146,6 +146,56 @@ func (r *Relation) Deleted(id TupleID) bool {
 	return int(id) < len(r.deleted) && r.deleted[id]
 }
 
+// Tombstones returns the number of tombstoned slots — the dead weight
+// physical compaction would reclaim.
+func (r *Relation) Tombstones() int { return r.tombstones }
+
+// Compact physically removes every tombstoned slot: live tuples slide down
+// into a dense prefix (preserving relative order), the PK and FK indexes
+// are rewritten to the new positions, and the tombstone bookkeeping resets.
+// It returns the remap table: remap[old] is the new TupleID of each
+// formerly-live slot, or -1 for reclaimed tombstones. nil means the
+// relation had no tombstones and nothing moved.
+//
+// Compaction invalidates every external structure that holds this
+// relation's TupleIDs — keyword postings, data-graph nodes, score vectors,
+// cached summaries. The engine owns that choreography; never call Compact
+// on a database an engine is serving.
+func (r *Relation) Compact() []TupleID {
+	if r.tombstones == 0 {
+		return nil
+	}
+	remap := make([]TupleID, len(r.Tuples))
+	next := TupleID(0)
+	for i := range r.Tuples {
+		if r.deleted[i] {
+			remap[i] = -1
+			continue
+		}
+		remap[i] = next
+		r.Tuples[next] = r.Tuples[i]
+		next++
+	}
+	clear(r.Tuples[next:]) // release the slid-out tails for GC
+	r.Tuples = r.Tuples[:next]
+	r.deleted = nil
+	r.tombstones = 0
+	for pk, id := range r.pkIndex {
+		r.pkIndex[pk] = remap[id]
+	}
+	// The remap is monotonic over live ids, so remapping posting lists in
+	// place preserves their ascending order.
+	for fi := range r.fkIndex {
+		for _, list := range r.fkIndex[fi] {
+			for j, id := range list {
+				list[j] = remap[id]
+			}
+		}
+	}
+	r.version++
+	return remap
+}
+
 // Version returns the relation's mutation counter. It starts at 0 and is
 // bumped by every Insert and Delete (and by the rollback restores of a
 // failed batch), so equality of versions implies identical content.

@@ -4,9 +4,15 @@ package sizelos
 // layers under one write-lock acquisition: the relational store applies it
 // atomically (tombstone deletes, appended inserts, per-relation version
 // bumps), the keyword index folds the same delta in incrementally
-// (keyword.Maintainer), the data graph is rebuilt over the mutated store,
-// and the per-relation epochs advance so the summary cache forgets exactly
-// the DS relations whose G_DS can reach a touched relation.
+// (keyword.Maintainer), the data graph absorbs the same delta in place
+// (datagraph.Graph.Apply — no rebuild), and the per-relation epochs advance
+// so the summary cache forgets exactly the DS relations whose G_DS can
+// reach a touched relation. Two amortized maintenance passes keep the
+// incremental structures from degrading under sustained churn: relations
+// whose tombstones cross the compaction policy are physically compacted
+// (TupleIDs remapped through every derived structure), and the graph's
+// splice overlay is folded back into packed CSR arrays once it outgrows a
+// fraction of the node count.
 
 import (
 	"errors"
@@ -57,7 +63,8 @@ type MutationBatch struct {
 // MutationResult reports what one successful Mutate did.
 type MutationResult struct {
 	// Inserted holds the TupleID assigned to each insert, parallel to
-	// MutationBatch.Inserts.
+	// MutationBatch.Inserts. When the same call auto-compacted an insert's
+	// relation, the id is the post-compaction position.
 	Inserted []relational.TupleID
 	// Versions snapshots the post-batch version of every touched relation.
 	Versions map[string]uint64
@@ -66,14 +73,38 @@ type MutationResult struct {
 	Epochs map[string]uint64
 	// Reranked reports whether global importance was recomputed.
 	Reranked bool
+	// RerankStats, present when Reranked, reports each setting's
+	// warm-started power iteration: how many iterations it took and how
+	// many the warm start saved against the engine's cold-start baseline.
+	RerankStats map[string]RerankStat
+	// Compacted lists the relations this call physically compacted (their
+	// TupleIDs were remapped; previously returned ids for them are stale).
+	Compacted []string
+}
+
+// RerankStat describes one setting's re-rank during a mutation batch.
+type RerankStat struct {
+	// Iterations the warm-started power iteration ran.
+	Iterations int
+	// IterationsSaved vs the cold-start count NewEngine measured for this
+	// setting (floored at zero — a heavily mutated graph can genuinely need
+	// more iterations than the original cold start).
+	IterationsSaved int
+	// WarmStart records whether a prior vector seeded the run.
+	WarmStart bool
 }
 
 // Mutate applies a batch of tuple inserts and deletes end to end: the
 // relational store mutates atomically, the keyword index absorbs the
 // posting delta incrementally (per shard, for the sharded layout), the data
-// graph is rebuilt, score vectors grow to cover new tuples (at importance 0
-// unless Rerank is set), and the touched relations' epochs advance so
-// exactly the affected summary-cache entries stop being served. The write
+// graph absorbs the same delta in place (datagraph.Graph.Apply — work
+// proportional to the tuples touched, no rebuild), score vectors grow to
+// cover new tuples (at importance 0 unless Rerank is set, which
+// warm-starts each setting's power iteration from the prior converged
+// vector), and the touched relations' epochs advance so exactly the
+// affected summary-cache entries stop being served. Relations whose
+// tombstones cross the compaction policy are physically compacted along
+// the way (see MutationResult.Compacted). The write
 // lock serializes the batch against in-flight searches; a search that
 // began before the batch completes against the pre-batch state and its
 // cached summaries are keyed to the pre-batch epoch, never served
@@ -119,30 +150,54 @@ func (e *Engine) Mutate(b MutationBatch) (MutationResult, error) {
 		for _, rel := range touched {
 			maintainer.Apply(rel, res.Inserted[rel], res.Deleted[rel])
 		}
-		g, err := datagraph.Build(e.db)
-		if err != nil {
-			return result, fmt.Errorf("%w: rebuild data graph: %v", ErrMutationInternal, err)
+		// Splice the batch's FK edges into the data graph in place — cost
+		// proportional to the tuples touched, not to the database. The
+		// randomized mutation-equivalence harness proves this edge-identical
+		// to a from-scratch rebuild.
+		if err := e.graph.Apply(res); err != nil {
+			return result, fmt.Errorf("%w: incremental data graph: %v", ErrMutationInternal, err)
 		}
-		e.graph = g
 		// Grow every setting's score vectors over the new slots so ranking
 		// and extraction never index out of range; fresh tuples carry
-		// importance 0 until a re-rank.
-		for _, sc := range e.scores {
-			for _, rel := range touched {
-				r := e.db.Relation(rel)
-				if s := sc[rel]; len(s) < r.Len() {
-					sc[rel] = append(s, make(relational.Scores, r.Len()-len(s))...)
+		// importance 0 until a re-rank (the raw warm-start vectors grow in
+		// lockstep so they stay positionally aligned).
+		for _, table := range []map[string]relational.DBScores{e.scores, e.rawScores} {
+			for _, sc := range table {
+				for _, rel := range touched {
+					r := e.db.Relation(rel)
+					if s := sc[rel]; len(s) < r.Len() {
+						sc[rel] = append(s, make(relational.Scores, r.Len()-len(s))...)
+					}
 				}
 			}
 		}
 	}
 
+	// Amortized maintenance: reclaim tombstone-heavy relations and fold an
+	// outgrown splice overlay back into packed CSR arrays.
+	if err := e.maybeCompactLocked(&result, b.Inserts, b.Rerank); err != nil {
+		return result, err
+	}
+
 	if b.Rerank {
-		scores, err := computeScores(e.graph, e.settings)
+		scores, raw, stats, err := computeScores(e.graph, e.settings, e.rawScores)
 		if err != nil {
 			return result, fmt.Errorf("%w: re-rank: %v", ErrMutationInternal, err)
 		}
 		e.scores = scores
+		e.rawScores = raw
+		result.RerankStats = make(map[string]RerankStat, len(stats))
+		for name, st := range stats {
+			saved := e.coldIters[name] - st.Iterations
+			if saved < 0 {
+				saved = 0
+			}
+			result.RerankStats[name] = RerankStat{
+				Iterations:      st.Iterations,
+				IterationsSaved: saved,
+				WarmStart:       st.WarmStart,
+			}
+		}
 		for ds, base := range e.baseGDS {
 			perSetting, err := e.annotateLocked(base)
 			if err != nil {
@@ -164,6 +219,150 @@ func (e *Engine) Mutate(b MutationBatch) (MutationResult, error) {
 		}
 	}
 	return result, nil
+}
+
+// maybeCompactLocked runs the amortized maintenance passes of one Mutate:
+// physical compaction of relations whose tombstones crossed the policy, and
+// folding the data graph's splice overlay into fresh CSR arrays once the
+// overlay outgrows a quarter of the nodes. Callers hold the write lock.
+// inserts is the batch's insert list, whose result ids must be remapped if
+// compaction moves them; willRerank lets compaction skip G_DS
+// re-annotation the caller's re-rank would immediately redo.
+func (e *Engine) maybeCompactLocked(result *MutationResult, inserts []TupleInsert, willRerank bool) error {
+	if e.compactMin > 0 {
+		var due []string
+		for _, r := range e.db.Relations {
+			if t := r.Tombstones(); t >= e.compactMin && float64(t) > e.compactRatio*float64(r.Len()) {
+				due = append(due, r.Name)
+			}
+		}
+		if len(due) > 0 {
+			if err := e.compactLocked(due, result, inserts, willRerank); err != nil {
+				return err
+			}
+		}
+	}
+	// Folding the overlay is pure maintenance: node ids don't move, results
+	// don't change, no epoch rotates — so no error path leaves derived
+	// state inconsistent and cached summaries stay valid.
+	if p := e.graph.Patched(); p > overlayFoldMin && p*4 > e.graph.NumNodes() {
+		g, err := datagraph.Build(e.db)
+		if err != nil {
+			return fmt.Errorf("%w: fold graph overlay: %v", ErrMutationInternal, err)
+		}
+		e.graph = g
+	}
+	return nil
+}
+
+// overlayFoldMin is the minimum splice-overlay size before folding it back
+// into packed CSR arrays is worth a rebuild; below it the map overhead is
+// noise regardless of ratio.
+const overlayFoldMin = 4096
+
+// compactLocked physically compacts the named relations and threads the
+// TupleID remap through every structure that stores them: PK/FK indexes
+// (inside Relation.Compact), keyword postings (keyword.Compactor.Remap),
+// normalized and raw score vectors, this batch's already-assigned insert
+// ids, and the data graph (rebuilt over the dense store, which also sheds
+// its overlay). Each compacted relation's epoch advances — its TupleIDs
+// changed meaning, so every summary whose G_DS reaches it must stop being
+// served. Callers hold the write lock. skipAnnotate elides the G_DS
+// re-annotation when the caller is about to re-rank, which redoes it
+// against the fresh scores anyway.
+func (e *Engine) compactLocked(rels []string, result *MutationResult, inserts []TupleInsert, skipAnnotate bool) error {
+	compactor, ok := e.index.(keyword.Compactor)
+	if !ok {
+		// An index that can't remap would go stale; skip reclamation rather
+		// than corrupt it. Tombstones stay until the index is swapped.
+		return nil
+	}
+	remaps := make(map[string][]relational.TupleID, len(rels))
+	for _, rel := range rels {
+		r := e.db.Relation(rel)
+		remap := r.Compact()
+		if remap == nil {
+			continue
+		}
+		remaps[rel] = remap
+		compactor.Remap(rel, remap)
+		for _, table := range []map[string]relational.DBScores{e.scores, e.rawScores} {
+			for _, sc := range table {
+				sc[rel] = remapScores(sc[rel], remap, r.Len())
+			}
+		}
+		if result.Versions == nil {
+			result.Versions = make(map[string]uint64)
+		}
+		result.Versions[rel] = r.Version()
+		e.epochs[rel]++
+		result.Epochs[rel] = e.epochs[rel]
+		result.Compacted = append(result.Compacted, rel)
+	}
+	if len(remaps) == 0 {
+		return nil
+	}
+	for i, in := range inserts {
+		if remap, ok := remaps[in.Rel]; ok && i < len(result.Inserted) {
+			result.Inserted[i] = remap[result.Inserted[i]]
+		}
+	}
+	g, err := datagraph.Build(e.db)
+	if err != nil {
+		return fmt.Errorf("%w: rebuild data graph after compaction: %v", ErrMutationInternal, err)
+	}
+	e.graph = g
+	// Re-annotate registered G_DSs: dropping tombstoned entries can lower a
+	// relation's max score, and tighter Max/MMax bounds mean better pruning.
+	if !skipAnnotate {
+		for ds, base := range e.baseGDS {
+			perSetting, err := e.annotateLocked(base)
+			if err != nil {
+				return fmt.Errorf("%w: re-annotate after compaction: %v", ErrMutationInternal, err)
+			}
+			e.gds[ds] = perSetting
+		}
+	}
+	return nil
+}
+
+// remapScores rebuilds one relation's score vector after compaction:
+// surviving slots keep their scores at their new positions, reclaimed
+// tombstone entries vanish.
+func remapScores(s relational.Scores, remap []relational.TupleID, newLen int) relational.Scores {
+	out := make(relational.Scores, newLen)
+	for old, nw := range remap {
+		if nw >= 0 && old < len(s) {
+			out[nw] = s[old]
+		}
+	}
+	return out
+}
+
+// CompactNow physically compacts every relation carrying tombstones,
+// regardless of the automatic policy, and returns the relations compacted.
+// Useful after a bulk retraction when the caller wants memory back
+// immediately instead of waiting for the next batch to cross the threshold.
+func (e *Engine) CompactNow() ([]string, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if _, ok := e.index.(keyword.Compactor); !ok {
+		return nil, fmt.Errorf("sizelos: index %T does not support compaction", e.index)
+	}
+	var due []string
+	for _, r := range e.db.Relations {
+		if r.Tombstones() > 0 {
+			due = append(due, r.Name)
+		}
+	}
+	if len(due) == 0 {
+		return nil, nil
+	}
+	result := MutationResult{Epochs: make(map[string]uint64)}
+	if err := e.compactLocked(due, &result, nil, false); err != nil {
+		return result.Compacted, err
+	}
+	return result.Compacted, nil
 }
 
 // Epoch returns the current mutation epoch of one relation — the number of

@@ -1,0 +1,347 @@
+package sizelos
+
+// The randomized mutation-equivalence harness: the proof obligation of the
+// incremental write path. It drives many rounds of seeded random
+// insert/delete batches — schema-derived, so the same generator covers
+// DBLP's citation fabric and TPC-H's order/lineitem fan-out — and after
+// every round asserts the two incremental invariants the engine stakes its
+// correctness on:
+//
+//  1. Edge-exactness: the incrementally maintained data graph
+//     (datagraph.Graph.Apply splices, plus whatever compactions and overlay
+//     folds the engine interleaved) is edge-identical to a from-scratch
+//     datagraph.Build over the mutated store.
+//  2. Warm≡cold: on re-ranked rounds, the warm-started power iteration
+//     lands on the same global-importance scores a cold start over a fresh
+//     graph produces, within fixed-point tolerance.
+//
+// Seeded and reproducible: the default seed is fixed; set
+// SIZELOS_EQUIV_SEED to replay a failure. CI runs the harness under -race
+// in its own workflow leg (mutation-proofs).
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"strconv"
+	"testing"
+
+	"sizelos/internal/datagen"
+	"sizelos/internal/datagraph"
+	"sizelos/internal/rank"
+	"sizelos/internal/relational"
+)
+
+// equivRounds is the per-dataset round count; the acceptance bar is >= 50.
+const equivRounds = 60
+
+// warmColdTolerance bounds |warm - cold| per tuple on the normalized 0..100
+// score scale for one setting. Each run stops when the iteration delta
+// drops below epsilon, which leaves it within ~epsilon/(1-d) of the true
+// fixed point on the raw scale; normalization amplifies that by
+// 100/max(raw). Two independently-stopped runs can differ by twice that —
+// the factor 20 adds an order of magnitude of slack while still flagging
+// any seeding or splicing bug, which perturbs scores at whole-percent
+// scale (d3=0.99 makes the honest gap ~1e-2, far from bug magnitudes).
+func warmColdTolerance(damping, epsilon, maxRaw float64) float64 {
+	tol := 20 * epsilon / (1 - damping) * 100 / maxRaw
+	if tol < 1e-6 {
+		tol = 1e-6
+	}
+	return tol
+}
+
+// equivSeed returns the harness seed: fixed for reproducibility,
+// overridable to replay a reported failure.
+func equivSeed(t *testing.T) int64 {
+	if s := os.Getenv("SIZELOS_EQUIV_SEED"); s != "" {
+		v, err := strconv.ParseInt(s, 10, 64)
+		if err != nil {
+			t.Fatalf("SIZELOS_EQUIV_SEED=%q: %v", s, err)
+		}
+		return v
+	}
+	return 0xF0CA5
+}
+
+// mutationGen builds random valid batches for any schema by introspection:
+// inserts draw fresh primary keys and FK values from live tuples, deletes
+// cascade referencers ahead of their target within the same batch.
+type mutationGen struct {
+	rng    *rand.Rand
+	db     *relational.DB
+	nextPK int64
+}
+
+func newMutationGen(db *relational.DB, seed int64) *mutationGen {
+	return &mutationGen{rng: rand.New(rand.NewSource(seed)), db: db, nextPK: 10_000_000}
+}
+
+// randomLive rejection-samples a live tuple of r, ok=false when none found.
+func (m *mutationGen) randomLive(r *relational.Relation, banned map[string]bool) (relational.TupleID, bool) {
+	if r.Live() == 0 {
+		return 0, false
+	}
+	for try := 0; try < 64; try++ {
+		id := relational.TupleID(m.rng.Intn(r.Len()))
+		if r.Deleted(id) {
+			continue
+		}
+		if banned != nil && banned[delKey(r.Name, r.PK(id))] {
+			continue
+		}
+		return id, true
+	}
+	return 0, false
+}
+
+func delKey(rel string, pk int64) string { return rel + "#" + strconv.FormatInt(pk, 10) }
+
+// randomTuple fabricates a schema-valid tuple for r with the given primary
+// key. FK columns point at random live tuples outside the banned set (the
+// batch's planned deletes — deletes apply first, so referencing one would
+// fail validation); other columns get small positive values so ValueRank
+// weightings stay well-defined.
+func (m *mutationGen) randomTuple(r *relational.Relation, pk int64, banned map[string]bool) (relational.Tuple, bool) {
+	fkCols := make(map[int]string, len(r.FKs))
+	for _, fk := range r.FKs {
+		fkCols[r.ColIndex(fk.Column)] = fk.Ref
+	}
+	tuple := make(relational.Tuple, len(r.Columns))
+	for ci, col := range r.Columns {
+		switch {
+		case ci == r.PKCol:
+			tuple[ci] = relational.IntVal(pk)
+		case fkCols[ci] != "":
+			ref := m.db.Relation(fkCols[ci])
+			id, ok := m.randomLive(ref, banned)
+			if !ok {
+				return nil, false
+			}
+			tuple[ci] = relational.IntVal(ref.PK(id))
+		case col.Kind == relational.KindInt:
+			tuple[ci] = relational.IntVal(int64(1 + m.rng.Intn(999)))
+		case col.Kind == relational.KindFloat:
+			tuple[ci] = relational.FloatVal(1 + 999*m.rng.Float64())
+		default:
+			tuple[ci] = relational.StrVal(fmt.Sprintf("synthetic term%d payload%d",
+				m.rng.Intn(500), m.rng.Intn(500)))
+		}
+	}
+	return tuple, true
+}
+
+// cascade schedules (rel, pk) for deletion after every live tuple that
+// references it, recursively, deduplicated. Returns false when the cascade
+// would exceed limit tuples — the caller then skips this victim.
+func (m *mutationGen) cascade(rel string, pk int64, limit int, seen map[string]bool, out *[]TupleDelete) bool {
+	key := delKey(rel, pk)
+	if seen[key] {
+		return true
+	}
+	seen[key] = true
+	for _, ref := range m.db.ReferencingTuples(rel, pk) {
+		r := m.db.Relation(ref.Rel)
+		for _, id := range ref.IDs {
+			if !m.cascade(ref.Rel, r.PK(id), limit, seen, out) {
+				return false
+			}
+		}
+	}
+	if len(*out) >= limit {
+		return false
+	}
+	*out = append(*out, TupleDelete{Rel: rel, PK: pk})
+	return true
+}
+
+// nextBatch assembles one random batch: up to three cascade deletes, up to
+// four inserts (occasionally reusing a just-deleted primary key to exercise
+// the delete-then-insert slot path), never empty.
+func (m *mutationGen) nextBatch() MutationBatch {
+	var b MutationBatch
+	banned := make(map[string]bool)
+	for m.rng.Intn(2) == 0 && len(b.Deletes) < 12 {
+		r := m.db.Relations[m.rng.Intn(len(m.db.Relations))]
+		id, ok := m.randomLive(r, banned)
+		if !ok {
+			break
+		}
+		// Cascade into a tentative mark set, merged only when the whole
+		// cascade fits: an overflowed cascade must leave no trace, or a
+		// later victim would skip "already seen" referencers that were in
+		// fact never scheduled and fail the integrity check.
+		tentative := make(map[string]bool, len(banned))
+		for k := range banned {
+			tentative[k] = true
+		}
+		var out []TupleDelete
+		if m.cascade(r.Name, r.PK(id), 16, tentative, &out) {
+			banned = tentative
+			b.Deletes = append(b.Deletes, out...)
+		}
+	}
+	// banned now holds exactly the scheduled deletes.
+	nIns := 1 + m.rng.Intn(4)
+	reused := make(map[string]bool)
+	for i := 0; i < nIns; i++ {
+		r := m.db.Relations[m.rng.Intn(len(m.db.Relations))]
+		pk := m.nextPK
+		if len(b.Deletes) > 0 && m.rng.Intn(4) == 0 {
+			// Reuse a deleted PK: same logical identity, fresh slot.
+			d := b.Deletes[m.rng.Intn(len(b.Deletes))]
+			if del := m.db.Relation(d.Rel); del != nil && !reused[delKey(d.Rel, d.PK)] {
+				r, pk = del, d.PK
+				reused[delKey(d.Rel, d.PK)] = true
+			}
+		}
+		if pk == m.nextPK {
+			m.nextPK++
+		}
+		tuple, ok := m.randomTuple(r, pk, banned)
+		if !ok {
+			continue
+		}
+		b.Inserts = append(b.Inserts, TupleInsert{Rel: r.Name, Tuple: tuple})
+	}
+	return b
+}
+
+// runEquivalence is the harness body shared by both datasets.
+func runEquivalence(t *testing.T, eng *Engine, settings []Setting, seed int64, rounds int) {
+	t.Logf("mutation-equivalence seed %d (replay: SIZELOS_EQUIV_SEED=%d)", seed, seed)
+	gen := newMutationGen(eng.DB(), seed)
+	graphRebuilds := 0
+	prevGraph := eng.Graph()
+	for round := 0; round < rounds; round++ {
+		batch := gen.nextBatch()
+		batch.Rerank = round%10 == 9
+		res, err := eng.Mutate(batch)
+		if err != nil {
+			t.Fatalf("round %d: Mutate(%d dels, %d ins): %v", round, len(batch.Deletes), len(batch.Inserts), err)
+		}
+		if eng.Graph() != prevGraph {
+			// Only compaction or an overlay fold may swap the graph out.
+			graphRebuilds++
+			prevGraph = eng.Graph()
+			if len(res.Compacted) == 0 && eng.Graph().Patched() != 0 {
+				t.Fatalf("round %d: graph swapped without compaction or a clean fold", round)
+			}
+		}
+
+		// Invariant 1: edge-exact equivalence with a from-scratch build.
+		want, err := datagraph.Build(eng.DB())
+		if err != nil {
+			t.Fatalf("round %d: rebuild: %v", round, err)
+		}
+		if msg := eng.Graph().EquivalentTo(want); msg != "" {
+			t.Fatalf("round %d (seed %d): incremental graph diverged from rebuild: %s", round, seed, msg)
+		}
+
+		// Invariant 2: on re-ranked rounds, warm-started scores match a
+		// cold start over the fresh graph within fixed-point tolerance.
+		if batch.Rerank {
+			if !res.Reranked {
+				t.Fatalf("round %d: Rerank not honored", round)
+			}
+			for _, s := range settings {
+				opts := rank.DefaultOptions()
+				opts.Damping = s.Damping
+				opts.NormalizeMax = 0 // raw first: the tolerance needs max(raw)
+				cold, coldStats, err := rank.Compute(want, s.GA, opts)
+				if err != nil {
+					t.Fatalf("round %d: cold %s: %v", round, s.Name, err)
+				}
+				if !coldStats.Converged {
+					t.Fatalf("round %d: cold %s did not converge", round, s.Name)
+				}
+				maxRaw := 0.0
+				for _, sc := range cold {
+					if m := sc.MaxScore(); m > maxRaw {
+						maxRaw = m
+					}
+				}
+				rank.Normalize(cold, rank.DefaultOptions().NormalizeMax)
+				tol := warmColdTolerance(s.Damping, opts.Epsilon, maxRaw)
+				warm, err := eng.Scores(s.Name)
+				if err != nil {
+					t.Fatalf("round %d: Scores(%s): %v", round, s.Name, err)
+				}
+				for _, rel := range eng.DB().Relations {
+					c, w := cold[rel.Name], warm[rel.Name]
+					if len(c) != len(w) {
+						t.Fatalf("round %d: %s/%s score lengths %d vs %d", round, s.Name, rel.Name, len(c), len(w))
+					}
+					for i := range c {
+						d := c[i] - w[i]
+						if d < 0 {
+							d = -d
+						}
+						if d > tol {
+							t.Fatalf("round %d (seed %d): %s/%s tuple %d: warm %.9f vs cold %.9f (tol %g)",
+								round, seed, s.Name, rel.Name, i, w[i], c[i], tol)
+						}
+					}
+				}
+				st := res.RerankStats[s.Name]
+				if !st.WarmStart {
+					t.Fatalf("round %d: %s re-rank did not warm-start", round, s.Name)
+				}
+			}
+		}
+	}
+	t.Logf("%d rounds, %d graph swaps (compactions/folds), final nodes %d, overlay %d",
+		rounds, graphRebuilds, eng.Graph().NumNodes(), eng.Graph().Patched())
+}
+
+// TestMutationEquivalenceDBLP runs the harness over the DBLP-shaped
+// database with the paper's four ObjectRank settings.
+func TestMutationEquivalenceDBLP(t *testing.T) {
+	cfg := datagen.DefaultDBLPConfig()
+	cfg.Authors = 80
+	cfg.Papers = 260
+	cfg.Conferences = 6
+	cfg.YearSpan = 4
+	eng, err := OpenDBLP(cfg)
+	if err != nil {
+		t.Fatalf("OpenDBLP: %v", err)
+	}
+	runEquivalence(t, eng, DefaultSettings(datagen.DBLPGA1(), datagen.DBLPGA2()), equivSeed(t), equivRounds)
+}
+
+// TestMutationEquivalenceTPCH runs the harness over the TPC-H-shaped
+// database, whose GA1 is value-weighted (ValueRank) — the warm≡cold check
+// therefore also covers value-proportional split recompilation.
+func TestMutationEquivalenceTPCH(t *testing.T) {
+	cfg := datagen.DefaultTPCHConfig()
+	cfg.ScaleFactor = 0.002
+	eng, err := OpenTPCH(cfg)
+	if err != nil {
+		t.Fatalf("OpenTPCH: %v", err)
+	}
+	runEquivalence(t, eng, DefaultSettings(datagen.TPCHGA1(), datagen.TPCHGA2()), equivSeed(t)+1, equivRounds)
+}
+
+// TestMutationEquivalenceUnderCompaction rides the same harness with an
+// aggressive compaction policy and a delete-heavy mix, so rounds regularly
+// cross the tombstone threshold: equivalence must hold across physical
+// TupleID remaps, not just overlay splices.
+func TestMutationEquivalenceUnderCompaction(t *testing.T) {
+	cfg := datagen.DefaultDBLPConfig()
+	cfg.Authors = 60
+	cfg.Papers = 200
+	cfg.Conferences = 5
+	cfg.YearSpan = 4
+	eng, err := OpenDBLP(cfg)
+	if err != nil {
+		t.Fatalf("OpenDBLP: %v", err)
+	}
+	eng.SetCompactionPolicy(6, 0.01)
+	eng.EnableSummaryCache(64)
+	seed := equivSeed(t) + 2
+	runEquivalence(t, eng, DefaultSettings(datagen.DBLPGA1(), datagen.DBLPGA2()), seed, equivRounds)
+	// The pipeline still serves correct summaries after all that churn.
+	if _, err := eng.Search("Author", "Faloutsos", 5, SearchOptions{}); err != nil {
+		t.Fatalf("post-harness search: %v", err)
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"testing"
 
 	"sizelos/internal/datagen"
+	"sizelos/internal/datagraph"
 	"sizelos/internal/relational"
 	"sizelos/internal/schemagraph"
 )
@@ -327,4 +328,192 @@ func TestMutateConcurrentWithSearches(t *testing.T) {
 	}
 	close(stop)
 	wg.Wait()
+}
+
+// TestMutateIncrementalGraphInPlace pins the acceptance criterion that a
+// small Mutate no longer rebuilds the data graph: the engine must keep the
+// same *Graph instance and splice the delta into it.
+func TestMutateIncrementalGraphInPlace(t *testing.T) {
+	eng := mutableDBLP(t)
+	g0 := eng.Graph()
+	if _, err := eng.Mutate(insertAuthorBatch(t, eng, 970001, "Splice Overlayson", "Incremental Edges")); err != nil {
+		t.Fatalf("Mutate: %v", err)
+	}
+	if eng.Graph() != g0 {
+		t.Fatal("single-tuple Mutate rebuilt the data graph instead of splicing")
+	}
+	if eng.Graph().Patched() == 0 {
+		t.Fatal("Mutate left no overlay entries — did it take the incremental path?")
+	}
+	// The spliced graph is edge-identical to a rebuild.
+	want, err := datagraph.Build(eng.DB())
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	if msg := eng.Graph().EquivalentTo(want); msg != "" {
+		t.Fatalf("incremental graph diverged: %s", msg)
+	}
+}
+
+// TestMutateRerankWarmStats checks a re-ranked batch reports warm-started
+// iterations and a real saving against the cold baseline for the default
+// setting's d=0.85 iteration.
+func TestMutateRerankWarmStats(t *testing.T) {
+	eng := mutableDBLP(t)
+	batch := insertAuthorBatch(t, eng, 975001, "Warmstart Iterson", "Few Iterations Needed")
+	batch.Rerank = true
+	res, err := eng.Mutate(batch)
+	if err != nil {
+		t.Fatalf("Mutate: %v", err)
+	}
+	if !res.Reranked || res.RerankStats == nil {
+		t.Fatalf("RerankStats missing: %+v", res)
+	}
+	st, ok := res.RerankStats[DefaultSetting]
+	if !ok {
+		t.Fatalf("no stats for %s: %v", DefaultSetting, res.RerankStats)
+	}
+	if !st.WarmStart {
+		t.Fatal("re-rank did not warm-start")
+	}
+	if st.IterationsSaved <= 0 {
+		t.Fatalf("warm start saved %d iterations after a 3-tuple mutation, want > 0 (ran %d)",
+			st.IterationsSaved, st.Iterations)
+	}
+}
+
+// TestAutoCompaction drives deletes past the compaction policy and checks
+// the whole remap choreography: the relation's tombstones are reclaimed,
+// searches still resolve (index remapped), summaries reach the right
+// tuples, and the graph matches a rebuild of the dense store.
+func TestAutoCompaction(t *testing.T) {
+	eng := mutableDBLP(t)
+	eng.EnableSummaryCache(64)
+	eng.SetCompactionPolicy(5, 0.02)
+	var ins []TupleInsert
+	for i := 0; i < 8; i++ {
+		ins = append(ins, TupleInsert{
+			Rel:   "Author",
+			Tuple: relational.Tuple{relational.IntVal(980001 + int64(i)), relational.StrVal("Ephemera Compactsdottir")},
+		})
+	}
+	if _, err := eng.Mutate(MutationBatch{Inserts: ins}); err != nil {
+		t.Fatalf("insert batch: %v", err)
+	}
+	var dels []TupleDelete
+	for i := 0; i < 8; i++ {
+		dels = append(dels, TupleDelete{Rel: "Author", PK: 980001 + int64(i)})
+	}
+	res, err := eng.Mutate(MutationBatch{Deletes: dels})
+	if err != nil {
+		t.Fatalf("delete batch: %v", err)
+	}
+	found := false
+	for _, rel := range res.Compacted {
+		if rel == "Author" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("Author not compacted: %v (epochs %v)", res.Compacted, res.Epochs)
+	}
+	if got := eng.DB().Relation("Author").Tombstones(); got != 0 {
+		t.Fatalf("tombstones after compaction = %d", got)
+	}
+	if res, err := eng.Search("Author", "Compactsdottir", 4, SearchOptions{}); err != nil || len(res) != 0 {
+		t.Fatalf("ghost postings after compaction: %d results, err %v", len(res), err)
+	}
+	got, err := eng.Search("Author", "Faloutsos", 6, SearchOptions{})
+	if err != nil || len(got) == 0 {
+		t.Fatalf("post-compaction search: %v (%d results)", err, len(got))
+	}
+	for _, s := range got {
+		if !strings.Contains(s.Headline, "Faloutsos") {
+			t.Fatalf("remapped match points at the wrong tuple: %q", s.Headline)
+		}
+	}
+	want, err := datagraph.Build(eng.DB())
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	if msg := eng.Graph().EquivalentTo(want); msg != "" {
+		t.Fatalf("post-compaction graph diverged: %s", msg)
+	}
+}
+
+// TestCompactionRemapsInsertIDsInSameBatch makes the triggering batch also
+// insert: the returned id must be the post-compaction slot.
+func TestCompactionRemapsInsertIDsInSameBatch(t *testing.T) {
+	eng := mutableDBLP(t)
+	var ins []TupleInsert
+	for i := 0; i < 8; i++ {
+		ins = append(ins, TupleInsert{
+			Rel:   "Author",
+			Tuple: relational.Tuple{relational.IntVal(985001 + int64(i)), relational.StrVal("Shortlived Slotsson")},
+		})
+	}
+	if _, err := eng.Mutate(MutationBatch{Inserts: ins}); err != nil {
+		t.Fatalf("insert batch: %v", err)
+	}
+	// Low threshold AFTER the inserts: the next batch (deletes + 1 insert)
+	// crosses it and compacts while carrying a fresh insert.
+	eng.SetCompactionPolicy(5, 0.02)
+	var dels []TupleDelete
+	for i := 0; i < 8; i++ {
+		dels = append(dels, TupleDelete{Rel: "Author", PK: 985001 + int64(i)})
+	}
+	res, err := eng.Mutate(MutationBatch{
+		Deletes: dels,
+		Inserts: []TupleInsert{{
+			Rel:   "Author",
+			Tuple: relational.Tuple{relational.IntVal(986001), relational.StrVal("Survivor Remapsson")},
+		}},
+	})
+	if err != nil {
+		t.Fatalf("Mutate: %v", err)
+	}
+	if len(res.Compacted) == 0 {
+		t.Fatalf("batch did not compact: %+v", res)
+	}
+	id := res.Inserted[0]
+	author := eng.DB().Relation("Author")
+	if author.Deleted(id) || author.PK(id) != 986001 {
+		t.Fatalf("returned insert id %d does not hold pk 986001 after compaction", id)
+	}
+	if _, err := eng.SizeL("Author", id, 4, SearchOptions{}); err != nil {
+		t.Fatalf("SizeL on remapped insert id: %v", err)
+	}
+}
+
+// TestCompactNow reclaims tombstones on demand and reports the relations.
+func TestCompactNow(t *testing.T) {
+	eng := mutableDBLP(t)
+	if _, err := eng.Mutate(insertAuthorBatch(t, eng, 990001, "Brief Tenureson", "Soon Gone")); err != nil {
+		t.Fatalf("insert: %v", err)
+	}
+	if _, err := eng.Mutate(MutationBatch{Deletes: []TupleDelete{
+		{Rel: "Writes", PK: 990003},
+		{Rel: "Paper", PK: 990002},
+		{Rel: "Author", PK: 990001},
+	}}); err != nil {
+		t.Fatalf("delete: %v", err)
+	}
+	compacted, err := eng.CompactNow()
+	if err != nil {
+		t.Fatalf("CompactNow: %v", err)
+	}
+	if len(compacted) != 3 {
+		t.Fatalf("CompactNow compacted %v, want 3 relations", compacted)
+	}
+	for _, rel := range compacted {
+		if n := eng.DB().Relation(rel).Tombstones(); n != 0 {
+			t.Fatalf("%s keeps %d tombstones after CompactNow", rel, n)
+		}
+	}
+	if again, err := eng.CompactNow(); err != nil || again != nil {
+		t.Fatalf("second CompactNow = %v, %v; want nil, nil", again, err)
+	}
+	if res, err := eng.Search("Author", "Faloutsos", 5, SearchOptions{}); err != nil || len(res) == 0 {
+		t.Fatalf("search after CompactNow: %v (%d results)", err, len(res))
+	}
 }
