@@ -658,3 +658,64 @@ func BenchmarkMutateIncremental(b *testing.B) {
 	// fresh global importance after every batch.
 	b.Run("rerank-warm", engineStream(true))
 }
+
+// BenchmarkRerankResidual measures the per-batch re-rank cost of the
+// single-tuple mutation stream under the two re-rank modes: the
+// Gauss–Southwell residual repair (PR 5) against the PR-4 warm full
+// iteration, over the practical d=0.85 serving settings. Beyond ns/op
+// (watched by the bench gate), each variant reports node-score updates per
+// op — the hardware-independent work metric on which residual mode's
+// acceptance bar is >=5x fewer (TestResidualUpdateSavings asserts it).
+// The high-damping d3 stress setting is excluded by construction: its slow
+// convergence modes trip the residual push budget and fall back, which
+// would just re-measure the warm path twice.
+func BenchmarkRerankResidual(b *testing.B) {
+	stream := func(residual bool) func(b *testing.B) {
+		return func(b *testing.B) {
+			db, next := mutateBenchDB(b)
+			settings := []sizelos.Setting{
+				{Name: "GA1-d1", GA: datagen.DBLPGA1(), Damping: 0.85},
+				{Name: "GA2-d1", GA: datagen.DBLPGA2(), Damping: 0.85},
+			}
+			eng, err := sizelos.NewEngine(db, settings)
+			if err != nil {
+				b.Fatal(err)
+			}
+			eng.SetResidualRerank(residual)
+			paper := db.Relation("Paper")
+			prev := int64(0)
+			updates := 0
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				*next++
+				a := relational.TupleID(i % 1200)
+				c := relational.TupleID((i*7 + 13) % 1200)
+				batch := sizelos.MutationBatch{
+					Rerank: true,
+					Inserts: []sizelos.TupleInsert{{
+						Rel: "Cites",
+						Tuple: relational.Tuple{
+							relational.IntVal(*next),
+							relational.IntVal(paper.PK(a)),
+							relational.IntVal(paper.PK(c)),
+						},
+					}},
+				}
+				if prev != 0 {
+					batch.Deletes = []sizelos.TupleDelete{{Rel: "Cites", PK: prev}}
+				}
+				prev = *next
+				res, err := eng.Mutate(batch)
+				if err != nil {
+					b.Fatal(err)
+				}
+				for _, st := range res.RerankStats {
+					updates += st.Updates
+				}
+			}
+			b.ReportMetric(float64(updates)/float64(b.N), "updates/op")
+		}
+	}
+	b.Run("residual", stream(true))
+	b.Run("warm-full", stream(false))
+}

@@ -1,0 +1,113 @@
+// Command linkcheck verifies intra-repository markdown links: every
+// relative link target in the given files (or all .md files under given
+// directories) must exist on disk. External schemes (http, https, mailto)
+// are ignored — CI must not flake on the outside world — and pure-anchor
+// links are skipped. A `path#anchor` link is checked for the path only.
+//
+//	go run ./cmd/linkcheck README.md ROADMAP.md docs
+//
+// Exits non-zero listing every broken link, so the CI docs leg fails when
+// a rename or move orphans a reference.
+package main
+
+import (
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+)
+
+// mdLink matches inline markdown links and images: [text](target) — the
+// target up to the first closing parenthesis or space (titles like
+// (path "Title") carry the title after a space).
+var mdLink = regexp.MustCompile(`!?\[[^\]]*\]\(([^)\s]+)(?:\s+"[^"]*")?\)`)
+
+func main() {
+	args := os.Args[1:]
+	if len(args) == 0 {
+		args = []string{"."}
+	}
+	var files []string
+	for _, a := range args {
+		info, err := os.Stat(a)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "linkcheck: %v\n", err)
+			os.Exit(2)
+		}
+		if !info.IsDir() {
+			files = append(files, a)
+			continue
+		}
+		err = filepath.WalkDir(a, func(path string, d fs.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if d.IsDir() {
+				// Don't descend into VCS or dependency directories.
+				switch d.Name() {
+				case ".git", "node_modules", "vendor":
+					return filepath.SkipDir
+				}
+				return nil
+			}
+			if strings.EqualFold(filepath.Ext(path), ".md") {
+				files = append(files, path)
+			}
+			return nil
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "linkcheck: walk %s: %v\n", a, err)
+			os.Exit(2)
+		}
+	}
+
+	broken := 0
+	checked := 0
+	for _, f := range files {
+		data, err := os.ReadFile(f)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "linkcheck: %v\n", err)
+			os.Exit(2)
+		}
+		for ln, line := range strings.Split(string(data), "\n") {
+			for _, m := range mdLink.FindAllStringSubmatch(line, -1) {
+				target := m[1]
+				if skip(target) {
+					continue
+				}
+				if i := strings.IndexByte(target, '#'); i >= 0 {
+					target = target[:i]
+				}
+				if target == "" {
+					continue
+				}
+				checked++
+				resolved := filepath.Join(filepath.Dir(f), target)
+				if _, err := os.Stat(resolved); err != nil {
+					fmt.Printf("%s:%d: broken link %q (resolved %s)\n", f, ln+1, m[1], resolved)
+					broken++
+				}
+			}
+		}
+	}
+	fmt.Fprintf(os.Stderr, "linkcheck: %d files, %d intra-repo links, %d broken\n", len(files), checked, broken)
+	if broken > 0 {
+		os.Exit(1)
+	}
+}
+
+// skip reports whether the link target points outside the repository or
+// inside the same document.
+func skip(target string) bool {
+	if strings.HasPrefix(target, "#") {
+		return true
+	}
+	for _, scheme := range []string{"http://", "https://", "mailto:", "ftp://"} {
+		if strings.HasPrefix(target, scheme) {
+			return true
+		}
+	}
+	return false
+}

@@ -100,12 +100,49 @@ type Engine struct {
 	// settings are the ranking configurations NewEngine computed, retained
 	// so Mutate can re-run them on demand (MutationBatch.Rerank).
 	settings []Setting
+	// plans holds each distinct G_A compiled once against the data graph,
+	// kept current across mutations via rank.Plans.Apply so re-ranks never
+	// recompile; recompiled only when the graph is rebuilt (compaction,
+	// overlay fold) or the plan overlay outgrows its fold threshold.
+	plans map[*rank.GA]*rank.Plans
+	// pending accumulates, per G_A, the contribution-row changes applied
+	// since the last re-rank — the seeds of the next residual-push re-rank.
+	// nil entries (or an empty map) mean the served scores are the
+	// converged fixed point of the current graph.
+	pending map[*rank.GA]*rank.Pending
+	// residualOK reports that pending covers every change since the last
+	// full convergence. A compaction remaps TupleIDs out from under the
+	// captured rows, so it clears the flag; the next re-rank then runs the
+	// warm full iteration and re-arms it.
+	residualOK bool
+	// residualEnabled gates residual-push re-ranking (SetResidualRerank);
+	// when off, every re-rank takes the PR-4 warm full iteration.
+	residualEnabled bool
+	// residualBudget overrides rank.Options.ResidualBudget when positive
+	// (SetResidualBudget): the push count past which a residual re-rank
+	// abandons the localized path and falls back to the full iteration.
+	residualBudget int
+	// residualRuns counts consecutive residual re-ranks; every
+	// residualRefreshInterval-th re-rank runs the full iteration instead,
+	// re-grounding the epsilon-scale drift each residual repair inherits
+	// from its prior.
+	residualRuns int
 	// scores per setting name, normalized for presentation (NormalizeMax).
 	scores map[string]relational.DBScores
 	// rawScores per setting name: the unnormalized converged vectors, kept
 	// solely to warm-start the next re-rank's power iteration — a rescaled
 	// vector would sit far from the fixed point (rank.Options.Warm).
 	rawScores map[string]relational.DBScores
+	// relMax[setting][rel] is the maximum normalized score of rel under
+	// setting — the G_DS Max/MMax annotation input, tracked so a re-rank
+	// only re-annotates the G_DSs whose maxima actually moved.
+	relMax map[string]map[string]float64
+	// annMax[ds][setting][rel] snapshots the maxima each annotated G_DS
+	// clone was actually built from. The moved-input check compares
+	// current relMax against THIS baseline — not against the previous
+	// relMax — so sub-tolerance drift cannot ratchet unbounded across many
+	// skipped refreshes.
+	annMax map[string]map[string]map[string]float64
 	// coldIters records each setting's cold-start iteration count from
 	// NewEngine, the baseline warm-started re-ranks report savings against.
 	coldIters map[string]int
@@ -151,31 +188,80 @@ func NewEngine(db *relational.DB, settings []Setting) (*Engine, error) {
 		return nil, fmt.Errorf("sizelos: build data graph: %w", err)
 	}
 	e := &Engine{
-		db:           db,
-		graph:        g,
-		index:        keyword.BuildSharded(db, keyword.ShardedOptions{}),
-		settings:     append([]Setting(nil), settings...),
-		gds:          make(map[string]map[string]*schemagraph.GDS),
-		baseGDS:      make(map[string]*schemagraph.GDS),
-		epochs:       make(map[string]uint64, len(db.Relations)),
-		deps:         make(map[string][]string),
-		coldIters:    make(map[string]int, len(settings)),
-		compactMin:   DefaultCompactMinTombstones,
-		compactRatio: DefaultCompactRatio,
+		db:              db,
+		graph:           g,
+		index:           keyword.BuildSharded(db, keyword.ShardedOptions{}),
+		settings:        append([]Setting(nil), settings...),
+		gds:             make(map[string]map[string]*schemagraph.GDS),
+		baseGDS:         make(map[string]*schemagraph.GDS),
+		epochs:          make(map[string]uint64, len(db.Relations)),
+		deps:            make(map[string][]string),
+		coldIters:       make(map[string]int, len(settings)),
+		compactMin:      DefaultCompactMinTombstones,
+		compactRatio:    DefaultCompactRatio,
+		pending:         make(map[*rank.GA]*rank.Pending),
+		residualEnabled: true,
+		annMax:          make(map[string]map[string]map[string]float64),
 	}
 	for _, r := range db.Relations {
 		e.epochs[r.Name] = 0
 	}
-	scores, raw, stats, err := computeScores(g, e.settings, nil)
+	plans, err := compilePlans(g, e.settings)
+	if err != nil {
+		return nil, err
+	}
+	e.plans = plans
+	scores, raw, relMax, stats, err := computeScores(e.plans, e.settings, nil)
 	if err != nil {
 		return nil, err
 	}
 	e.scores = scores
 	e.rawScores = raw
+	e.relMax = relMax
+	e.residualOK = true
 	for name, st := range stats {
 		e.coldIters[name] = st.Iterations
 	}
 	return e, nil
+}
+
+// compilePlans compiles each distinct G_A of the settings exactly once
+// against the data graph (the three GA1 dampings share one compilation).
+func compilePlans(g *datagraph.Graph, settings []Setting) (map[*rank.GA]*rank.Plans, error) {
+	plansByGA := make(map[*rank.GA]*rank.Plans, len(settings))
+	for _, s := range settings {
+		if _, ok := plansByGA[s.GA]; ok {
+			continue
+		}
+		ps, err := rank.Compile(g, s.GA, nil)
+		if err != nil {
+			return nil, fmt.Errorf("sizelos: setting %s: %w", s.Name, err)
+		}
+		plansByGA[s.GA] = ps
+	}
+	return plansByGA, nil
+}
+
+// SetResidualRerank toggles residual-push re-ranking (on by default): when
+// off, every MutationBatch.Rerank runs the warm-started full power
+// iteration instead of the localized Gauss–Southwell repair. Both modes
+// satisfy the same fixed-point tolerance contract; the switch exists for
+// operational comparison and as an escape hatch.
+func (e *Engine) SetResidualRerank(on bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.residualEnabled = on
+}
+
+// SetResidualBudget overrides the residual re-rank push budget — the
+// boundary past which the localized repair falls back to the warm full
+// iteration. pushes <= 0 restores the rank package default (4× the node
+// count). Lowering it trades residual coverage for a tighter worst-case
+// bound on wasted pushes before a fallback.
+func (e *Engine) SetResidualBudget(pushes int) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.residualBudget = pushes
 }
 
 // DefaultCompactMinTombstones and DefaultCompactRatio are the engine's
@@ -203,26 +289,26 @@ func (e *Engine) SetCompactionPolicy(minTombstones int, ratio float64) {
 	}
 }
 
-// computeScores compiles each distinct G_A once and runs every setting's
-// power iteration concurrently over graph g, returning the normalized score
-// table served to queries, the raw converged vectors (the warm-start seeds
-// of the next re-rank) and the per-setting iteration stats. warm, when
-// non-nil, supplies each setting's prior raw vector so the iteration starts
-// at the old fixed point instead of uniform — the difference between
-// converging in a handful of iterations and paying the full cold-start cost
-// after every mutation batch.
-func computeScores(g *datagraph.Graph, settings []Setting, warm map[string]relational.DBScores) (norm, raw map[string]relational.DBScores, stats map[string]rank.Stats, err error) {
-	plansByGA := make(map[*rank.GA]*rank.Plans, len(settings))
-	for _, s := range settings {
-		if _, ok := plansByGA[s.GA]; ok {
-			continue
-		}
-		ps, cerr := rank.Compile(g, s.GA, nil)
-		if cerr != nil {
-			return nil, nil, nil, fmt.Errorf("sizelos: setting %s: %w", s.Name, cerr)
-		}
-		plansByGA[s.GA] = ps
+// computeScores runs every setting's power iteration concurrently over the
+// precompiled plans, returning the normalized score table served to
+// queries, the raw converged vectors (the warm-start seeds of the next
+// re-rank), the per-setting per-relation maxima of the normalized copies
+// (the Max/MMax annotation inputs) and the per-setting iteration stats.
+// warm, when non-nil, supplies each setting's prior raw vector so the
+// iteration starts at the old fixed point instead of uniform — the
+// difference between converging in a handful of iterations and paying the
+// full cold-start cost after every mutation batch.
+func computeScores(plansByGA map[*rank.GA]*rank.Plans, settings []Setting, warm map[string]relational.DBScores) (norm, raw map[string]relational.DBScores, relMax map[string]map[string]float64, stats map[string]rank.Stats, err error) {
+	run := func(s Setting, opts rank.Options) (relational.DBScores, rank.Stats, error) {
+		return plansByGA[s.GA].Run(opts)
 	}
+	return runSettings(settings, warm, run)
+}
+
+// runSettings executes one scoring function per setting concurrently and
+// assembles the score tables computeScores documents. run must return raw
+// (unnormalized) converged scores.
+func runSettings(settings []Setting, warm map[string]relational.DBScores, run func(Setting, rank.Options) (relational.DBScores, rank.Stats, error)) (norm, raw map[string]relational.DBScores, relMax map[string]map[string]float64, stats map[string]rank.Stats, err error) {
 	rawResults := make([]relational.DBScores, len(settings))
 	statResults := make([]rank.Stats, len(settings))
 	errs := make([]error, len(settings))
@@ -237,7 +323,7 @@ func computeScores(g *datagraph.Graph, settings []Setting, warm map[string]relat
 			// start must seed from. Presentation scaling happens below.
 			opts.NormalizeMax = 0
 			opts.Warm = warm[s.Name]
-			sc, st, err := plansByGA[s.GA].Run(opts)
+			sc, st, err := run(s, opts)
 			if err != nil {
 				errs[i] = fmt.Errorf("sizelos: setting %s: %w", s.Name, err)
 				return
@@ -253,24 +339,36 @@ func computeScores(g *datagraph.Graph, settings []Setting, warm map[string]relat
 	wg.Wait()
 	for _, err := range errs {
 		if err != nil {
-			return nil, nil, nil, err
+			return nil, nil, nil, nil, err
 		}
 	}
 	norm = make(map[string]relational.DBScores, len(settings))
 	raw = make(map[string]relational.DBScores, len(settings))
+	relMax = make(map[string]map[string]float64, len(settings))
 	stats = make(map[string]rank.Stats, len(settings))
 	normMax := rank.DefaultOptions().NormalizeMax
 	for i, s := range settings {
 		raw[s.Name] = rawResults[i]
 		stats[s.Name] = statResults[i]
-		scaled := make(relational.DBScores, len(rawResults[i]))
-		for rel, sc := range rawResults[i] {
-			scaled[rel] = append(relational.Scores(nil), sc...)
-		}
-		rank.Normalize(scaled, normMax)
-		norm[s.Name] = scaled
+		norm[s.Name], relMax[s.Name] = normalizeCopy(rawResults[i], normMax)
 	}
-	return norm, raw, stats, nil
+	return norm, raw, relMax, stats, nil
+}
+
+// normalizeCopy returns a presentation copy of raw rescaled so the global
+// maximum equals normMax, plus the per-relation maxima of the rescaled
+// copy — the single pass that feeds both serving and G_DS annotation.
+func normalizeCopy(raw relational.DBScores, normMax float64) (relational.DBScores, map[string]float64) {
+	scaled := make(relational.DBScores, len(raw))
+	for rel, sc := range raw {
+		scaled[rel] = append(relational.Scores(nil), sc...)
+	}
+	rank.Normalize(scaled, normMax)
+	maxes := make(map[string]float64, len(scaled))
+	for rel, sc := range scaled {
+		maxes[rel] = sc.MaxScore()
+	}
+	return scaled, maxes
 }
 
 // RegisterGDS installs a Data Subject Schema Graph; one annotated clone is
@@ -305,18 +403,90 @@ func (e *Engine) RegisterGDS(gds *schemagraph.GDS) error {
 	return nil
 }
 
-// annotateLocked clones gds once per setting and annotates each clone with
-// that setting's scores. Callers hold the write lock.
+// annotateLocked clones gds once per setting, annotates each clone from
+// that setting's per-relation maxima (the single table normalizeCopy
+// produced; no per-node score-vector scans) and records the maxima each
+// clone was built from as the future moved-input baseline. Callers hold
+// the write lock.
 func (e *Engine) annotateLocked(gds *schemagraph.GDS) (map[string]*schemagraph.GDS, error) {
 	perSetting := make(map[string]*schemagraph.GDS, len(e.scores))
-	for name, sc := range e.scores {
+	baselines := make(map[string]map[string]float64, len(e.scores))
+	for name := range e.scores {
 		c := gds.Clone()
-		if err := c.Annotate(e.db, sc); err != nil {
+		if err := c.AnnotateMax(e.relMax[name]); err != nil {
 			return nil, fmt.Errorf("sizelos: annotate %s under %s: %w", gds.DSName, name, err)
 		}
 		perSetting[name] = c
+		baselines[name] = snapshotMax(gdsDeps(gds), e.relMax[name])
 	}
+	e.annMax[gds.DSName] = baselines
 	return perSetting, nil
+}
+
+// snapshotMax copies the maxima of rels out of a per-relation table.
+func snapshotMax(rels []string, maxes map[string]float64) map[string]float64 {
+	out := make(map[string]float64, len(rels))
+	for _, rel := range rels {
+		out[rel] = maxes[rel]
+	}
+	return out
+}
+
+// annotateMaxTol is the per-relation maximum drift below which a G_DS
+// annotation is considered unchanged: successive re-ranks perturb the
+// normalized maxima at fixed-point-tolerance scale even when no ranking
+// moved, and Max/MMax are pruning bounds whose epsilon-scale staleness is
+// inside the same tolerance class as the scores themselves.
+const annotateMaxTol = 1e-9
+
+// reannotateChangedLocked refreshes exactly the (DS relation, setting)
+// G_DS clones whose Max/MMax inputs moved beyond tolerance since that
+// clone was last annotated (the annMax baseline — comparing against the
+// annotation's actual inputs, not the previous relMax, so sub-tolerance
+// drift cannot accumulate across skipped refreshes). After a localized
+// residual re-rank, usually nothing moves. Callers hold the write lock;
+// e.relMax already holds the new maxima. Returns how many clones were
+// re-annotated.
+func (e *Engine) reannotateChangedLocked() (int, error) {
+	redone := 0
+	for ds, base := range e.baseGDS {
+		deps := e.deps[ds]
+		for name := range e.scores {
+			if !maxMoved(deps, e.annMax[ds][name], e.relMax[name]) {
+				continue
+			}
+			c := base.Clone()
+			if err := c.AnnotateMax(e.relMax[name]); err != nil {
+				return redone, fmt.Errorf("sizelos: annotate %s under %s: %w", ds, name, err)
+			}
+			e.gds[ds][name] = c
+			if e.annMax[ds] == nil {
+				e.annMax[ds] = make(map[string]map[string]float64)
+			}
+			e.annMax[ds][name] = snapshotMax(deps, e.relMax[name])
+			redone++
+		}
+	}
+	return redone, nil
+}
+
+// maxMoved reports whether any of rels' maxima in the current table
+// differs beyond tolerance from the annotation-time baseline (a missing
+// baseline counts as moved).
+func maxMoved(rels []string, baseline, current map[string]float64) bool {
+	if baseline == nil {
+		return true
+	}
+	for _, rel := range rels {
+		d := current[rel] - baseline[rel]
+		if d < 0 {
+			d = -d
+		}
+		if d > annotateMaxTol {
+			return true
+		}
+	}
+	return false
 }
 
 // gdsDeps lists, sorted and deduplicated, every relation a G_DS traversal

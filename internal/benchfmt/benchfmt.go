@@ -1,8 +1,3 @@
-// Package benchfmt is the shared vocabulary of the repo's performance
-// trajectory: the BENCH_<n>.json report schema, the parser for `go test
-// -bench` output, and helpers to locate reports on disk. cmd/benchjson
-// archives reports with it; cmd/benchgate replays them as CI regression
-// baselines.
 package benchfmt
 
 import (
@@ -17,9 +12,10 @@ import (
 
 // GateFamilies is the ns/op family regex the CI regression gate watches:
 // the setup and query hot paths whose regressions would be user-visible,
-// plus the mutation write path (incremental graph maintenance and the
-// warm-started re-rank, the streaming-ingest hot loop).
-const GateFamilies = "RankCompute|RankCompile|NewEngine|EndToEndSearch|DataGraphBuild|IndexBuild|MutateIncremental"
+// plus the mutation write path (incremental graph maintenance, the
+// warm-started re-rank, and the residual-push re-rank — the
+// streaming-ingest hot loop).
+const GateFamilies = "RankCompute|RankCompile|NewEngine|EndToEndSearch|DataGraphBuild|IndexBuild|MutateIncremental|RerankResidual"
 
 // ArchiveFamilies is the default benchjson archive set: every gated family
 // plus the Fig-10 paper-figure benches (measured for the trajectory but

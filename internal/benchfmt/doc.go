@@ -1,0 +1,26 @@
+// Package benchfmt is the shared vocabulary of the repo's performance
+// trajectory: the BENCH_<n>.json report schema, the parser for `go test
+// -bench` output, and helpers to locate reports on disk. cmd/benchjson
+// archives reports with it; cmd/benchgate replays them as CI regression
+// baselines.
+//
+// # Invariants
+//
+//   - ArchiveFamilies is derived from GateFamilies (a superset by
+//     construction), so a committed baseline always covers every family
+//     the gate will later compare. Adding a family to the gate without
+//     re-archiving a baseline disarms the comparison for that family — the
+//     gate treats it as "not in baseline", so new families must land
+//     together with the BENCH_<n>.json that records them.
+//   - Baselines are only comparable on matching hardware: the gate
+//     compares a report when GOMAXPROCS matches the runner, and skips
+//     (writing its skip marker, which CI turns into a failure while a
+//     matching baseline exists) otherwise.
+//   - Duplicate benchmark names (-count > 1) resolve to the fastest ns/op
+//     occurrence on BOTH sides of a comparison (Faster), so repeated
+//     counts reduce noise instead of biasing one side.
+//   - Benchmarks feeding the gate must be stationary: per-op cost must not
+//     drift with b.N (mutation streams delete the previous op's tuple
+//     before inserting the next), or the gate compares different workloads
+//     at different -benchtime settings.
+package benchfmt

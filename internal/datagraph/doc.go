@@ -1,0 +1,43 @@
+// Package datagraph builds and serves the tuple-level data graph of a
+// relational database: one node per tuple, one edge per foreign-key pair.
+// The paper (§6.3, Fig. 10f) uses exactly such an in-memory graph as an
+// index to accelerate OS generation — "data-graph nodes correspond to the
+// database tuples and edges to tuples relationships (through their primary
+// and foreign keys) ... the data-graph is only an index and does not contain
+// actual data as nodes capture only keys and global importance".
+//
+// The same graph is the substrate for ObjectRank/ValueRank power iteration
+// (package rank), which needs typed edges: authority transfer rates are
+// declared per schema edge and direction.
+//
+// Build constructs the graph from scratch; Graph.Apply folds a committed
+// mutation batch in incrementally by splicing per-tuple deltas into a patch
+// overlay over the packed CSR arrays, in work proportional to the tuples
+// touched.
+//
+// # Invariants
+//
+//   - Every adjacency read goes through list() (equivalently, the public
+//     Neighbors/Degree/NeighborsAlong). Never index the packed offsets
+//     directly: tuples inserted after the last full build live only in the
+//     overlay, beyond the packed arrays, and tombstoned or re-spliced
+//     tuples are overridden by it.
+//   - Apply requires the batch to be already committed to the graph's
+//     database — it reads the post-commit tombstone flags, the retained
+//     content of tombstoned slots (to retract mirror edges), and the PK
+//     index — and the per-relation id lists must be ascending: exactly the
+//     relational.BatchResult contract.
+//   - Overlay slices are owned by the adjacency and may be mutated in
+//     place by a later Apply. Neighbors results are valid only until the
+//     next Apply; callers that retain a list must copy it.
+//   - After any Apply the graph is edge-exact with a from-scratch Build
+//     over the mutated store — same relation sizes, same incident
+//     directions, same neighbor list on every (relation, tuple, direction).
+//     EquivalentTo is that relation; the randomized mutation-equivalence
+//     harness (mutation_equiv_test.go at the repo root) asserts it after
+//     every seeded batch.
+//   - Node ids are positional and stable across Apply: a tombstoned tuple
+//     keeps its (disconnected) node, an inserted tuple takes a fresh id
+//     larger than every existing id of its relation. Only a physical
+//     compaction (which rebuilds the graph) moves ids.
+package datagraph

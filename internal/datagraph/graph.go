@@ -1,14 +1,3 @@
-// Package datagraph builds and serves the tuple-level data graph of a
-// relational database: one node per tuple, one edge per foreign-key pair.
-// The paper (§6.3, Fig. 10f) uses exactly such an in-memory graph as an
-// index to accelerate OS generation — "data-graph nodes correspond to the
-// database tuples and edges to tuples relationships (through their primary
-// and foreign keys) ... the data-graph is only an index and does not contain
-// actual data as nodes capture only keys and global importance".
-//
-// The same graph is the substrate for ObjectRank/ValueRank power iteration
-// (package rank), which needs typed edges: authority transfer rates are
-// declared per schema edge and direction.
 package datagraph
 
 import (

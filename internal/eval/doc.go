@@ -1,0 +1,14 @@
+// Package eval reproduces the paper's experimental study (§6): the
+// effectiveness evaluation against (simulated) human judges (Figure 8 and
+// the Google-Desktop snippet comparison), the approximation-quality study
+// (Figure 9), the efficiency study (Figure 10), and the future-work
+// analyses sketched in §7.
+//
+// Substitution note (DESIGN.md §3): the paper's judges were eleven DBLP
+// authors and eight professors; offline we simulate each judge as a greedy
+// summarizer acting on *perceived* importance — the reference ranking
+// (GA1-d1) perturbed with seeded multiplicative noise plus the
+// relation-level bias the paper reports ("evaluators first selected
+// important Paper tuples"). The comparative behaviour across settings is
+// what Figure 8 measures, and that survives the substitution.
+package eval

@@ -1,13 +1,3 @@
-// Package keyword implements the query front-end of the OS paradigm: an
-// inverted index over string attributes that maps a keyword query to the
-// data-subject tuples t_DS containing the keyword(s) as part of an
-// attribute's value (paper §2.1). One size-l OS is then produced per
-// matching DS tuple, as in Example 5.
-//
-// Two implementations share the Searcher contract: Index is the flat
-// reference index built serially, Sharded hash-partitions tokens across
-// independent posting maps built and probed in parallel. Both return
-// identical results for every query; the engine uses Sharded.
 package keyword
 
 import (

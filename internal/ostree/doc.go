@@ -1,0 +1,21 @@
+// Package ostree materializes Object Summaries: the tree of tuples around a
+// data-subject tuple t_DS, produced by traversing a G_DS breadth-first
+// (paper §2.1 and Algorithm 5). It provides
+//
+//   - the OS tree representation consumed by the size-l algorithms,
+//   - two extraction sources — directly against the relational database and
+//     against the in-memory data graph — matching the two generation paths
+//     whose costs Figure 10f compares, and
+//   - the indented rendering used in the paper's Examples 4 and 5.
+//
+// # Invariants
+//
+//   - The two sources (database joins and data graph) must produce
+//     identical trees for the same (G_DS, t_DS) — Figure 10f compares
+//     their cost, not their output. Junction tuples are traversed but
+//     never appear as OS nodes; tombstoned junction rows are skipped by
+//     both sources.
+//   - Trees hold TupleIDs, not copies: they are snapshots of one mutation
+//     quiescence and must not be traversed across an Engine.Mutate (the
+//     engine's summary cache keys them by mutation epoch for this reason).
+package ostree

@@ -1,12 +1,3 @@
-// Package ostree materializes Object Summaries: the tree of tuples around a
-// data-subject tuple t_DS, produced by traversing a G_DS breadth-first
-// (paper §2.1 and Algorithm 5). It provides
-//
-//   - the OS tree representation consumed by the size-l algorithms,
-//   - two extraction sources — directly against the relational database and
-//     against the in-memory data graph — matching the two generation paths
-//     whose costs Figure 10f compares, and
-//   - the indented rendering used in the paper's Examples 4 and 5.
 package ostree
 
 import (

@@ -16,17 +16,25 @@ import (
 // transposes the flows into per-destination contribution lists so the push
 // phase can be partitioned across workers without write conflicts.
 //
-// A *Plans is immutable after Compile and safe for concurrent Run calls:
-// the engine compiles each G_A once and runs the three GA1 dampings over
-// the same compiled plans, concurrently.
+// After Compile a *Plans is safe for concurrent Run/RunResidual calls: the
+// engine compiles each G_A once and runs the three GA1 dampings over the
+// same compiled plans, concurrently. Apply mutates the plans in place
+// (splicing a committed batch's row changes into a per-source overlay) and
+// must be serialized against runs by the caller — the engine does both
+// under its write lock.
 type Plans struct {
 	g     *datagraph.Graph
 	plans []plan
+	vf    func(float64) float64
 
 	// Arena layout: scores of relation ordinal ri live at
 	// arena[relOff[ri]:relOff[ri+1]]; n is the total node count.
 	relOff []int32
 	n      int
+
+	// bySrc[ri] lists the ordinals of plans whose source relation is ri —
+	// the out-flows a residual push at a node of ri propagates along.
+	bySrc [][]int32
 
 	// Pull form: the transpose of every push plan, concatenated in
 	// canonical order (plan ordinal, then source tuple, then target
@@ -35,9 +43,16 @@ type Plans struct {
 	// pullW folds together the flow rate and the split weight (uniform
 	// 1/outdegree, or the value-proportional ValueRank weight), so one
 	// fused multiply-add per contribution is the whole push phase.
-	pullOff []int32
-	pullSrc []int32
-	pullW   []float64
+	//
+	// The pull arrays are derived state, rebuilt lazily after Apply
+	// invalidates them (pullOnce is swapped for a fresh sync.Once): the
+	// residual path never needs them, so a mutation stream that stays on
+	// residual re-ranks never pays the transpose.
+	pullOff  []int32
+	pullSrc  []int32
+	pullW    []float64
+	pullOnce *sync.Once
+	pullErr  error
 }
 
 // Compile resolves ga's flows against the data graph into reusable push
@@ -52,45 +67,88 @@ func Compile(g *datagraph.Graph, ga *GA, vf func(float64) float64) (*Plans, erro
 	if err != nil {
 		return nil, err
 	}
+	return newPlans(g, plans, vf)
+}
+
+// newPlans finishes a Plans over compiled push plans: arena layout, source
+// index, and the eager first pull transpose (so layout overflow surfaces at
+// compile time, not mid-query).
+func newPlans(g *datagraph.Graph, plans []plan, vf func(float64) float64) (*Plans, error) {
 	db := g.DB
 	nRel := len(db.Relations)
-	ps := &Plans{g: g, plans: plans, relOff: make([]int32, nRel+1)}
+	ps := &Plans{g: g, plans: plans, vf: vf, relOff: make([]int32, nRel+1), pullOnce: new(sync.Once)}
 	for ri := 0; ri < nRel; ri++ {
 		ps.relOff[ri+1] = ps.relOff[ri] + int32(g.RelSize(ri))
 	}
 	ps.n = int(ps.relOff[nRel])
-	// The pull CSR uses int32 offsets; guard the total contribution count
-	// before building so overflow surfaces as an error, not corruption.
-	total := int64(0)
+	ps.bySrc = make([][]int32, nRel)
 	for pi := range ps.plans {
-		total += int64(len(ps.plans[pi].targets))
+		src := ps.plans[pi].srcRel
+		ps.bySrc[src] = append(ps.bySrc[src], int32(pi))
 	}
-	if total > math.MaxInt32 {
-		return nil, fmt.Errorf("rank: %d flow contributions exceed the int32 plan layout", total)
+	if err := ps.ensurePull(); err != nil {
+		return nil, err
 	}
-	ps.buildPull()
 	return ps, nil
+}
+
+// ensurePull (re)builds the pull transpose if an Apply invalidated it.
+// Safe for concurrent Run callers; Apply must not run concurrently.
+func (ps *Plans) ensurePull() error {
+	ps.pullOnce.Do(func() { ps.pullErr = ps.buildPull() })
+	return ps.pullErr
 }
 
 // buildPull transposes the push plans into per-destination CSR lists. The
 // canonical contribution order per destination — plan ordinal, then source
 // tuple ascending, then target position — fixes the floating-point
 // accumulation order, so Run produces bit-for-bit identical scores no
-// matter how many workers split the destination range.
-func (ps *Plans) buildPull() {
+// matter how many workers split the destination range. Plans without an
+// overlay walk the packed arrays directly; patched plans read each row
+// through the overlay, which yields the same arrays a fresh Compile over
+// the mutated graph would (plan rows are recomputed from the graph, and
+// the graph is maintained edge-exact).
+func (ps *Plans) buildPull() error {
+	// The pull CSR uses int32 offsets; guard the total contribution count
+	// before building so overflow surfaces as an error, not corruption.
+	total := int64(0)
+	for pi := range ps.plans {
+		p := &ps.plans[pi]
+		srcN := int(ps.relOff[p.srcRel+1] - ps.relOff[p.srcRel])
+		if p.patch == nil {
+			total += int64(len(p.targets))
+			continue
+		}
+		for t := 0; t < srcN; t++ {
+			row, _ := p.row(relational.TupleID(t))
+			total += int64(len(row))
+		}
+	}
+	if total > math.MaxInt32 {
+		return fmt.Errorf("rank: %d flow contributions exceed the int32 plan layout", total)
+	}
 	counts := make([]int32, ps.n+1)
 	for pi := range ps.plans {
 		p := &ps.plans[pi]
 		dstOff := ps.relOff[p.dstRel]
-		for _, t := range p.targets {
-			counts[dstOff+int32(t)+1]++
+		if p.patch == nil {
+			for _, t := range p.targets {
+				counts[dstOff+int32(t)+1]++
+			}
+			continue
+		}
+		srcN := int(ps.relOff[p.srcRel+1] - ps.relOff[p.srcRel])
+		for t := 0; t < srcN; t++ {
+			row, _ := p.row(relational.TupleID(t))
+			for _, tgt := range row {
+				counts[dstOff+int32(tgt)+1]++
+			}
 		}
 	}
 	for d := 0; d < ps.n; d++ {
 		counts[d+1] += counts[d]
 	}
 	ps.pullOff = counts
-	total := ps.pullOff[ps.n]
 	ps.pullSrc = make([]int32, total)
 	ps.pullW = make([]float64, total)
 	fill := make([]int32, ps.n)
@@ -99,25 +157,49 @@ func (ps *Plans) buildPull() {
 		p := &ps.plans[pi]
 		srcOff := ps.relOff[p.srcRel]
 		dstOff := ps.relOff[p.dstRel]
-		for t := 0; t+1 < len(p.offsets); t++ {
-			lo, hi := p.offsets[t], p.offsets[t+1]
-			if lo == hi {
+		if p.patch == nil {
+			// Fast path for unpatched plans: walk the packed CSR directly.
+			for t := 0; t+1 < len(p.offsets); t++ {
+				lo, hi := p.offsets[t], p.offsets[t+1]
+				if lo == hi {
+					continue
+				}
+				src := srcOff + int32(t)
+				uniform := p.rate / float64(hi-lo)
+				for k := lo; k < hi; k++ {
+					w := uniform
+					if p.weights != nil {
+						w = p.rate * p.weights[k]
+					}
+					d := dstOff + int32(p.targets[k])
+					ps.pullSrc[fill[d]] = src
+					ps.pullW[fill[d]] = w
+					fill[d]++
+				}
+			}
+			continue
+		}
+		srcN := int(ps.relOff[p.srcRel+1]) - int(srcOff)
+		for t := 0; t < srcN; t++ {
+			targets, weights := p.row(relational.TupleID(t))
+			if len(targets) == 0 {
 				continue
 			}
 			src := srcOff + int32(t)
-			uniform := p.rate / float64(hi-lo)
-			for k := lo; k < hi; k++ {
+			uniform := p.rate / float64(len(targets))
+			for k, tgt := range targets {
 				w := uniform
-				if p.weights != nil {
-					w = p.rate * p.weights[k]
+				if weights != nil {
+					w = p.rate * weights[k]
 				}
-				d := dstOff + int32(p.targets[k])
+				d := dstOff + int32(tgt)
 				ps.pullSrc[fill[d]] = src
 				ps.pullW[fill[d]] = w
 				fill[d]++
 			}
 		}
 	}
+	return nil
 }
 
 // NumPlans reports how many flows compiled to non-trivial push plans.
@@ -149,6 +231,9 @@ func (ps *Plans) Run(opts Options) (relational.DBScores, Stats, error) {
 	}
 	if opts.Epsilon <= 0 {
 		opts.Epsilon = 1e-9
+	}
+	if err := ps.ensurePull(); err != nil {
+		return nil, Stats{}, err
 	}
 	db := ps.g.DB
 	if ps.n == 0 {
@@ -226,6 +311,7 @@ func (ps *Plans) Run(opts Options) (relational.DBScores, Stats, error) {
 			break
 		}
 	}
+	stats.Updates = stats.Iterations * ps.n
 
 	scores := make(relational.DBScores, len(db.Relations))
 	for ri, r := range db.Relations {

@@ -1,29 +1,7 @@
-// Package rank computes global tuple-importance scores over the data graph.
-// It implements the two scoring schemes the paper uses (§2.2, §6):
-//
-//   - ObjectRank (Balmin et al., VLDB 2004): PageRank generalized with an
-//     Authority Transfer Schema Graph G_A that assigns an authority transfer
-//     rate to each schema edge and direction. Used for DBLP.
-//   - ValueRank (Fakas & Cai, DBRank 2009): ObjectRank extended so that the
-//     authority a tuple passes along an edge is distributed proportionally
-//     to the values of the receiving tuples (e.g. a $100 order receives more
-//     of its customer's authority than a $10 one). Used for TPC-H.
-//
-// Plain PageRank is also provided as a baseline. The size-l algorithms are
-// orthogonal to the scheme (§2.2 note); they only consume the resulting
-// per-tuple scores.
-//
-// Authority flows are declared on the *conceptual* schema graph, where an
-// M:N relationship (Paper—Author through the Writes junction) is a single
-// edge. A junction flow pushes authority through the junction rows to the
-// far side in one step, so junction tuples neither hold nor echo authority
-// for that flow — matching how G_A figures like the paper's Figure 13 are
-// drawn.
 package rank
 
 import (
 	"fmt"
-	"math"
 
 	"sizelos/internal/datagraph"
 	"sizelos/internal/relational"
@@ -151,6 +129,15 @@ type Options struct {
 	// iteration is unique, so any seed converges to the same scores — Warm
 	// affects only how fast.
 	Warm relational.DBScores
+	// ResidualBudget caps the number of Gauss–Southwell pushes a
+	// Plans.RunResidual call may perform before giving up on the localized
+	// path and falling back to the warm full iteration. 0 means four full
+	// sweeps' worth (4× the arena size): warm re-ranks typically run 15-30
+	// iterations of arena-wide updates, so a residual run still wins well
+	// past one sweep, while a genuinely global perturbation (or a
+	// high-damping setting whose slow modes need hundreds of sweeps) trips
+	// the budget early and takes the vectorized iteration instead.
+	ResidualBudget int
 }
 
 // DefaultOptions mirrors the paper's default setting: d=0.85, converged
@@ -165,12 +152,45 @@ type Stats struct {
 	Converged  bool
 	MaxDelta   float64
 	// WarmStart records whether a prior score vector seeded the run
-	// (Options.Warm), so callers can attribute saved iterations.
+	// (Options.Warm or a residual run's prior), so callers can attribute
+	// saved work.
 	WarmStart bool
+	// Updates counts node-score writes: Iterations × arena size for a full
+	// power iteration, the push count for a residual run. It is the common
+	// work metric residual mode is measured against.
+	Updates int
+	// Pushes counts Gauss–Southwell residual pushes (RunResidual only).
+	Pushes int
+	// ResidualNodes counts the distinct nodes a residual run touched
+	// (RunResidual only).
+	ResidualNodes int
+	// Fallback records that RunResidual abandoned the localized path (seed
+	// mass over the safety bound, or the push budget exhausted) and the
+	// reported scores come from the warm full iteration instead.
+	Fallback bool
 }
 
+// planKind discriminates how a source tuple's row of a compiled plan is
+// recomputed after a mutation (see residual.go).
+type planKind uint8
+
+const (
+	// planForward: direct FK flow, FK owner -> referenced tuple.
+	planForward planKind = iota
+	// planBackward: direct FK flow, referenced tuple -> its owners.
+	planBackward
+	// planJunction: two-hop flow through a junction relation.
+	planJunction
+	// planDegree: PageRank pseudo-flow, weights 1/total-degree. Built by
+	// CompilePageRank only; not incrementally maintainable.
+	planDegree
+)
+
 // plan is one compiled flow: a CSR adjacency from every tuple of srcRel to
-// its targets, with optional per-edge split weights.
+// its targets, with optional per-edge split weights. After Compile the CSR
+// arrays are frozen; Plans.Apply overlays mutated rows in patch (a present
+// key overrides the packed range — exactly the datagraph overlay idea, one
+// level up).
 type plan struct {
 	srcRel  int
 	dstRel  int
@@ -178,6 +198,50 @@ type plan struct {
 	offsets []int32
 	targets []relational.TupleID
 	weights []float64 // nil => uniform split per source tuple
+
+	// Incremental-maintenance metadata: how to detect and recompute the
+	// source rows a committed batch changed.
+	kind     planKind
+	dirIdx   int // direct plans: incident direction index on srcRel
+	ownerRel int // direct plans: relation ordinal owning the FK
+	ownerCol int // direct plans: FK column index in the owner relation
+	jRel     int // junction plans: junction relation ordinal
+	jFromCol int // junction plans: JFKFrom column index in the junction
+	etFrom   datagraph.EdgeType
+	etTo     datagraph.EdgeType
+	valueCol int // ValueRank value column in dstRel, -1 for uniform
+
+	// patch overrides rows that diverged from the packed CSR since
+	// Compile: sources touched by mutations, and sources inserted after
+	// the build (beyond offsets). Row slices are never mutated in place,
+	// so captured pre-mutation rows stay valid (see Pending).
+	patch map[relational.TupleID]patchRow
+}
+
+// patchRow is one overlaid source row: the current target list and split
+// weights (nil weights => uniform split).
+type patchRow struct {
+	targets []relational.TupleID
+	weights []float64
+}
+
+// row returns t's current target list and split weights (nil => uniform):
+// the overlay entry if one exists, the packed CSR range if t predates the
+// compile, empty otherwise. The returned slices must not be modified.
+func (p *plan) row(t relational.TupleID) ([]relational.TupleID, []float64) {
+	if p.patch != nil {
+		if r, ok := p.patch[t]; ok {
+			return r.targets, r.weights
+		}
+	}
+	if int(t)+1 < len(p.offsets) {
+		lo, hi := p.offsets[t], p.offsets[t+1]
+		if p.weights != nil {
+			return p.targets[lo:hi], p.weights[lo:hi]
+		}
+		return p.targets[lo:hi], nil
+	}
+	return nil, nil
 }
 
 // compile resolves ga's flows against the data graph into push plans.
@@ -199,12 +263,14 @@ func compile(g *datagraph.Graph, ga *GA, vf func(float64) float64) ([]plan, erro
 			return nil, err
 		}
 		p.rate = f.Rate
+		p.valueCol = -1
 		if f.ValueCol != "" {
 			target := db.Relations[p.dstRel]
 			col := target.ColIndex(f.ValueCol)
 			if col < 0 {
 				return nil, fmt.Errorf("rank: %s has no value column %s", target.Name, f.ValueCol)
 			}
+			p.valueCol = col
 			p.weights = splitWeights(p, target, col, vf)
 		}
 		plans = append(plans, p)
@@ -230,7 +296,15 @@ func compileDirect(g *datagraph.Graph, f Flow) (plan, error) {
 	}
 	for di, ed := range g.EdgeDirs(src) {
 		if ed.Type == et && ed.Forward == f.Forward {
-			p := plan{srcRel: src, dstRel: ed.OtherIdx}
+			kind := planForward
+			if !f.Forward {
+				kind = planBackward
+			}
+			p := plan{
+				srcRel: src, dstRel: ed.OtherIdx,
+				kind: kind, dirIdx: di,
+				ownerRel: db.RelIndex(f.Rel), ownerCol: rel.ColIndex(rel.FKs[f.FK].Column),
+			}
 			n := g.RelSize(src)
 			p.offsets = make([]int32, n+1)
 			for t := 0; t < n; t++ {
@@ -259,7 +333,12 @@ func compileJunction(g *datagraph.Graph, f Flow) (plan, error) {
 	etFrom := datagraph.EdgeType{Rel: f.Junction, FK: f.JFKFrom}
 	etTo := datagraph.EdgeType{Rel: f.Junction, FK: f.JFKTo}
 
-	p := plan{srcRel: src, dstRel: dst}
+	p := plan{
+		srcRel: src, dstRel: dst,
+		kind: planJunction, jRel: jIdx,
+		jFromCol: j.ColIndex(j.FKs[f.JFKFrom].Column),
+		etFrom:   etFrom, etTo: etTo,
+	}
 	n := g.RelSize(src)
 	p.offsets = make([]int32, n+1)
 	for t := 0; t < n; t++ {
@@ -348,102 +427,65 @@ func Compute(g *datagraph.Graph, ga *GA, opts Options) (relational.DBScores, Sta
 // its full authority uniformly across all neighbors over all edge types and
 // directions. It serves as a G_A-free baseline (§2.2 cites PageRank-inspired
 // ranking in BANKS).
+//
+// It is CompilePageRank + Run in one shot: the recurrence executes over the
+// same compiled pull arena as ObjectRank/ValueRank — one code path for the
+// cold, warm and parallel modes. Callers iterating several dampings should
+// CompilePageRank once and Run per damping.
 func ComputePageRank(g *datagraph.Graph, opts Options) (relational.DBScores, Stats, error) {
 	if opts.Damping < 0 || opts.Damping > 1 {
 		return nil, Stats{}, fmt.Errorf("rank: damping %v outside [0,1]", opts.Damping)
 	}
-	if opts.MaxIter <= 0 {
-		opts.MaxIter = 500
+	ps, err := CompilePageRank(g)
+	if err != nil {
+		return nil, Stats{}, err
 	}
-	if opts.Epsilon <= 0 {
-		opts.Epsilon = 1e-9
-	}
-	db := g.DB
-	return iterate(g, opts, func(cur, next [][]float64) {
-		for ri := range db.Relations {
-			dirs := g.EdgeDirs(ri)
-			for t := 0; t < g.RelSize(ri); t++ {
-				total := 0
-				for di := range dirs {
-					total += g.Degree(ri, relational.TupleID(t), di)
-				}
-				if total == 0 {
-					continue
-				}
-				share := opts.Damping * cur[ri][t] / float64(total)
-				for di, ed := range dirs {
-					for _, nb := range g.Neighbors(ri, relational.TupleID(t), di) {
-						next[ed.OtherIdx][nb] += share
-					}
-				}
-			}
-		}
-	})
+	return ps.Run(opts)
 }
 
-// iterate runs the shared power-iteration loop; push adds one round of
-// authority flow from cur into next (which has been reset to the base
-// score).
-func iterate(g *datagraph.Graph, opts Options, push func(cur, next [][]float64)) (relational.DBScores, Stats, error) {
+// CompilePageRank compiles the G_A-free PageRank baseline against the data
+// graph: one pseudo-flow per incident edge direction of every relation,
+// each edge weighted 1/total-degree of its source tuple, so a tuple splits
+// its full authority uniformly over all its neighbors across all edge
+// types. The result runs on the same arena and pull structure as compiled
+// G_A plans; it does not support incremental maintenance (Plans.Apply).
+func CompilePageRank(g *datagraph.Graph) (*Plans, error) {
 	db := g.DB
-	n := g.NumNodes()
-	if n == 0 {
-		return relational.DBScores{}, Stats{Converged: true}, nil
-	}
-	nRel := len(db.Relations)
-	cur := make([][]float64, nRel)
-	next := make([][]float64, nRel)
-	for ri, r := range db.Relations {
-		size := g.RelSize(ri)
-		cur[ri] = make([]float64, size)
-		next[ri] = make([]float64, size)
-		for i := range cur[ri] {
-			cur[ri][i] = 1 / float64(n)
+	var plans []plan
+	for ri := range db.Relations {
+		n := g.RelSize(ri)
+		dirs := g.EdgeDirs(ri)
+		if len(dirs) == 0 {
+			continue
 		}
-		if w := opts.Warm[r.Name]; w != nil {
-			if len(w) > size {
-				w = w[:size]
+		invDeg := make([]float64, n)
+		for t := 0; t < n; t++ {
+			total := 0
+			for di := range dirs {
+				total += g.Degree(ri, relational.TupleID(t), di)
 			}
-			copy(cur[ri], w)
-		}
-	}
-	base := (1 - opts.Damping) / float64(n)
-	stats := Stats{WarmStart: opts.Warm != nil}
-	for it := 0; it < opts.MaxIter; it++ {
-		for ri := range next {
-			for i := range next[ri] {
-				next[ri][i] = base
+			if total > 0 {
+				invDeg[t] = 1 / float64(total)
 			}
 		}
-		push(cur, next)
-		maxDelta := 0.0
-		for ri := range cur {
-			for i := range cur[ri] {
-				d := math.Abs(next[ri][i] - cur[ri][i])
-				if d > maxDelta {
-					maxDelta = d
+		for di, ed := range dirs {
+			p := plan{
+				srcRel: ri, dstRel: ed.OtherIdx, rate: 1,
+				kind: planDegree, dirIdx: di, valueCol: -1,
+			}
+			p.offsets = make([]int32, n+1)
+			for t := 0; t < n; t++ {
+				p.offsets[t] = int32(len(p.targets))
+				for _, nb := range g.Neighbors(ri, relational.TupleID(t), di) {
+					p.targets = append(p.targets, nb)
+					p.weights = append(p.weights, invDeg[t])
 				}
 			}
-		}
-		cur, next = next, cur
-		stats.Iterations = it + 1
-		stats.MaxDelta = maxDelta
-		if maxDelta < opts.Epsilon {
-			stats.Converged = true
-			break
+			p.offsets[n] = int32(len(p.targets))
+			plans = append(plans, p)
 		}
 	}
-
-	scores := make(relational.DBScores, nRel)
-	for ri, r := range db.Relations {
-		s := make(relational.Scores, len(cur[ri]))
-		copy(s, cur[ri])
-		scores[r.Name] = s
-	}
-	if opts.NormalizeMax > 0 {
-		Normalize(scores, opts.NormalizeMax)
-	}
-	return scores, stats, nil
+	return newPlans(g, plans, nil)
 }
 
 // Normalize linearly rescales scores in place so the global maximum equals

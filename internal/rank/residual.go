@@ -1,0 +1,507 @@
+package rank
+
+// Incremental rank maintenance: instead of re-running the full power
+// iteration after every mutation batch (even warm-started, each iteration
+// touches every node), Apply splices a committed batch's row changes into
+// the compiled plans and RunResidual repairs the prior fixed point with a
+// Gauss–Southwell-style residual push that only touches the region the
+// mutation actually perturbed.
+//
+// The math. The power iteration solves the linear system
+//
+//	x = b·1 + M·x,   b = (1−d)/N,   M[v,u] = d·α(e)·w(u→v)
+//
+// whose per-node residual r = b·1 + M·x − x is exactly the per-node delta
+// the full iteration's convergence scan measures. Given the prior fixed
+// point p (residual ≈ 0 under the OLD M and N) and the new system:
+//
+//   - Inserts grow N, which changes b for every node — a full-graph
+//     residual. But x is linear in b, so rescaling the prior by
+//     c = N_old/N_new makes c·p the exact fixed point of the new b under
+//     the old M, cancelling the uniform residual entirely. New slots seed
+//     at b_new (= c·b_old, the value that extends the old fixed point
+//     consistently).
+//   - Edge changes are local: M differs from the old M only in the columns
+//     of sources whose rows a batch changed. Seeding
+//     r[v] += d·(w_new(u→v) − w_old(u→v))·c·p[u] over exactly those rows
+//     yields the true residual of c·p under the new system (up to the
+//     prior's own sub-epsilon residual).
+//
+// A push at node u then moves r[u] into the score and propagates
+// d·w(u→v)·r[u] to u's flow targets, preserving the invariant
+// x = cur + (I−M)⁻¹r. FIFO processing of above-threshold nodes drives
+// max|r| below Options.Epsilon — the same convergence criterion, hence the
+// same fixed-point tolerance class, as the full iteration. Because the
+// per-source rate sums of real G_As can exceed 1 (DBLP's Paper emits 1.2),
+// the push is not 1-norm contractive at high damping; the push budget, not
+// a contraction argument, guarantees termination: a run that exhausts it —
+// or whose seed mass already dwarfs the prior's — falls back to the warm
+// full iteration, which is correct from any seed.
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+
+	"sizelos/internal/relational"
+)
+
+// Pending accumulates what residual re-ranking must know about the batches
+// applied since the last re-rank: the pre-mutation rows of every changed
+// source (first capture wins — the prior scores date from before the first
+// batch) and the arena geometry at capture time. One Pending serves every
+// damping run over the same Plans; the caller discards it after a
+// successful re-rank, or whenever a compaction remaps TupleIDs out from
+// under the captured rows.
+type Pending struct {
+	// oldN and oldSizes snapshot the arena at creation: the node count the
+	// prior scores converged under, and each relation's slot count (slots
+	// at or beyond oldSizes[ri] are fresh inserts the prior doesn't cover).
+	oldN     int
+	oldSizes []int32
+	// rows[pi] maps a changed source tuple of plan pi to its pre-mutation
+	// row. Row slices alias plan storage that is never mutated in place,
+	// so captures stay valid across later batches.
+	rows []map[relational.TupleID]patchRow
+}
+
+// NewPending snapshots the current arena geometry. Call it before the
+// first Apply after a re-rank, while the plans still describe the state
+// the prior scores converged under.
+func (ps *Plans) NewPending() *Pending {
+	p := &Pending{
+		oldN:     ps.n,
+		oldSizes: make([]int32, len(ps.relOff)-1),
+		rows:     make([]map[relational.TupleID]patchRow, len(ps.plans)),
+	}
+	for ri := range p.oldSizes {
+		p.oldSizes[ri] = ps.relOff[ri+1] - ps.relOff[ri]
+	}
+	return p
+}
+
+// Changes reports how many (plan, source) rows the pending delta covers.
+func (p *Pending) Changes() int {
+	n := 0
+	for _, m := range p.rows {
+		n += len(m)
+	}
+	return n
+}
+
+// capture records src's pre-mutation row for plan pi unless one is already
+// held (the prior predates every batch, so the first capture is the one
+// that pairs with it).
+func (p *Pending) capture(pi int, src relational.TupleID, targets []relational.TupleID, weights []float64) {
+	if p.rows[pi] == nil {
+		p.rows[pi] = make(map[relational.TupleID]patchRow)
+	}
+	if _, ok := p.rows[pi][src]; !ok {
+		p.rows[pi][src] = patchRow{targets: targets, weights: weights}
+	}
+}
+
+// Apply splices one committed relational batch into the compiled plans:
+// every source row the batch changed is recomputed from the (already
+// incrementally maintained) data graph and overlaid, in work proportional
+// to the tuples touched. The batch must already be applied to the plans'
+// database AND data graph — exactly the engine's Mutate ordering. pending,
+// when non-nil, captures each changed row's pre-mutation state for a later
+// RunResidual; nil just keeps the plans current.
+//
+// After Apply, Run produces the same scores a fresh Compile over the
+// mutated graph would (the pull transpose is rebuilt lazily from the
+// overlaid rows); plans built by CompilePageRank reject Apply.
+func (ps *Plans) Apply(res relational.BatchResult, pending *Pending) error {
+	rowsChanged := false
+	for pi := range ps.plans {
+		p := &ps.plans[pi]
+		if p.kind == planDegree {
+			return fmt.Errorf("rank: degree-normalized (PageRank) plans do not support incremental maintenance")
+		}
+		changed := ps.changedSources(p, res)
+		for _, t := range changed {
+			if pending != nil {
+				oldT, oldW := p.row(t)
+				pending.capture(pi, t, oldT, oldW)
+			}
+			targets, weights := ps.recomputeRow(p, t)
+			if p.patch == nil {
+				p.patch = make(map[relational.TupleID]patchRow)
+			}
+			p.patch[t] = patchRow{targets: targets, weights: weights}
+			rowsChanged = true
+		}
+	}
+	oldN := ps.n
+	nRel := len(ps.relOff) - 1
+	for ri := 0; ri < nRel; ri++ {
+		ps.relOff[ri+1] = ps.relOff[ri] + int32(ps.g.RelSize(ri))
+	}
+	ps.n = int(ps.relOff[nRel])
+	// The pull transpose no longer matches the overlaid rows or the arena
+	// layout; rebuild it lazily on the next full Run (the residual path
+	// never needs it). Relation sizes only grow, so an unchanged node
+	// count means the layout is intact too.
+	if rowsChanged || ps.n != oldN {
+		ps.pullOnce = new(sync.Once)
+		ps.pullErr = nil
+	}
+	return nil
+}
+
+// Patched reports how many overlaid source rows the plans carry across all
+// flows — the memory the incremental path has accumulated since Compile.
+// The engine reads it to decide when folding the overlay into fresh packed
+// plans (a recompile) pays for itself.
+func (ps *Plans) Patched() int {
+	n := 0
+	for pi := range ps.plans {
+		n += len(ps.plans[pi].patch)
+	}
+	return n
+}
+
+// changedSources returns, ascending and deduplicated, the source tuples of
+// p whose rows the batch changed: deleted and inserted tuples of the source
+// relation itself, plus — for backward and junction flows — the sources
+// whose neighbor lists gained or lost an edge because a referencing tuple
+// (FK owner or junction row) was inserted or deleted. The retained content
+// of tombstoned slots makes the FK values of deleted referencers readable;
+// a PK lookup that fails means the far end was deleted in the same batch
+// and is already covered by its own relation's delete list.
+func (ps *Plans) changedSources(p *plan, res relational.BatchResult) []relational.TupleID {
+	db := ps.g.DB
+	srcRel := db.Relations[p.srcRel]
+	// Early out for the common streaming case: the batch touched neither
+	// the source relation nor the relation whose tuples carry this plan's
+	// edges — no row can have changed, so skip the allocations entirely.
+	touched := len(res.Deleted[srcRel.Name])+len(res.Inserted[srcRel.Name]) > 0
+	if !touched {
+		switch p.kind {
+		case planBackward:
+			owner := db.Relations[p.ownerRel].Name
+			touched = len(res.Deleted[owner])+len(res.Inserted[owner]) > 0
+		case planJunction:
+			j := db.Relations[p.jRel].Name
+			touched = len(res.Deleted[j])+len(res.Inserted[j]) > 0
+		}
+	}
+	if !touched {
+		return nil
+	}
+	seen := make(map[relational.TupleID]bool)
+	for _, t := range res.Deleted[srcRel.Name] {
+		seen[t] = true
+	}
+	for _, t := range res.Inserted[srcRel.Name] {
+		seen[t] = true
+	}
+	addViaLookup := func(owner *relational.Relation, col int, ids []relational.TupleID) {
+		for _, id := range ids {
+			key := owner.Tuples[id][col].Int
+			if target, ok := srcRel.LookupPK(key); ok {
+				seen[target] = true
+			}
+		}
+	}
+	switch p.kind {
+	case planBackward:
+		owner := db.Relations[p.ownerRel]
+		addViaLookup(owner, p.ownerCol, res.Deleted[owner.Name])
+		addViaLookup(owner, p.ownerCol, res.Inserted[owner.Name])
+	case planJunction:
+		j := db.Relations[p.jRel]
+		addViaLookup(j, p.jFromCol, res.Deleted[j.Name])
+		addViaLookup(j, p.jFromCol, res.Inserted[j.Name])
+	}
+	if len(seen) == 0 {
+		return nil
+	}
+	out := make([]relational.TupleID, 0, len(seen))
+	for t := range seen {
+		out = append(out, t)
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a] < out[b] })
+	return out
+}
+
+// recomputeRow rebuilds source t's row of p from the maintained data graph
+// — the same traversal compileDirect/compileJunction perform for every
+// source at compile time, for one tuple. The returned slices are freshly
+// allocated (graph neighbor lists are mutated in place by later batches,
+// so they must not be aliased).
+func (ps *Plans) recomputeRow(p *plan, t relational.TupleID) ([]relational.TupleID, []float64) {
+	var targets []relational.TupleID
+	switch p.kind {
+	case planJunction:
+		for _, row := range ps.g.NeighborsAlong(p.srcRel, t, p.etFrom, false) {
+			targets = append(targets, ps.g.NeighborsAlong(p.jRel, row, p.etTo, true)...)
+		}
+	default:
+		nb := ps.g.Neighbors(p.srcRel, t, p.dirIdx)
+		if len(nb) > 0 {
+			targets = append(make([]relational.TupleID, 0, len(nb)), nb...)
+		}
+	}
+	if len(targets) == 0 || p.valueCol < 0 {
+		return targets, nil
+	}
+	// Value-proportional split (ValueRank): same math as splitWeights, for
+	// one source row.
+	target := ps.g.DB.Relations[p.dstRel]
+	weights := make([]float64, len(targets))
+	sum := 0.0
+	for k, tgt := range targets {
+		w := ps.vf(numericValue(target.Tuples[tgt][p.valueCol]))
+		if w < 0 {
+			w = 0
+		}
+		weights[k] = w
+		sum += w
+	}
+	if sum == 0 {
+		u := 1 / float64(len(targets))
+		for k := range weights {
+			weights[k] = u
+		}
+	} else {
+		for k := range weights {
+			weights[k] /= sum
+		}
+	}
+	return targets, weights
+}
+
+// residualMassBound is the fallback safety bound on the seeded residual:
+// when the batch perturbs more than this fraction of the prior's total
+// score mass, the mutation is global in effect and the warm full iteration
+// is the cheaper, better-vectorized repair.
+const residualMassBound = 0.5
+
+// residualSeedFrac caps how much of the arena may carry an above-threshold
+// seed before the localized premise is already void.
+const residualSeedFrac = 4 // fall back when seeds > n/residualSeedFrac
+
+// RunResidual repairs the prior fixed point after the batches recorded in
+// pending: it rescales the prior by N_old/N_new (cancelling the uniform
+// base-score shift inserts cause), seeds per-node residuals from exactly
+// the contribution rows the batches changed, and pushes residuals
+// Gauss–Southwell style until the max residual drops below Options.Epsilon
+// — the same convergence criterion the full iteration stops on, so the
+// result lands in the same fixed-point tolerance class. Edge work (the
+// expensive part a full iteration repeats every sweep) is proportional to
+// the perturbed region, not the graph; arena setup is one O(n) pass with
+// no edge traffic — the same order as the normalization pass any re-rank
+// already pays, and a small constant next to it.
+//
+// Options.Warm must hold the prior RAW scores the pending delta was
+// accumulated against; Options.ResidualBudget caps the pushes. When the
+// seed mass exceeds the safety bound, the seeds cover too much of the
+// arena, or the budget runs out, RunResidual falls back to the warm full
+// iteration over the same plans (Stats.Fallback reports it); either way
+// the returned scores satisfy the convergence contract.
+//
+// Safe to call concurrently on the same *Plans and *Pending (each run owns
+// its arenas); Apply must not run concurrently.
+func (ps *Plans) RunResidual(pending *Pending, opts Options) (relational.DBScores, Stats, error) {
+	if opts.Damping < 0 || opts.Damping > 1 {
+		return nil, Stats{}, fmt.Errorf("rank: damping %v outside [0,1]", opts.Damping)
+	}
+	if opts.Warm == nil {
+		return nil, Stats{}, fmt.Errorf("rank: RunResidual requires prior raw scores in Options.Warm")
+	}
+	if pending == nil {
+		return nil, Stats{}, fmt.Errorf("rank: RunResidual requires a Pending delta")
+	}
+	if opts.Epsilon <= 0 {
+		opts.Epsilon = 1e-9
+	}
+	db := ps.g.DB
+	if ps.n == 0 {
+		return relational.DBScores{}, Stats{Converged: true, WarmStart: true}, nil
+	}
+	budget := opts.ResidualBudget
+	if budget <= 0 {
+		budget = 4 * ps.n
+	}
+	d := opts.Damping
+	base := (1 - d) / float64(ps.n)
+	c := float64(pending.oldN) / float64(ps.n)
+
+	// cur is the rescaled prior: c·p on slots the prior covers, the base
+	// score on fresh inserts (the consistent extension of the old fixed
+	// point). relOf maps arena index -> relation ordinal for the push loop.
+	cur := make([]float64, ps.n)
+	relOf := make([]int32, ps.n)
+	priorMass := 0.0
+	for ri, r := range db.Relations {
+		w := opts.Warm[r.Name]
+		off := int(ps.relOff[ri])
+		size := int(ps.relOff[ri+1]) - off
+		oldSize := int(pending.oldSizes[ri])
+		for i := 0; i < size; i++ {
+			relOf[off+i] = int32(ri)
+			if i < oldSize && i < len(w) {
+				cur[off+i] = c * w[i]
+			} else {
+				cur[off+i] = base
+			}
+			priorMass += math.Abs(cur[off+i])
+		}
+	}
+
+	// Seed residuals from the changed rows: remove each captured old row's
+	// contributions, add the current row's, both valued at the rescaled
+	// prior of the source. Deterministic order: plan ordinal, then source
+	// ascending.
+	r := make([]float64, ps.n)
+	touched := make([]int32, 0, 64)
+	isTouched := make([]bool, ps.n)
+	mark := func(v int32) {
+		if !isTouched[v] {
+			isTouched[v] = true
+			touched = append(touched, v)
+		}
+	}
+	for pi := range ps.plans {
+		rows := pending.rows[pi]
+		if len(rows) == 0 {
+			continue
+		}
+		p := &ps.plans[pi]
+		srcOff := ps.relOff[p.srcRel]
+		dstOff := ps.relOff[p.dstRel]
+		srcs := make([]relational.TupleID, 0, len(rows))
+		for src := range rows {
+			srcs = append(srcs, src)
+		}
+		sort.Slice(srcs, func(a, b int) bool { return srcs[a] < srcs[b] })
+		for _, src := range srcs {
+			pv := cur[srcOff+int32(src)]
+			if pv == 0 {
+				continue
+			}
+			old := rows[src]
+			if len(old.targets) > 0 {
+				uniform := p.rate / float64(len(old.targets))
+				for k, tgt := range old.targets {
+					w := uniform
+					if old.weights != nil {
+						w = p.rate * old.weights[k]
+					}
+					v := dstOff + int32(tgt)
+					r[v] -= d * w * pv
+					mark(v)
+				}
+			}
+			targets, weights := p.row(src)
+			if len(targets) > 0 {
+				uniform := p.rate / float64(len(targets))
+				for k, tgt := range targets {
+					w := uniform
+					if weights != nil {
+						w = p.rate * weights[k]
+					}
+					v := dstOff + int32(tgt)
+					r[v] += d * w * pv
+					mark(v)
+				}
+			}
+		}
+	}
+
+	stats := Stats{WarmStart: true}
+	fallback := func() (relational.DBScores, Stats, error) {
+		sc, st, err := ps.Run(opts) // Options.Warm seeds the full iteration
+		st.Fallback = true
+		st.Pushes = stats.Pushes
+		st.ResidualNodes = stats.ResidualNodes
+		st.Updates += stats.Pushes // the abandoned pushes were real work
+		return sc, st, err
+	}
+
+	seedMass := 0.0
+	for _, v := range touched {
+		seedMass += math.Abs(r[v])
+	}
+	if seedMass > residualMassBound*priorMass || len(touched)*residualSeedFrac > ps.n {
+		return fallback()
+	}
+
+	// Gauss–Southwell push loop: FIFO over above-threshold nodes. Seeds
+	// enqueue in ascending arena order and every residual update is
+	// check-and-enqueue, so queue-empty ⟺ max|r| < ε, and the whole run is
+	// deterministic.
+	eps := opts.Epsilon
+	sort.Slice(touched, func(a, b int) bool { return touched[a] < touched[b] })
+	queue := make([]int32, 0, len(touched))
+	inQ := make([]bool, ps.n)
+	for _, v := range touched {
+		if math.Abs(r[v]) >= eps {
+			inQ[v] = true
+			queue = append(queue, v)
+		}
+	}
+	pushedNode := make([]bool, ps.n)
+	for head := 0; head < len(queue); head++ {
+		v := queue[head]
+		inQ[v] = false
+		rv := r[v]
+		if math.Abs(rv) < eps {
+			continue
+		}
+		if stats.Pushes >= budget {
+			return fallback()
+		}
+		cur[v] += rv
+		r[v] = 0
+		stats.Pushes++
+		if !pushedNode[v] {
+			pushedNode[v] = true
+			stats.ResidualNodes++
+		}
+		ri := relOf[v]
+		t := relational.TupleID(v - ps.relOff[ri])
+		for _, pi := range ps.bySrc[ri] {
+			p := &ps.plans[pi]
+			targets, weights := p.row(t)
+			if len(targets) == 0 {
+				continue
+			}
+			dstOff := ps.relOff[p.dstRel]
+			uniform := p.rate / float64(len(targets))
+			for k, tgt := range targets {
+				w := uniform
+				if weights != nil {
+					w = p.rate * weights[k]
+				}
+				dst := dstOff + int32(tgt)
+				r[dst] += d * w * rv
+				if !inQ[dst] && math.Abs(r[dst]) >= eps {
+					inQ[dst] = true
+					queue = append(queue, dst)
+				}
+			}
+		}
+	}
+	stats.Converged = true
+	stats.Updates = stats.Pushes
+	for _, v := range queue {
+		if a := math.Abs(r[v]); a > stats.MaxDelta {
+			stats.MaxDelta = a
+		}
+	}
+
+	scores := make(relational.DBScores, len(db.Relations))
+	for ri, rel := range db.Relations {
+		s := make(relational.Scores, ps.relOff[ri+1]-ps.relOff[ri])
+		copy(s, cur[ps.relOff[ri]:ps.relOff[ri+1]])
+		scores[rel.Name] = s
+	}
+	if opts.NormalizeMax > 0 {
+		Normalize(scores, opts.NormalizeMax)
+	}
+	return scores, stats, nil
+}

@@ -1,18 +1,3 @@
-// Package relational implements the in-memory relational storage engine
-// underlying the size-l Object Summary system. It is the substrate the paper
-// ran on MySQL: typed relations with primary/foreign keys, hash indexes for
-// key lookups and joins, and an importance-ordered foreign-key index that
-// supports the paper's Avoidance Condition 2 extraction
-//
-//	SELECT * TOP l FROM Ri WHERE tj.ID = Ri.ID AND Ri.li > largest-l
-//
-// as a bounded prefix scan instead of a full join.
-//
-// The engine is deliberately small and dependency-free (stdlib only), but it
-// is a real engine: all OS generation paths that the paper runs "directly
-// from the database" go through this package's scan/join operators and are
-// charged to an access counter so experiments can report I/O-equivalent
-// costs.
 package relational
 
 import (

@@ -1,0 +1,33 @@
+// Package schemagraph implements Data Subject Schema Graphs (G_DS): the
+// "treealization" of a database schema around a data-subject relation R_DS
+// (paper §2.1, Figures 2 and 12). A G_DS is a directed labeled tree whose
+// root is R_DS; child nodes are the relations reachable through foreign
+// keys, with looped and many-to-many relationships replicated under role
+// labels (Co-Author, PaperCites, PaperCitedBy, ...).
+//
+// Each node carries an affinity Af(Ri) to R_DS (Eq. 1) and, once annotated
+// against a ranking setting, the statistics max(Ri) and mmax(Ri) that drive
+// the prelim-l avoidance conditions (Def. 2, §5.3).
+//
+// Two construction paths are provided, mirroring the paper's note that
+// affinity can be computed from metrics or set by a domain expert:
+//
+//   - Expert: Build* methods assemble a G_DS with explicit affinities; the
+//     experiments use presets equal to the paper's Figures 2 and 12.
+//   - Automatic: Treealize derives the tree from the schema and computes
+//     affinities from distance/connectivity/cardinality metrics.
+//
+// # Invariants
+//
+//   - Annotation mutates nodes in place: clone before annotating against a
+//     different ranking setting (the engine keeps one annotated clone per
+//     (DS relation, setting) pair).
+//   - Max/MMax are UPPER bounds consumed by the prelim-l avoidance
+//     conditions: an understated bound can prune a tuple that belonged in
+//     the summary, an overstated one only costs work. Annotation sources
+//     (Annotate's vector scan and AnnotateMax's precomputed maxima) must
+//     agree; the engine refreshes annotations whenever a relation's score
+//     maximum moves beyond fixed-point tolerance.
+//   - Threshold(theta) keeps a node only if all its ancestors are kept —
+//     affinity decreases along paths, so G_DS(θ) is a subtree.
+package schemagraph

@@ -1,21 +1,3 @@
-// Package schemagraph implements Data Subject Schema Graphs (G_DS): the
-// "treealization" of a database schema around a data-subject relation R_DS
-// (paper §2.1, Figures 2 and 12). A G_DS is a directed labeled tree whose
-// root is R_DS; child nodes are the relations reachable through foreign
-// keys, with looped and many-to-many relationships replicated under role
-// labels (Co-Author, PaperCites, PaperCitedBy, ...).
-//
-// Each node carries an affinity Af(Ri) to R_DS (Eq. 1) and, once annotated
-// against a ranking setting, the statistics max(Ri) and mmax(Ri) that drive
-// the prelim-l avoidance conditions (Def. 2, §5.3).
-//
-// Two construction paths are provided, mirroring the paper's note that
-// affinity can be computed from metrics or set by a domain expert:
-//
-//   - Expert: Build* methods assemble a G_DS with explicit affinities; the
-//     experiments use presets equal to the paper's Figures 2 and 12.
-//   - Automatic: Treealize derives the tree from the schema and computes
-//     affinities from distance/connectivity/cardinality metrics.
 package schemagraph
 
 import (
@@ -270,13 +252,27 @@ func validateNode(db *relational.DB, n *Node) error {
 // reused across queries, §5.3), and mmax(Ri) the maximum max(Rj) over the
 // node's descendants (0 for leaves).
 func (g *GDS) Annotate(db *relational.DB, scores relational.DBScores) error {
+	maxByRel := make(map[string]float64, len(scores))
+	for rel, s := range scores {
+		maxByRel[rel] = s.MaxScore()
+	}
+	return g.AnnotateMax(maxByRel)
+}
+
+// AnnotateMax is Annotate from precomputed per-relation score maxima
+// instead of full score vectors: one O(nodes) walk, no per-node vector
+// scans. Callers that re-rank incrementally compute the maxima once per
+// setting (a single pass they already pay for presentation scaling) and
+// re-annotate every registered G_DS from the same table — and skip the
+// walk entirely for G_DSs whose relations' maxima did not move.
+func (g *GDS) AnnotateMax(maxByRel map[string]float64) error {
 	var rec func(n *Node) (float64, error)
 	rec = func(n *Node) (float64, error) {
-		s, ok := scores[n.Rel]
+		m, ok := maxByRel[n.Rel]
 		if !ok {
 			return 0, fmt.Errorf("gds: no scores for relation %s", n.Rel)
 		}
-		n.Max = s.MaxScore() * n.Affinity
+		n.Max = m * n.Affinity
 		n.MMax = 0
 		for _, c := range n.Children {
 			cm, err := rec(c)
@@ -287,7 +283,7 @@ func (g *GDS) Annotate(db *relational.DB, scores relational.DBScores) error {
 				n.MMax = cm
 			}
 		}
-		m := n.Max
+		m = n.Max
 		if n.MMax > m {
 			m = n.MMax
 		}

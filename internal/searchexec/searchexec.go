@@ -1,7 +1,3 @@
-// Package searchexec supplies the concurrency substrate of the engine's
-// query path: a bounded worker pool that preserves deterministic output
-// order, and a thread-safe LRU cache for size-l summaries so repeated
-// queries from many users skip regeneration.
 package searchexec
 
 import (

@@ -1,22 +1,3 @@
-// Package sizel implements the paper's primary contribution: computing a
-// size-l Object Summary — the connected, root-containing subtree of exactly
-// l tuples with maximum total local importance (Problem 1) — from a
-// complete or preliminary OS tree.
-//
-// Four algorithms are provided:
-//
-//   - DP (Algorithm 1): exact dynamic programming over the tree.
-//   - BruteForce: exhaustive enumeration of candidate size-l OSs, feasible
-//     only on tiny trees; used to verify DP in tests.
-//   - BottomUp (Algorithm 2): greedy leaf pruning with a priority queue,
-//     O(n log n); optimal whenever local importance is monotone
-//     non-increasing with depth (Lemma 2).
-//   - TopPath (Algorithm 3): greedy path insertion by maximum average path
-//     importance AI(p_i), with the subtree-champion optimization the paper
-//     sketches (s(v)).
-//
-// PrelimL (Algorithm 4) generates the preliminary partial OS with the two
-// avoidance conditions, on which any of the above can run.
 package sizel
 
 import (

@@ -1,10 +1,3 @@
-// Package snippet simulates the document-snippet baseline of the paper's
-// comparative evaluation (§6.1): each OS is stored as a flat text document
-// and a Google-Desktop-style engine produces a static snippet — boilerplate
-// header text plus the first few tuples of the document. The paper found
-// such snippets recover essentially none of the tuples human evaluators put
-// in their size-5 OSs, because static document summarization ignores
-// relational importance entirely.
 package snippet
 
 import (

@@ -1,0 +1,29 @@
+// Package tenancy turns the single-engine library into a multi-tenant
+// search substrate: a registry owns many named (DB, Engine, Index) triples
+// behind a lock-striped map, every tenant's summary work is bounded by one
+// shared searchexec pool, and concurrent identical requests to the same
+// tenant are batched through a per-tenant single-flight group so a burst of
+// the same hot query costs one computation. cmd/ossrv serves this registry
+// over HTTP.
+//
+// # Invariants
+//
+//   - Single-flight batching keys embed the engine's invalidation epoch
+//     (Engine.EpochFor) for the queried DS relation: a request issued
+//     after a mutation can never join — and inherit the result of — a
+//     flight computed against the pre-mutation state. Any future
+//     coalescing layer must preserve this or mutations become eventually
+//     visible instead of immediately visible.
+//   - Each tenant's summary-cache entries are namespaced by its name
+//     (SearchOptions.CacheScope), so per-tenant invalidation and quotas
+//     never bleed across tenants sharing one engine process.
+//   - The shared searchexec.Pool is the machine-wide concurrency budget:
+//     every tenant's cold summary computations pass through it, so a noisy
+//     tenant can queue behind the cap but never oversubscribe the host.
+//   - The tenant name "tenants" is reserved (it is the registry's own
+//     HTTP listing endpoint); Register rejects it.
+//   - Deregistration is safe against in-flight queries: running lookups
+//     finish against the tenant state they resolved, and a Deregister
+//     racing a cached lookup never panics or serves a half-removed tenant
+//     (asserted under -race).
+package tenancy

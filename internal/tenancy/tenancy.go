@@ -1,10 +1,3 @@
-// Package tenancy turns the single-engine library into a multi-tenant
-// search substrate: a registry owns many named (DB, Engine, Index) triples
-// behind a lock-striped map, every tenant's summary work is bounded by one
-// shared searchexec pool, and concurrent identical requests to the same
-// tenant are batched through a per-tenant single-flight group so a burst of
-// the same hot query costs one computation. cmd/ossrv serves this registry
-// over HTTP.
 package tenancy
 
 import (

@@ -21,6 +21,7 @@ import (
 
 	"sizelos/internal/datagraph"
 	"sizelos/internal/keyword"
+	"sizelos/internal/rank"
 	"sizelos/internal/relational"
 )
 
@@ -50,13 +51,16 @@ type TupleDelete struct {
 type MutationBatch struct {
 	Deletes []TupleDelete
 	Inserts []TupleInsert
-	// Rerank re-runs every ranking setting's power iteration over the
-	// mutated data graph and re-annotates all registered G_DSs, so the new
+	// Rerank refreshes every ranking setting's global importance over the
+	// mutated data graph — by localized residual push when the accumulated
+	// deltas allow it, by warm-started full iteration otherwise — and
+	// re-annotates the registered G_DSs whose inputs moved, so the new
 	// tuples earn real global importance. Without it the batch is cheap:
 	// new tuples score 0 until the next re-ranked batch, and every cached
 	// summary whose DS relation cannot reach a touched relation stays warm.
 	// A re-rank changes scores globally, so it advances every relation's
-	// epoch.
+	// epoch — except a no-op rerank-only batch right after a re-rank, whose
+	// scores (and cached summaries) are provably unchanged and reused.
 	Rerank bool
 }
 
@@ -84,7 +88,8 @@ type MutationResult struct {
 
 // RerankStat describes one setting's re-rank during a mutation batch.
 type RerankStat struct {
-	// Iterations the warm-started power iteration ran.
+	// Iterations the full power iteration ran (0 for a completed residual
+	// repair, which never sweeps the whole arena).
 	Iterations int
 	// IterationsSaved vs the cold-start count NewEngine measured for this
 	// setting (floored at zero — a heavily mutated graph can genuinely need
@@ -92,6 +97,22 @@ type RerankStat struct {
 	IterationsSaved int
 	// WarmStart records whether a prior vector seeded the run.
 	WarmStart bool
+	// Residual records that this setting took the residual-push path
+	// (possibly falling back; see FallbackTaken).
+	Residual bool
+	// Pushes counts the Gauss–Southwell residual pushes performed.
+	Pushes int
+	// NodesTouched counts the distinct nodes the residual repair updated
+	// (the full iteration touches every node every iteration; see Updates).
+	NodesTouched int
+	// Updates counts node-score writes: Iterations × node count for a full
+	// iteration, Pushes for a completed residual repair — the common work
+	// metric the two modes are compared by.
+	Updates int
+	// FallbackTaken records that the residual path was attempted but
+	// abandoned (seed mass over the safety bound, or push budget
+	// exhausted); the reported scores come from the warm full iteration.
+	FallbackTaken bool
 }
 
 // Mutate applies a batch of tuple inserts and deletes end to end: the
@@ -171,6 +192,24 @@ func (e *Engine) Mutate(b MutationBatch) (MutationResult, error) {
 				}
 			}
 		}
+		// Splice the same delta into each compiled G_A's push plans (work
+		// proportional to the touched rows), capturing the pre-mutation
+		// rows the next residual-push re-rank will seed from. The pending
+		// delta must be created before this batch's Apply resizes the
+		// arena, so its geometry matches the state the prior raw scores
+		// converged under.
+		for ga, ps := range e.plans {
+			var pend *rank.Pending
+			if e.residualOK {
+				if e.pending[ga] == nil {
+					e.pending[ga] = ps.NewPending()
+				}
+				pend = e.pending[ga]
+			}
+			if err := ps.Apply(res, pend); err != nil {
+				return result, fmt.Errorf("%w: incremental rank plans: %v", ErrMutationInternal, err)
+			}
+		}
 	}
 
 	// Amortized maintenance: reclaim tombstone-heavy relations and fold an
@@ -180,37 +219,27 @@ func (e *Engine) Mutate(b MutationBatch) (MutationResult, error) {
 	}
 
 	if b.Rerank {
-		scores, raw, stats, err := computeScores(e.graph, e.settings, e.rawScores)
+		changed, err := e.rerankLocked(&result)
 		if err != nil {
-			return result, fmt.Errorf("%w: re-rank: %v", ErrMutationInternal, err)
-		}
-		e.scores = scores
-		e.rawScores = raw
-		result.RerankStats = make(map[string]RerankStat, len(stats))
-		for name, st := range stats {
-			saved := e.coldIters[name] - st.Iterations
-			if saved < 0 {
-				saved = 0
-			}
-			result.RerankStats[name] = RerankStat{
-				Iterations:      st.Iterations,
-				IterationsSaved: saved,
-				WarmStart:       st.WarmStart,
-			}
-		}
-		for ds, base := range e.baseGDS {
-			perSetting, err := e.annotateLocked(base)
-			if err != nil {
-				return result, fmt.Errorf("%w: re-annotate: %v", ErrMutationInternal, err)
-			}
-			e.gds[ds] = perSetting
+			return result, err
 		}
 		result.Reranked = true
-		// New scores invalidate every summary, not just the touched
-		// relations'.
-		for rel := range e.epochs {
-			e.epochs[rel]++
-			result.Epochs[rel] = e.epochs[rel]
+		if changed {
+			// New scores invalidate every summary, not just the touched
+			// relations'.
+			for rel := range e.epochs {
+				e.epochs[rel]++
+				result.Epochs[rel] = e.epochs[rel]
+			}
+		} else {
+			// The re-rank reused the already-converged scores (a no-op
+			// rerank-only batch): every cached summary is still exactly
+			// valid, so no epoch moves — a periodic rerank heartbeat must
+			// not wipe warm caches. touched is empty here by construction.
+			for _, rel := range touched {
+				e.epochs[rel]++
+				result.Epochs[rel] = e.epochs[rel]
+			}
 		}
 	} else {
 		for _, rel := range touched {
@@ -219,6 +248,101 @@ func (e *Engine) Mutate(b MutationBatch) (MutationResult, error) {
 		}
 	}
 	return result, nil
+}
+
+// residualRefreshInterval bounds how many consecutive re-ranks may take
+// the residual path before one full warm iteration re-grounds the scores:
+// each residual repair inherits its prior's sub-epsilon residual, so the
+// drift grows (linearly, at epsilon scale) until a full convergence resets
+// it. Well inside the fixed-point tolerance at this cadence.
+const residualRefreshInterval = 16
+
+// rerankLocked recomputes every setting's global importance over the
+// mutated graph and refreshes the G_DS annotations whose inputs moved.
+// Mode selection: the residual-push repair runs when it is enabled, the
+// pending deltas cover every change since the last full convergence (no
+// compaction intervened), and the periodic full refresh isn't due; a
+// re-rank with no pending changes at all reuses the served scores as-is
+// (they are already the converged fixed point). The returned bool reports
+// whether the served scores were recomputed (false only for the reuse
+// case, whose scores — and therefore cached summaries — are unchanged).
+// Callers hold the write lock.
+func (e *Engine) rerankLocked(result *MutationResult) (changed bool, err error) {
+	residual := e.residualEnabled && e.residualOK && e.residualRuns < residualRefreshInterval
+	tookResidual := residual && len(e.pending) > 0
+
+	var stats map[string]rank.Stats
+	switch {
+	case residual && len(e.pending) == 0:
+		// Nothing mutated since the last re-rank: the served scores are
+		// already the converged fixed point of the current graph.
+		stats = make(map[string]rank.Stats, len(e.settings))
+		for _, s := range e.settings {
+			stats[s.Name] = rank.Stats{Converged: true, WarmStart: true}
+		}
+	case residual:
+		scores, raw, relMax, st, rerr := runSettings(e.settings, e.rawScores,
+			func(s Setting, opts rank.Options) (relational.DBScores, rank.Stats, error) {
+				opts.ResidualBudget = e.residualBudget
+				return e.plans[s.GA].RunResidual(e.pending[s.GA], opts)
+			})
+		if rerr != nil {
+			return false, fmt.Errorf("%w: residual re-rank: %v", ErrMutationInternal, rerr)
+		}
+		e.scores, e.rawScores, e.relMax = scores, raw, relMax
+		stats = st
+		changed = true
+	default:
+		scores, raw, relMax, st, rerr := computeScores(e.plans, e.settings, e.rawScores)
+		if rerr != nil {
+			return false, fmt.Errorf("%w: re-rank: %v", ErrMutationInternal, rerr)
+		}
+		e.scores, e.rawScores, e.relMax = scores, raw, relMax
+		stats = st
+		changed = true
+	}
+
+	result.RerankStats = make(map[string]RerankStat, len(stats))
+	pushRepairs, fallbacks := 0, 0
+	for name, st := range stats {
+		saved := e.coldIters[name] - st.Iterations
+		if saved < 0 {
+			saved = 0
+		}
+		if st.Fallback {
+			fallbacks++
+		} else if st.Pushes > 0 {
+			pushRepairs++
+		}
+		result.RerankStats[name] = RerankStat{
+			Iterations:      st.Iterations,
+			IterationsSaved: saved,
+			WarmStart:       st.WarmStart,
+			Residual:        tookResidual,
+			Pushes:          st.Pushes,
+			NodesTouched:    st.ResidualNodes,
+			Updates:         st.Updates,
+			FallbackTaken:   st.Fallback,
+		}
+	}
+	if _, err := e.reannotateChangedLocked(); err != nil {
+		return changed, fmt.Errorf("%w: re-annotate: %v", ErrMutationInternal, err)
+	}
+	// The served scores are a converged fixed point again: residual deltas
+	// restart from here. The refresh counter tracks accumulated drift, so
+	// it only advances when a setting actually completed a push repair
+	// (which inherits its prior's sub-epsilon residual); a full iteration
+	// — explicit or via every setting falling back — re-grounds the drift
+	// and resets it, and no-op reuse or pure-rescale re-ranks add nothing.
+	e.pending = make(map[*rank.GA]*rank.Pending)
+	e.residualOK = true
+	switch {
+	case !residual, tookResidual && fallbacks == len(stats):
+		e.residualRuns = 0
+	case pushRepairs > 0:
+		e.residualRuns++
+	}
+	return changed, nil
 }
 
 // maybeCompactLocked runs the amortized maintenance passes of one Mutate:
@@ -245,12 +369,52 @@ func (e *Engine) maybeCompactLocked(result *MutationResult, inserts []TupleInser
 	// Folding the overlay is pure maintenance: node ids don't move, results
 	// don't change, no epoch rotates — so no error path leaves derived
 	// state inconsistent and cached summaries stay valid.
+	foldPlans := false
 	if p := e.graph.Patched(); p > overlayFoldMin && p*4 > e.graph.NumNodes() {
 		g, err := datagraph.Build(e.db)
 		if err != nil {
 			return fmt.Errorf("%w: fold graph overlay: %v", ErrMutationInternal, err)
 		}
 		e.graph = g
+		// The compiled plans recompute rows from the graph they were built
+		// against; rebind them to the fresh object by recompiling.
+		foldPlans = true
+	}
+	if !foldPlans {
+		// The plans carry their own per-source overlay; fold it back into
+		// packed arrays on the same economics as the graph overlay.
+		for _, ps := range e.plans {
+			if p := ps.Patched(); p > overlayFoldMin && p*4 > e.graph.NumNodes() {
+				foldPlans = true
+				break
+			}
+		}
+	}
+	if foldPlans {
+		// TupleIDs are unchanged by a fold, so the pending residual deltas
+		// (captured pre-mutation rows) stay valid across the recompile.
+		if err := e.recompilePlansLocked(true); err != nil {
+			return fmt.Errorf("%w: recompile rank plans: %v", ErrMutationInternal, err)
+		}
+	}
+	return nil
+}
+
+// recompilePlansLocked rebuilds every G_A's compiled plans against the
+// current graph. keepPending preserves the accumulated residual deltas
+// (sound when TupleIDs did not move — an overlay fold); a compaction
+// remaps ids out from under the captured rows, so it passes false, which
+// also forces the next re-rank onto the warm full iteration. Callers hold
+// the write lock.
+func (e *Engine) recompilePlansLocked(keepPending bool) error {
+	plans, err := compilePlans(e.graph, e.settings)
+	if err != nil {
+		return err
+	}
+	e.plans = plans
+	if !keepPending {
+		e.pending = make(map[*rank.GA]*rank.Pending)
+		e.residualOK = false
 	}
 	return nil
 }
@@ -312,15 +476,27 @@ func (e *Engine) compactLocked(rels []string, result *MutationResult, inserts []
 		return fmt.Errorf("%w: rebuild data graph after compaction: %v", ErrMutationInternal, err)
 	}
 	e.graph = g
-	// Re-annotate registered G_DSs: dropping tombstoned entries can lower a
-	// relation's max score, and tighter Max/MMax bounds mean better pruning.
+	// The remap moved TupleIDs out from under the compiled plans and any
+	// captured residual deltas: recompile fresh and force the next re-rank
+	// onto the warm full iteration.
+	if err := e.recompilePlansLocked(false); err != nil {
+		return fmt.Errorf("%w: recompile rank plans after compaction: %v", ErrMutationInternal, err)
+	}
+	// Refresh the Max/MMax annotation inputs of the compacted relations:
+	// dropping tombstoned entries can lower a relation's max score, and
+	// tighter bounds mean better pruning. Only G_DSs whose inputs actually
+	// moved are re-annotated. When the caller is about to re-rank, both the
+	// maxima and the annotations are refreshed there against the new scores
+	// — relMax must then keep matching the *current* annotations, so the
+	// re-rank's own moved-input check starts from the right baseline.
 	if !skipAnnotate {
-		for ds, base := range e.baseGDS {
-			perSetting, err := e.annotateLocked(base)
-			if err != nil {
-				return fmt.Errorf("%w: re-annotate after compaction: %v", ErrMutationInternal, err)
+		for name, m := range e.relMax {
+			for rel := range remaps {
+				m[rel] = e.scores[name][rel].MaxScore()
 			}
-			e.gds[ds] = perSetting
+		}
+		if _, err := e.reannotateChangedLocked(); err != nil {
+			return fmt.Errorf("%w: re-annotate after compaction: %v", ErrMutationInternal, err)
 		}
 	}
 	return nil
