@@ -21,12 +21,15 @@ import (
 	"runtime"
 	"sync"
 	"testing"
+	"time"
 
 	"sizelos"
 	"sizelos/internal/datagen"
 	"sizelos/internal/datagraph"
+	"sizelos/internal/durable"
 	"sizelos/internal/eval"
 	"sizelos/internal/keyword"
+	"sizelos/internal/mutgen"
 	"sizelos/internal/ostree"
 	"sizelos/internal/rank"
 	"sizelos/internal/relational"
@@ -718,4 +721,144 @@ func BenchmarkRerankResidual(b *testing.B) {
 	}
 	b.Run("residual", stream(true))
 	b.Run("warm-full", stream(false))
+}
+
+// durableBenchEngine opens a small DBLP engine attached to a WAL in a
+// fresh MemFS-backed store (in-memory so the numbers track the durability
+// tier's CPU cost — framing, checksumming, replay — not disk latency).
+func durableBenchEngine(b *testing.B, opts durable.Options) (*sizelos.Engine, *durable.Store, *durable.TenantStore) {
+	b.Helper()
+	store, err := durable.Open(durable.NewMemFS(), opts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ts := store.Tenant("bench")
+	eng, _, err := ts.Recover(sizelos.RestoreDBLP, func() (*sizelos.Engine, error) {
+		cfg := datagen.DefaultDBLPConfig()
+		cfg.Authors = 40
+		cfg.Papers = 130
+		cfg.Conferences = 4
+		cfg.YearSpan = 3
+		return sizelos.OpenDBLP(cfg)
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return eng, store, ts
+}
+
+// toDurableBatch lifts a generated relational batch to the engine type.
+func toDurableBatch(rb relational.Batch) sizelos.MutationBatch {
+	var mb sizelos.MutationBatch
+	for _, d := range rb.Deletes {
+		mb.Deletes = append(mb.Deletes, sizelos.TupleDelete{Rel: d.Rel, PK: d.PK})
+	}
+	for _, in := range rb.Inserts {
+		mb.Inserts = append(mb.Inserts, sizelos.TupleInsert{Rel: in.Rel, Tuple: in.Tuple})
+	}
+	return mb
+}
+
+// BenchmarkWALAppend measures the durable commit path: Engine.Mutate with
+// a WAL attached, so each op pays gob encoding, CRC framing, the log
+// write and (in sync-always mode) the sync, on top of the in-memory
+// mutation work the MutateIncremental family tracks on its own.
+func BenchmarkWALAppend(b *testing.B) {
+	for _, mode := range []struct {
+		name string
+		opts durable.Options
+	}{
+		{"sync-always", durable.Options{}},
+		{"group-commit", durable.Options{SyncInterval: time.Millisecond}},
+	} {
+		b.Run(mode.name, func(b *testing.B) {
+			// Both the store and the WAL segment grow with every committed
+			// batch (and MemFS re-copies the whole segment on each fsync),
+			// so an unbounded run would measure ever-larger state instead
+			// of the commit path. Reset to a fresh engine every resetEvery
+			// commits — off the clock — to keep ns/op independent of b.N.
+			const resetEvery = 256
+			var (
+				eng *sizelos.Engine
+				ts  *durable.TenantStore
+				gen *mutgen.Gen
+			)
+			reset := func() {
+				if ts != nil {
+					if err := ts.Close(); err != nil {
+						b.Fatal(err)
+					}
+				}
+				eng, _, ts = durableBenchEngine(b, mode.opts)
+				// The generator tracks the live store, so every batch
+				// commits (and therefore appends).
+				gen = mutgen.New(eng.DB(), 1)
+			}
+			reset()
+			defer func() {
+				if err := ts.Close(); err != nil {
+					b.Fatal(err)
+				}
+			}()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				if i > 0 && i%resetEvery == 0 {
+					reset()
+				}
+				batch := toDurableBatch(gen.NextBatch())
+				b.StartTimer()
+				if len(batch.Deletes) == 0 && len(batch.Inserts) == 0 {
+					continue
+				}
+				if _, err := eng.Mutate(batch); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkRecoveryReplay measures crash recovery: restore the newest
+// snapshot and replay a 32-record WAL tail through the engine's
+// incremental write path. The store is seeded once (32 batches, snapshot,
+// 32 more batches, close); each iteration is then one full recovery from
+// that fixed disk state.
+func BenchmarkRecoveryReplay(b *testing.B) {
+	eng, store, ts := durableBenchEngine(b, durable.Options{})
+	gen := mutgen.New(eng.DB(), 2)
+	mutate := func(n int) {
+		for i := 0; i < n; i++ {
+			if _, err := eng.Mutate(toDurableBatch(gen.NextBatch())); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	mutate(32)
+	if _, err := ts.Snapshot(eng); err != nil {
+		b.Fatal(err)
+	}
+	mutate(32)
+	if err := ts.Close(); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rt := store.Tenant("bench")
+		recovered, info, err := rt.Recover(sizelos.RestoreDBLP, func() (*sizelos.Engine, error) {
+			b.Fatal("recovery fell back to a fresh rebuild; snapshot lost")
+			return nil, nil
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if recovered == nil || info.Replayed != 32 {
+			b.Fatalf("recovery replayed %d records, want 32", info.Replayed)
+		}
+		b.StopTimer()
+		if err := rt.Close(); err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+	}
 }

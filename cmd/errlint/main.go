@@ -1,0 +1,131 @@
+// Command errlint is a repo-local, dependency-free errcheck for the error
+// class that bit this codebase's write paths: a statement-position call to
+// Close, Sync or Flush whose error result is silently discarded. On
+// buffered or os-backed writers those are exactly the calls that surface a
+// failed write, so dropping them turns data loss into a green path.
+//
+//	go run ./cmd/errlint            # lint the whole repo
+//	go run ./cmd/errlint internal cmd
+//
+// The check is syntactic (no type information), which keeps the tool
+// dependency-free and fast; it is tuned to this repository, where every
+// method named Close/Sync/Flush returns an error. Legitimate discards are
+// written explicitly and are not flagged:
+//
+//	defer f.Close()         // deferred cleanup — exempt
+//	_ = f.Close()           // explicit, visible discard — exempt
+//	f.Close() //errlint:ok  // annotated exemption (e.g. a void Close)
+//
+// Test files are skipped by default (discarding a response-body Close in a
+// test helper is conventional, not data loss); -tests includes them. Exit
+// status is non-zero when any finding is reported, so CI can run it as a
+// gate.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// watched is the set of method/function names whose discarded error is a
+// finding.
+var watched = map[string]bool{"Close": true, "Sync": true, "Flush": true}
+
+func main() {
+	tests := flag.Bool("tests", false, "lint _test.go files too")
+	flag.Parse()
+	roots := flag.Args()
+	if len(roots) == 0 {
+		roots = []string{"."}
+	}
+	findings := 0
+	fset := token.NewFileSet()
+	for _, root := range roots {
+		err := filepath.WalkDir(root, func(p string, d fs.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if d.IsDir() {
+				name := d.Name()
+				if name != "." && (strings.HasPrefix(name, ".") || name == "testdata") {
+					return fs.SkipDir
+				}
+				return nil
+			}
+			if !strings.HasSuffix(p, ".go") {
+				return nil
+			}
+			if !*tests && strings.HasSuffix(p, "_test.go") {
+				return nil
+			}
+			n, err := lintFile(fset, p)
+			if err != nil {
+				return err
+			}
+			findings += n
+			return nil
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "errlint: %v\n", err)
+			os.Exit(2)
+		}
+	}
+	if findings > 0 {
+		fmt.Fprintf(os.Stderr, "errlint: %d discarded error(s)\n", findings)
+		os.Exit(1)
+	}
+}
+
+// lintFile reports every unannotated statement-position Close/Sync/Flush
+// call in one file.
+func lintFile(fset *token.FileSet, path string) (int, error) {
+	file, err := parser.ParseFile(fset, path, nil, parser.ParseComments|parser.SkipObjectResolution)
+	if err != nil {
+		return 0, fmt.Errorf("parse %s: %w", path, err)
+	}
+	// Lines carrying an //errlint:ok annotation are exempt.
+	exempt := map[int]bool{}
+	for _, cg := range file.Comments {
+		for _, c := range cg.List {
+			if strings.Contains(c.Text, "errlint:ok") {
+				exempt[fset.Position(c.Pos()).Line] = true
+			}
+		}
+	}
+	findings := 0
+	ast.Inspect(file, func(n ast.Node) bool {
+		stmt, ok := n.(*ast.ExprStmt)
+		if !ok {
+			return true
+		}
+		call, ok := stmt.X.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		var name string
+		switch fn := call.Fun.(type) {
+		case *ast.SelectorExpr:
+			name = fn.Sel.Name
+		case *ast.Ident:
+			name = fn.Name
+		}
+		if !watched[name] {
+			return true
+		}
+		pos := fset.Position(call.Pos())
+		if exempt[pos.Line] {
+			return true
+		}
+		fmt.Printf("%s:%d:%d: statement discards the error from %s()\n", pos.Filename, pos.Line, pos.Column, name)
+		findings++
+		return true
+	})
+	return findings, nil
+}

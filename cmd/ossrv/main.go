@@ -16,18 +16,37 @@
 // Pass -tenant none to start with an empty registry and register every
 // tenant dynamically. -addr :0 picks a free port; the chosen address is in
 // the "listening on" log line.
+//
+// With -data-dir the service runs durably: every committed mutation batch
+// is written to a per-tenant write-ahead log before the request is
+// acknowledged, state snapshots are taken on a timer (and at shutdown),
+// and a restart recovers each tenant from its newest valid snapshot plus
+// WAL-tail replay. Tenants recorded in the manifest recover lazily on
+// first touch; tenants named by -tenant flags recover eagerly at boot.
+// Without -data-dir nothing is persisted and behavior is identical to the
+// in-memory-only service. SIGINT/SIGTERM trigger a graceful shutdown:
+// in-flight requests drain (bounded by -drain), then every tenant takes a
+// final snapshot and its WAL is flushed and closed.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"net"
 	"net/http"
+	"os"
+	"os/signal"
 	"strings"
+	"sync"
+	"syscall"
+	"time"
 
 	"sizelos"
 	"sizelos/internal/datagen"
+	"sizelos/internal/durable"
 	"sizelos/internal/tenancy"
 )
 
@@ -41,13 +60,133 @@ func (t *tenantFlags) Set(v string) error {
 	return nil
 }
 
+// durableHub wires the registry's durability seam to a durable.Store: it
+// recovers tenants from their WAL+snapshot directories, records the tenant
+// lifecycle in the store manifest, and tracks every open TenantStore so
+// the snapshot ticker and the shutdown path can reach them.
+type durableHub struct {
+	store       *durable.Store
+	defaultSeed int64
+
+	mu      sync.Mutex
+	tenants map[string]*durableTenant
+}
+
+type durableTenant struct {
+	ts  *durable.TenantStore
+	eng *sizelos.Engine
+}
+
+func newDurableHub(store *durable.Store, defaultSeed int64) *durableHub {
+	return &durableHub{store: store, defaultSeed: defaultSeed, tenants: make(map[string]*durableTenant)}
+}
+
+// resolveSeed pins a concrete seed: dataset recipes must not silently
+// change when the -seed default does, so specs are recorded resolved.
+func (h *durableHub) resolveSeed(s int64) int64 {
+	if s > 0 {
+		return s
+	}
+	return h.defaultSeed
+}
+
+// Recover implements tenancy.Recoverer: rebuild the tenant from its
+// durable directory (newest valid snapshot + WAL-tail replay; a fresh
+// dataset build when nothing durable exists yet) and leave its WAL
+// attached as the engine's mutation log.
+func (h *durableHub) Recover(spec tenancy.TenantSpec) (*sizelos.Engine, error) {
+	restore, err := restorer(spec.Dataset)
+	if err != nil {
+		return nil, err
+	}
+	seed := h.resolveSeed(spec.Seed)
+	ts := h.store.Tenant(spec.Name)
+	eng, info, err := ts.Recover(restore, func() (*sizelos.Engine, error) {
+		return openDataset(spec.Dataset, seed)
+	})
+	if err != nil {
+		return nil, err
+	}
+	h.mu.Lock()
+	h.tenants[spec.Name] = &durableTenant{ts: ts, eng: eng}
+	h.mu.Unlock()
+	log.Printf("ossrv: tenant %s recovered (dataset %s, snapshot seq %d, %d records replayed, seq %d)",
+		spec.Name, spec.Dataset, info.SnapshotSeq, info.Replayed, info.Seq)
+	return eng, nil
+}
+
+// RecordTenant implements tenancy.Durability.
+func (h *durableHub) RecordTenant(spec tenancy.TenantSpec) error {
+	return h.store.RecordTenant(durable.TenantSpec{
+		Name:    spec.Name,
+		Dataset: spec.Dataset,
+		Seed:    h.resolveSeed(spec.Seed),
+		Cache:   spec.Cache,
+	})
+}
+
+// ForgetTenant implements tenancy.Durability: close the tenant's WAL if it
+// was recovered, then drop it from the manifest and delete its directory.
+func (h *durableHub) ForgetTenant(name string) error {
+	h.mu.Lock()
+	dt := h.tenants[name]
+	delete(h.tenants, name)
+	h.mu.Unlock()
+	if dt != nil {
+		if err := dt.ts.Close(); err != nil {
+			log.Printf("ossrv: tenant %s: close WAL: %v", name, err)
+		}
+	}
+	return h.store.ForgetTenant(name)
+}
+
+// snapshotAll captures a snapshot of every recovered tenant. Errors are
+// logged, not fatal: the WAL still has every committed record, so a failed
+// snapshot only means a longer replay at the next recovery.
+func (h *durableHub) snapshotAll() {
+	for name, dt := range h.open() {
+		if seq, err := dt.ts.Snapshot(dt.eng); err != nil {
+			log.Printf("ossrv: tenant %s: snapshot: %v", name, err)
+		} else {
+			log.Printf("ossrv: tenant %s: snapshot through seq %d", name, seq)
+		}
+	}
+}
+
+// closeAll flushes and closes every open WAL (shutdown path).
+func (h *durableHub) closeAll() {
+	for name, dt := range h.open() {
+		if err := dt.ts.Close(); err != nil {
+			log.Printf("ossrv: tenant %s: close WAL: %v", name, err)
+		}
+	}
+	h.mu.Lock()
+	h.tenants = make(map[string]*durableTenant)
+	h.mu.Unlock()
+}
+
+func (h *durableHub) open() map[string]*durableTenant {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	open := make(map[string]*durableTenant, len(h.tenants))
+	for name, dt := range h.tenants {
+		open[name] = dt
+	}
+	return open
+}
+
 func main() {
 	var tenants tenantFlags
 	var (
-		addr  = flag.String("addr", ":8080", "listen address")
-		cache = flag.Int("cache", 1024, "per-tenant summary cache budget in entries (0 = off)")
-		pool  = flag.Int("pool", 0, "shared summary pool size across all tenants (0 = GOMAXPROCS)")
-		seed  = flag.Int64("seed", 1, "generator seed for the synthetic datasets")
+		addr      = flag.String("addr", ":8080", "listen address")
+		cache     = flag.Int("cache", 1024, "per-tenant summary cache budget in entries (0 = off)")
+		pool      = flag.Int("pool", 0, "shared summary pool size across all tenants (0 = GOMAXPROCS)")
+		seed      = flag.Int64("seed", 1, "generator seed for the synthetic datasets")
+		dataDir   = flag.String("data-dir", "", "durability root: per-tenant WAL + snapshots (empty = in-memory only)")
+		snapEvery = flag.Duration("snapshot-interval", 5*time.Minute, "cadence of periodic tenant snapshots (0 = only at shutdown; needs -data-dir)")
+		walSync   = flag.Duration("wal-sync", 0, "WAL group-commit interval; 0 fsyncs every mutation before acknowledging")
+		keepSnaps = flag.Int("keep-snapshots", 2, "snapshots retained per tenant after pruning")
+		drain     = flag.Duration("drain", 10*time.Second, "graceful-shutdown deadline for in-flight requests")
 	)
 	flag.Var(&tenants, "tenant", "tenant definition name=dataset (dataset: dblp or tpch); repeatable; 'none' starts empty")
 	flag.Parse()
@@ -61,7 +200,7 @@ func main() {
 	reg := tenancy.NewRegistry(*pool)
 	// Dynamic registration (POST /v1/tenants) builds engines with the same
 	// opener as the startup flags; a request-supplied seed overrides the
-	// deployment default.
+	// deployment default. With -data-dir the recoverer supersedes this.
 	reg.SetOpener(func(dataset string, reqSeed int64) (*sizelos.Engine, error) {
 		s := *seed
 		if reqSeed > 0 {
@@ -69,17 +208,68 @@ func main() {
 		}
 		return openDataset(dataset, s)
 	})
+
+	var hub *durableHub
+	if *dataDir != "" {
+		store, err := durable.Open(durable.NewDirFS(*dataDir), durable.Options{
+			SyncInterval:  *walSync,
+			KeepSnapshots: *keepSnaps,
+		})
+		if err != nil {
+			log.Fatalf("ossrv: open data dir %s: %v", *dataDir, err)
+		}
+		hub = newDurableHub(store, *seed)
+		reg.SetRecoverer(hub.Recover)
+		reg.SetDurability(hub)
+		// Manifest tenants recover lazily: pending until first touched, so
+		// a restart with many tenants is ready to listen immediately.
+		specs, err := store.LoadManifest()
+		if err != nil {
+			log.Fatalf("ossrv: %v", err)
+		}
+		for _, spec := range specs {
+			pend := tenancy.TenantSpec{Name: spec.Name, Dataset: spec.Dataset, Seed: spec.Seed, Cache: spec.Cache}
+			if err := reg.AddPending(pend); err != nil {
+				log.Fatalf("ossrv: manifest tenant %s: %v", spec.Name, err)
+			}
+			log.Printf("ossrv: tenant %s pending recovery (dataset %s)", spec.Name, spec.Dataset)
+		}
+	}
+
+	known := make(map[string]bool)
+	for _, name := range reg.Names() {
+		known[name] = true
+	}
 	for _, def := range tenants {
 		name, dataset, ok := strings.Cut(def, "=")
 		if !ok {
 			log.Fatalf("ossrv: bad -tenant %q (want name=dataset)", def)
 		}
-		eng, err := openDataset(dataset, *seed)
-		if err != nil {
-			log.Fatalf("ossrv: tenant %s: %v", name, err)
+		if hub == nil {
+			eng, err := openDataset(dataset, *seed)
+			if err != nil {
+				log.Fatalf("ossrv: tenant %s: %v", name, err)
+			}
+			if _, err := reg.Register(name, eng, tenancy.Options{CacheBudget: *cache}); err != nil {
+				log.Fatalf("ossrv: %v", err)
+			}
+			log.Printf("ossrv: tenant %s ready (dataset %s, cache budget %d)", name, dataset, *cache)
+			continue
 		}
-		if _, err := reg.Register(name, eng, tenancy.Options{CacheBudget: *cache}); err != nil {
-			log.Fatalf("ossrv: %v", err)
+		// Durable boot tenants: record the spec (unless the manifest already
+		// knows the name — its durable directory wins over the flag) and
+		// recover eagerly so an unrecoverable WAL fails the boot, loudly.
+		if !known[name] {
+			spec := tenancy.TenantSpec{Name: name, Dataset: dataset, Seed: *seed, Cache: *cache}
+			if err := reg.AddPending(spec); err != nil {
+				log.Fatalf("ossrv: tenant %s: %v", name, err)
+			}
+			if err := hub.RecordTenant(spec); err != nil {
+				log.Fatalf("ossrv: tenant %s: %v", name, err)
+			}
+		}
+		if _, _, err := reg.Resolve(name); err != nil {
+			log.Fatalf("ossrv: tenant %s: %v", name, err)
 		}
 		log.Printf("ossrv: tenant %s ready (dataset %s, cache budget %d)", name, dataset, *cache)
 	}
@@ -88,9 +278,66 @@ func main() {
 	if err != nil {
 		log.Fatalf("ossrv: listen %s: %v", *addr, err)
 	}
-	log.Printf("ossrv: listening on %s — serving %d tenant(s) (shared pool size %d)",
-		ln.Addr(), len(reg.Names()), reg.Pool().Stats().Size)
-	log.Fatal(http.Serve(ln, reg.Handler()))
+	durability := "durability off"
+	if hub != nil {
+		durability = "data dir " + *dataDir
+	}
+	log.Printf("ossrv: listening on %s — serving %d tenant(s) (shared pool size %d, %s)",
+		ln.Addr(), len(reg.Names()), reg.Pool().Stats().Size, durability)
+
+	srv := &http.Server{Handler: reg.Handler()}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(ln) }()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	var tick <-chan time.Time
+	if hub != nil && *snapEvery > 0 {
+		ticker := time.NewTicker(*snapEvery)
+		defer ticker.Stop()
+		tick = ticker.C
+	}
+
+	for {
+		select {
+		case err := <-serveErr:
+			if errors.Is(err, http.ErrServerClosed) {
+				continue
+			}
+			log.Fatalf("ossrv: serve: %v", err)
+		case <-tick:
+			hub.snapshotAll()
+		case <-ctx.Done():
+			// Restore default signal handling so a second signal kills hard.
+			stop()
+			log.Printf("ossrv: shutdown signal received; draining (deadline %s)", *drain)
+			shCtx, cancel := context.WithTimeout(context.Background(), *drain)
+			err := srv.Shutdown(shCtx)
+			cancel()
+			if err != nil {
+				log.Printf("ossrv: drain incomplete: %v", err)
+			}
+			if hub != nil {
+				hub.snapshotAll()
+				hub.closeAll()
+			}
+			log.Printf("ossrv: shutdown complete")
+			return
+		}
+	}
+}
+
+// restorer maps a dataset name to its snapshot-restore constructor.
+func restorer(dataset string) (func(*sizelos.EngineState) (*sizelos.Engine, error), error) {
+	switch dataset {
+	case "dblp":
+		return sizelos.RestoreDBLP, nil
+	case "tpch":
+		return sizelos.RestoreTPCH, nil
+	default:
+		return nil, fmt.Errorf("unknown dataset %q (want dblp or tpch)", dataset)
+	}
 }
 
 func openDataset(dataset string, seed int64) (*sizelos.Engine, error) {

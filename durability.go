@@ -1,0 +1,279 @@
+package sizelos
+
+// This file is the engine's durability seam. The engine itself stays
+// storage-agnostic: it appends every committed mutation to a MutationLog
+// (when one is installed) before acknowledging, and it can export and
+// re-import the minimal state a recovery needs. The actual WAL, snapshot
+// files and crash-safety protocol live in internal/durable; keeping only
+// the interface here means the root package never imports the durability
+// tier and an engine without a log runs exactly as before — no extra
+// branches on the read path, one nil check on the write path.
+//
+// What gets persisted is deliberately minimal: the relational store in
+// layout-preserving form (relational.EncodeState) plus the raw score
+// vectors, epochs and cold-iteration baselines. Everything else the engine
+// holds — data graph, keyword postings, compiled push plans, normalized
+// scores, G_DS annotations — is derived state whose from-scratch
+// construction the mutation-equivalence harnesses already prove identical
+// to the incrementally-maintained original, so recovery rebuilds it instead
+// of trusting bytes on disk.
+
+import (
+	"bytes"
+	"fmt"
+
+	"sizelos/internal/datagen"
+	"sizelos/internal/datagraph"
+	"sizelos/internal/keyword"
+	"sizelos/internal/rank"
+	"sizelos/internal/relational"
+	"sizelos/internal/schemagraph"
+)
+
+// MutationLog is the durability hook Engine.Mutate appends to: a redo log
+// of committed mutation batches. Append is called with the engine's write
+// lock held — after the batch is fully applied in memory, before Mutate
+// returns — so records land in exactly commit order and the acknowledgement
+// the caller receives implies the record is logged (and, under a
+// synchronous log, durable). Seq returns the sequence number of the last
+// appended record (0 before any); Engine.ExportState reads it under the
+// same lock so a snapshot can name precisely which log prefix it covers.
+type MutationLog interface {
+	// AppendMutation logs one committed mutation batch.
+	AppendMutation(b MutationBatch) error
+	// AppendCompact logs an explicit CompactNow call, which mutates physical
+	// layout outside any batch and must replay at the same point.
+	AppendCompact() error
+	// Seq returns the sequence number of the last appended record.
+	Seq() uint64
+}
+
+// SetMutationLog installs (or, with nil, removes) the engine's durability
+// log. Install it either on a fresh engine before the first mutation or on
+// a recovered engine after WAL replay — never mid-stream, or the log would
+// miss batches. Takes the write lock, so it serializes against in-flight
+// mutations and searches.
+func (e *Engine) SetMutationLog(log MutationLog) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.mlog = log
+}
+
+// appendLogLocked runs one MutationLog append under the write lock and
+// wraps a failure in ErrMutationInternal: the batch is committed in memory
+// but not durably logged, so the caller must not retry it (a retry would
+// double-apply) and should treat the engine as requiring a snapshot or
+// restart before further durable writes.
+func (e *Engine) appendLogLocked(append func() error, what string) error {
+	if e.mlog == nil {
+		return nil
+	}
+	if err := append(); err != nil {
+		return fmt.Errorf("%w: durability log (%s): %v", ErrMutationInternal, what, err)
+	}
+	return nil
+}
+
+// EngineState is the snapshot payload of one engine: the relational store
+// in layout-preserving form plus the non-derivable ranking state. It is
+// gob-encodable; internal/durable frames and checksums it on disk.
+type EngineState struct {
+	// DB holds the relational.EncodeState bytes: every physical slot,
+	// tombstone mask and version counter, so TupleIDs mean the same thing
+	// after recovery.
+	DB []byte
+	// RawScores are the unnormalized converged score vectors per setting —
+	// the warm-start seeds. The normalized serving copies are derived
+	// (normalizeCopy) and not persisted.
+	RawScores map[string]relational.DBScores
+	// Epochs are the per-relation cache-invalidation counters.
+	Epochs map[string]uint64
+	// ColdIters are each setting's cold-start iteration baselines, kept so
+	// recovered engines report warm-start savings against the same floor.
+	ColdIters map[string]int
+}
+
+// ExportState captures the engine's durable state and the log sequence
+// number it corresponds to, atomically with respect to mutations: both are
+// read under one lock acquisition, so the returned seq names exactly the
+// log prefix whose effects the state contains. seq is 0 when no log is
+// installed.
+func (e *Engine) ExportState() (st *EngineState, seq uint64, err error) {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	var buf bytes.Buffer
+	if err := e.db.EncodeState(&buf); err != nil {
+		return nil, 0, fmt.Errorf("sizelos: export state: %w", err)
+	}
+	st = &EngineState{
+		DB:        buf.Bytes(),
+		RawScores: copyScoreTable(e.rawScores),
+		Epochs:    copyMap(e.epochs),
+		ColdIters: copyMap(e.coldIters),
+	}
+	if e.mlog != nil {
+		seq = e.mlog.Seq()
+	}
+	return st, seq, nil
+}
+
+// copyScoreTable deep-copies a per-setting score table: a later Mutate
+// extends the live vectors in place, so an exported snapshot must not alias
+// them.
+func copyScoreTable(t map[string]relational.DBScores) map[string]relational.DBScores {
+	out := make(map[string]relational.DBScores, len(t))
+	for setting, sc := range t {
+		cp := make(relational.DBScores, len(sc))
+		for rel, s := range sc {
+			cp[rel] = append(relational.Scores(nil), s...)
+		}
+		out[setting] = cp
+	}
+	return out
+}
+
+func copyMap[K comparable, V any](m map[K]V) map[K]V {
+	out := make(map[K]V, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}
+
+// NewEngineFromState reconstructs an engine from an exported snapshot: the
+// relational store is decoded layout-preserving, every derived structure
+// (data graph, keyword index, push plans, normalized scores, relation
+// maxima) is rebuilt from it, and the raw score vectors, epochs and
+// cold-start baselines are restored verbatim. The rebuilt derived state is
+// identical to what the snapshotted engine was serving — that is the
+// mutation-equivalence harnesses' proven contract, and the crash-recovery
+// harness re-asserts it end to end.
+//
+// As after a compaction, the restored engine's first re-rank takes the warm
+// full iteration (no residual deltas survive a restart); it re-arms the
+// residual path for the re-ranks after it. Register the same G_DSs as the
+// original engine, replay any WAL tail with Mutate, and only then install
+// the mutation log.
+func NewEngineFromState(settings []Setting, st *EngineState) (*Engine, error) {
+	if len(settings) == 0 {
+		return nil, fmt.Errorf("sizelos: at least one ranking setting required")
+	}
+	db, err := relational.ReadDBState(bytes.NewReader(st.DB))
+	if err != nil {
+		return nil, fmt.Errorf("sizelos: restore state: %w", err)
+	}
+	e, err := NewEngineRanked(db, settings, st.RawScores)
+	if err != nil {
+		return nil, err
+	}
+	for rel, epoch := range st.Epochs {
+		e.epochs[rel] = epoch
+	}
+	for name, iters := range st.ColdIters {
+		e.coldIters[name] = iters
+	}
+	return e, nil
+}
+
+// NewEngineRanked builds an engine over db reusing already-converged raw
+// score vectors instead of running the cold-start power iterations — the
+// recovery path's constructor. raw must hold, for every setting, a vector
+// table positionally aligned with db's physical slots (tombstones
+// included); the vectors are deep-copied. The engine starts with
+// residual-push re-ranking armed off (first re-rank runs the warm full
+// iteration, which re-arms it), exactly like an engine that just compacted.
+func NewEngineRanked(db *relational.DB, settings []Setting, raw map[string]relational.DBScores) (*Engine, error) {
+	if len(settings) == 0 {
+		return nil, fmt.Errorf("sizelos: at least one ranking setting required")
+	}
+	g, err := datagraph.Build(db)
+	if err != nil {
+		return nil, fmt.Errorf("sizelos: build data graph: %w", err)
+	}
+	e := &Engine{
+		db:              db,
+		graph:           g,
+		index:           keyword.BuildSharded(db, keyword.ShardedOptions{}),
+		settings:        append([]Setting(nil), settings...),
+		gds:             make(map[string]map[string]*schemagraph.GDS),
+		baseGDS:         make(map[string]*schemagraph.GDS),
+		epochs:          make(map[string]uint64, len(db.Relations)),
+		deps:            make(map[string][]string),
+		coldIters:       make(map[string]int, len(settings)),
+		compactMin:      DefaultCompactMinTombstones,
+		compactRatio:    DefaultCompactRatio,
+		pending:         make(map[*rank.GA]*rank.Pending),
+		residualEnabled: true,
+		annMax:          make(map[string]map[string]map[string]float64),
+	}
+	for _, r := range db.Relations {
+		e.epochs[r.Name] = 0
+	}
+	plans, err := compilePlans(g, e.settings)
+	if err != nil {
+		return nil, err
+	}
+	e.plans = plans
+	normMax := rank.DefaultOptions().NormalizeMax
+	e.scores = make(map[string]relational.DBScores, len(settings))
+	e.rawScores = make(map[string]relational.DBScores, len(settings))
+	e.relMax = make(map[string]map[string]float64, len(settings))
+	for _, s := range settings {
+		sc, ok := raw[s.Name]
+		if !ok {
+			return nil, fmt.Errorf("sizelos: restore: no raw scores for setting %s", s.Name)
+		}
+		cp := make(relational.DBScores, len(sc))
+		for rel, v := range sc {
+			r := db.Relation(rel)
+			if r == nil {
+				return nil, fmt.Errorf("sizelos: restore: scores for unknown relation %s", rel)
+			}
+			if len(v) != r.Len() {
+				return nil, fmt.Errorf("sizelos: restore: setting %s relation %s has %d scores for %d slots",
+					s.Name, rel, len(v), r.Len())
+			}
+			cp[rel] = append(relational.Scores(nil), v...)
+		}
+		e.rawScores[s.Name] = cp
+		e.scores[s.Name], e.relMax[s.Name] = normalizeCopy(cp, normMax)
+	}
+	// No residual deltas describe the gap between these vectors and future
+	// mutations' (there is no gap yet, but the pending bookkeeping starts
+	// empty and unarmed exactly like after a compaction): the first re-rank
+	// runs the warm full iteration and re-arms the residual path.
+	e.residualOK = false
+	return e, nil
+}
+
+// RestoreDBLP reconstructs a DBLP-schema engine from an exported snapshot,
+// mirroring OpenDBLP's settings and G_DS registrations.
+func RestoreDBLP(st *EngineState) (*Engine, error) {
+	eng, err := NewEngineFromState(DefaultSettings(datagen.DBLPGA1(), datagen.DBLPGA2()), st)
+	if err != nil {
+		return nil, err
+	}
+	if err := eng.RegisterGDS(datagen.AuthorGDS().Threshold(Theta)); err != nil {
+		return nil, err
+	}
+	if err := eng.RegisterGDS(datagen.PaperGDS().Threshold(Theta)); err != nil {
+		return nil, err
+	}
+	return eng, nil
+}
+
+// RestoreTPCH reconstructs a TPC-H-schema engine from an exported snapshot,
+// mirroring OpenTPCH's settings and G_DS registrations.
+func RestoreTPCH(st *EngineState) (*Engine, error) {
+	eng, err := NewEngineFromState(DefaultSettings(datagen.TPCHGA1(), datagen.TPCHGA2()), st)
+	if err != nil {
+		return nil, err
+	}
+	if err := eng.RegisterGDS(datagen.CustomerGDS().Threshold(Theta)); err != nil {
+		return nil, err
+	}
+	if err := eng.RegisterGDS(datagen.SupplierGDS().Threshold(Theta)); err != nil {
+		return nil, err
+	}
+	return eng, nil
+}

@@ -170,6 +170,10 @@ type Engine struct {
 	// through an atomic pointer so EnableSummaryCache can be toggled while
 	// searches are in flight.
 	cache atomic.Pointer[searchexec.LRU[summaryKey, Summary]]
+	// mlog, when non-nil, receives every committed mutation before Mutate
+	// acknowledges it — the durability hook (SetMutationLog). Appends run
+	// under mu's write side, so records land in commit order.
+	mlog MutationLog
 }
 
 // NewEngine builds an engine over db: computes every setting's global

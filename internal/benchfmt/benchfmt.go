@@ -14,8 +14,9 @@ import (
 // the setup and query hot paths whose regressions would be user-visible,
 // plus the mutation write path (incremental graph maintenance, the
 // warm-started re-rank, and the residual-push re-rank — the
-// streaming-ingest hot loop).
-const GateFamilies = "RankCompute|RankCompile|NewEngine|EndToEndSearch|DataGraphBuild|IndexBuild|MutateIncremental|RerankResidual"
+// streaming-ingest hot loop) and the durability tier (the WAL-attached
+// commit path and snapshot+WAL-tail crash recovery).
+const GateFamilies = "RankCompute|RankCompile|NewEngine|EndToEndSearch|DataGraphBuild|IndexBuild|MutateIncremental|RerankResidual|WALAppend|RecoveryReplay"
 
 // ArchiveFamilies is the default benchjson archive set: every gated family
 // plus the Fig-10 paper-figure benches (measured for the trajectory but

@@ -1,0 +1,494 @@
+package durable
+
+// The crash-restart equivalence harness: the durability tier's proof
+// obligation. One survivor process drives a seeded random mutation stream
+// (the same mutgen streams the mutation-equivalence harness uses) against
+// an engine with the WAL attached, snapshotting on a cadence that puts
+// snapshot writes, WAL rotations and segment prunes in the middle of the
+// stream. The fault-injecting MemFS records a crash image after every
+// mutating filesystem operation; the harness then recovers from EVERY
+// image — under every unsynced-tail survival mode, including one-bit
+// corruption of the torn region — and asserts:
+//
+//  1. Durability: every batch acknowledged before the crash point is in
+//     the recovered state (recovered seq >= acked seq at that op).
+//  2. Equivalence: the recovered engine's exported state — relational
+//     layout bytes, raw score vectors, epochs, cold-iteration baselines —
+//     is BIT-IDENTICAL to the survivor's state at the same sequence
+//     number. (Both sides run with residual-push re-ranking disabled;
+//     restart loses residual deltas by design, so the residual-on path is
+//     score-equivalent only within warm≡cold tolerance, which the root
+//     mutation-equivalence harness already bounds.)
+//
+// Seeded and reproducible: set SIZELOS_CRASH_SEED to replay a failure.
+
+import (
+	"bytes"
+	"math/rand"
+	"os"
+	"path"
+	"strconv"
+	"testing"
+
+	"sizelos"
+	"sizelos/internal/datagen"
+	"sizelos/internal/mutgen"
+	"sizelos/internal/relational"
+)
+
+func crashSeed(t *testing.T) int64 {
+	if s := os.Getenv("SIZELOS_CRASH_SEED"); s != "" {
+		v, err := strconv.ParseInt(s, 10, 64)
+		if err != nil {
+			t.Fatalf("SIZELOS_CRASH_SEED=%q: %v", s, err)
+		}
+		return v
+	}
+	return 0xC4A5
+}
+
+func toBatch(b relational.Batch) sizelos.MutationBatch {
+	var out sizelos.MutationBatch
+	for _, d := range b.Deletes {
+		out.Deletes = append(out.Deletes, sizelos.TupleDelete{Rel: d.Rel, PK: d.PK})
+	}
+	for _, in := range b.Inserts {
+		out.Inserts = append(out.Inserts, sizelos.TupleInsert{Rel: in.Rel, Tuple: in.Tuple})
+	}
+	return out
+}
+
+// ackPoint marks that the batch with sequence number seq was acknowledged
+// once op filesystem operations had completed.
+type ackPoint struct {
+	op  int
+	seq uint64
+}
+
+// ackedAt returns the highest sequence number acknowledged when at most op
+// operations had completed — the durability floor for a crash there.
+func ackedAt(acks []ackPoint, op int) uint64 {
+	var seq uint64
+	for _, a := range acks {
+		if a.op <= op {
+			seq = a.seq
+		}
+	}
+	return seq
+}
+
+// assertStatesIdentical asserts bit-identity of two exported engine states.
+func assertStatesIdentical(t *testing.T, tag string, want, got *sizelos.EngineState) {
+	t.Helper()
+	if !bytes.Equal(want.DB, got.DB) {
+		t.Fatalf("%s: relational state bytes diverged (%d vs %d bytes)", tag, len(want.DB), len(got.DB))
+	}
+	if len(want.RawScores) != len(got.RawScores) {
+		t.Fatalf("%s: settings %d vs %d", tag, len(want.RawScores), len(got.RawScores))
+	}
+	for setting, ws := range want.RawScores {
+		gs, ok := got.RawScores[setting]
+		if !ok {
+			t.Fatalf("%s: setting %s missing", tag, setting)
+		}
+		for rel, wv := range ws {
+			gv := gs[rel]
+			if len(wv) != len(gv) {
+				t.Fatalf("%s: %s/%s score lengths %d vs %d", tag, setting, rel, len(wv), len(gv))
+			}
+			for i := range wv {
+				if wv[i] != gv[i] {
+					t.Fatalf("%s: %s/%s tuple %d: raw score %.17g vs %.17g (not bit-identical)",
+						tag, setting, rel, i, wv[i], gv[i])
+				}
+			}
+		}
+	}
+	if len(want.Epochs) != len(got.Epochs) {
+		t.Fatalf("%s: epoch maps %d vs %d", tag, len(want.Epochs), len(got.Epochs))
+	}
+	for rel, we := range want.Epochs {
+		if got.Epochs[rel] != we {
+			t.Fatalf("%s: epoch[%s] %d vs %d", tag, rel, we, got.Epochs[rel])
+		}
+	}
+	for name, wi := range want.ColdIters {
+		if got.ColdIters[name] != wi {
+			t.Fatalf("%s: coldIters[%s] %d vs %d", tag, name, wi, got.ColdIters[name])
+		}
+	}
+}
+
+// crashConfig parameterizes one harness run.
+type crashConfig struct {
+	rounds     int
+	snapEvery  int // Snapshot after rounds where (round+1)%snapEvery == 0
+	compactAt  map[int]bool
+	rerankMod  int
+	seedOffset int64
+}
+
+// runCrashHarness executes the survivor stream and recovers from every
+// crash image under every applicable tail mode.
+func runCrashHarness(t *testing.T, cfg crashConfig,
+	fresh func() (*sizelos.Engine, error),
+	restore func(*sizelos.EngineState) (*sizelos.Engine, error),
+) {
+	seed := crashSeed(t) + cfg.seedOffset
+	t.Logf("crash-restart seed %d (replay: SIZELOS_CRASH_SEED=%d)", seed, crashSeed(t))
+
+	fs := NewMemFS()
+	store, err := Open(fs, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := store.Tenant("t")
+	fs.StartRecording() // the very first segment create is a crash point too
+
+	eng, info, err := ts.Recover(restore, fresh)
+	if err != nil {
+		t.Fatalf("initial recover: %v", err)
+	}
+	if info.Seq != 0 || info.Replayed != 0 {
+		t.Fatalf("fresh tenant recovered %+v", info)
+	}
+
+	// fingerprints[s] is the survivor's exported state after sequence s.
+	fingerprints := make(map[uint64]*sizelos.EngineState)
+	snap := func(seq uint64) {
+		st, s, err := eng.ExportState()
+		if err != nil {
+			t.Fatalf("export at seq %d: %v", seq, err)
+		}
+		if s != seq {
+			t.Fatalf("export seq %d, want %d", s, seq)
+		}
+		fingerprints[seq] = st
+	}
+	snap(0)
+
+	gen := mutgen.New(eng.DB(), seed)
+	var acks []ackPoint
+	for round := 0; round < cfg.rounds; round++ {
+		batch := toBatch(gen.NextBatch())
+		batch.Rerank = round%cfg.rerankMod == cfg.rerankMod-1
+		if _, err := eng.Mutate(batch); err != nil {
+			t.Fatalf("round %d: Mutate: %v", round, err)
+		}
+		acks = append(acks, ackPoint{op: fs.OpCount(), seq: ts.Seq()})
+		snap(ts.Seq())
+		if cfg.compactAt[round] {
+			if _, err := eng.CompactNow(); err != nil {
+				t.Fatalf("round %d: CompactNow: %v", round, err)
+			}
+			acks = append(acks, ackPoint{op: fs.OpCount(), seq: ts.Seq()})
+			snap(ts.Seq())
+		}
+		if (round+1)%cfg.snapEvery == 0 {
+			if _, err := ts.Snapshot(eng); err != nil {
+				t.Fatalf("round %d: Snapshot: %v", round, err)
+			}
+		}
+	}
+	finalSeq := ts.Seq()
+	if err := ts.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	images := fs.Images()
+	recoveries := 0
+	for i, img := range images {
+		modes := []TailMode{TailNone}
+		if img.HasTail() {
+			modes = TailModes
+		}
+		for _, mode := range modes {
+			rng := rand.New(rand.NewSource(seed + int64(i)*1009 + int64(mode)))
+			view := img.View(mode, rng)
+			recoverAndCheck(t, view, img.Op(), mode, acks, fingerprints, restore, fresh)
+			recoveries++
+		}
+	}
+	t.Logf("%d rounds, final seq %d, %d crash images, %d recoveries (all bit-identical)",
+		cfg.rounds, finalSeq, len(images), recoveries)
+}
+
+// recoverAndCheck recovers one crash view and asserts durability and
+// bit-identity with the survivor fingerprint at the recovered seq, plus
+// recovery idempotence (a second recovery lands on the same state).
+func recoverAndCheck(t *testing.T, view *MemFS, op int, mode TailMode,
+	acks []ackPoint, fingerprints map[uint64]*sizelos.EngineState,
+	restore func(*sizelos.EngineState) (*sizelos.Engine, error),
+	fresh func() (*sizelos.Engine, error),
+) {
+	t.Helper()
+	store, err := Open(view, Options{})
+	if err != nil {
+		t.Fatalf("op %d tail=%v: open store: %v", op, mode, err)
+	}
+	ts := store.Tenant("t")
+	eng, info, err := ts.Recover(restore, fresh)
+	if err != nil {
+		t.Fatalf("op %d tail=%v: recover: %v", op, mode, err)
+	}
+	if floor := ackedAt(acks, op); info.Seq < floor {
+		t.Fatalf("op %d tail=%v: durability violated: recovered seq %d < acked seq %d",
+			op, mode, info.Seq, floor)
+	}
+	want, ok := fingerprints[info.Seq]
+	if !ok {
+		t.Fatalf("op %d tail=%v: recovered to unknown seq %d", op, mode, info.Seq)
+	}
+	st, seq, err := eng.ExportState()
+	if err != nil {
+		t.Fatalf("op %d tail=%v: export: %v", op, mode, err)
+	}
+	if seq != info.Seq {
+		t.Fatalf("op %d tail=%v: export seq %d vs recovery seq %d", op, mode, seq, info.Seq)
+	}
+	tag := "op " + strconv.Itoa(op) + " tail=" + mode.String() + " seq " + strconv.FormatUint(info.Seq, 10)
+	assertStatesIdentical(t, tag, want, st)
+	if err := ts.Close(); err != nil {
+		t.Fatalf("%s: close: %v", tag, err)
+	}
+
+	// Recovery is idempotent: recovering the (now truncated/repaired) view
+	// again lands on the identical state at the identical seq.
+	if op%10 == 0 {
+		ts2 := store.Tenant("t")
+		eng2, info2, err := ts2.Recover(restore, fresh)
+		if err != nil {
+			t.Fatalf("%s: second recover: %v", tag, err)
+		}
+		if info2.Seq != info.Seq {
+			t.Fatalf("%s: second recover seq %d", tag, info2.Seq)
+		}
+		st2, _, err := eng2.ExportState()
+		if err != nil {
+			t.Fatal(err)
+		}
+		assertStatesIdentical(t, tag+" (idempotence)", want, st2)
+		if err := ts2.Close(); err != nil {
+			t.Fatal(err)
+		}
+
+		// And the recovered engine actually serves.
+		if _, err := eng.Search("Author", "synthetic", 3, sizelos.SearchOptions{}); err != nil {
+			if _, err2 := eng.Search("Customer", "synthetic", 3, sizelos.SearchOptions{}); err2 != nil {
+				t.Fatalf("%s: recovered engine cannot serve: %v / %v", tag, err, err2)
+			}
+		}
+	}
+}
+
+// TestCrashRestartEquivalenceDBLP proves crash-recovery ≡ in-memory over
+// the DBLP-shaped database at every injected crash point.
+func TestCrashRestartEquivalenceDBLP(t *testing.T) {
+	cfg := datagen.DefaultDBLPConfig()
+	cfg.Authors = 40
+	cfg.Papers = 130
+	cfg.Conferences = 4
+	cfg.YearSpan = 3
+	fresh := func() (*sizelos.Engine, error) {
+		eng, err := sizelos.OpenDBLP(cfg)
+		if err != nil {
+			return nil, err
+		}
+		eng.SetResidualRerank(false)
+		return eng, nil
+	}
+	restore := func(st *sizelos.EngineState) (*sizelos.Engine, error) {
+		eng, err := sizelos.RestoreDBLP(st)
+		if err != nil {
+			return nil, err
+		}
+		eng.SetResidualRerank(false)
+		return eng, nil
+	}
+	runCrashHarness(t, crashConfig{
+		rounds:    30,
+		snapEvery: 7,
+		compactAt: map[int]bool{10: true, 23: true},
+		rerankMod: 5,
+	}, fresh, restore)
+}
+
+// TestCrashRestartEquivalenceTPCH runs the same proof over the TPC-H-shaped
+// database, covering value-weighted (ValueRank) plan recompilation across
+// recovery.
+func TestCrashRestartEquivalenceTPCH(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode: DBLP variant covers the protocol; TPC-H adds schema coverage")
+	}
+	cfg := datagen.DefaultTPCHConfig()
+	cfg.ScaleFactor = 0.0015
+	fresh := func() (*sizelos.Engine, error) {
+		eng, err := sizelos.OpenTPCH(cfg)
+		if err != nil {
+			return nil, err
+		}
+		eng.SetResidualRerank(false)
+		return eng, nil
+	}
+	restore := func(st *sizelos.EngineState) (*sizelos.Engine, error) {
+		eng, err := sizelos.RestoreTPCH(st)
+		if err != nil {
+			return nil, err
+		}
+		eng.SetResidualRerank(false)
+		return eng, nil
+	}
+	runCrashHarness(t, crashConfig{
+		rounds:     18,
+		snapEvery:  6,
+		compactAt:  map[int]bool{8: true, 14: true},
+		rerankMod:  5,
+		seedOffset: 1,
+	}, fresh, restore)
+}
+
+// TestCrashGroupCommitPrefixConsistency crashes a GROUP-COMMIT tenant
+// (fsync batched on an interval) with its entire WAL tail unsynced. The
+// durability contract weakens — acknowledged batches inside the last
+// interval may be lost — but consistency must not: recovery always lands
+// on some exact sequence prefix of the survivor's history, bit-identical
+// to the survivor's state at that seq, never a half-applied batch.
+func TestCrashGroupCommitPrefixConsistency(t *testing.T) {
+	cfg := datagen.DefaultDBLPConfig()
+	cfg.Authors = 40
+	cfg.Papers = 130
+	cfg.Conferences = 4
+	cfg.YearSpan = 3
+	fresh := func() (*sizelos.Engine, error) {
+		eng, err := sizelos.OpenDBLP(cfg)
+		if err != nil {
+			return nil, err
+		}
+		eng.SetResidualRerank(false)
+		return eng, nil
+	}
+	restore := func(st *sizelos.EngineState) (*sizelos.Engine, error) {
+		eng, err := sizelos.RestoreDBLP(st)
+		if err != nil {
+			return nil, err
+		}
+		eng.SetResidualRerank(false)
+		return eng, nil
+	}
+	seed := crashSeed(t) + 2
+
+	fs := NewMemFS()
+	// An hour-long interval: nothing syncs unless Snapshot forces it.
+	store, err := Open(fs, Options{SyncInterval: 3600e9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := store.Tenant("t")
+	fs.StartRecording()
+	eng, _, err := ts.Recover(restore, fresh)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fingerprints := map[uint64]*sizelos.EngineState{}
+	export := func() {
+		st, s, err := eng.ExportState()
+		if err != nil {
+			t.Fatal(err)
+		}
+		fingerprints[s] = st
+	}
+	export()
+	gen := mutgen.New(eng.DB(), seed)
+	for round := 0; round < 12; round++ {
+		batch := toBatch(gen.NextBatch())
+		batch.Rerank = round%5 == 4
+		if _, err := eng.Mutate(batch); err != nil {
+			t.Fatal(err)
+		}
+		export()
+		if round == 5 {
+			// Snapshot under group commit: must fsync the claimed prefix.
+			if _, err := ts.Snapshot(eng); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if err := ts.Close(); err != nil {
+		t.Fatal(err)
+	}
+	images := fs.Images()
+	checked := 0
+	for i, img := range images {
+		modes := []TailMode{TailNone}
+		if img.HasTail() {
+			modes = TailModes
+		}
+		for _, mode := range modes {
+			rng := rand.New(rand.NewSource(seed + int64(i)*997 + int64(mode)))
+			store2, err := Open(img.View(mode, rng), Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			eng2, info, err := store2.Tenant("t").Recover(restore, fresh)
+			if err != nil {
+				t.Fatalf("img %d tail=%v: recover: %v", i, mode, err)
+			}
+			want, ok := fingerprints[info.Seq]
+			if !ok {
+				t.Fatalf("img %d tail=%v: recovered to unknown seq %d", i, mode, info.Seq)
+			}
+			st, _, err := eng2.ExportState()
+			if err != nil {
+				t.Fatal(err)
+			}
+			assertStatesIdentical(t, "group-commit img "+strconv.Itoa(i)+" tail="+mode.String(), want, st)
+			checked++
+		}
+	}
+	t.Logf("group commit: %d images, %d prefix-consistent recoveries", len(images), checked)
+}
+
+// TestCrashDuringRecoveryTruncation injects crashes into the RECOVERY
+// path itself: a recovery that dies while truncating a torn tail or
+// creating a fresh segment must leave a state the next recovery handles.
+func TestCrashDuringRecoveryTruncation(t *testing.T) {
+	fs := NewMemFS()
+	w, _, err := openWAL(fs, "t", 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if err := w.AppendMutation(testBatch(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := fs.SyncDir("t"); err != nil {
+		t.Fatal(err)
+	}
+	seg := w.segName
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	f, err := fs.Append(path.Join("t", seg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte{1, 2, 3, 4, 5}); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Sync(); err != nil { // even a DURABLE torn tail must heal
+		t.Fatal(err)
+	}
+
+	// Crash the truncation op itself, then verify the follow-up recovery.
+	ops := fs.OpCount()
+	fs.SetCrashAt(ops)
+	if _, _, err := openWAL(fs, "t", 0, 0); err == nil {
+		t.Fatal("expected the injected crash to surface")
+	}
+	fs.SetCrashAt(-1)
+	_, recs, err := openWAL(fs, "t", 0, 0)
+	if err != nil || len(recs) != 3 {
+		t.Fatalf("recovery after crashed recovery: %d recs, %v", len(recs), err)
+	}
+}

@@ -1,0 +1,568 @@
+package durable
+
+import (
+	"errors"
+	"math/rand"
+	"path"
+	"strings"
+	"testing"
+	"time"
+
+	"sizelos"
+	"sizelos/internal/relational"
+)
+
+// --- MemFS semantics -------------------------------------------------------
+
+// lastImage runs fn over a recording MemFS and returns the final crash
+// image — the disk state a crash immediately after fn would leave.
+func lastImage(t *testing.T, fn func(m *MemFS)) *Image {
+	t.Helper()
+	m := NewMemFS()
+	m.StartRecording()
+	fn(m)
+	imgs := m.Images()
+	return imgs[len(imgs)-1]
+}
+
+func writeFile(t *testing.T, m *MemFS, name string, data []byte, sync bool) {
+	t.Helper()
+	f, err := m.Create(name)
+	if err != nil {
+		t.Fatalf("create %s: %v", name, err)
+	}
+	if _, err := f.Write(data); err != nil {
+		t.Fatalf("write %s: %v", name, err)
+	}
+	if sync {
+		if err := f.Sync(); err != nil {
+			t.Fatalf("sync %s: %v", name, err)
+		}
+	}
+	if err := f.Close(); err != nil {
+		t.Fatalf("close %s: %v", name, err)
+	}
+}
+
+func TestMemFSNameDurabilityNeedsSyncDir(t *testing.T) {
+	img := lastImage(t, func(m *MemFS) {
+		writeFile(t, m, "d/a", []byte("hello"), true)
+		// No SyncDir: the content is fsynced but the NAME is not durable.
+	})
+	view := img.View(TailNone, nil)
+	if _, err := view.ReadFile("d/a"); !isNotExist(err) {
+		t.Fatalf("unsynced name survived the crash: err=%v", err)
+	}
+
+	img = lastImage(t, func(m *MemFS) {
+		writeFile(t, m, "d/a", []byte("hello"), true)
+		if err := m.SyncDir("d"); err != nil {
+			t.Fatal(err)
+		}
+	})
+	got, err := img.View(TailNone, nil).ReadFile("d/a")
+	if err != nil || string(got) != "hello" {
+		t.Fatalf("synced name+content lost: %q, %v", got, err)
+	}
+}
+
+func TestMemFSTailModes(t *testing.T) {
+	img := lastImage(t, func(m *MemFS) {
+		f, _ := m.Create("d/a")
+		if _, err := f.Write([]byte("durable!")); err != nil {
+			t.Fatal(err)
+		}
+		if err := f.Sync(); err != nil {
+			t.Fatal(err)
+		}
+		if err := m.SyncDir("d"); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := f.Write([]byte("tail")); err != nil { // never synced
+			t.Fatal(err)
+		}
+	})
+	if !img.HasTail() {
+		t.Fatal("expected an unsynced tail")
+	}
+	rng := rand.New(rand.NewSource(1))
+	cases := []struct {
+		mode TailMode
+		want string
+	}{
+		{TailNone, "durable!"},
+		{TailHalf, "durable!ta"},
+		{TailFull, "durable!tail"},
+	}
+	for _, c := range cases {
+		got, err := img.View(c.mode, rng).ReadFile("d/a")
+		if err != nil || string(got) != c.want {
+			t.Fatalf("%v: got %q (%v), want %q", c.mode, got, err, c.want)
+		}
+	}
+	got, err := img.View(TailCorrupt, rng).ReadFile("d/a")
+	if err != nil || len(got) != len("durable!tail") {
+		t.Fatalf("corrupt view: %q, %v", got, err)
+	}
+	if string(got[:8]) != "durable!" {
+		t.Fatalf("corruption touched the durable prefix: %q", got)
+	}
+	if string(got[8:]) == "tail" {
+		t.Fatalf("corrupt view flipped no bit in the tail")
+	}
+}
+
+func TestMemFSRemoveNeedsSyncDir(t *testing.T) {
+	img := lastImage(t, func(m *MemFS) {
+		writeFile(t, m, "d/a", []byte("x"), true)
+		if err := m.SyncDir("d"); err != nil {
+			t.Fatal(err)
+		}
+		if err := m.Remove("d/a"); err != nil {
+			t.Fatal(err)
+		}
+		// No SyncDir: the removal is not durable; the name resurrects.
+	})
+	if _, err := img.View(TailNone, nil).ReadFile("d/a"); err != nil {
+		t.Fatalf("unsynced removal lost the file: %v", err)
+	}
+	img = lastImage(t, func(m *MemFS) {
+		writeFile(t, m, "d/a", []byte("x"), true)
+		if err := m.SyncDir("d"); err != nil {
+			t.Fatal(err)
+		}
+		if err := m.Remove("d/a"); err != nil {
+			t.Fatal(err)
+		}
+		if err := m.SyncDir("d"); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if _, err := img.View(TailNone, nil).ReadFile("d/a"); !isNotExist(err) {
+		t.Fatalf("synced removal did not stick: %v", err)
+	}
+}
+
+func TestMemFSCrashInjection(t *testing.T) {
+	m := NewMemFS()
+	writeFile(t, m, "d/a", []byte("x"), false)
+	ops := m.OpCount()
+	m.SetCrashAt(ops)
+	if _, err := m.Create("d/b"); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("create after crash point: %v", err)
+	}
+	if err := m.SyncDir("d"); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("syncdir after crash point: %v", err)
+	}
+	// Reads are not crash points: the model kills writes, not the harness.
+	if _, err := m.ReadFile("d/a"); err != nil {
+		t.Fatalf("read after crash: %v", err)
+	}
+}
+
+// --- WAL -------------------------------------------------------------------
+
+func testBatch(i int) sizelos.MutationBatch {
+	return sizelos.MutationBatch{
+		Deletes: []sizelos.TupleDelete{{Rel: "Paper", PK: int64(100 + i)}},
+		Inserts: []sizelos.TupleInsert{{
+			Rel:   "Author",
+			Tuple: relational.Tuple{relational.IntVal(int64(i)), relational.StrVal("synthetic")},
+		}},
+		Rerank: i%2 == 0,
+	}
+}
+
+func TestWALRoundTrip(t *testing.T) {
+	fs := NewMemFS()
+	w, recs, err := openWAL(fs, "t", 0, 0)
+	if err != nil {
+		t.Fatalf("open fresh: %v", err)
+	}
+	if len(recs) != 0 {
+		t.Fatalf("fresh wal has %d records", len(recs))
+	}
+	for i := 0; i < 5; i++ {
+		if err := w.AppendMutation(testBatch(i)); err != nil {
+			t.Fatalf("append %d: %v", i, err)
+		}
+	}
+	if err := w.AppendCompact(); err != nil {
+		t.Fatal(err)
+	}
+	if w.Seq() != 6 {
+		t.Fatalf("seq %d, want 6", w.Seq())
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	_, recs, err = openWAL(fs, "t", 0, 0)
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	if len(recs) != 6 {
+		t.Fatalf("replayed %d records, want 6", len(recs))
+	}
+	for i, rec := range recs {
+		if rec.Seq != uint64(i+1) {
+			t.Fatalf("record %d has seq %d", i, rec.Seq)
+		}
+	}
+	if recs[5].Kind != recCompact {
+		t.Fatalf("last record kind %d, want compact", recs[5].Kind)
+	}
+	b := recs[2].batch()
+	want := testBatch(2)
+	if len(b.Deletes) != 1 || b.Deletes[0] != want.Deletes[0] || b.Rerank != want.Rerank {
+		t.Fatalf("record 3 round-trip mismatch: %+v", b)
+	}
+	if len(b.Inserts) != 1 || b.Inserts[0].Rel != "Author" || !b.Inserts[0].Tuple[0].Equal(relational.IntVal(2)) {
+		t.Fatalf("record 3 insert mismatch: %+v", b.Inserts)
+	}
+
+	// afterSeq skips the covered prefix but resumes numbering at the end.
+	w3, recs, err := openWAL(fs, "t", 4, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 2 || recs[0].Seq != 5 {
+		t.Fatalf("afterSeq=4 replay: %d records, first seq %d", len(recs), recs[0].Seq)
+	}
+	if w3.Seq() != 6 {
+		t.Fatalf("resumed seq %d, want 6", w3.Seq())
+	}
+}
+
+func TestWALTornTailTruncated(t *testing.T) {
+	fs := NewMemFS()
+	w, _, err := openWAL(fs, "t", 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if err := w.AppendMutation(testBatch(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	seg := w.segName
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Simulate a torn final record: garbage bytes after the valid frames.
+	f, err := fs.Append(path.Join("t", seg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte{0xde, 0xad, 0xbe}); err != nil {
+		t.Fatal(err)
+	}
+	before, _ := fs.ReadFile(path.Join("t", seg))
+
+	w, recs, err := openWAL(fs, "t", 0, 0)
+	if err != nil {
+		t.Fatalf("reopen with torn tail: %v", err)
+	}
+	if len(recs) != 3 {
+		t.Fatalf("replayed %d records, want 3", len(recs))
+	}
+	after, _ := fs.ReadFile(path.Join("t", seg))
+	if len(after) != len(before)-3 {
+		t.Fatalf("torn tail not truncated: %d -> %d bytes", len(before), len(after))
+	}
+	// Appending after truncation yields a clean contiguous log.
+	if err := w.AppendMutation(testBatch(9)); err != nil {
+		t.Fatal(err)
+	}
+	_, recs, err = openWAL(fs, "t", 0, 0)
+	if err != nil || len(recs) != 4 || recs[3].Seq != 4 {
+		t.Fatalf("post-truncation append: %d records, err %v", len(recs), err)
+	}
+}
+
+func TestWALCorruptionBeforeTailRefused(t *testing.T) {
+	fs := NewMemFS()
+	w, _, err := openWAL(fs, "t", 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if err := w.AppendMutation(testBatch(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	firstSeg := w.segName
+	if err := w.rotate(0); err != nil { // rotate without pruning anything
+		t.Fatal(err)
+	}
+	if err := w.AppendMutation(testBatch(3)); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Flip one byte in the middle of the FIRST (non-last) segment.
+	data, err := fs.ReadFile(path.Join("t", firstSeg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)/2] ^= 0xff
+	writeFile(t, fs, path.Join("t", firstSeg), data, true)
+
+	if _, _, err := openWAL(fs, "t", 0, 0); !errors.Is(err, ErrWALCorrupt) {
+		t.Fatalf("mid-history corruption accepted: %v", err)
+	}
+}
+
+func TestWALRotatePrunesCoveredSegments(t *testing.T) {
+	fs := NewMemFS()
+	w, _, err := openWAL(fs, "t", 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if err := w.AppendMutation(testBatch(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.rotate(3); err != nil {
+		t.Fatal(err)
+	}
+	for i := 3; i < 5; i++ {
+		if err := w.AppendMutation(testBatch(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.rotate(5); err != nil {
+		t.Fatal(err)
+	}
+	segs, err := walSegments(fs, "t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(segs) != 1 || segs[0].start != 6 {
+		t.Fatalf("after two covering rotations: %+v", segs)
+	}
+	// A snapshot-covered, empty log reopens at the right seq.
+	w2, recs, err := openWAL(fs, "t", 5, 0)
+	if err != nil || len(recs) != 0 || w2.Seq() != 5 {
+		t.Fatalf("reopen pruned log: %d recs, seq %d, err %v", len(recs), w2.Seq(), err)
+	}
+	if err := w2.AppendMutation(testBatch(6)); err != nil {
+		t.Fatal(err)
+	}
+	if w2.Seq() != 6 {
+		t.Fatalf("append to pruned log: seq %d", w2.Seq())
+	}
+}
+
+func TestWALRotateKeepsUncoveredSegments(t *testing.T) {
+	fs := NewMemFS()
+	w, _, err := openWAL(fs, "t", 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if err := w.AppendMutation(testBatch(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.rotate(2); err != nil { // record 3 NOT covered
+		t.Fatal(err)
+	}
+	segs, err := walSegments(fs, "t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(segs) != 2 {
+		t.Fatalf("uncovered segment pruned: %+v", segs)
+	}
+	_, recs, err := openWAL(fs, "t", 2, 0)
+	if err != nil || len(recs) != 1 || recs[0].Seq != 3 {
+		t.Fatalf("uncovered record lost: %d recs, err %v", len(recs), err)
+	}
+}
+
+func TestWALGroupCommit(t *testing.T) {
+	fs := NewMemFS()
+	w, _, err := openWAL(fs, "t", 0, 5*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		if err := w.AppendMutation(testBatch(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		w.mu.Lock()
+		dirty := w.dirty
+		w.mu.Unlock()
+		if !dirty {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("group-commit flusher never synced")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	_, recs, err := openWAL(fs, "t", 0, 0)
+	if err != nil || len(recs) != 4 {
+		t.Fatalf("group-committed records lost: %d, err %v", len(recs), err)
+	}
+}
+
+func TestWALRecordSizeCap(t *testing.T) {
+	fs := NewMemFS()
+	w, _, err := openWAL(fs, "t", 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	huge := sizelos.MutationBatch{Inserts: []sizelos.TupleInsert{{
+		Rel:   "Author",
+		Tuple: relational.Tuple{relational.StrVal(strings.Repeat("x", maxRecordSize+1))},
+	}}}
+	if err := w.AppendMutation(huge); err == nil {
+		t.Fatal("oversized record accepted")
+	}
+	// The cap rejection must not poison the log.
+	if err := w.AppendMutation(testBatch(0)); err != nil {
+		t.Fatalf("append after cap rejection: %v", err)
+	}
+}
+
+// --- Snapshots -------------------------------------------------------------
+
+func testState(tag byte) *sizelos.EngineState {
+	return &sizelos.EngineState{
+		DB:        []byte{tag, 1, 2, 3},
+		RawScores: map[string]relational.DBScores{"g1d1": {"Author": {1.5, 2.5}}},
+		Epochs:    map[string]uint64{"Author": 7},
+		ColdIters: map[string]int{"g1d1": 42},
+	}
+}
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	fs := NewMemFS()
+	if err := writeSnapshot(fs, "t", 12, testState(1)); err != nil {
+		t.Fatal(err)
+	}
+	st, seq, err := loadNewestSnapshot(fs, "t")
+	if err != nil || st == nil {
+		t.Fatalf("load: %v (st=%v)", err, st)
+	}
+	if seq != 12 || st.DB[0] != 1 || st.Epochs["Author"] != 7 || st.ColdIters["g1d1"] != 42 {
+		t.Fatalf("round-trip mismatch: seq %d, %+v", seq, st)
+	}
+	if got := st.RawScores["g1d1"]["Author"][1]; got != 2.5 {
+		t.Fatalf("raw score %v", got)
+	}
+}
+
+func TestSnapshotNewestWinsAndFallback(t *testing.T) {
+	fs := NewMemFS()
+	if err := writeSnapshot(fs, "t", 5, testState(5)); err != nil {
+		t.Fatal(err)
+	}
+	if err := writeSnapshot(fs, "t", 9, testState(9)); err != nil {
+		t.Fatal(err)
+	}
+	st, seq, err := loadNewestSnapshot(fs, "t")
+	if err != nil || seq != 9 || st.DB[0] != 9 {
+		t.Fatalf("newest not preferred: seq %d, err %v", seq, err)
+	}
+	// Corrupt the newest: recovery falls back to the older snapshot.
+	name := path.Join("t", snapshotName(9))
+	data, _ := fs.ReadFile(name)
+	data[len(data)/2] ^= 0x01
+	writeFile(t, fs, name, data, true)
+	st, seq, err = loadNewestSnapshot(fs, "t")
+	if err != nil || seq != 5 || st.DB[0] != 5 {
+		t.Fatalf("fallback failed: seq %d, err %v", seq, err)
+	}
+	// Corrupt both: no snapshot, no error — full-replay recovery.
+	name = path.Join("t", snapshotName(5))
+	data, _ = fs.ReadFile(name)
+	data[0] ^= 0xff
+	writeFile(t, fs, name, data, true)
+	st, seq, err = loadNewestSnapshot(fs, "t")
+	if err != nil || st != nil || seq != 0 {
+		t.Fatalf("all-corrupt case: st=%v seq=%d err=%v", st, seq, err)
+	}
+}
+
+func TestSnapshotPrune(t *testing.T) {
+	fs := NewMemFS()
+	for _, seq := range []uint64{3, 6, 9, 12} {
+		if err := writeSnapshot(fs, "t", seq, testState(byte(seq))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := pruneSnapshots(fs, "t", 2); err != nil {
+		t.Fatal(err)
+	}
+	snaps, err := snapshotFiles(fs, "t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(snaps) != 2 || snaps[0].start != 12 || snaps[1].start != 9 {
+		t.Fatalf("prune kept %+v", snaps)
+	}
+}
+
+// --- Manifest --------------------------------------------------------------
+
+func TestManifestRoundTrip(t *testing.T) {
+	fs := NewMemFS()
+	s, err := Open(fs, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	specs, err := s.LoadManifest()
+	if err != nil || len(specs) != 0 {
+		t.Fatalf("fresh manifest: %v, %v", specs, err)
+	}
+	if err := s.RecordTenant(TenantSpec{Name: "b", Dataset: "dblp", Seed: 2}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.RecordTenant(TenantSpec{Name: "a", Dataset: "tpch", Seed: 1, Cache: 64}); err != nil {
+		t.Fatal(err)
+	}
+	// Upsert: re-recording replaces, not duplicates.
+	if err := s.RecordTenant(TenantSpec{Name: "b", Dataset: "dblp", Seed: 5}); err != nil {
+		t.Fatal(err)
+	}
+	specs, err = s.LoadManifest()
+	if err != nil || len(specs) != 2 {
+		t.Fatalf("manifest: %+v, %v", specs, err)
+	}
+	if specs[0].Name != "a" || specs[1].Name != "b" || specs[1].Seed != 5 || specs[0].Cache != 64 {
+		t.Fatalf("manifest content: %+v", specs)
+	}
+	if err := s.ForgetTenant("b"); err != nil {
+		t.Fatal(err)
+	}
+	specs, _ = s.LoadManifest()
+	if len(specs) != 1 || specs[0].Name != "a" {
+		t.Fatalf("after forget: %+v", specs)
+	}
+	// The manifest write is crash-atomic: durable view matches.
+	m := fs
+	img := func() *Image {
+		m.StartRecording()
+		imgs := m.Images()
+		return imgs[len(imgs)-1]
+	}()
+	s2, err := Open(img.View(TailNone, nil), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	specs, err = s2.LoadManifest()
+	if err != nil || len(specs) != 1 || specs[0].Name != "a" {
+		t.Fatalf("recovered manifest: %+v, %v", specs, err)
+	}
+}

@@ -1,0 +1,390 @@
+package durable
+
+import (
+	"errors"
+	"fmt"
+	"io/fs"
+	"math/rand"
+	"path"
+	"sort"
+	"sync"
+)
+
+// ErrCrashed is what every MemFS operation returns once the injected crash
+// point is reached: the simulated process is dead and no further I/O lands.
+var ErrCrashed = errors.New("durable: injected crash")
+
+// TailMode selects how much of a file's unsynced tail survives in a crash
+// image. A crash may persist any prefix of writes that were issued but not
+// fsynced; the harness recovers under every mode so the protocol is proven
+// against the whole adversarial range, including silent corruption of the
+// torn region.
+type TailMode int
+
+const (
+	// TailNone drops every unsynced byte: only fsynced state survives.
+	TailNone TailMode = iota
+	// TailHalf keeps half of each unsynced tail — a torn final record.
+	TailHalf
+	// TailFull keeps every issued write (crash after write, before sync).
+	TailFull
+	// TailCorrupt keeps the full tail with one random bit flipped.
+	TailCorrupt
+)
+
+// TailModes enumerates every mode, in adversarial-severity order.
+var TailModes = []TailMode{TailNone, TailHalf, TailFull, TailCorrupt}
+
+func (m TailMode) String() string {
+	switch m {
+	case TailNone:
+		return "none"
+	case TailHalf:
+		return "half"
+	case TailFull:
+		return "full"
+	case TailCorrupt:
+		return "corrupt"
+	}
+	return fmt.Sprintf("TailMode(%d)", int(m))
+}
+
+// memFile is one in-memory inode: the durable view (as of the last Sync)
+// and the volatile view (every write issued). Names are bound to inodes by
+// the MemFS namespaces, mirroring the POSIX split between file content
+// durability (fsync) and name durability (parent directory fsync).
+type memFile struct {
+	durable  []byte
+	volatile []byte
+}
+
+// MemFS is the fault-injecting in-memory FS. It models strict POSIX crash
+// semantics: a write is volatile until File.Sync; a created, renamed or
+// removed name is volatile until SyncDir on its parent. Every mutating
+// operation is one numbered crash point — SetCrashAt makes that operation
+// and everything after it fail with ErrCrashed, and StartRecording captures
+// a crash Image after every operation so a harness can enumerate recovery
+// from each point without re-running the workload.
+//
+// Directories are implicit (the namespace is flat, keyed by full path);
+// MkdirAll is a no-op and RemoveAll is modeled as immediately durable —
+// acceptable because the protocol under test never depends on directory
+// removal ordering.
+type MemFS struct {
+	mu sync.Mutex
+	// files is the volatile namespace: what a running process observes.
+	files map[string]*memFile
+	// durableNames is the durable namespace: the names (and inode bindings)
+	// that survive a crash. Updated only by SyncDir.
+	durableNames map[string]*memFile
+
+	opCount   int
+	crashAt   int // -1: never crash
+	recording bool
+	images    []*Image
+}
+
+// NewMemFS returns an empty in-memory FS with fault injection disabled.
+func NewMemFS() *MemFS {
+	return &MemFS{
+		files:        make(map[string]*memFile),
+		durableNames: make(map[string]*memFile),
+		crashAt:      -1,
+	}
+}
+
+// SetCrashAt arranges for mutating operation number op (0-based) and every
+// operation after it to fail with ErrCrashed; -1 disables injection.
+func (m *MemFS) SetCrashAt(op int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.crashAt = op
+}
+
+// StartRecording begins capturing a crash Image before the first and after
+// every mutating operation. Images() returns them; image i is the disk
+// state of a crash occurring after operation i-1 (image 0 is the initial
+// state).
+func (m *MemFS) StartRecording() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.recording = true
+	m.images = append(m.images, m.imageLocked())
+}
+
+// Images returns the crash images captured since StartRecording.
+func (m *MemFS) Images() []*Image {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return append([]*Image(nil), m.images...)
+}
+
+// OpCount returns how many mutating operations have been applied.
+func (m *MemFS) OpCount() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.opCount
+}
+
+// opLocked gates one mutating operation on the injected crash point.
+func (m *MemFS) opLocked() error {
+	if m.crashAt >= 0 && m.opCount >= m.crashAt {
+		return ErrCrashed
+	}
+	m.opCount++
+	return nil
+}
+
+func (m *MemFS) recordLocked() {
+	if m.recording {
+		m.images = append(m.images, m.imageLocked())
+	}
+}
+
+// imageLocked snapshots the durable state plus each durable file's
+// unsynced tail. Durable slices are shared (Sync replaces rather than
+// mutates them); tails are copied.
+func (m *MemFS) imageLocked() *Image {
+	img := &Image{files: make(map[string]imageFile, len(m.durableNames)), op: m.opCount}
+	for name, f := range m.durableNames {
+		var tail []byte
+		if len(f.volatile) > len(f.durable) {
+			tail = append([]byte(nil), f.volatile[len(f.durable):]...)
+		}
+		img.files[name] = imageFile{durable: f.durable, tail: tail}
+	}
+	return img
+}
+
+func (m *MemFS) MkdirAll(string) error { return nil }
+
+func (m *MemFS) Create(name string) (File, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if err := m.opLocked(); err != nil {
+		return nil, err
+	}
+	f := &memFile{}
+	m.files[name] = f
+	m.recordLocked()
+	return &memHandle{fs: m, f: f}, nil
+}
+
+func (m *MemFS) Append(name string) (File, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if f, ok := m.files[name]; ok {
+		// Opening an existing file mutates nothing: not a crash point.
+		return &memHandle{fs: m, f: f}, nil
+	}
+	if err := m.opLocked(); err != nil {
+		return nil, err
+	}
+	f := &memFile{}
+	m.files[name] = f
+	m.recordLocked()
+	return &memHandle{fs: m, f: f}, nil
+}
+
+func (m *MemFS) ReadFile(name string) ([]byte, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	f, ok := m.files[name]
+	if !ok {
+		return nil, fmt.Errorf("memfs: %s: %w", name, fs.ErrNotExist)
+	}
+	return append([]byte(nil), f.volatile...), nil
+}
+
+func (m *MemFS) Rename(oldName, newName string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if err := m.opLocked(); err != nil {
+		return err
+	}
+	f, ok := m.files[oldName]
+	if !ok {
+		return fmt.Errorf("memfs: rename %s: %w", oldName, fs.ErrNotExist)
+	}
+	m.files[newName] = f
+	delete(m.files, oldName)
+	m.recordLocked()
+	return nil
+}
+
+func (m *MemFS) Remove(name string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if err := m.opLocked(); err != nil {
+		return err
+	}
+	if _, ok := m.files[name]; !ok {
+		return fmt.Errorf("memfs: remove %s: %w", name, fs.ErrNotExist)
+	}
+	delete(m.files, name)
+	m.recordLocked()
+	return nil
+}
+
+func (m *MemFS) RemoveAll(dir string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if err := m.opLocked(); err != nil {
+		return err
+	}
+	prefix := dir + "/"
+	for name := range m.files {
+		if name == dir || len(name) > len(prefix) && name[:len(prefix)] == prefix {
+			delete(m.files, name)
+		}
+	}
+	for name := range m.durableNames {
+		if name == dir || len(name) > len(prefix) && name[:len(prefix)] == prefix {
+			delete(m.durableNames, name)
+		}
+	}
+	m.recordLocked()
+	return nil
+}
+
+func (m *MemFS) Truncate(name string, size int64) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if err := m.opLocked(); err != nil {
+		return err
+	}
+	f, ok := m.files[name]
+	if !ok {
+		return fmt.Errorf("memfs: truncate %s: %w", name, fs.ErrNotExist)
+	}
+	if size < 0 || size > int64(len(f.volatile)) {
+		return fmt.Errorf("memfs: truncate %s to %d (size %d)", name, size, len(f.volatile))
+	}
+	f.volatile = append([]byte(nil), f.volatile[:size]...)
+	m.recordLocked()
+	return nil
+}
+
+func (m *MemFS) ReadDir(dir string) ([]string, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var names []string
+	for name := range m.files {
+		if path.Dir(name) == dir {
+			names = append(names, path.Base(name))
+		}
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+func (m *MemFS) SyncDir(dir string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if err := m.opLocked(); err != nil {
+		return err
+	}
+	for name, f := range m.files {
+		if path.Dir(name) == dir {
+			m.durableNames[name] = f
+		}
+	}
+	for name := range m.durableNames {
+		if path.Dir(name) == dir {
+			if _, ok := m.files[name]; !ok {
+				delete(m.durableNames, name)
+			}
+		}
+	}
+	m.recordLocked()
+	return nil
+}
+
+// memHandle is a writable handle to one MemFS inode.
+type memHandle struct {
+	fs *MemFS
+	f  *memFile
+}
+
+func (h *memHandle) Write(p []byte) (int, error) {
+	h.fs.mu.Lock()
+	defer h.fs.mu.Unlock()
+	if err := h.fs.opLocked(); err != nil {
+		return 0, err
+	}
+	h.f.volatile = append(h.f.volatile, p...)
+	h.fs.recordLocked()
+	return len(p), nil
+}
+
+func (h *memHandle) Sync() error {
+	h.fs.mu.Lock()
+	defer h.fs.mu.Unlock()
+	if err := h.fs.opLocked(); err != nil {
+		return err
+	}
+	h.f.durable = append([]byte(nil), h.f.volatile...)
+	h.fs.recordLocked()
+	return nil
+}
+
+func (h *memHandle) Close() error { return nil }
+
+// imageFile is one durable name in a crash image: its fsynced content and
+// whatever writes were issued after the last fsync.
+type imageFile struct {
+	durable []byte
+	tail    []byte
+}
+
+// Image is the disk state a crash at one injection point leaves behind:
+// the durable namespace with, per file, the fsynced content plus the
+// unsynced tail the crash may or may not have persisted. View materializes
+// it under a chosen TailMode.
+type Image struct {
+	files map[string]imageFile
+	op    int
+}
+
+// Op returns the operation count at capture time.
+func (img *Image) Op() int { return img.op }
+
+// HasTail reports whether any file carries unsynced bytes — when false,
+// every TailMode yields the same view and TailNone suffices.
+func (img *Image) HasTail() bool {
+	for _, f := range img.files {
+		if len(f.tail) > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// View materializes the crash image as a fresh MemFS: each durable name
+// holds its fsynced content plus the mode's share of the unsynced tail.
+// rng drives TailCorrupt's bit flip; deterministic given the caller's seed.
+func (img *Image) View(mode TailMode, rng *rand.Rand) *MemFS {
+	out := NewMemFS()
+	for name, f := range img.files {
+		content := append([]byte(nil), f.durable...)
+		tail := f.tail
+		switch mode {
+		case TailNone:
+			tail = nil
+		case TailHalf:
+			tail = tail[:len(tail)/2]
+		case TailFull:
+			// keep all of it
+		case TailCorrupt:
+			if len(tail) > 0 {
+				tail = append([]byte(nil), tail...)
+				tail[rng.Intn(len(tail))] ^= 1 << uint(rng.Intn(8))
+			}
+		}
+		content = append(content, tail...)
+		inode := &memFile{durable: append([]byte(nil), content...), volatile: content}
+		out.files[name] = inode
+		out.durableNames[name] = inode
+	}
+	return out
+}

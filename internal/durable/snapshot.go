@@ -1,0 +1,192 @@
+package durable
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"encoding/gob"
+	"fmt"
+	"hash/crc32"
+	"path"
+	"sort"
+	"strconv"
+	"strings"
+
+	"sizelos"
+)
+
+// Snapshot file layout: snap-<seq %016x>.snap holding
+//
+//	[8B magic "SZLSNAP1"][8B little-endian seq][8B little-endian payload len]
+//	[payload = gob(sizelos.EngineState)][4B little-endian CRC32(payload)]
+//
+// written to a .tmp name, fsynced, renamed into place, then SyncDir — so a
+// snapshot either exists whole and checksummed or not at all. Recovery
+// takes the newest snapshot that validates, falling back to older ones:
+// a torn or corrupt newest snapshot (crash mid-write that still got the
+// rename durable, or media damage) degrades to a longer WAL replay, never
+// to a failed recovery.
+const (
+	snapMagic  = "SZLSNAP1"
+	snapPrefix = "snap-"
+	snapSuffix = ".snap"
+	snapHdr    = len(snapMagic) + 8 + 8
+)
+
+func snapshotName(seq uint64) string {
+	return fmt.Sprintf("%s%016x%s", snapPrefix, seq, snapSuffix)
+}
+
+// writeSnapshot durably writes st (covering WAL records <= seq) into dir.
+func writeSnapshot(fsys FS, dir string, seq uint64, st *sizelos.EngineState) error {
+	var payload bytes.Buffer
+	if err := gob.NewEncoder(&payload).Encode(st); err != nil {
+		return fmt.Errorf("durable: encode snapshot %d: %w", seq, err)
+	}
+	name := snapshotName(seq)
+	tmp := path.Join(dir, name+".tmp")
+	f, err := fsys.Create(tmp)
+	if err != nil {
+		return fmt.Errorf("durable: create %s: %w", tmp, err)
+	}
+	// One large buffer: the whole snapshot lands in O(1) writes, keeping the
+	// fault-injection op count (and thus harness cost) independent of size.
+	w := bufio.NewWriterSize(f, snapHdr+payload.Len()+4)
+	var hdr [snapHdr]byte
+	copy(hdr[:], snapMagic)
+	binary.LittleEndian.PutUint64(hdr[8:], seq)
+	binary.LittleEndian.PutUint64(hdr[16:], uint64(payload.Len()))
+	var footer [4]byte
+	binary.LittleEndian.PutUint32(footer[:], crc32.ChecksumIEEE(payload.Bytes()))
+	if _, err := w.Write(hdr[:]); err == nil {
+		if _, err = w.Write(payload.Bytes()); err == nil {
+			_, err = w.Write(footer[:])
+		}
+	}
+	if err == nil {
+		err = w.Flush()
+	}
+	if err != nil {
+		_ = f.Close()
+		return fmt.Errorf("durable: write %s: %w", tmp, err)
+	}
+	if err := f.Sync(); err != nil {
+		_ = f.Close()
+		return fmt.Errorf("durable: sync %s: %w", tmp, err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("durable: close %s: %w", tmp, err)
+	}
+	if err := fsys.Rename(tmp, path.Join(dir, name)); err != nil {
+		return fmt.Errorf("durable: publish %s: %w", name, err)
+	}
+	if err := fsys.SyncDir(dir); err != nil {
+		return fmt.Errorf("durable: sync dir after snapshot %d: %w", seq, err)
+	}
+	return nil
+}
+
+// parseSnapshot validates and decodes one snapshot file.
+func parseSnapshot(data []byte) (*sizelos.EngineState, uint64, error) {
+	if len(data) < snapHdr+4 {
+		return nil, 0, fmt.Errorf("durable: snapshot truncated at %d bytes", len(data))
+	}
+	if string(data[:len(snapMagic)]) != snapMagic {
+		return nil, 0, fmt.Errorf("durable: bad snapshot magic %q", data[:len(snapMagic)])
+	}
+	seq := binary.LittleEndian.Uint64(data[8:])
+	n := binary.LittleEndian.Uint64(data[16:])
+	if n != uint64(len(data)-snapHdr-4) {
+		return nil, 0, fmt.Errorf("durable: snapshot payload length %d, have %d", n, len(data)-snapHdr-4)
+	}
+	payload := data[snapHdr : snapHdr+int(n)]
+	if crc32.ChecksumIEEE(payload) != binary.LittleEndian.Uint32(data[snapHdr+int(n):]) {
+		return nil, 0, fmt.Errorf("durable: snapshot checksum mismatch")
+	}
+	var st sizelos.EngineState
+	if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&st); err != nil {
+		return nil, 0, fmt.Errorf("durable: decode snapshot: %w", err)
+	}
+	return &st, seq, nil
+}
+
+// snapshotFiles lists dir's snapshots, newest (highest seq) first.
+func snapshotFiles(fsys FS, dir string) ([]walSegment, error) {
+	names, err := fsys.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("durable: list snapshots: %w", err)
+	}
+	var snaps []walSegment
+	for _, name := range names {
+		if !strings.HasPrefix(name, snapPrefix) || !strings.HasSuffix(name, snapSuffix) {
+			continue
+		}
+		hex := strings.TrimSuffix(strings.TrimPrefix(name, snapPrefix), snapSuffix)
+		seq, err := strconv.ParseUint(hex, 16, 64)
+		if err != nil {
+			continue
+		}
+		snaps = append(snaps, walSegment{name: name, start: seq})
+	}
+	sort.Slice(snaps, func(a, b int) bool { return snaps[a].start > snaps[b].start })
+	return snaps, nil
+}
+
+// loadNewestSnapshot returns the newest snapshot in dir that validates, its
+// covered seq, and — when every candidate is damaged or none exists —
+// (nil, 0, nil): the caller then recovers from scratch by full WAL replay.
+func loadNewestSnapshot(fsys FS, dir string) (*sizelos.EngineState, uint64, error) {
+	snaps, err := snapshotFiles(fsys, dir)
+	if err != nil {
+		return nil, 0, err
+	}
+	for _, s := range snaps {
+		data, err := fsys.ReadFile(path.Join(dir, s.name))
+		if err != nil {
+			continue
+		}
+		st, seq, err := parseSnapshot(data)
+		if err != nil || seq != s.start {
+			continue // damaged or mislabeled: fall back to the next-newest
+		}
+		return st, seq, nil
+	}
+	return nil, 0, nil
+}
+
+// pruneSnapshots removes all but the keep newest snapshots and any orphaned
+// .tmp files from an interrupted write.
+func pruneSnapshots(fsys FS, dir string, keep int) error {
+	snaps, err := snapshotFiles(fsys, dir)
+	if err != nil {
+		return err
+	}
+	removed := false
+	for i, s := range snaps {
+		if i < keep {
+			continue
+		}
+		if err := fsys.Remove(path.Join(dir, s.name)); err != nil {
+			return fmt.Errorf("durable: prune snapshot %s: %w", s.name, err)
+		}
+		removed = true
+	}
+	names, err := fsys.ReadDir(dir)
+	if err != nil {
+		return err
+	}
+	for _, name := range names {
+		if strings.HasPrefix(name, snapPrefix) && strings.HasSuffix(name, ".tmp") {
+			if err := fsys.Remove(path.Join(dir, name)); err != nil {
+				return fmt.Errorf("durable: remove orphan %s: %w", name, err)
+			}
+			removed = true
+		}
+	}
+	if removed {
+		if err := fsys.SyncDir(dir); err != nil {
+			return fmt.Errorf("durable: sync dir after prune: %w", err)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,330 @@
+package durable
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"path"
+	"sort"
+	"sync"
+	"time"
+
+	"sizelos"
+)
+
+// Options tunes a Store.
+type Options struct {
+	// SyncInterval selects the WAL commit discipline. Zero (the default)
+	// fsyncs every append before Mutate acknowledges — full durability.
+	// Positive enables group commit: appends return after the buffered
+	// write and a background flusher fsyncs at this cadence, so a crash
+	// can lose at most the last interval's acknowledged batches.
+	SyncInterval time.Duration
+	// KeepSnapshots is how many snapshots survive pruning (default 2: the
+	// newest plus one fallback should the newest be damaged).
+	KeepSnapshots int
+}
+
+// Store is a durability root directory: a manifest of tenants plus one
+// subdirectory per tenant holding its WAL segments and snapshots.
+type Store struct {
+	fs   FS
+	opts Options
+
+	mu sync.Mutex // serializes manifest read-modify-write
+}
+
+// Open prepares a store over fsys. The layout is created lazily.
+func Open(fsys FS, opts Options) (*Store, error) {
+	if opts.KeepSnapshots <= 0 {
+		opts.KeepSnapshots = 2
+	}
+	if err := fsys.MkdirAll("tenants"); err != nil {
+		return nil, fmt.Errorf("durable: create store layout: %w", err)
+	}
+	return &Store{fs: fsys, opts: opts}, nil
+}
+
+const manifestName = "manifest.json"
+
+// TenantSpec is one manifest entry: everything needed to rebuild a tenant
+// from scratch (its dataset recipe) or recover it (its directory).
+type TenantSpec struct {
+	Name    string `json:"name"`
+	Dataset string `json:"dataset"`
+	Seed    int64  `json:"seed"`
+	Cache   int    `json:"cache,omitempty"`
+}
+
+type manifestWire struct {
+	Version int          `json:"version"`
+	Tenants []TenantSpec `json:"tenants"`
+}
+
+// LoadManifest returns the recorded tenant set (empty when none recorded).
+func (s *Store) LoadManifest() ([]TenantSpec, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.loadManifestLocked()
+}
+
+func (s *Store) loadManifestLocked() ([]TenantSpec, error) {
+	data, err := s.fs.ReadFile(manifestName)
+	if err != nil {
+		if isNotExist(err) {
+			return nil, nil
+		}
+		return nil, fmt.Errorf("durable: read manifest: %w", err)
+	}
+	var m manifestWire
+	if err := json.Unmarshal(data, &m); err != nil {
+		return nil, fmt.Errorf("durable: parse manifest: %w", err)
+	}
+	return m.Tenants, nil
+}
+
+// RecordTenant upserts one tenant into the manifest, durably.
+func (s *Store) RecordTenant(spec TenantSpec) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	specs, err := s.loadManifestLocked()
+	if err != nil {
+		return err
+	}
+	out := specs[:0]
+	for _, t := range specs {
+		if t.Name != spec.Name {
+			out = append(out, t)
+		}
+	}
+	out = append(out, spec)
+	return s.saveManifestLocked(out)
+}
+
+// ForgetTenant removes a tenant from the manifest and deletes its
+// directory. Safe to call for tenants never recorded.
+func (s *Store) ForgetTenant(name string) error {
+	s.mu.Lock()
+	specs, err := s.loadManifestLocked()
+	if err != nil {
+		s.mu.Unlock()
+		return err
+	}
+	out := specs[:0]
+	changed := false
+	for _, t := range specs {
+		if t.Name == name {
+			changed = true
+			continue
+		}
+		out = append(out, t)
+	}
+	if changed {
+		if err := s.saveManifestLocked(out); err != nil {
+			s.mu.Unlock()
+			return err
+		}
+	}
+	s.mu.Unlock()
+	if err := s.fs.RemoveAll(path.Join("tenants", name)); err != nil {
+		return fmt.Errorf("durable: remove tenant dir %s: %w", name, err)
+	}
+	return nil
+}
+
+// saveManifestLocked writes the manifest atomically (tmp, sync, rename,
+// dir sync), sorted by name so the bytes are deterministic.
+func (s *Store) saveManifestLocked(specs []TenantSpec) error {
+	sort.Slice(specs, func(a, b int) bool { return specs[a].Name < specs[b].Name })
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(manifestWire{Version: 1, Tenants: specs}); err != nil {
+		return fmt.Errorf("durable: encode manifest: %w", err)
+	}
+	tmp := manifestName + ".tmp"
+	f, err := s.fs.Create(tmp)
+	if err != nil {
+		return fmt.Errorf("durable: create %s: %w", tmp, err)
+	}
+	if _, err := f.Write(buf.Bytes()); err != nil {
+		_ = f.Close()
+		return fmt.Errorf("durable: write %s: %w", tmp, err)
+	}
+	if err := f.Sync(); err != nil {
+		_ = f.Close()
+		return fmt.Errorf("durable: sync %s: %w", tmp, err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("durable: close %s: %w", tmp, err)
+	}
+	if err := s.fs.Rename(tmp, manifestName); err != nil {
+		return fmt.Errorf("durable: publish manifest: %w", err)
+	}
+	if err := s.fs.SyncDir("."); err != nil {
+		return fmt.Errorf("durable: sync store root: %w", err)
+	}
+	return nil
+}
+
+// Tenant returns the durability handle for one tenant's directory. The
+// handle is inert until Recover attaches it to an engine.
+func (s *Store) Tenant(name string) *TenantStore {
+	return &TenantStore{fs: s.fs, dir: path.Join("tenants", name), opts: s.opts}
+}
+
+// TenantStore manages one tenant's WAL and snapshots.
+type TenantStore struct {
+	fs   FS
+	dir  string
+	opts Options
+
+	mu          sync.Mutex
+	wal         *WAL
+	lastSnapSeq uint64
+	hasSnapshot bool
+}
+
+// RecoveryInfo summarizes one recovery.
+type RecoveryInfo struct {
+	// SnapshotSeq is the covered seq of the snapshot used (0: none valid).
+	SnapshotSeq uint64
+	// Replayed is how many WAL records were re-applied past the snapshot.
+	Replayed int
+	// Seq is the last committed sequence number after recovery.
+	Seq uint64
+}
+
+// Recover rebuilds the tenant's engine from disk and leaves this store
+// attached: the WAL open for appending and installed as the engine's
+// mutation log, so every later Mutate is logged before acknowledgement.
+//
+// restore builds an engine from a snapshot's state; fresh builds the
+// engine the tenant started from (same dataset recipe) for the
+// no-valid-snapshot case. Replay drives the engine's own incremental write
+// path (Mutate / CompactNow), so recovered derived state carries the same
+// proof of equivalence with a from-scratch build that live mutations do.
+func (t *TenantStore) Recover(
+	restore func(*sizelos.EngineState) (*sizelos.Engine, error),
+	fresh func() (*sizelos.Engine, error),
+) (*sizelos.Engine, RecoveryInfo, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.wal != nil {
+		return nil, RecoveryInfo{}, fmt.Errorf("durable: tenant %s already recovered", t.dir)
+	}
+	if err := t.fs.MkdirAll(t.dir); err != nil {
+		return nil, RecoveryInfo{}, fmt.Errorf("durable: create %s: %w", t.dir, err)
+	}
+	st, snapSeq, err := loadNewestSnapshot(t.fs, t.dir)
+	if err != nil {
+		return nil, RecoveryInfo{}, err
+	}
+	var eng *sizelos.Engine
+	if st != nil {
+		eng, err = restore(st)
+		if err != nil {
+			return nil, RecoveryInfo{}, fmt.Errorf("durable: restore snapshot %d: %w", snapSeq, err)
+		}
+	} else {
+		snapSeq = 0
+		eng, err = fresh()
+		if err != nil {
+			return nil, RecoveryInfo{}, fmt.Errorf("durable: rebuild fresh engine: %w", err)
+		}
+	}
+	wal, records, err := openWAL(t.fs, t.dir, snapSeq, t.opts.SyncInterval)
+	if err != nil {
+		return nil, RecoveryInfo{}, err
+	}
+	for _, rec := range records {
+		switch rec.Kind {
+		case recMutation:
+			if _, err := eng.Mutate(rec.batch()); err != nil {
+				_ = wal.Close()
+				return nil, RecoveryInfo{}, fmt.Errorf("durable: replay record %d: %w", rec.Seq, err)
+			}
+		case recCompact:
+			if _, err := eng.CompactNow(); err != nil {
+				_ = wal.Close()
+				return nil, RecoveryInfo{}, fmt.Errorf("durable: replay compaction %d: %w", rec.Seq, err)
+			}
+		default:
+			_ = wal.Close()
+			return nil, RecoveryInfo{}, fmt.Errorf("durable: record %d has unknown kind %d", rec.Seq, rec.Kind)
+		}
+	}
+	eng.SetMutationLog(wal)
+	t.wal = wal
+	t.lastSnapSeq = snapSeq
+	t.hasSnapshot = st != nil
+	return eng, RecoveryInfo{SnapshotSeq: snapSeq, Replayed: len(records), Seq: wal.Seq()}, nil
+}
+
+// Snapshot durably captures eng's committed state, rotates the WAL, and
+// prunes segments and snapshots the new snapshot obsoletes. A no-op when
+// nothing was committed since the last snapshot. Returns the covered seq.
+func (t *TenantStore) Snapshot(eng *sizelos.Engine) (uint64, error) {
+	st, seq, err := eng.ExportState()
+	if err != nil {
+		return 0, fmt.Errorf("durable: export state: %w", err)
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.hasSnapshot && seq == t.lastSnapSeq {
+		return seq, nil
+	}
+	// A snapshot claims coverage of every record <= seq, which licenses
+	// segment pruning: those records must be durable before the claim is.
+	if t.wal != nil {
+		if err := t.wal.Sync(); err != nil {
+			return 0, err
+		}
+	}
+	if err := writeSnapshot(t.fs, t.dir, seq, st); err != nil {
+		return 0, err
+	}
+	if t.wal != nil {
+		if err := t.wal.rotate(seq); err != nil {
+			return 0, err
+		}
+	}
+	if err := pruneSnapshots(t.fs, t.dir, t.opts.KeepSnapshots); err != nil {
+		return 0, err
+	}
+	t.lastSnapSeq = seq
+	t.hasSnapshot = true
+	return seq, nil
+}
+
+// Seq returns the last committed sequence number (0 before Recover).
+func (t *TenantStore) Seq() uint64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.wal == nil {
+		return 0
+	}
+	return t.wal.Seq()
+}
+
+// Sync flushes any group-commit backlog (shutdown path).
+func (t *TenantStore) Sync() error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.wal == nil {
+		return nil
+	}
+	return t.wal.Sync()
+}
+
+// Close flushes and closes the WAL; the handle is dead afterwards.
+func (t *TenantStore) Close() error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.wal == nil {
+		return nil
+	}
+	err := t.wal.Close()
+	t.wal = nil
+	return err
+}

@@ -1,0 +1,163 @@
+// Package mutgen builds random, schema-valid mutation batches for any
+// database by introspection: inserts draw fresh primary keys and FK values
+// from live tuples, deletes cascade referencers ahead of their target
+// within the same batch. It is the shared generator behind the randomized
+// equivalence harnesses — the root package's mutation-equivalence proof and
+// the durability tier's crash-restart proof drive the same streams.
+//
+// Batches are expressed at the relational layer (relational.Batch);
+// engine-level harnesses convert and attach their own Rerank cadence.
+package mutgen
+
+import (
+	"fmt"
+	"math/rand"
+	"strconv"
+
+	"sizelos/internal/relational"
+)
+
+// Gen generates random valid batches over one database. It reads the
+// database's live state between batches (to pick victims and FK targets),
+// so apply each batch before requesting the next.
+type Gen struct {
+	rng    *rand.Rand
+	db     *relational.DB
+	nextPK int64
+}
+
+// New returns a generator over db seeded for reproducibility. Generated
+// primary keys start at 10_000_000, far above the dataset generators'.
+func New(db *relational.DB, seed int64) *Gen {
+	return &Gen{rng: rand.New(rand.NewSource(seed)), db: db, nextPK: 10_000_000}
+}
+
+// randomLive rejection-samples a live tuple of r, ok=false when none found.
+func (m *Gen) randomLive(r *relational.Relation, banned map[string]bool) (relational.TupleID, bool) {
+	if r.Live() == 0 {
+		return 0, false
+	}
+	for try := 0; try < 64; try++ {
+		id := relational.TupleID(m.rng.Intn(r.Len()))
+		if r.Deleted(id) {
+			continue
+		}
+		if banned != nil && banned[delKey(r.Name, r.PK(id))] {
+			continue
+		}
+		return id, true
+	}
+	return 0, false
+}
+
+func delKey(rel string, pk int64) string { return rel + "#" + strconv.FormatInt(pk, 10) }
+
+// randomTuple fabricates a schema-valid tuple for r with the given primary
+// key. FK columns point at random live tuples outside the banned set (the
+// batch's planned deletes — deletes apply first, so referencing one would
+// fail validation); other columns get small positive values so ValueRank
+// weightings stay well-defined.
+func (m *Gen) randomTuple(r *relational.Relation, pk int64, banned map[string]bool) (relational.Tuple, bool) {
+	fkCols := make(map[int]string, len(r.FKs))
+	for _, fk := range r.FKs {
+		fkCols[r.ColIndex(fk.Column)] = fk.Ref
+	}
+	tuple := make(relational.Tuple, len(r.Columns))
+	for ci, col := range r.Columns {
+		switch {
+		case ci == r.PKCol:
+			tuple[ci] = relational.IntVal(pk)
+		case fkCols[ci] != "":
+			ref := m.db.Relation(fkCols[ci])
+			id, ok := m.randomLive(ref, banned)
+			if !ok {
+				return nil, false
+			}
+			tuple[ci] = relational.IntVal(ref.PK(id))
+		case col.Kind == relational.KindInt:
+			tuple[ci] = relational.IntVal(int64(1 + m.rng.Intn(999)))
+		case col.Kind == relational.KindFloat:
+			tuple[ci] = relational.FloatVal(1 + 999*m.rng.Float64())
+		default:
+			tuple[ci] = relational.StrVal(fmt.Sprintf("synthetic term%d payload%d",
+				m.rng.Intn(500), m.rng.Intn(500)))
+		}
+	}
+	return tuple, true
+}
+
+// cascade schedules (rel, pk) for deletion after every live tuple that
+// references it, recursively, deduplicated. Returns false when the cascade
+// would exceed limit tuples — the caller then skips this victim.
+func (m *Gen) cascade(rel string, pk int64, limit int, seen map[string]bool, out *[]relational.DeleteOp) bool {
+	key := delKey(rel, pk)
+	if seen[key] {
+		return true
+	}
+	seen[key] = true
+	for _, ref := range m.db.ReferencingTuples(rel, pk) {
+		r := m.db.Relation(ref.Rel)
+		for _, id := range ref.IDs {
+			if !m.cascade(ref.Rel, r.PK(id), limit, seen, out) {
+				return false
+			}
+		}
+	}
+	if len(*out) >= limit {
+		return false
+	}
+	*out = append(*out, relational.DeleteOp{Rel: rel, PK: pk})
+	return true
+}
+
+// NextBatch assembles one random batch: up to three cascade deletes, up to
+// four inserts (occasionally reusing a just-deleted primary key to exercise
+// the delete-then-insert slot path), never empty.
+func (m *Gen) NextBatch() relational.Batch {
+	var b relational.Batch
+	banned := make(map[string]bool)
+	for m.rng.Intn(2) == 0 && len(b.Deletes) < 12 {
+		r := m.db.Relations[m.rng.Intn(len(m.db.Relations))]
+		id, ok := m.randomLive(r, banned)
+		if !ok {
+			break
+		}
+		// Cascade into a tentative mark set, merged only when the whole
+		// cascade fits: an overflowed cascade must leave no trace, or a
+		// later victim would skip "already seen" referencers that were in
+		// fact never scheduled and fail the integrity check.
+		tentative := make(map[string]bool, len(banned))
+		for k := range banned {
+			tentative[k] = true
+		}
+		var out []relational.DeleteOp
+		if m.cascade(r.Name, r.PK(id), 16, tentative, &out) {
+			banned = tentative
+			b.Deletes = append(b.Deletes, out...)
+		}
+	}
+	// banned now holds exactly the scheduled deletes.
+	nIns := 1 + m.rng.Intn(4)
+	reused := make(map[string]bool)
+	for i := 0; i < nIns; i++ {
+		r := m.db.Relations[m.rng.Intn(len(m.db.Relations))]
+		pk := m.nextPK
+		if len(b.Deletes) > 0 && m.rng.Intn(4) == 0 {
+			// Reuse a deleted PK: same logical identity, fresh slot.
+			d := b.Deletes[m.rng.Intn(len(b.Deletes))]
+			if del := m.db.Relation(d.Rel); del != nil && !reused[delKey(d.Rel, d.PK)] {
+				r, pk = del, d.PK
+				reused[delKey(d.Rel, d.PK)] = true
+			}
+		}
+		if pk == m.nextPK {
+			m.nextPK++
+		}
+		tuple, ok := m.randomTuple(r, pk, banned)
+		if !ok {
+			continue
+		}
+		b.Inserts = append(b.Inserts, relational.InsertOp{Rel: r.Name, Tuple: tuple})
+	}
+	return b
+}

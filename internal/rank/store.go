@@ -91,18 +91,25 @@ func (s *Store) SaveFile(path string) error {
 	}
 	bw := bufio.NewWriter(f)
 	if err := s.Encode(bw); err != nil {
-		f.Close()
-		os.Remove(tmp)
+		_ = f.Close()
+		_ = os.Remove(tmp)
 		return err
 	}
 	if err := bw.Flush(); err != nil {
-		f.Close()
-		os.Remove(tmp)
-		return err
+		_ = f.Close()
+		_ = os.Remove(tmp)
+		return fmt.Errorf("flush %s: %w", tmp, err)
+	}
+	// Fsync before the rename: without it a crash can publish the new name
+	// pointing at partially-persisted content.
+	if err := f.Sync(); err != nil {
+		_ = f.Close()
+		_ = os.Remove(tmp)
+		return fmt.Errorf("sync %s: %w", tmp, err)
 	}
 	if err := f.Close(); err != nil {
-		os.Remove(tmp)
-		return err
+		_ = os.Remove(tmp)
+		return fmt.Errorf("close %s: %w", tmp, err)
 	}
 	return os.Rename(tmp, path)
 }

@@ -418,7 +418,7 @@ func TestDeregisterRacesCachedLookup(t *testing.T) {
 		defer wg.Done()
 		<-start
 		time.Sleep(500 * time.Microsecond)
-		reg.Deregister("victim")
+		_, _ = reg.Deregister("victim")
 	}()
 	close(start)
 	wg.Wait()

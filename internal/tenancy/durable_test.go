@@ -1,0 +1,221 @@
+package tenancy
+
+// Tests for the registry's durability seam: lazy recovery of pending
+// tenants (single-flight under concurrency), manifest recording on dynamic
+// registration, and durable removal on deregistration. The registry sees
+// durability only through the Recoverer/Durability interfaces, so these
+// tests use in-memory fakes; the real WAL-backed implementations are
+// proven in internal/durable and wired up in cmd/ossrv.
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sizelos"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// fakeDurability records lifecycle calls.
+type fakeDurability struct {
+	mu        sync.Mutex
+	recorded  map[string]TenantSpec
+	forgotten []string
+	failNext  error
+}
+
+func (f *fakeDurability) RecordTenant(spec TenantSpec) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.failNext != nil {
+		err := f.failNext
+		f.failNext = nil
+		return err
+	}
+	if f.recorded == nil {
+		f.recorded = make(map[string]TenantSpec)
+	}
+	f.recorded[spec.Name] = spec
+	return nil
+}
+
+func (f *fakeDurability) ForgetTenant(name string) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.forgotten = append(f.forgotten, name)
+	delete(f.recorded, name)
+	return nil
+}
+
+func TestResolveLazyRecoverySingleFlight(t *testing.T) {
+	eng := testEngine(t, 600)
+	reg := NewRegistry(2)
+	var recoveries atomic.Int32
+	release := make(chan struct{})
+	reg.SetRecoverer(func(spec TenantSpec) (*sizelos.Engine, error) {
+		recoveries.Add(1)
+		<-release
+		if spec.Dataset != "dblp" || spec.Seed != 600 {
+			return nil, fmt.Errorf("wrong spec %+v", spec)
+		}
+		return eng, nil
+	})
+	if err := reg.AddPending(TenantSpec{Name: "lazy", Dataset: "dblp", Seed: 600, Cache: 8}); err != nil {
+		t.Fatal(err)
+	}
+	if names := reg.Names(); len(names) != 1 || names[0] != "lazy" {
+		t.Fatalf("pending tenant not listed: %v", names)
+	}
+	if _, ok := reg.Get("lazy"); ok {
+		t.Fatal("pending tenant resolvable via Get before recovery")
+	}
+
+	// Concurrent Resolves share one recovery.
+	const callers = 8
+	var wg sync.WaitGroup
+	errs := make([]error, callers)
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			tn, found, err := reg.Resolve("lazy")
+			if err == nil && (!found || tn == nil || tn.Engine != eng) {
+				err = fmt.Errorf("resolve %d: tn=%v found=%v", i, tn, found)
+			}
+			errs[i] = err
+		}(i)
+	}
+	close(release)
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := recoveries.Load(); got != 1 {
+		t.Fatalf("recovery ran %d times, want 1", got)
+	}
+	// Recovered tenant is live: Get works, cache budget installed, pending
+	// cleared (a second Resolve does not recover again).
+	tn, ok := reg.Get("lazy")
+	if !ok || tn.CacheBudget != 8 {
+		t.Fatalf("recovered tenant: %+v, %v", tn, ok)
+	}
+	if _, _, err := reg.Resolve("lazy"); err != nil {
+		t.Fatal(err)
+	}
+	if recoveries.Load() != 1 {
+		t.Fatal("resolved tenant recovered again")
+	}
+	// Unknown names are found=false, not errors.
+	if _, found, err := reg.Resolve("ghost"); found || err != nil {
+		t.Fatalf("ghost: found=%v err=%v", found, err)
+	}
+}
+
+func TestResolveRecoveryFailureIsServerError(t *testing.T) {
+	reg := NewRegistry(1)
+	reg.SetRecoverer(func(TenantSpec) (*sizelos.Engine, error) {
+		return nil, fmt.Errorf("disk exploded")
+	})
+	if err := reg.AddPending(TenantSpec{Name: "doomed", Dataset: "dblp"}); err != nil {
+		t.Fatal(err)
+	}
+	_, found, err := reg.Resolve("doomed")
+	if !found || err == nil || !strings.Contains(err.Error(), "disk exploded") {
+		t.Fatalf("found=%v err=%v", found, err)
+	}
+	// The tenant stays pending: a later Resolve retries (e.g. disk back).
+	if names := reg.Names(); len(names) != 1 {
+		t.Fatalf("failed tenant vanished: %v", names)
+	}
+	// Over HTTP that surfaces as a 500, not a 404.
+	srv := httptest.NewServer(reg.Handler())
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + "/v1/doomed/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusInternalServerError {
+		t.Fatalf("failed recovery over HTTP: %d, want 500", resp.StatusCode)
+	}
+}
+
+func TestDeregisterForgetsDurableState(t *testing.T) {
+	eng := testEngine(t, 601)
+	reg := NewRegistry(1)
+	fd := &fakeDurability{}
+	reg.SetDurability(fd)
+	if _, err := reg.Register("live", eng, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := reg.AddPending(TenantSpec{Name: "pend", Dataset: "dblp"}); err != nil {
+		t.Fatal(err)
+	}
+	// Both a live and a never-recovered pending tenant can be removed, and
+	// both removals forget durable state.
+	for _, name := range []string{"live", "pend"} {
+		ok, err := reg.Deregister(name)
+		if !ok || err != nil {
+			t.Fatalf("Deregister(%s) = %v, %v", name, ok, err)
+		}
+	}
+	if len(fd.forgotten) != 2 {
+		t.Fatalf("forgotten = %v", fd.forgotten)
+	}
+	if names := reg.Names(); len(names) != 0 {
+		t.Fatalf("names after deregister: %v", names)
+	}
+}
+
+func TestServeRegisterRecordsDurably(t *testing.T) {
+	eng := testEngine(t, 602)
+	reg := NewRegistry(1)
+	fd := &fakeDurability{}
+	reg.SetDurability(fd)
+	reg.SetRecoverer(func(spec TenantSpec) (*sizelos.Engine, error) {
+		if spec.Dataset != "dblp" {
+			return nil, fmt.Errorf("unknown dataset %q", spec.Dataset)
+		}
+		return eng, nil
+	})
+	srv := httptest.NewServer(reg.Handler())
+	defer srv.Close()
+
+	resp, err := http.Post(srv.URL+"/v1/tenants", "application/json",
+		strings.NewReader(`{"name":"dyn","dataset":"dblp","seed":9,"cache":4}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("register: %d", resp.StatusCode)
+	}
+	fd.mu.Lock()
+	spec, ok := fd.recorded["dyn"]
+	fd.mu.Unlock()
+	if !ok || spec.Dataset != "dblp" || spec.Seed != 9 || spec.Cache != 4 {
+		t.Fatalf("recorded spec %+v ok=%v", spec, ok)
+	}
+
+	// A registration whose durable record fails is rolled back: 500, no
+	// live tenant, nothing recorded.
+	fd.mu.Lock()
+	fd.failNext = fmt.Errorf("manifest write failed")
+	fd.mu.Unlock()
+	resp, err = http.Post(srv.URL+"/v1/tenants", "application/json",
+		strings.NewReader(`{"name":"undone","dataset":"dblp"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusInternalServerError {
+		t.Fatalf("unrecordable register: %d, want 500", resp.StatusCode)
+	}
+	if _, ok := reg.Get("undone"); ok {
+		t.Fatal("rolled-back tenant still live")
+	}
+}

@@ -85,8 +85,15 @@ func (r *Registry) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/tenants", r.serveRegister)
 	mux.HandleFunc("DELETE /v1/{tenant}", func(w http.ResponseWriter, req *http.Request) {
 		name := req.PathValue("tenant")
-		if !r.Deregister(name) {
+		ok, err := r.Deregister(name)
+		if !ok {
 			writeJSON(w, http.StatusNotFound, errorResponse{Error: "unknown tenant"})
+			return
+		}
+		if err != nil {
+			// Removed from serving, but its durable state could not be
+			// cleaned up — the operator needs to know.
+			writeJSON(w, http.StatusInternalServerError, errorResponse{Error: err.Error()})
 			return
 		}
 		writeJSON(w, http.StatusOK, map[string]string{"deregistered": name})
@@ -99,9 +106,8 @@ func (r *Registry) Handler() http.Handler {
 		r.serveQuery(w, req, true)
 	})
 	mux.HandleFunc("GET /v1/{tenant}/stats", func(w http.ResponseWriter, req *http.Request) {
-		t, ok := r.Get(req.PathValue("tenant"))
+		t, ok := r.resolveTenant(w, req.PathValue("tenant"))
 		if !ok {
-			writeJSON(w, http.StatusNotFound, errorResponse{Error: "unknown tenant"})
 			return
 		}
 		cs, enabled := t.Engine.SummaryCacheStats()
@@ -120,10 +126,25 @@ func (r *Registry) Handler() http.Handler {
 	return mux
 }
 
-func (r *Registry) serveQuery(w http.ResponseWriter, req *http.Request, ranked bool) {
-	t, ok := r.Get(req.PathValue("tenant"))
-	if !ok {
+// resolveTenant materializes the tenant a request addresses, recovering it
+// lazily when pending; on failure it writes the error response (404 for an
+// unknown name, 500 for a tenant whose recovery failed) and returns false.
+func (r *Registry) resolveTenant(w http.ResponseWriter, name string) (*Tenant, bool) {
+	t, found, err := r.Resolve(name)
+	if err != nil {
+		writeJSON(w, http.StatusInternalServerError, errorResponse{Error: err.Error()})
+		return nil, false
+	}
+	if !found {
 		writeJSON(w, http.StatusNotFound, errorResponse{Error: "unknown tenant"})
+		return nil, false
+	}
+	return t, true
+}
+
+func (r *Registry) serveQuery(w http.ResponseWriter, req *http.Request, ranked bool) {
+	t, ok := r.resolveTenant(w, req.PathValue("tenant"))
+	if !ok {
 		return
 	}
 	params := req.URL.Query()
@@ -250,8 +271,11 @@ type RegisterResponse struct {
 // serveRegister builds an engine for the requested dataset and registers it
 // as a live tenant. The engine build runs outside every lock; only the
 // final Register touches the registry, so existing tenants keep serving.
+// In a durable deployment (SetRecoverer + SetDurability) the engine is
+// built through the recoverer — which attaches the tenant's WAL — and the
+// registration is recorded in the manifest before it is acknowledged.
 func (r *Registry) serveRegister(w http.ResponseWriter, req *http.Request) {
-	if r.opener == nil {
+	if r.opener == nil && r.recoverer == nil {
 		writeJSON(w, http.StatusNotImplemented, errorResponse{Error: "dynamic tenant registration is not configured"})
 		return
 	}
@@ -274,7 +298,16 @@ func (r *Registry) serveRegister(w http.ResponseWriter, req *http.Request) {
 		writeJSON(w, http.StatusConflict, errorResponse{Error: fmt.Sprintf("tenant %q already registered", body.Name)})
 		return
 	}
-	eng, err := r.opener(body.Dataset, body.Seed)
+	spec := TenantSpec{Name: body.Name, Dataset: body.Dataset, Seed: body.Seed, Cache: body.Cache}
+	var (
+		eng *sizelos.Engine
+		err error
+	)
+	if r.recoverer != nil {
+		eng, err = r.recoverer(spec)
+	} else {
+		eng, err = r.opener(body.Dataset, body.Seed)
+	}
 	if err != nil {
 		writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
 		return
@@ -283,6 +316,16 @@ func (r *Registry) serveRegister(w http.ResponseWriter, req *http.Request) {
 	if err != nil {
 		writeJSON(w, http.StatusConflict, errorResponse{Error: err.Error()})
 		return
+	}
+	if r.durability != nil {
+		// Only a durably recorded registration is acknowledged: a crash
+		// after the 201 must bring the tenant back.
+		if err := r.durability.RecordTenant(spec); err != nil {
+			_, _ = r.Deregister(body.Name)
+			writeJSON(w, http.StatusInternalServerError,
+				errorResponse{Error: fmt.Sprintf("tenant registration could not be made durable: %v", err)})
+			return
+		}
 	}
 	writeJSON(w, http.StatusCreated, RegisterResponse{
 		Tenant:   t.Name,
@@ -332,9 +375,8 @@ type MutateResponse struct {
 // unreachable for batches that validate) is a 500: the batch DID apply, so
 // clients must not retry it.
 func (r *Registry) serveMutate(w http.ResponseWriter, req *http.Request) {
-	t, ok := r.Get(req.PathValue("tenant"))
+	t, ok := r.resolveTenant(w, req.PathValue("tenant"))
 	if !ok {
-		writeJSON(w, http.StatusNotFound, errorResponse{Error: "unknown tenant"})
 		return
 	}
 	dec := json.NewDecoder(req.Body)

@@ -46,11 +46,137 @@ type Registry struct {
 	// opener, when set, builds an engine for a named dataset so tenants can
 	// be registered over HTTP (POST /v1/tenants) instead of only at
 	// startup. Set once with SetOpener before serving.
-	opener  Opener
-	stripes [numStripes]struct {
+	opener Opener
+	// recoverer and durability wire the registry to a durability tier (set
+	// once, before serving). recoverer builds-or-recovers engines for
+	// pending tenants; durability persists lifecycle events.
+	recoverer  Recoverer
+	durability Durability
+	stripes    [numStripes]struct {
 		mu      sync.RWMutex
 		tenants map[string]*Tenant
 	}
+
+	// pending holds tenants known from the durable manifest but not yet
+	// recovered; Resolve materializes them lazily, single-flight per name.
+	pendMu     sync.Mutex
+	pending    map[string]TenantSpec
+	recovering map[string]*recoverCall
+}
+
+// TenantSpec is a tenant's recipe: enough to rebuild it from scratch or
+// address its durable state.
+type TenantSpec struct {
+	Name    string
+	Dataset string
+	// Seed is the dataset generator seed; <= 0 means the deployment default.
+	Seed int64
+	// Cache is the tenant's summary-cache budget in entries (0 = off).
+	Cache int
+}
+
+// Recoverer builds a ready-to-serve engine for spec — for a durable
+// deployment, newest snapshot + WAL-tail replay with the WAL left attached
+// as the engine's mutation log; for a fresh tenant, a from-scratch build.
+// Called outside every registry lock (engine builds take seconds) and at
+// most once concurrently per tenant name.
+type Recoverer func(spec TenantSpec) (*sizelos.Engine, error)
+
+// Durability persists tenant lifecycle events so a restarted service knows
+// which tenants to recover. Implementations must be safe for concurrent
+// use.
+type Durability interface {
+	// RecordTenant durably records that spec is registered (upsert).
+	RecordTenant(spec TenantSpec) error
+	// ForgetTenant removes the tenant's durable record and on-disk state,
+	// releasing any open log handles first. Removing an unrecorded tenant
+	// is not an error.
+	ForgetTenant(name string) error
+}
+
+// SetRecoverer installs the engine builder used for pending tenants (and,
+// when set, for dynamic registration). Call before Handler is serving.
+func (r *Registry) SetRecoverer(fn Recoverer) { r.recoverer = fn }
+
+// SetDurability installs the lifecycle persistence hook. Call before
+// Handler is serving.
+func (r *Registry) SetDurability(d Durability) { r.durability = d }
+
+// AddPending declares a tenant that exists durably but is not yet loaded:
+// it shows up in Names and is recovered on first Resolve. Startup calls
+// this for every manifest entry instead of paying every tenant's recovery
+// before serving.
+func (r *Registry) AddPending(spec TenantSpec) error {
+	if !validName(spec.Name) {
+		return fmt.Errorf("tenancy: invalid tenant name %q (want [A-Za-z0-9._-]+)", spec.Name)
+	}
+	r.pendMu.Lock()
+	defer r.pendMu.Unlock()
+	if r.pending == nil {
+		r.pending = make(map[string]TenantSpec)
+	}
+	r.pending[spec.Name] = spec
+	return nil
+}
+
+// recoverCall is one in-flight lazy recovery every concurrent Resolve for
+// the same name waits on.
+type recoverCall struct {
+	done chan struct{}
+	t    *Tenant
+	err  error
+}
+
+// Resolve returns the named tenant, lazily recovering it if it is pending.
+// found=false means the registry has never heard of the name; a non-nil
+// error means the tenant exists durably but could not be recovered (the
+// caller should surface a server error, not a 404). Concurrent Resolves of
+// one pending tenant share a single recovery.
+func (r *Registry) Resolve(name string) (t *Tenant, found bool, err error) {
+	if t, ok := r.Get(name); ok {
+		return t, true, nil
+	}
+	r.pendMu.Lock()
+	spec, ok := r.pending[name]
+	if !ok {
+		r.pendMu.Unlock()
+		// A racing Resolve may have just finished materializing it.
+		if t, ok := r.Get(name); ok {
+			return t, true, nil
+		}
+		return nil, false, nil
+	}
+	if c, running := r.recovering[name]; running {
+		r.pendMu.Unlock()
+		<-c.done
+		return c.t, true, c.err
+	}
+	c := &recoverCall{done: make(chan struct{})}
+	if r.recovering == nil {
+		r.recovering = make(map[string]*recoverCall)
+	}
+	r.recovering[name] = c
+	r.pendMu.Unlock()
+
+	// Recovery runs outside every lock; only this goroutine works on name.
+	if r.recoverer == nil {
+		c.err = fmt.Errorf("tenancy: tenant %q is pending but no recoverer is configured", name)
+	} else {
+		eng, rerr := r.recoverer(spec)
+		if rerr != nil {
+			c.err = fmt.Errorf("tenancy: recover tenant %q: %w", name, rerr)
+		} else {
+			c.t, c.err = r.Register(name, eng, Options{CacheBudget: spec.Cache})
+		}
+	}
+	r.pendMu.Lock()
+	if c.err == nil {
+		delete(r.pending, name)
+	}
+	delete(r.recovering, name)
+	r.pendMu.Unlock()
+	close(c.done)
+	return c.t, true, c.err
 }
 
 // Opener builds a ready-to-serve engine (G_DSs registered) for a named
@@ -148,29 +274,56 @@ func (r *Registry) Get(name string) (*Tenant, bool) {
 	return t, ok
 }
 
-// Deregister removes a tenant; in-flight queries on it finish normally.
-func (r *Registry) Deregister(name string) bool {
+// Deregister removes a tenant — live or still pending; in-flight queries
+// on it finish normally. With a Durability installed, the tenant's durable
+// record and state are removed too; the returned error reports a failure
+// of that durable removal (the in-memory removal has already happened).
+// A DELETE racing a first-touch recovery can lose: the recovery's Register
+// lands after the removal and the tenant stays live in memory (its durable
+// state is gone, so it vanishes for good at the next restart).
+func (r *Registry) Deregister(name string) (bool, error) {
 	s := r.stripe(name)
 	s.mu.Lock()
-	defer s.mu.Unlock()
-	if _, ok := s.tenants[name]; !ok {
-		return false
-	}
+	_, ok := s.tenants[name]
 	delete(s.tenants, name)
-	return true
+	s.mu.Unlock()
+	r.pendMu.Lock()
+	if _, pend := r.pending[name]; pend {
+		ok = true
+		delete(r.pending, name)
+	}
+	r.pendMu.Unlock()
+	if !ok {
+		return false, nil
+	}
+	if r.durability != nil {
+		if err := r.durability.ForgetTenant(name); err != nil {
+			return true, fmt.Errorf("tenancy: forget tenant %q: %w", name, err)
+		}
+	}
+	return true, nil
 }
 
-// Names lists registered tenants, sorted.
+// Names lists registered tenants — live and pending — sorted.
 func (r *Registry) Names() []string {
 	var out []string
+	seen := make(map[string]bool)
 	for i := range r.stripes {
 		s := &r.stripes[i]
 		s.mu.RLock()
 		for name := range s.tenants {
 			out = append(out, name)
+			seen[name] = true
 		}
 		s.mu.RUnlock()
 	}
+	r.pendMu.Lock()
+	for name := range r.pending {
+		if !seen[name] {
+			out = append(out, name)
+		}
+	}
+	r.pendMu.Unlock()
 	sort.Strings(out)
 	return out
 }

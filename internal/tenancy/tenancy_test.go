@@ -93,8 +93,11 @@ func TestRegistryBasics(t *testing.T) {
 	if got, want := reg.Names(), []string{"acme", "zeta"}; !reflect.DeepEqual(got, want) {
 		t.Errorf("Names = %v, want %v", got, want)
 	}
-	if !reg.Deregister("zeta") || reg.Deregister("zeta") {
-		t.Error("Deregister semantics wrong")
+	if ok, err := reg.Deregister("zeta"); !ok || err != nil {
+		t.Errorf("Deregister(zeta) = %v, %v", ok, err)
+	}
+	if ok, _ := reg.Deregister("zeta"); ok {
+		t.Error("double Deregister reported success")
 	}
 	if _, ok := reg.Get("zeta"); ok {
 		t.Error("deregistered tenant still resolvable")

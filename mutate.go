@@ -247,6 +247,12 @@ func (e *Engine) Mutate(b MutationBatch) (MutationResult, error) {
 			result.Epochs[rel] = e.epochs[rel]
 		}
 	}
+	// Log before acknowledging: once Mutate returns nil, the batch is in the
+	// redo log (and, under a synchronous log, on disk). A crash before this
+	// point loses only batches no caller was ever told succeeded.
+	if err := e.appendLogLocked(func() error { return e.mlog.AppendMutation(b) }, "mutation"); err != nil {
+		return result, err
+	}
 	return result, nil
 }
 
@@ -536,6 +542,11 @@ func (e *Engine) CompactNow() ([]string, error) {
 	}
 	result := MutationResult{Epochs: make(map[string]uint64)}
 	if err := e.compactLocked(due, &result, nil, false); err != nil {
+		return result.Compacted, err
+	}
+	// An explicit compaction changes physical layout outside any batch;
+	// recovery must replay it at the same point to keep TupleIDs aligned.
+	if err := e.appendLogLocked(func() error { return e.mlog.AppendCompact() }, "compact"); err != nil {
 		return result.Compacted, err
 	}
 	return result.Compacted, nil

@@ -20,14 +20,13 @@ package sizelos
 // in its own workflow leg (mutation-proofs).
 
 import (
-	"fmt"
-	"math/rand"
 	"os"
 	"strconv"
 	"testing"
 
 	"sizelos/internal/datagen"
 	"sizelos/internal/datagraph"
+	"sizelos/internal/mutgen"
 	"sizelos/internal/rank"
 	"sizelos/internal/relational"
 )
@@ -64,157 +63,28 @@ func equivSeed(t *testing.T) int64 {
 	return 0xF0CA5
 }
 
-// mutationGen builds random valid batches for any schema by introspection:
-// inserts draw fresh primary keys and FK values from live tuples, deletes
-// cascade referencers ahead of their target within the same batch.
-type mutationGen struct {
-	rng    *rand.Rand
-	db     *relational.DB
-	nextPK int64
-}
-
-func newMutationGen(db *relational.DB, seed int64) *mutationGen {
-	return &mutationGen{rng: rand.New(rand.NewSource(seed)), db: db, nextPK: 10_000_000}
-}
-
-// randomLive rejection-samples a live tuple of r, ok=false when none found.
-func (m *mutationGen) randomLive(r *relational.Relation, banned map[string]bool) (relational.TupleID, bool) {
-	if r.Live() == 0 {
-		return 0, false
+// toMutationBatch lifts a generated relational-layer batch to the engine's
+// mutation type (the generator lives in internal/mutgen so the durability
+// tier's crash-restart harness can drive the same streams).
+func toMutationBatch(b relational.Batch) MutationBatch {
+	var out MutationBatch
+	for _, d := range b.Deletes {
+		out.Deletes = append(out.Deletes, TupleDelete{Rel: d.Rel, PK: d.PK})
 	}
-	for try := 0; try < 64; try++ {
-		id := relational.TupleID(m.rng.Intn(r.Len()))
-		if r.Deleted(id) {
-			continue
-		}
-		if banned != nil && banned[delKey(r.Name, r.PK(id))] {
-			continue
-		}
-		return id, true
+	for _, in := range b.Inserts {
+		out.Inserts = append(out.Inserts, TupleInsert{Rel: in.Rel, Tuple: in.Tuple})
 	}
-	return 0, false
-}
-
-func delKey(rel string, pk int64) string { return rel + "#" + strconv.FormatInt(pk, 10) }
-
-// randomTuple fabricates a schema-valid tuple for r with the given primary
-// key. FK columns point at random live tuples outside the banned set (the
-// batch's planned deletes — deletes apply first, so referencing one would
-// fail validation); other columns get small positive values so ValueRank
-// weightings stay well-defined.
-func (m *mutationGen) randomTuple(r *relational.Relation, pk int64, banned map[string]bool) (relational.Tuple, bool) {
-	fkCols := make(map[int]string, len(r.FKs))
-	for _, fk := range r.FKs {
-		fkCols[r.ColIndex(fk.Column)] = fk.Ref
-	}
-	tuple := make(relational.Tuple, len(r.Columns))
-	for ci, col := range r.Columns {
-		switch {
-		case ci == r.PKCol:
-			tuple[ci] = relational.IntVal(pk)
-		case fkCols[ci] != "":
-			ref := m.db.Relation(fkCols[ci])
-			id, ok := m.randomLive(ref, banned)
-			if !ok {
-				return nil, false
-			}
-			tuple[ci] = relational.IntVal(ref.PK(id))
-		case col.Kind == relational.KindInt:
-			tuple[ci] = relational.IntVal(int64(1 + m.rng.Intn(999)))
-		case col.Kind == relational.KindFloat:
-			tuple[ci] = relational.FloatVal(1 + 999*m.rng.Float64())
-		default:
-			tuple[ci] = relational.StrVal(fmt.Sprintf("synthetic term%d payload%d",
-				m.rng.Intn(500), m.rng.Intn(500)))
-		}
-	}
-	return tuple, true
-}
-
-// cascade schedules (rel, pk) for deletion after every live tuple that
-// references it, recursively, deduplicated. Returns false when the cascade
-// would exceed limit tuples — the caller then skips this victim.
-func (m *mutationGen) cascade(rel string, pk int64, limit int, seen map[string]bool, out *[]TupleDelete) bool {
-	key := delKey(rel, pk)
-	if seen[key] {
-		return true
-	}
-	seen[key] = true
-	for _, ref := range m.db.ReferencingTuples(rel, pk) {
-		r := m.db.Relation(ref.Rel)
-		for _, id := range ref.IDs {
-			if !m.cascade(ref.Rel, r.PK(id), limit, seen, out) {
-				return false
-			}
-		}
-	}
-	if len(*out) >= limit {
-		return false
-	}
-	*out = append(*out, TupleDelete{Rel: rel, PK: pk})
-	return true
-}
-
-// nextBatch assembles one random batch: up to three cascade deletes, up to
-// four inserts (occasionally reusing a just-deleted primary key to exercise
-// the delete-then-insert slot path), never empty.
-func (m *mutationGen) nextBatch() MutationBatch {
-	var b MutationBatch
-	banned := make(map[string]bool)
-	for m.rng.Intn(2) == 0 && len(b.Deletes) < 12 {
-		r := m.db.Relations[m.rng.Intn(len(m.db.Relations))]
-		id, ok := m.randomLive(r, banned)
-		if !ok {
-			break
-		}
-		// Cascade into a tentative mark set, merged only when the whole
-		// cascade fits: an overflowed cascade must leave no trace, or a
-		// later victim would skip "already seen" referencers that were in
-		// fact never scheduled and fail the integrity check.
-		tentative := make(map[string]bool, len(banned))
-		for k := range banned {
-			tentative[k] = true
-		}
-		var out []TupleDelete
-		if m.cascade(r.Name, r.PK(id), 16, tentative, &out) {
-			banned = tentative
-			b.Deletes = append(b.Deletes, out...)
-		}
-	}
-	// banned now holds exactly the scheduled deletes.
-	nIns := 1 + m.rng.Intn(4)
-	reused := make(map[string]bool)
-	for i := 0; i < nIns; i++ {
-		r := m.db.Relations[m.rng.Intn(len(m.db.Relations))]
-		pk := m.nextPK
-		if len(b.Deletes) > 0 && m.rng.Intn(4) == 0 {
-			// Reuse a deleted PK: same logical identity, fresh slot.
-			d := b.Deletes[m.rng.Intn(len(b.Deletes))]
-			if del := m.db.Relation(d.Rel); del != nil && !reused[delKey(d.Rel, d.PK)] {
-				r, pk = del, d.PK
-				reused[delKey(d.Rel, d.PK)] = true
-			}
-		}
-		if pk == m.nextPK {
-			m.nextPK++
-		}
-		tuple, ok := m.randomTuple(r, pk, banned)
-		if !ok {
-			continue
-		}
-		b.Inserts = append(b.Inserts, TupleInsert{Rel: r.Name, Tuple: tuple})
-	}
-	return b
+	return out
 }
 
 // runEquivalence is the harness body shared by both datasets.
 func runEquivalence(t *testing.T, eng *Engine, settings []Setting, seed int64, rounds int) {
 	t.Logf("mutation-equivalence seed %d (replay: SIZELOS_EQUIV_SEED=%d)", seed, seed)
-	gen := newMutationGen(eng.DB(), seed)
+	gen := mutgen.New(eng.DB(), seed)
 	graphRebuilds := 0
 	prevGraph := eng.Graph()
 	for round := 0; round < rounds; round++ {
-		batch := gen.nextBatch()
+		batch := toMutationBatch(gen.NextBatch())
 		batch.Rerank = round%10 == 9
 		res, err := eng.Mutate(batch)
 		if err != nil {
