@@ -125,6 +125,21 @@ func (h *durableHub) RecordTenant(spec tenancy.TenantSpec) error {
 	})
 }
 
+// ReleaseTenant implements tenancy.Durability: close and drop the open
+// TenantStore of a tenant whose registration was rolled back, leaving its
+// manifest entry and on-disk state untouched.
+func (h *durableHub) ReleaseTenant(name string) {
+	h.mu.Lock()
+	dt := h.tenants[name]
+	delete(h.tenants, name)
+	h.mu.Unlock()
+	if dt != nil {
+		if err := dt.ts.Close(); err != nil {
+			log.Printf("ossrv: tenant %s: close WAL: %v", name, err)
+		}
+	}
+}
+
 // ForgetTenant implements tenancy.Durability: close the tenant's WAL if it
 // was recovered, then drop it from the manifest and delete its directory.
 func (h *durableHub) ForgetTenant(name string) error {

@@ -34,6 +34,7 @@ type ossrvProc struct {
 	mu   sync.Mutex
 	logs []string
 
+	scanDone chan struct{}
 	waitOnce sync.Once
 	waitErr  error
 }
@@ -51,7 +52,7 @@ func buildOssrv(t *testing.T) string {
 // startOssrv boots the binary and waits for its listen line.
 func startOssrv(t *testing.T, bin string, args ...string) *ossrvProc {
 	t.Helper()
-	p := &ossrvProc{t: t, cmd: exec.Command(bin, args...)}
+	p := &ossrvProc{t: t, cmd: exec.Command(bin, args...), scanDone: make(chan struct{})}
 	stderr, err := p.cmd.StderrPipe()
 	if err != nil {
 		t.Fatalf("stderr pipe: %v", err)
@@ -65,6 +66,7 @@ func startOssrv(t *testing.T, bin string, args ...string) *ossrvProc {
 	})
 	addrCh := make(chan string, 1)
 	go func() {
+		defer close(p.scanDone)
 		sc := bufio.NewScanner(stderr)
 		for sc.Scan() {
 			line := sc.Text()
@@ -90,7 +92,13 @@ func startOssrv(t *testing.T, bin string, args ...string) *ossrvProc {
 }
 
 func (p *ossrvProc) wait() error {
-	p.waitOnce.Do(func() { p.waitErr = p.cmd.Wait() })
+	p.waitOnce.Do(func() {
+		// Drain stderr to EOF before reaping: Wait closes the pipe, and
+		// reaping first can drop the process's final log lines (the
+		// "shutdown complete" assertion races otherwise).
+		<-p.scanDone
+		p.waitErr = p.cmd.Wait()
+	})
 	return p.waitErr
 }
 
@@ -205,14 +213,22 @@ func TestLiveServiceGracefulShutdown(t *testing.T) {
 	if n := srv2.searchCount("dur", "Shutdownproof"); n != 1 {
 		t.Fatalf("post-restart count = %d, want 1", n)
 	}
-	srv2.mu.Lock()
-	var replayed = -1
-	for _, line := range srv2.logs {
-		if m := replayedLine.FindStringSubmatch(line); m != nil {
-			fmt.Sscanf(m[1], "%d", &replayed)
+	// The recovery line was written to stderr before the search response,
+	// but the scanner goroutine consumes the pipe asynchronously — poll
+	// rather than reading the captured log once.
+	replayed := -1
+	for deadline := time.Now().Add(10 * time.Second); replayed < 0 && time.Now().Before(deadline); {
+		srv2.mu.Lock()
+		for _, line := range srv2.logs {
+			if m := replayedLine.FindStringSubmatch(line); m != nil {
+				fmt.Sscanf(m[1], "%d", &replayed)
+			}
+		}
+		srv2.mu.Unlock()
+		if replayed < 0 {
+			time.Sleep(20 * time.Millisecond)
 		}
 	}
-	srv2.mu.Unlock()
 	if replayed != 0 {
 		t.Fatalf("restart replayed %d WAL records, want 0 (final snapshot missing or stale)", replayed)
 	}

@@ -2,6 +2,8 @@ package durable
 
 import (
 	"errors"
+	"fmt"
+	iofs "io/fs"
 	"math/rand"
 	"path"
 	"strings"
@@ -9,6 +11,8 @@ import (
 	"time"
 
 	"sizelos"
+	"sizelos/internal/datagen"
+	"sizelos/internal/mutgen"
 	"sizelos/internal/relational"
 )
 
@@ -383,6 +387,46 @@ func TestWALRotateKeepsUncoveredSegments(t *testing.T) {
 	}
 }
 
+func TestWALRefusesReplayGapAfterPrune(t *testing.T) {
+	fs := NewMemFS()
+	w, _, err := openWAL(fs, "t", 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if err := w.AppendMutation(testBatch(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.rotate(0); err != nil { // retire the segment, prune nothing
+		t.Fatal(err)
+	}
+	for i := 3; i < 5; i++ {
+		if err := w.AppendMutation(testBatch(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.rotate(3); err != nil { // prunes records 1..3
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Replay from a snapshot covering the pruned prefix works...
+	_, recs, err := openWAL(fs, "t", 3, 0)
+	if err != nil || len(recs) != 2 || recs[0].Seq != 4 {
+		t.Fatalf("replay after covered prefix: %d recs, err %v", len(recs), err)
+	}
+	// ...but replay from BELOW the pruned-through seq must refuse: records
+	// 1..3 are gone, so continuing would silently drop committed batches.
+	if _, _, err := openWAL(fs, "t", 0, 0); !errors.Is(err, ErrWALCorrupt) {
+		t.Fatalf("replay gap accepted: %v", err)
+	}
+	if _, _, err := openWAL(fs, "t", 2, 0); !errors.Is(err, ErrWALCorrupt) {
+		t.Fatalf("partial replay gap accepted: %v", err)
+	}
+}
+
 func TestWALGroupCommit(t *testing.T) {
 	fs := NewMemFS()
 	w, _, err := openWAL(fs, "t", 0, 5*time.Millisecond)
@@ -511,6 +555,157 @@ func TestSnapshotPrune(t *testing.T) {
 	}
 	if len(snaps) != 2 || snaps[0].start != 12 || snaps[1].start != 9 {
 		t.Fatalf("prune kept %+v", snaps)
+	}
+}
+
+// failReadFS wraps an FS and fails ReadFile for one path with a chosen
+// error — a transient I/O fault, not missing or damaged data.
+type failReadFS struct {
+	FS
+	fail string
+	err  error
+}
+
+func (f *failReadFS) ReadFile(name string) ([]byte, error) {
+	if name == f.fail {
+		return nil, f.err
+	}
+	return f.FS.ReadFile(name)
+}
+
+func TestLoadSnapshotReadErrorPropagates(t *testing.T) {
+	fs := NewMemFS()
+	if err := writeSnapshot(fs, "t", 5, testState(5)); err != nil {
+		t.Fatal(err)
+	}
+	if err := writeSnapshot(fs, "t", 9, testState(9)); err != nil {
+		t.Fatal(err)
+	}
+	// A transient I/O error on the newest snapshot must abort recovery, not
+	// silently degrade to the older snapshot (whose covering WAL segments
+	// may be pruned).
+	newest := path.Join("t", snapshotName(9))
+	ffs := &failReadFS{FS: fs, fail: newest, err: errors.New("injected I/O error")}
+	if _, _, err := loadNewestSnapshot(ffs, "t"); err == nil || !strings.Contains(err.Error(), "injected I/O error") {
+		t.Fatalf("transient read error swallowed: %v", err)
+	}
+	// A snapshot that vanished between listing and read (concurrent prune)
+	// is not damage: fall back to the next-newest.
+	gone := &failReadFS{FS: fs, fail: newest, err: fmt.Errorf("gone: %w", iofs.ErrNotExist)}
+	st, seq, err := loadNewestSnapshot(gone, "t")
+	if err != nil || seq != 5 || st.DB[0] != 5 {
+		t.Fatalf("missing-file fallback: seq %d, err %v", seq, err)
+	}
+}
+
+// TestStoreSnapshotFallbackAfterPruning is the store-level regression for
+// WAL pruning outrunning snapshot retention: with KeepSnapshots=2, recovery
+// falling back from a damaged newest snapshot to the older retained one
+// must still replay to the exact final state — the records between the two
+// snapshots have to survive rotation. With every retained snapshot damaged,
+// recovery must REFUSE (ErrWALCorrupt) rather than silently rebuild a state
+// missing the pruned records.
+func TestStoreSnapshotFallbackAfterPruning(t *testing.T) {
+	cfg := datagen.DefaultDBLPConfig()
+	cfg.Authors = 20
+	cfg.Papers = 60
+	cfg.Conferences = 3
+	cfg.YearSpan = 2
+	fresh := func() (*sizelos.Engine, error) {
+		eng, err := sizelos.OpenDBLP(cfg)
+		if err != nil {
+			return nil, err
+		}
+		eng.SetResidualRerank(false)
+		return eng, nil
+	}
+	restore := func(st *sizelos.EngineState) (*sizelos.Engine, error) {
+		eng, err := sizelos.RestoreDBLP(st)
+		if err != nil {
+			return nil, err
+		}
+		eng.SetResidualRerank(false)
+		return eng, nil
+	}
+
+	fs := NewMemFS()
+	store, err := Open(fs, Options{KeepSnapshots: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := store.Tenant("t")
+	eng, _, err := ts.Recover(restore, fresh)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen := mutgen.New(eng.DB(), 7)
+	var snapSeqs []uint64
+	for round := 0; round < 9; round++ {
+		if _, err := eng.Mutate(toBatch(gen.NextBatch())); err != nil {
+			t.Fatalf("round %d: %v", round, err)
+		}
+		if (round+1)%3 == 0 { // snapshots after seqs 3, 6, 9
+			seq, err := ts.Snapshot(eng)
+			if err != nil {
+				t.Fatalf("round %d: snapshot: %v", round, err)
+			}
+			snapSeqs = append(snapSeqs, seq)
+		}
+	}
+	want, finalSeq, err := eng.ExportState()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ts.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if len(snapSeqs) != 3 {
+		t.Fatalf("took %d snapshots", len(snapSeqs))
+	}
+	// Retention pruned the first snapshot; the newer two remain.
+	snaps, err := snapshotFiles(fs, ts.dir)
+	if err != nil || len(snaps) != 2 {
+		t.Fatalf("retained snapshots: %+v, %v", snaps, err)
+	}
+
+	damage := func(seq uint64) {
+		name := path.Join(ts.dir, snapshotName(seq))
+		data, err := fs.ReadFile(name)
+		if err != nil {
+			t.Fatalf("read %s: %v", name, err)
+		}
+		data[len(data)/2] ^= 0x40
+		writeFile(t, fs, name, data, true)
+	}
+
+	// Newest snapshot damaged: recovery falls back to the older retained
+	// snapshot and replays the surviving WAL records to the identical state.
+	damage(snapSeqs[2])
+	ts2 := store.Tenant("t")
+	eng2, info, err := ts2.Recover(restore, fresh)
+	if err != nil {
+		t.Fatalf("fallback recovery: %v", err)
+	}
+	if info.SnapshotSeq != snapSeqs[1] || info.Seq != finalSeq {
+		t.Fatalf("fallback recovered snapshot %d seq %d, want snapshot %d seq %d",
+			info.SnapshotSeq, info.Seq, snapSeqs[1], finalSeq)
+	}
+	got, gotSeq, err := eng2.ExportState()
+	if err != nil || gotSeq != finalSeq {
+		t.Fatalf("export: seq %d, err %v", gotSeq, err)
+	}
+	assertStatesIdentical(t, "fallback", want, got)
+	if err := ts2.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Every retained snapshot damaged: the WAL prefix those snapshots
+	// covered is pruned, so a from-scratch rebuild cannot reach the
+	// committed state — recovery must refuse, loudly.
+	damage(snapSeqs[1])
+	ts3 := store.Tenant("t")
+	if _, _, err := ts3.Recover(restore, fresh); !errors.Is(err, ErrWALCorrupt) {
+		t.Fatalf("all-snapshots-damaged recovery did not refuse: %v", err)
 	}
 }
 

@@ -24,8 +24,9 @@ import (
 // snapshot either exists whole and checksummed or not at all. Recovery
 // takes the newest snapshot that validates, falling back to older ones:
 // a torn or corrupt newest snapshot (crash mid-write that still got the
-// rename durable, or media damage) degrades to a longer WAL replay, never
-// to a failed recovery.
+// rename durable, or media damage) degrades to a longer WAL replay from an
+// older snapshot — whose covering segments survive pruning by design.
+// Only provable damage falls back; a plain read error aborts recovery.
 const (
 	snapMagic  = "SZLSNAP1"
 	snapPrefix = "snap-"
@@ -135,6 +136,8 @@ func snapshotFiles(fsys FS, dir string) ([]walSegment, error) {
 // loadNewestSnapshot returns the newest snapshot in dir that validates, its
 // covered seq, and — when every candidate is damaged or none exists —
 // (nil, 0, nil): the caller then recovers from scratch by full WAL replay.
+// Only provable damage (missing file, bad checksum, failed parse) triggers
+// fallback; any other read error aborts the recovery.
 func loadNewestSnapshot(fsys FS, dir string) (*sizelos.EngineState, uint64, error) {
 	snaps, err := snapshotFiles(fsys, dir)
 	if err != nil {
@@ -143,7 +146,13 @@ func loadNewestSnapshot(fsys FS, dir string) (*sizelos.EngineState, uint64, erro
 	for _, s := range snaps {
 		data, err := fsys.ReadFile(path.Join(dir, s.name))
 		if err != nil {
-			continue
+			if isNotExist(err) {
+				continue // pruned between listing and read
+			}
+			// A transient I/O error is NOT a damaged snapshot: falling back
+			// would silently regress to an older state (whose covering WAL
+			// segments may be pruned). Fail the recovery loudly instead.
+			return nil, 0, fmt.Errorf("durable: read snapshot %s: %w", s.name, err)
 		}
 		st, seq, err := parseSnapshot(data)
 		if err != nil || seq != s.start {

@@ -21,7 +21,10 @@ type Options struct {
 	// can lose at most the last interval's acknowledged batches.
 	SyncInterval time.Duration
 	// KeepSnapshots is how many snapshots survive pruning (default 2: the
-	// newest plus one fallback should the newest be damaged).
+	// newest plus one fallback should the newest be damaged). Retained
+	// snapshots pin WAL segments — the log is pruned only through the
+	// oldest retained snapshot's covered seq, so every fallback can still
+	// replay to the present.
 	KeepSnapshots int
 }
 
@@ -284,13 +287,23 @@ func (t *TenantStore) Snapshot(eng *sizelos.Engine) (uint64, error) {
 	if err := writeSnapshot(t.fs, t.dir, seq, st); err != nil {
 		return 0, err
 	}
-	if t.wal != nil {
-		if err := t.wal.rotate(seq); err != nil {
-			return 0, err
-		}
-	}
 	if err := pruneSnapshots(t.fs, t.dir, t.opts.KeepSnapshots); err != nil {
 		return 0, err
+	}
+	if t.wal != nil {
+		// WAL pruning is licensed by the OLDEST retained snapshot, not the
+		// one just written: recovery falls back to older snapshots when the
+		// newest is damaged, and every fallback's replay chain must still
+		// start inside the surviving segments (openWAL refuses otherwise).
+		covered := seq
+		if snaps, err := snapshotFiles(t.fs, t.dir); err != nil {
+			return 0, err
+		} else if len(snaps) > 0 {
+			covered = snaps[len(snaps)-1].start
+		}
+		if err := t.wal.rotate(covered); err != nil {
+			return 0, err
+		}
 	}
 	t.lastSnapSeq = seq
 	t.hasSnapshot = true

@@ -204,6 +204,16 @@ func openWAL(fsys FS, dir string, afterSeq uint64, syncInterval time.Duration) (
 	if err != nil {
 		return nil, nil, err
 	}
+	// Replay floor: the chain must be able to start at afterSeq+1. Rotation
+	// prunes segments only through the OLDEST retained snapshot, so for any
+	// snapshot recovery can legitimately fall back to, the earliest
+	// surviving segment starts at or below afterSeq+1. A higher start means
+	// records in (afterSeq, start) were pruned under a snapshot this
+	// recovery is not using — refusing beats silently dropping them.
+	if len(segs) > 0 && segs[0].start > afterSeq+1 {
+		return nil, nil, fmt.Errorf("%w: oldest segment %s starts at seq %d, but replay after seq %d needs seq %d (records pruned past the recovered snapshot)",
+			ErrWALCorrupt, segs[0].name, segs[0].start, afterSeq, afterSeq+1)
+	}
 	w := &WAL{fs: fsys, dir: dir, seq: afterSeq, syncInterval: syncInterval}
 	var replay []Record
 	last := uint64(0) // last seq seen across segments

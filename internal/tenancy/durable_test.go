@@ -8,6 +8,7 @@ package tenancy
 // proven in internal/durable and wired up in cmd/ossrv.
 
 import (
+	"errors"
 	"fmt"
 	"net/http"
 	"net/http/httptest"
@@ -16,6 +17,7 @@ import (
 	"sync"
 	"sync/atomic"
 	"testing"
+	"time"
 )
 
 // fakeDurability records lifecycle calls.
@@ -23,6 +25,7 @@ type fakeDurability struct {
 	mu        sync.Mutex
 	recorded  map[string]TenantSpec
 	forgotten []string
+	released  []string
 	failNext  error
 }
 
@@ -47,6 +50,12 @@ func (f *fakeDurability) ForgetTenant(name string) error {
 	f.forgotten = append(f.forgotten, name)
 	delete(f.recorded, name)
 	return nil
+}
+
+func (f *fakeDurability) ReleaseTenant(name string) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.released = append(f.released, name)
 }
 
 func TestResolveLazyRecoverySingleFlight(t *testing.T) {
@@ -217,5 +226,191 @@ func TestServeRegisterRecordsDurably(t *testing.T) {
 	}
 	if _, ok := reg.Get("undone"); ok {
 		t.Fatal("rolled-back tenant still live")
+	}
+}
+
+func TestRegisterDynamicSingleFlight(t *testing.T) {
+	eng := testEngine(t, 603)
+	reg := NewRegistry(1)
+	fd := &fakeDurability{}
+	reg.SetDurability(fd)
+	var recoveries atomic.Int32
+	started := make(chan struct{})
+	release := make(chan struct{})
+	reg.SetRecoverer(func(TenantSpec) (*sizelos.Engine, error) {
+		if recoveries.Add(1) == 1 {
+			close(started)
+		}
+		<-release
+		return eng, nil
+	})
+
+	// Concurrent registrations of one name: exactly one may run the
+	// recoverer — a second recovery would open a second append handle on
+	// the tenant's WAL and interleave frames. The release gate holds the
+	// winner inside the recoverer, so every other caller's conflict proves
+	// it never entered.
+	const callers = 8
+	results := make([]error, callers)
+	var wg sync.WaitGroup
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, results[i] = reg.RegisterDynamic(TenantSpec{Name: "solo", Dataset: "dblp"})
+		}(i)
+	}
+	<-started
+	close(release)
+	wg.Wait()
+	wins, conflicts := 0, 0
+	for _, err := range results {
+		switch {
+		case err == nil:
+			wins++
+		case errors.Is(err, ErrTenantExists):
+			conflicts++
+		default:
+			t.Fatalf("unexpected error: %v", err)
+		}
+	}
+	if wins != 1 || conflicts != callers-1 {
+		t.Fatalf("wins=%d conflicts=%d", wins, conflicts)
+	}
+	if got := recoveries.Load(); got != 1 {
+		t.Fatalf("recoverer ran %d times, want 1", got)
+	}
+	fd.mu.Lock()
+	_, recorded := fd.recorded["solo"]
+	fd.mu.Unlock()
+	if !recorded {
+		t.Fatal("winning registration not recorded durably")
+	}
+}
+
+func TestRegisterDynamicRejectsPendingName(t *testing.T) {
+	reg := NewRegistry(1)
+	fd := &fakeDurability{}
+	reg.SetDurability(fd)
+	reg.SetRecoverer(func(TenantSpec) (*sizelos.Engine, error) {
+		return nil, fmt.Errorf("recoverer must not run for a pending name")
+	})
+	if err := reg.AddPending(TenantSpec{Name: "pend", Dataset: "dblp"}); err != nil {
+		t.Fatal(err)
+	}
+	// Registering a manifest-pending name must conflict — recovering its
+	// pre-existing durable state under the request's spec and answering
+	// 201 Created would be a lie on both counts.
+	if _, err := reg.RegisterDynamic(TenantSpec{Name: "pend", Dataset: "tpch"}); !errors.Is(err, ErrTenantExists) {
+		t.Fatalf("pending name registered: %v", err)
+	}
+	srv := httptest.NewServer(reg.Handler())
+	defer srv.Close()
+	resp, err := http.Post(srv.URL+"/v1/tenants", "application/json",
+		strings.NewReader(`{"name":"pend","dataset":"tpch"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("pending name over HTTP: %d, want 409", resp.StatusCode)
+	}
+	// The pending entry is untouched: the tenant still recovers on demand.
+	if names := reg.Names(); len(names) != 1 || names[0] != "pend" {
+		t.Fatalf("pending entry lost: %v", names)
+	}
+}
+
+func TestRegisterDynamicReleasesHandlesOnRegisterRace(t *testing.T) {
+	eng := testEngine(t, 604)
+	reg := NewRegistry(1)
+	fd := &fakeDurability{}
+	reg.SetDurability(fd)
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	reg.SetRecoverer(func(TenantSpec) (*sizelos.Engine, error) {
+		close(entered)
+		<-release
+		return eng, nil
+	})
+	done := make(chan error, 1)
+	go func() {
+		_, err := reg.RegisterDynamic(TenantSpec{Name: "clash", Dataset: "dblp"})
+		done <- err
+	}()
+	<-entered
+	// A direct Register sneaks in while the recoverer runs: the dynamic
+	// registration must lose AND close the durable handles its recovery
+	// opened — a leaked open WAL handle would corrupt the next append.
+	if _, err := reg.Register("clash", eng, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	close(release)
+	if err := <-done; !errors.Is(err, ErrTenantExists) {
+		t.Fatalf("racing dynamic registration: %v", err)
+	}
+	fd.mu.Lock()
+	released := len(fd.released) == 1 && fd.released[0] == "clash"
+	fd.mu.Unlock()
+	if !released {
+		t.Fatalf("durable handles not released: %v", fd.released)
+	}
+}
+
+func TestDeregisterWaitsForInFlightRecovery(t *testing.T) {
+	eng := testEngine(t, 605)
+	reg := NewRegistry(1)
+	fd := &fakeDurability{}
+	reg.SetDurability(fd)
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	reg.SetRecoverer(func(TenantSpec) (*sizelos.Engine, error) {
+		close(entered)
+		<-release
+		return eng, nil
+	})
+	if err := reg.AddPending(TenantSpec{Name: "racy", Dataset: "dblp"}); err != nil {
+		t.Fatal(err)
+	}
+	resolved := make(chan struct{})
+	go func() {
+		defer close(resolved)
+		if _, _, err := reg.Resolve("racy"); err != nil {
+			t.Errorf("resolve: %v", err)
+		}
+	}()
+	<-entered
+	dereg := make(chan struct{})
+	var ok bool
+	var derr error
+	go func() {
+		defer close(dereg)
+		ok, derr = reg.Deregister("racy")
+	}()
+	// The DELETE must wait out the in-flight recovery: returning 200 and
+	// removing durable state while the recovery's Register lands afterwards
+	// would leave the tenant serving from memory with its disk state gone.
+	select {
+	case <-dereg:
+		t.Fatal("Deregister returned while the recovery was still in flight")
+	case <-time.After(20 * time.Millisecond):
+	}
+	close(release)
+	<-resolved
+	<-dereg
+	if !ok || derr != nil {
+		t.Fatalf("Deregister = %v, %v", ok, derr)
+	}
+	if _, live := reg.Get("racy"); live {
+		t.Fatal("deregistered tenant still serving from memory")
+	}
+	if names := reg.Names(); len(names) != 0 {
+		t.Fatalf("names after deregister: %v", names)
+	}
+	fd.mu.Lock()
+	forgotten := len(fd.forgotten) == 1 && fd.forgotten[0] == "racy"
+	fd.mu.Unlock()
+	if !forgotten {
+		t.Fatalf("durable state not forgotten exactly once: %v", fd.forgotten)
 	}
 }

@@ -269,11 +269,13 @@ type RegisterResponse struct {
 }
 
 // serveRegister builds an engine for the requested dataset and registers it
-// as a live tenant. The engine build runs outside every lock; only the
-// final Register touches the registry, so existing tenants keep serving.
-// In a durable deployment (SetRecoverer + SetDurability) the engine is
-// built through the recoverer — which attaches the tenant's WAL — and the
-// registration is recorded in the manifest before it is acknowledged.
+// as a live tenant. The engine build runs outside every lock, so existing
+// tenants keep serving. In a durable deployment (SetRecoverer +
+// SetDurability) the whole flow goes through RegisterDynamic: the name is
+// claimed in the lazy-recovery single-flight before the recoverer runs (a
+// concurrent POST or first-touch recovery must never open the same WAL
+// twice), manifest-pending names are conflicts, and the registration is
+// recorded in the manifest before it is acknowledged.
 func (r *Registry) serveRegister(w http.ResponseWriter, req *http.Request) {
 	if r.opener == nil && r.recoverer == nil {
 		writeJSON(w, http.StatusNotImplemented, errorResponse{Error: "dynamic tenant registration is not configured"})
@@ -292,22 +294,35 @@ func (r *Registry) serveRegister(w http.ResponseWriter, req *http.Request) {
 		writeJSON(w, http.StatusBadRequest, errorResponse{Error: fmt.Sprintf("invalid tenant name %q (want [A-Za-z0-9._-]+)", body.Name)})
 		return
 	}
-	// Cheap duplicate probe before the (expensive) engine build; Register
-	// re-checks under the stripe lock, so a racing duplicate still loses.
+	// Cheap duplicate probe before the (expensive) engine build; the
+	// registration path re-checks atomically, so a racing duplicate still
+	// loses.
 	if _, dup := r.Get(body.Name); dup {
 		writeJSON(w, http.StatusConflict, errorResponse{Error: fmt.Sprintf("tenant %q already registered", body.Name)})
 		return
 	}
 	spec := TenantSpec{Name: body.Name, Dataset: body.Dataset, Seed: body.Seed, Cache: body.Cache}
-	var (
-		eng *sizelos.Engine
-		err error
-	)
 	if r.recoverer != nil {
-		eng, err = r.recoverer(spec)
-	} else {
-		eng, err = r.opener(body.Dataset, body.Seed)
+		t, err := r.RegisterDynamic(spec)
+		if err != nil {
+			status := http.StatusBadRequest // recoverer rejection (bad dataset, unreadable state)
+			switch {
+			case errors.Is(err, ErrTenantExists):
+				status = http.StatusConflict
+			case errors.Is(err, ErrDurabilityFailed):
+				status = http.StatusInternalServerError
+			}
+			writeJSON(w, status, errorResponse{Error: err.Error()})
+			return
+		}
+		writeJSON(w, http.StatusCreated, RegisterResponse{
+			Tenant:   t.Name,
+			Dataset:  body.Dataset,
+			Settings: t.Engine.SettingNames(),
+		})
+		return
 	}
+	eng, err := r.opener(body.Dataset, body.Seed)
 	if err != nil {
 		writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
 		return

@@ -1,6 +1,7 @@
 package tenancy
 
 import (
+	"errors"
 	"fmt"
 	"hash/fnv"
 	"sort"
@@ -8,6 +9,15 @@ import (
 
 	"sizelos"
 	"sizelos/internal/searchexec"
+)
+
+var (
+	// ErrTenantExists reports a dynamic registration naming a tenant that
+	// is already live, pending recovery, or being created concurrently.
+	ErrTenantExists = errors.New("tenancy: tenant already registered")
+	// ErrDurabilityFailed reports a registration that was rolled back
+	// because it could not be recorded durably.
+	ErrDurabilityFailed = errors.New("tenancy: registration could not be made durable")
 )
 
 // numStripes is the lock-striping width of the registry map. 16 stripes
@@ -92,6 +102,11 @@ type Durability interface {
 	// releasing any open log handles first. Removing an unrecorded tenant
 	// is not an error.
 	ForgetTenant(name string) error
+	// ReleaseTenant closes any open durable handles (WAL) the recoverer
+	// left attached for a tenant whose registration was rolled back,
+	// WITHOUT touching its durable state. Releasing a tenant with no open
+	// handles is a no-op.
+	ReleaseTenant(name string)
 }
 
 // SetRecoverer installs the engine builder used for pending tenants (and,
@@ -167,6 +182,11 @@ func (r *Registry) Resolve(name string) (t *Tenant, found bool, err error) {
 			c.err = fmt.Errorf("tenancy: recover tenant %q: %w", name, rerr)
 		} else {
 			c.t, c.err = r.Register(name, eng, Options{CacheBudget: spec.Cache})
+			if c.err != nil && r.durability != nil {
+				// The recoverer attached durable handles (the WAL); a failed
+				// registration must not leak them open.
+				r.durability.ReleaseTenant(name)
+			}
 		}
 	}
 	r.pendMu.Lock()
@@ -177,6 +197,82 @@ func (r *Registry) Resolve(name string) (t *Tenant, found bool, err error) {
 	r.pendMu.Unlock()
 	close(c.done)
 	return c.t, true, c.err
+}
+
+// RegisterDynamic creates a brand-new tenant through the recoverer and, if
+// a Durability is installed, records it durably before returning. The name
+// is claimed in the same per-name single-flight lazy recovery uses, so a
+// concurrent POST or first-touch Resolve of the same name can never both
+// run the recoverer — two recoveries would open two append handles on one
+// WAL and interleave frames. Names that are live, pending recovery (their
+// durable state exists; recovering it under a new spec would serve the old
+// tenant's data), or mid-creation fail with ErrTenantExists; a failed
+// durable record rolls the registration back and fails with
+// ErrDurabilityFailed.
+func (r *Registry) RegisterDynamic(spec TenantSpec) (*Tenant, error) {
+	if r.recoverer == nil {
+		return nil, fmt.Errorf("tenancy: dynamic registration needs a recoverer")
+	}
+	name := spec.Name
+	if !validName(name) {
+		return nil, fmt.Errorf("tenancy: invalid tenant name %q (want [A-Za-z0-9._-]+)", name)
+	}
+	r.pendMu.Lock()
+	if _, pend := r.pending[name]; pend {
+		r.pendMu.Unlock()
+		return nil, fmt.Errorf("%w: %q is pending recovery", ErrTenantExists, name)
+	}
+	if _, creating := r.recovering[name]; creating {
+		r.pendMu.Unlock()
+		return nil, fmt.Errorf("%w: %q is being created concurrently", ErrTenantExists, name)
+	}
+	if _, live := r.Get(name); live {
+		r.pendMu.Unlock()
+		return nil, fmt.Errorf("%w: %q", ErrTenantExists, name)
+	}
+	c := &recoverCall{done: make(chan struct{})}
+	if r.recovering == nil {
+		r.recovering = make(map[string]*recoverCall)
+	}
+	r.recovering[name] = c
+	r.pendMu.Unlock()
+	defer func() {
+		r.pendMu.Lock()
+		delete(r.recovering, name)
+		r.pendMu.Unlock()
+		close(c.done)
+	}()
+
+	eng, err := r.recoverer(spec)
+	if err != nil {
+		c.err = err
+		return nil, err
+	}
+	t, err := r.Register(name, eng, Options{CacheBudget: spec.Cache})
+	if err != nil {
+		if r.durability != nil {
+			r.durability.ReleaseTenant(name)
+		}
+		c.err = fmt.Errorf("%w: %q", ErrTenantExists, name)
+		return nil, c.err
+	}
+	if r.durability != nil {
+		// Only a durably recorded registration is acknowledged: a crash
+		// after success must bring the tenant back. Roll back inline rather
+		// than via Deregister — Deregister waits on in-flight creations,
+		// and this goroutine still holds the name's claim.
+		if err := r.durability.RecordTenant(spec); err != nil {
+			s := r.stripe(name)
+			s.mu.Lock()
+			delete(s.tenants, name)
+			s.mu.Unlock()
+			_ = r.durability.ForgetTenant(name)
+			c.err = fmt.Errorf("%w: %v", ErrDurabilityFailed, err)
+			return nil, c.err
+		}
+	}
+	c.t = t
+	return t, nil
 }
 
 // Opener builds a ready-to-serve engine (G_DSs registered) for a named
@@ -278,22 +374,34 @@ func (r *Registry) Get(name string) (*Tenant, bool) {
 // on it finish normally. With a Durability installed, the tenant's durable
 // record and state are removed too; the returned error reports a failure
 // of that durable removal (the in-memory removal has already happened).
-// A DELETE racing a first-touch recovery can lose: the recovery's Register
-// lands after the removal and the tenant stays live in memory (its durable
-// state is gone, so it vanishes for good at the next restart).
+// A DELETE racing a first-touch recovery (or a concurrent creation) waits
+// for that flight to settle and then removes its result too, so a
+// successful DELETE never leaves the tenant serving from memory.
 func (r *Registry) Deregister(name string) (bool, error) {
+	// Drain any in-flight recovery/creation of the name first: its Register
+	// would otherwise land after our removal and resurrect the tenant in
+	// memory while its durable state is gone. Holding pendMu across the
+	// pending-entry removal guarantees no new flight starts in between.
+	r.pendMu.Lock()
+	for {
+		c, running := r.recovering[name]
+		if !running {
+			break
+		}
+		r.pendMu.Unlock()
+		<-c.done
+		r.pendMu.Lock()
+	}
+	_, pend := r.pending[name]
+	delete(r.pending, name)
+	r.pendMu.Unlock()
+
 	s := r.stripe(name)
 	s.mu.Lock()
-	_, ok := s.tenants[name]
+	_, live := s.tenants[name]
 	delete(s.tenants, name)
 	s.mu.Unlock()
-	r.pendMu.Lock()
-	if _, pend := r.pending[name]; pend {
-		ok = true
-		delete(r.pending, name)
-	}
-	r.pendMu.Unlock()
-	if !ok {
+	if !live && !pend {
 		return false, nil
 	}
 	if r.durability != nil {
