@@ -862,3 +862,104 @@ func BenchmarkRecoveryReplay(b *testing.B) {
 		b.StartTimer()
 	}
 }
+
+// wideEnv builds the streaming worst case once: 12000 Item subjects all
+// matching one token, so a full drain summarizes 12000 subjects while a
+// limit-10 stream summarizes exactly the served prefix.
+var (
+	wideOnce sync.Once
+	wideEng  *sizelos.Engine
+	wideErr  error
+)
+
+func getWide(b *testing.B) *sizelos.Engine {
+	b.Helper()
+	wideOnce.Do(func() {
+		db := relational.NewDB("acme")
+		item := relational.MustNewRelation("Item",
+			[]relational.Column{
+				{Name: "id", Kind: relational.KindInt, Affinity: 1},
+				{Name: "tag", Kind: relational.KindString, Affinity: 1},
+			}, "id", nil)
+		rev := relational.MustNewRelation("Rev",
+			[]relational.Column{
+				{Name: "id", Kind: relational.KindInt, Affinity: 1},
+				{Name: "item", Kind: relational.KindInt, Affinity: 1},
+				{Name: "note", Kind: relational.KindString, Affinity: 1},
+			}, "id", []relational.ForeignKey{{Column: "item", Ref: "Item"}})
+		db.MustAddRelation(item)
+		db.MustAddRelation(rev)
+		revID := int64(1)
+		for i := 0; i < 12000; i++ {
+			item.MustInsert(relational.Tuple{
+				relational.IntVal(int64(i + 1)),
+				relational.StrVal(fmt.Sprintf("acme widget%05d", i)),
+			})
+			for r := 0; r < i%3; r++ {
+				rev.MustInsert(relational.Tuple{
+					relational.IntVal(revID),
+					relational.IntVal(int64(i + 1)),
+					relational.StrVal(fmt.Sprintf("note%d", revID)),
+				})
+				revID++
+			}
+		}
+		ga := rank.NewGA("GA").Direct("Rev", 0, true, 0.5).Direct("Rev", 0, false, 0.5)
+		eng, err := sizelos.NewEngine(db, []sizelos.Setting{
+			{Name: sizelos.DefaultSetting, GA: ga, Damping: 0.85},
+		})
+		if err != nil {
+			wideErr = err
+			return
+		}
+		gds := schemagraph.New("Item")
+		gds.Root.AddChildFK("Rev", "Rev", 0, 0.9)
+		if err := eng.RegisterGDS(gds); err != nil {
+			wideErr = err
+			return
+		}
+		wideEng = eng
+	})
+	if wideErr != nil {
+		b.Fatal(wideErr)
+	}
+	return wideEng
+}
+
+// BenchmarkQueryStream measures the streaming hot path the PR exists for:
+// first page of 10 over 12000 matching subjects. Early termination keeps
+// the cost proportional to the page, not the answer.
+func BenchmarkQueryStream(b *testing.B) {
+	eng := getWide(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sums, _, stats, err := eng.QueryPage(sizelos.QueryRequest{
+			Rel: "Item", Query: "acme", L: 3, Limit: 10,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(sums) != 10 || stats.Matches < 10000 {
+			b.Fatalf("served %d of %d matches", len(sums), stats.Matches)
+		}
+	}
+}
+
+// BenchmarkQueryDrain is the materializing baseline on the same query:
+// every one of the 12000 matches summarized. The ns/op gap against
+// BenchmarkQueryStream is the streaming redesign's claim.
+func BenchmarkQueryDrain(b *testing.B) {
+	eng := getWide(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sums, _, stats, err := eng.QueryPage(sizelos.QueryRequest{
+			Rel: "Item", Query: "acme", L: 3,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(sums) != stats.Matches || stats.Matches < 10000 {
+			b.Fatalf("drained %d of %d matches", len(sums), stats.Matches)
+		}
+	}
+}

@@ -29,7 +29,8 @@ func main() {
 		complete = flag.Bool("complete", false, "compute from the complete OS instead of prelim-l")
 		fromDB   = flag.Bool("from-db", false, "extract with database joins instead of the data graph")
 		weights  = flag.Bool("weights", false, "show local importance per tuple")
-		topK     = flag.Int("k", 0, "max data subjects to summarize (0 = all)")
+		limit    = flag.Int("limit", 0, "max data subjects to summarize (0 = all)")
+		topK     = flag.Int("k", 0, "legacy alias for -limit")
 		seed     = flag.Int64("seed", 1, "generator seed")
 		parallel = flag.Int("parallel", 0, "summary workers per query (0 = GOMAXPROCS, 1 = serial)")
 	)
@@ -39,6 +40,9 @@ func main() {
 		fmt.Fprintln(os.Stderr, "usage: oskws [flags] <keywords>")
 		flag.PrintDefaults()
 		os.Exit(2)
+	}
+	if *limit == 0 {
+		*limit = *topK
 	}
 
 	var (
@@ -62,12 +66,18 @@ func main() {
 		os.Exit(1)
 	}
 
-	results, err := eng.Search(*rel, query, *l, sizelos.SearchOptions{
+	// Stream results instead of materializing the whole answer set: each
+	// summary prints as soon as it is computed, and -limit stops the
+	// pipeline before the remaining matches are ever summarized.
+	res, err := eng.Query(sizelos.QueryRequest{
+		Rel:          *rel,
+		Query:        query,
+		L:            *l,
 		Setting:      *setting,
 		Algorithm:    sizelos.Algorithm(*algo),
-		UseComplete:  *complete,
+		Complete:     *complete,
 		FromDatabase: *fromDB,
-		TopK:         *topK,
+		Limit:        *limit,
 		ShowWeights:  *weights,
 		Parallel:     *parallel,
 	})
@@ -75,13 +85,32 @@ func main() {
 		fmt.Fprintf(os.Stderr, "oskws: %v\n", err)
 		os.Exit(1)
 	}
-	if len(results) == 0 {
+	defer res.Close()
+
+	total := res.Stats().Matches
+	if *limit > 0 && *limit < total {
+		total = *limit
+	}
+	if total == 0 {
 		fmt.Printf("no %s tuples match %q\n", *rel, query)
 		return
 	}
-	for i, r := range results {
+	i := 0
+	for {
+		r, ok := res.Next()
+		if !ok {
+			break
+		}
 		fmt.Printf("--- result %d/%d: %s (Im(S)=%.2f, %d tuples) ---\n",
-			i+1, len(results), r.Headline, r.Result.Importance, len(r.Result.Nodes))
+			i+1, total, r.Headline, r.Result.Importance, len(r.Result.Nodes))
 		fmt.Println(r.Text)
+		i++
+	}
+	if err := res.Err(); err != nil {
+		fmt.Fprintf(os.Stderr, "oskws: %v\n", err)
+		os.Exit(1)
+	}
+	if i == 0 {
+		fmt.Printf("no %s tuples match %q\n", *rel, query)
 	}
 }

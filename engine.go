@@ -11,10 +11,18 @@
 // summary generation:
 //
 //	eng, _ := sizelos.OpenDBLP(datagen.DefaultDBLPConfig())
-//	results, _ := eng.Search("Author", "Faloutsos", 15, sizelos.SearchOptions{})
-//	for _, r := range results {
+//	results, _ := eng.Query(sizelos.QueryRequest{Rel: "Author", Query: "Faloutsos", L: 15})
+//	for {
+//	    r, ok := results.Next()
+//	    if !ok {
+//	        break
+//	    }
 //	    fmt.Println(r.Text)
 //	}
+//
+// Query streams: summaries are computed only for the prefix the caller
+// consumes. The historical Search/RankedSearch entry points remain as
+// eager wrappers over the same pipeline.
 package sizelos
 
 import (
@@ -605,11 +613,17 @@ type SearchOptions struct {
 	// UseComplete computes from the complete OS instead of the prelim-l OS.
 	// The paper recommends prelim-l ("constantly a better choice", §6.3),
 	// so the default is prelim.
+	//
+	// Deprecated: use QueryRequest.Complete with Engine.Query.
 	UseComplete bool
 	// FromDatabase extracts tuples with database joins instead of the
 	// in-memory data graph (Fig. 10f compares the two).
 	FromDatabase bool
 	// TopK caps how many DS matches are summarized (0 = all).
+	//
+	// Deprecated: use QueryRequest.Limit with Engine.Query, which
+	// additionally skips-and-backfills tombstoned matches inside the
+	// window and supports cursor resumption past it.
 	TopK int
 	// ShowWeights annotates rendered summaries with local importance.
 	ShowWeights bool
@@ -659,6 +673,10 @@ type Summary struct {
 // are summarized concurrently (see SearchOptions.Parallel); the result
 // order — descending DS global importance, as produced by the keyword
 // index — is deterministic regardless of the pool size.
+//
+// Search drains an Engine.Query stream eagerly; prefer Query for new code —
+// it serves the same results lazily, adds Limit/Cursor paging, and unifies
+// this entry point with RankedSearch (QueryRequest.RankBySummary).
 func (e *Engine) Search(dsRel, query string, l int, opts SearchOptions) ([]Summary, error) {
 	opts.fill()
 	// The read lock spans match lookup and summarization: a mutation
@@ -666,27 +684,28 @@ func (e *Engine) Search(dsRel, query string, l int, opts SearchOptions) ([]Summa
 	// describe one consistent database state.
 	e.mu.RLock()
 	defer e.mu.RUnlock()
-	sc, err := e.scoresLocked(opts.Setting)
+	r, err := e.queryLocked(QueryRequest{
+		Rel: dsRel, Query: query, L: l,
+		Setting: opts.Setting, Algorithm: opts.Algorithm,
+		Limit:    opts.TopK,
+		Complete: opts.UseComplete, FromDatabase: opts.FromDatabase,
+		ShowWeights: opts.ShowWeights,
+		Parallel:    opts.Parallel, Pool: opts.Pool, CacheScope: opts.CacheScope,
+	}, true)
 	if err != nil {
 		return nil, err
 	}
-	matches := e.index.Search(dsRel, query, sc)
-	if opts.TopK > 0 && len(matches) > opts.TopK {
-		matches = matches[:opts.TopK]
-	}
-	return e.summarizeAll(dsRel, matches, l, opts)
+	return r.Drain()
 }
 
-// summarizeAll computes one size-l summary per keyword match across a
-// bounded worker pool, writing each result into its match's slot so output
-// order is independent of scheduling.
-func (e *Engine) summarizeAll(dsRel string, matches []keyword.Match, l int, opts SearchOptions) ([]Summary, error) {
+// summarizeSliceLocked computes one size-l summary per keyword match across
+// a bounded worker pool, writing each result into its match's slot so
+// output order is independent of scheduling. Matches must already be
+// validated live (classifySubject); callers hold at least the read lock.
+func (e *Engine) summarizeSliceLocked(dsRel string, matches []keyword.Match, l int, opts SearchOptions) ([]Summary, error) {
 	out := make([]Summary, len(matches))
 	err := searchexec.ForEach(len(matches), opts.Parallel, func(i int) error {
 		tuple := matches[i].Tuple
-		if err := e.validateSubject(dsRel, tuple); err != nil {
-			return err
-		}
 		// A cache hit is microseconds of work; serve it without waiting on
 		// the shared budget so hot cached queries stay fast even while the
 		// pool is saturated by cold computations.
@@ -914,6 +933,10 @@ func (e *Engine) computeSummary(dsRel string, tuple relational.TupleID, l int, o
 // — the summary's weight, not just the DS tuple's own global score — and
 // the best k are returned. A DS whose neighborhood is important outranks a
 // well-connected but shallow one.
+//
+// RankedSearch drains an Engine.Query stream with RankBySummary set;
+// prefer Query for new code — same results, plus Limit/Cursor paging
+// through the ranked k.
 func (e *Engine) RankedSearch(dsRel, query string, l, k int, opts SearchOptions) ([]Summary, error) {
 	opts.fill()
 	if k < 1 {
@@ -921,25 +944,18 @@ func (e *Engine) RankedSearch(dsRel, query string, l, k int, opts SearchOptions)
 	}
 	e.mu.RLock()
 	defer e.mu.RUnlock()
-	sc, err := e.scoresLocked(opts.Setting)
+	r, err := e.queryLocked(QueryRequest{
+		Rel: dsRel, Query: query, L: l,
+		Setting: opts.Setting, Algorithm: opts.Algorithm,
+		RankBySummary: true, K: k,
+		Complete: opts.UseComplete, FromDatabase: opts.FromDatabase,
+		ShowWeights: opts.ShowWeights,
+		Parallel:    opts.Parallel, Pool: opts.Pool, CacheScope: opts.CacheScope,
+	}, true)
 	if err != nil {
 		return nil, err
 	}
-	matches := e.index.Search(dsRel, query, sc)
-	out, err := e.summarizeAll(dsRel, matches, l, opts)
-	if err != nil {
-		return nil, err
-	}
-	sort.SliceStable(out, func(a, b int) bool {
-		if out[a].Result.Importance != out[b].Result.Importance {
-			return out[a].Result.Importance > out[b].Result.Importance
-		}
-		return out[a].Tuple < out[b].Tuple
-	})
-	if len(out) > k {
-		out = out[:k]
-	}
-	return out, nil
+	return r.Drain()
 }
 
 // RegisterAutoGDS derives a G_DS for dsRel automatically from the schema

@@ -29,7 +29,9 @@ func main() {
 
 	// Page 1: the synopsis — a size-20 OS, computed from a prelim-l OS with
 	// the Top-Path heuristic (the paper's recommended configuration).
-	synopsis, err := eng.Search("Author", subject, 20, sizelos.SearchOptions{ShowWeights: true})
+	synopsis, _, _, err := eng.QueryPage(sizelos.QueryRequest{
+		Rel: "Author", Query: subject, L: 20, ShowWeights: true,
+	})
 	if err != nil {
 		log.Fatalf("search: %v", err)
 	}
@@ -38,7 +40,9 @@ func main() {
 	}
 
 	// Full disclosure: the complete OS (l large enough to keep everything).
-	full, err := eng.Search("Author", subject, 1<<20, sizelos.SearchOptions{UseComplete: true})
+	full, _, _, err := eng.QueryPage(sizelos.QueryRequest{
+		Rel: "Author", Query: subject, L: 1 << 20, Complete: true,
+	})
 	if err != nil {
 		log.Fatalf("full report: %v", err)
 	}

@@ -103,7 +103,7 @@ func main() {
 	}
 
 	// The refreshed scores serve immediately.
-	results, err := eng.Search("Author", "Faloutsos", 8, sizelos.SearchOptions{})
+	results, _, _, err := eng.QueryPage(sizelos.QueryRequest{Rel: "Author", Query: "Faloutsos", L: 8})
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -23,13 +23,21 @@ func main() {
 		log.Fatalf("open dblp: %v", err)
 	}
 
-	results, err := eng.Search("Author", "Faloutsos", 15, sizelos.SearchOptions{})
+	res, err := eng.Query(sizelos.QueryRequest{Rel: "Author", Query: "Faloutsos", L: 15})
 	if err != nil {
 		log.Fatalf("search: %v", err)
 	}
-	fmt.Printf("Q1 = \"Faloutsos\", l = 15: %d data subjects\n\n", len(results))
-	for _, r := range results {
+	defer res.Close()
+	fmt.Printf("Q1 = \"Faloutsos\", l = 15: %d data subjects\n\n", res.Stats().Matches)
+	for {
+		r, ok := res.Next()
+		if !ok {
+			break
+		}
 		fmt.Printf("=== %s (Im(S) = %.2f) ===\n", r.Headline, r.Result.Importance)
 		fmt.Println(r.Text)
+	}
+	if err := res.Err(); err != nil {
+		log.Fatalf("search: %v", err)
 	}
 }

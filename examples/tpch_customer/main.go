@@ -23,7 +23,10 @@ func main() {
 
 	for _, name := range []string{"Customer#000001", "Customer#000002"} {
 		for _, setting := range []string{"GA1-d1", "GA2-d1"} {
-			res, err := eng.Search("Customer", name, 10, sizelos.SearchOptions{
+			res, _, _, err := eng.QueryPage(sizelos.QueryRequest{
+				Rel:         "Customer",
+				Query:       name,
+				L:           10,
 				Setting:     setting,
 				ShowWeights: true,
 			})

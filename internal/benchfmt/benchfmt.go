@@ -14,9 +14,11 @@ import (
 // the setup and query hot paths whose regressions would be user-visible,
 // plus the mutation write path (incremental graph maintenance, the
 // warm-started re-rank, and the residual-push re-rank — the
-// streaming-ingest hot loop) and the durability tier (the WAL-attached
-// commit path and snapshot+WAL-tail crash recovery).
-const GateFamilies = "RankCompute|RankCompile|NewEngine|EndToEndSearch|DataGraphBuild|IndexBuild|MutateIncremental|RerankResidual|WALAppend|RecoveryReplay"
+// streaming-ingest hot loop), the durability tier (the WAL-attached
+// commit path and snapshot+WAL-tail crash recovery), and the streaming
+// query pair (the limit-10 first page vs the full materializing drain —
+// gating both keeps the early-termination gap itself under watch).
+const GateFamilies = "RankCompute|RankCompile|NewEngine|EndToEndSearch|DataGraphBuild|IndexBuild|MutateIncremental|RerankResidual|WALAppend|RecoveryReplay|QueryStream|QueryDrain"
 
 // ArchiveFamilies is the default benchjson archive set: every gated family
 // plus the Fig-10 paper-figure benches (measured for the trajectory but

@@ -1,7 +1,6 @@
 package keyword
 
 import (
-	"sort"
 	"strings"
 	"unicode"
 
@@ -31,6 +30,13 @@ type Searcher interface {
 	// SearchAll runs Search against every relation with at least one hit,
 	// merged best-first (score desc, relation asc, tuple asc).
 	SearchAll(query string, scores relational.DBScores) []Match
+	// SearchStream is Search as a pull cursor: matches arrive in the same
+	// order, one pop at a time, without materializing the full candidate
+	// set up front.
+	SearchStream(dsRel, query string, scores relational.DBScores) MatchStream
+	// SearchAllStream is SearchAll as a pull cursor over the lazy merge of
+	// every relation's frontier.
+	SearchAllStream(query string, scores relational.DBScores) MatchStream
 }
 
 // Index is the flat inverted index token -> tuples, per relation. It is the
@@ -154,51 +160,21 @@ func intersect(a, b []relational.TupleID) []relational.TupleID {
 	return out
 }
 
-// rankMatches turns one relation's candidate ids into Matches sorted by
-// descending global importance, ties by ascending tuple id. Shared by both
-// index layouts so their rankings cannot drift apart.
-func rankMatches(dsRel string, ids []relational.TupleID, scores relational.DBScores) []Match {
-	if len(ids) == 0 {
-		return nil
-	}
-	s := scores[dsRel]
-	out := make([]Match, 0, len(ids))
-	for _, id := range ids {
-		m := Match{Relation: dsRel, Tuple: id}
-		if int(id) < len(s) {
-			m.Score = s[id]
-		}
-		out = append(out, m)
-	}
-	sort.SliceStable(out, func(a, b int) bool {
-		if out[a].Score != out[b].Score {
-			return out[a].Score > out[b].Score
-		}
-		return out[a].Tuple < out[b].Tuple
-	})
-	return out
-}
-
 // Search finds the data-subject candidates for a keyword query within the
 // given DS relation, ranked by descending global importance (ties by tuple
 // id). This mirrors the paper's Q1: "Faloutsos" against Author returns the
-// three brothers, each of which roots an OS.
+// three brothers, each of which roots an OS. Implemented as a full drain of
+// SearchStream so the materialized and streaming surfaces cannot drift.
 func (idx *Index) Search(dsRel string, query string, scores relational.DBScores) []Match {
-	return rankMatches(dsRel, idx.Lookup(dsRel, Tokenize(query)), scores)
+	return drainStream(idx.SearchStream(dsRel, query, scores))
 }
 
 // SearchAll runs Search against every relation that has at least one hit,
 // useful when the DS relation is not known in advance (e.g. TPC-H queries
-// naming either a customer or a supplier).
+// naming either a customer or a supplier). Implemented as a full drain of
+// SearchAllStream.
 func (idx *Index) SearchAll(query string, scores relational.DBScores) []Match {
-	var out []Match
-	for _, rel := range idx.db.Relations {
-		out = append(out, idx.Search(rel.Name, query, scores)...)
-	}
-	sort.SliceStable(out, func(a, b int) bool {
-		return matchLess(out[a], out[b])
-	})
-	return out
+	return drainStream(idx.SearchAllStream(query, scores))
 }
 
 // matchLess is the global best-first order: score desc, relation asc,

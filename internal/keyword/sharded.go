@@ -204,49 +204,15 @@ func (idx *Sharded) Lookup(rel string, keywords []string) []relational.TupleID {
 }
 
 // Search ranks one relation's candidates best-first, identical to
-// (*Index).Search.
+// (*Index).Search. Like the flat layout it drains SearchStream, so the
+// materialized and streaming surfaces share one code path.
 func (idx *Sharded) Search(dsRel string, query string, scores relational.DBScores) []Match {
-	return rankMatches(dsRel, idx.Lookup(dsRel, Tokenize(query)), scores)
+	return drainStream(idx.SearchStream(dsRel, query, scores))
 }
 
-// SearchAll fans one Search per relation across a worker pool and merges
-// the per-relation rankings best-first into the flat index's global order
+// SearchAll builds one frontier per relation across a worker pool and
+// drains their lazy best-first merge into the flat index's global order
 // (score desc, relation asc, tuple asc).
 func (idx *Sharded) SearchAll(query string, scores relational.DBScores) []Match {
-	rels := idx.db.Relations
-	per := make([][]Match, len(rels))
-	_ = searchexec.ForEach(len(rels), 0, func(i int) error {
-		per[i] = idx.Search(rels[i].Name, query, scores)
-		return nil
-	})
-	return mergeBestFirst(per)
-}
-
-// mergeBestFirst k-way merges per-relation rankings, each already sorted by
-// matchLess, into one best-first slice. Relations are few, so a linear scan
-// per pop beats a heap.
-func mergeBestFirst(per [][]Match) []Match {
-	total := 0
-	for _, p := range per {
-		total += len(p)
-	}
-	if total == 0 {
-		return nil
-	}
-	out := make([]Match, 0, total)
-	heads := make([]int, len(per))
-	for len(out) < total {
-		best := -1
-		for i, p := range per {
-			if heads[i] >= len(p) {
-				continue
-			}
-			if best < 0 || matchLess(p[heads[i]], per[best][heads[best]]) {
-				best = i
-			}
-		}
-		out = append(out, per[best][heads[best]])
-		heads[best]++
-	}
-	return out
+	return drainStream(idx.SearchAllStream(query, scores))
 }

@@ -1,0 +1,342 @@
+package keyword
+
+import (
+	"strings"
+
+	"sizelos/internal/relational"
+	"sizelos/internal/searchexec"
+)
+
+// This file is the streaming query side of the index: instead of
+// materializing and sorting the full match set (Search/SearchAll), a
+// MatchStream produces each next-best match on demand. The composition is
+//
+//	posting lists -> lazy k-way intersection -> best-first frontier -> pop
+//
+// The intersection never materializes intermediate per-keyword results (the
+// old Lookup allocated one accumulator slice per keyword step); candidates
+// flow one id at a time into a binary-heap frontier built in O(n), and each
+// pop costs O(log n). A caller consuming k of n matches therefore pays
+// O(n + k log n) instead of the O(n log n) full sort — and, one layer up,
+// the engine computes summaries only for the k matches actually pulled.
+
+// MatchStream is a pull cursor over keyword matches in best-first order
+// (score desc, relation asc, tuple asc — the same total order Search and
+// SearchAll return). Next yields the next-best match until exhausted.
+// Streams are single-consumer and must not be advanced concurrently with
+// index mutation; the engine pins one consistent state via its read lock
+// and epoch checks.
+type MatchStream interface {
+	// Next pops the next-best match; ok is false when the stream is dry.
+	Next() (m Match, ok bool)
+	// Remaining reports how many matches the stream still holds.
+	Remaining() int
+}
+
+// intersection walks k ascending posting lists in lockstep and emits the
+// ids common to all of them, ascending, one at a time. Lists are probed by
+// galloping (exponential then binary search), so skewed keyword
+// selectivities cost O(short · log long) rather than a full linear merge.
+type intersection struct {
+	lists [][]relational.TupleID
+	pos   []int
+}
+
+func newIntersection(lists [][]relational.TupleID) *intersection {
+	return &intersection{lists: lists, pos: make([]int, len(lists))}
+}
+
+// next returns the next common id, ascending; ok=false when any list is
+// exhausted (no further common id can exist).
+func (it *intersection) next() (relational.TupleID, bool) {
+	if len(it.lists) == 0 {
+		return 0, false
+	}
+	if it.pos[0] >= len(it.lists[0]) {
+		return 0, false
+	}
+	cand := it.lists[0][it.pos[0]]
+	for i := 1; i < len(it.lists); {
+		p := gallop(it.lists[i], it.pos[i], cand)
+		it.pos[i] = p
+		if p >= len(it.lists[i]) {
+			return 0, false
+		}
+		if v := it.lists[i][p]; v != cand {
+			// Restart the round with the larger candidate; list 0 must
+			// catch up too.
+			cand = v
+			it.pos[0] = gallop(it.lists[0], it.pos[0], cand)
+			if it.pos[0] >= len(it.lists[0]) {
+				return 0, false
+			}
+			if it.lists[0][it.pos[0]] != cand {
+				cand = it.lists[0][it.pos[0]]
+			}
+			i = 1
+			continue
+		}
+		i++
+	}
+	// Every list agrees on cand; advance past it for the next call.
+	it.pos[0]++
+	return cand, true
+}
+
+// gallop returns the smallest index >= from whose value is >= target,
+// probing exponentially and finishing with a binary search over the
+// bracketed range.
+func gallop(list []relational.TupleID, from int, target relational.TupleID) int {
+	if from >= len(list) || list[from] >= target {
+		return from
+	}
+	step := 1
+	lo := from
+	hi := from + step
+	for hi < len(list) && list[hi] < target {
+		lo = hi
+		step <<= 1
+		hi = from + step
+	}
+	if hi > len(list) {
+		hi = len(list)
+	}
+	// Binary search (lo, hi]: list[lo] < target <= list[hi] (if in range).
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if list[mid] < target {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// frontierStream is the per-relation best-first frontier: the candidate
+// (tuple, score) pairs arranged as a binary heap ordered by matchLess.
+// Building it is O(n); each Next pops the root in O(log n).
+type frontierStream struct {
+	heap []Match
+}
+
+var _ MatchStream = (*frontierStream)(nil)
+
+// newFrontier streams the lazy intersection of lists into a heap of
+// matches for one relation. Scores beyond the vector's length read as 0,
+// exactly like rankMatches.
+func newFrontier(dsRel string, lists [][]relational.TupleID, scores relational.DBScores) *frontierStream {
+	s := scores[dsRel]
+	f := &frontierStream{}
+	it := newIntersection(lists)
+	for {
+		id, ok := it.next()
+		if !ok {
+			break
+		}
+		m := Match{Relation: dsRel, Tuple: id}
+		if int(id) < len(s) {
+			m.Score = s[id]
+		}
+		f.heap = append(f.heap, m)
+	}
+	// Heapify bottom-up: O(n).
+	for i := len(f.heap)/2 - 1; i >= 0; i-- {
+		f.siftDown(i)
+	}
+	return f
+}
+
+func (f *frontierStream) Remaining() int { return len(f.heap) }
+
+func (f *frontierStream) Next() (Match, bool) {
+	n := len(f.heap)
+	if n == 0 {
+		return Match{}, false
+	}
+	top := f.heap[0]
+	f.heap[0] = f.heap[n-1]
+	f.heap = f.heap[:n-1]
+	if len(f.heap) > 0 {
+		f.siftDown(0)
+	}
+	return top, true
+}
+
+func (f *frontierStream) siftDown(i int) {
+	h := f.heap
+	n := len(h)
+	for {
+		l := 2*i + 1
+		if l >= n {
+			return
+		}
+		best := l
+		if r := l + 1; r < n && matchLess(h[r], h[l]) {
+			best = r
+		}
+		if !matchLess(h[best], h[i]) {
+			return
+		}
+		h[i], h[best] = h[best], h[i]
+		i = best
+	}
+}
+
+// emptyStream is the stream of an unknown relation or unmatched keyword.
+type emptyStream struct{}
+
+var _ MatchStream = emptyStream{}
+
+func (emptyStream) Next() (Match, bool) { return Match{}, false }
+func (emptyStream) Remaining() int      { return 0 }
+
+// mergeStream lazily k-way merges per-relation streams into the global
+// best-first order. Relations are few, so a linear scan per pop beats a
+// heap — the same economics the materialized SearchAll merge used.
+type mergeStream struct {
+	streams []MatchStream
+	// heads holds each stream's next match; ok marks live entries.
+	heads []Match
+	ok    []bool
+}
+
+var _ MatchStream = (*mergeStream)(nil)
+
+func newMergeStream(streams []MatchStream) *mergeStream {
+	ms := &mergeStream{
+		streams: streams,
+		heads:   make([]Match, len(streams)),
+		ok:      make([]bool, len(streams)),
+	}
+	for i, s := range streams {
+		ms.heads[i], ms.ok[i] = s.Next()
+	}
+	return ms
+}
+
+func (ms *mergeStream) Remaining() int {
+	total := 0
+	for i, s := range ms.streams {
+		total += s.Remaining()
+		if ms.ok[i] {
+			total++
+		}
+	}
+	return total
+}
+
+func (ms *mergeStream) Next() (Match, bool) {
+	best := -1
+	for i := range ms.heads {
+		if !ms.ok[i] {
+			continue
+		}
+		if best < 0 || matchLess(ms.heads[i], ms.heads[best]) {
+			best = i
+		}
+	}
+	if best < 0 {
+		return Match{}, false
+	}
+	m := ms.heads[best]
+	ms.heads[best], ms.ok[best] = ms.streams[best].Next()
+	return m, true
+}
+
+// drainStream materializes a stream — the shared body of the non-streaming
+// Search/SearchAll entry points, which guarantees the two surfaces can
+// never order matches differently.
+func drainStream(s MatchStream) []Match {
+	n := s.Remaining()
+	if n == 0 {
+		return nil
+	}
+	out := make([]Match, 0, n)
+	for {
+		m, ok := s.Next()
+		if !ok {
+			return out
+		}
+		out = append(out, m)
+	}
+}
+
+// keywordLists resolves one relation's posting list per keyword from the
+// flat layout; ok=false when the relation is unknown, the query is empty,
+// or any keyword has no postings (AND semantics: the result is empty).
+func (idx *Index) keywordLists(rel string, keywords []string) ([][]relational.TupleID, bool) {
+	tokens := idx.postings[rel]
+	if tokens == nil || len(keywords) == 0 {
+		return nil, false
+	}
+	lists := make([][]relational.TupleID, len(keywords))
+	for i, kw := range keywords {
+		list := tokens[strings.ToLower(kw)]
+		if len(list) == 0 {
+			return nil, false
+		}
+		lists[i] = list
+	}
+	return lists, true
+}
+
+// SearchStream returns a pull cursor over exactly Search's matches and
+// order, produced on demand: O(n) frontier build, O(log n) per pop.
+func (idx *Index) SearchStream(dsRel, query string, scores relational.DBScores) MatchStream {
+	lists, ok := idx.keywordLists(dsRel, Tokenize(query))
+	if !ok {
+		return emptyStream{}
+	}
+	return newFrontier(dsRel, lists, scores)
+}
+
+// SearchAllStream returns a pull cursor over exactly SearchAll's matches
+// and order, lazily merging one frontier per relation.
+func (idx *Index) SearchAllStream(query string, scores relational.DBScores) MatchStream {
+	streams := make([]MatchStream, len(idx.db.Relations))
+	for i, rel := range idx.db.Relations {
+		streams[i] = idx.SearchStream(rel.Name, query, scores)
+	}
+	return newMergeStream(streams)
+}
+
+// keywordLists resolves one relation's posting list per keyword, each from
+// the one shard it hashes to; ok=false mirrors the flat layout.
+func (idx *Sharded) keywordLists(rel string, keywords []string) ([][]relational.TupleID, bool) {
+	if !idx.known[rel] || len(keywords) == 0 {
+		return nil, false
+	}
+	lists := make([][]relational.TupleID, len(keywords))
+	for i, kw := range keywords {
+		list := idx.postings(rel, strings.ToLower(kw))
+		if len(list) == 0 {
+			return nil, false
+		}
+		lists[i] = list
+	}
+	return lists, true
+}
+
+// SearchStream returns a pull cursor over exactly Search's matches and
+// order; each keyword's posting list comes from the one shard it hashes to.
+func (idx *Sharded) SearchStream(dsRel, query string, scores relational.DBScores) MatchStream {
+	lists, ok := idx.keywordLists(dsRel, Tokenize(query))
+	if !ok {
+		return emptyStream{}
+	}
+	return newFrontier(dsRel, lists, scores)
+}
+
+// SearchAllStream returns a pull cursor over exactly SearchAll's matches
+// and order. The per-relation frontiers are built across a worker pool
+// (heapify is the only O(n) cost); the merge itself is lazy.
+func (idx *Sharded) SearchAllStream(query string, scores relational.DBScores) MatchStream {
+	rels := idx.db.Relations
+	streams := make([]MatchStream, len(rels))
+	_ = searchexec.ForEach(len(rels), 0, func(i int) error {
+		streams[i] = idx.SearchStream(rels[i].Name, query, scores)
+		return nil
+	})
+	return newMergeStream(streams)
+}

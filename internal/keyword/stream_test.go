@@ -1,0 +1,252 @@
+package keyword
+
+import (
+	"reflect"
+	"sort"
+	"testing"
+
+	"sizelos/internal/relational"
+)
+
+// refSearch is the pre-stream reference ranking: Lookup's candidate ids
+// scored and sorted with sort.SliceStable under matchLess. Search and
+// SearchStream both must reproduce it exactly — Search now drains the
+// stream, so this independent path is what keeps the heap honest.
+func refSearch(idx *Index, dsRel, query string, scores relational.DBScores) []Match {
+	ids := idx.Lookup(dsRel, Tokenize(query))
+	if len(ids) == 0 {
+		return nil
+	}
+	s := scores[dsRel]
+	out := make([]Match, 0, len(ids))
+	for _, id := range ids {
+		m := Match{Relation: dsRel, Tuple: id}
+		if int(id) < len(s) {
+			m.Score = s[id]
+		}
+		out = append(out, m)
+	}
+	sort.SliceStable(out, func(a, b int) bool { return matchLess(out[a], out[b]) })
+	return out
+}
+
+// refSearchAll concatenates every relation's reference ranking and re-sorts
+// globally, the shape (*Index).SearchAll had before the streaming rewrite.
+func refSearchAll(idx *Index, query string, scores relational.DBScores) []Match {
+	var out []Match
+	for _, rel := range idx.db.Relations {
+		out = append(out, refSearch(idx, rel.Name, query, scores)...)
+	}
+	sort.SliceStable(out, func(a, b int) bool { return matchLess(out[a], out[b]) })
+	return out
+}
+
+// streamPrefix pulls up to n matches off a stream.
+func streamPrefix(s MatchStream, n int) []Match {
+	var out []Match
+	for len(out) < n {
+		m, ok := s.Next()
+		if !ok {
+			break
+		}
+		out = append(out, m)
+	}
+	return out
+}
+
+// TestStreamMatchesReference proves, for every expressible single-token and
+// AND-pair query over DBLP and TPC-H at shard counts {1, 4, 17}, that the
+// streaming surface emits exactly the reference ranking — fully drained,
+// and prefix-by-prefix (every limit n yields the first n of the drain).
+func TestStreamMatchesReference(t *testing.T) {
+	for name, db := range equalityDBs(t) {
+		t.Run(name, func(t *testing.T) {
+			flat := BuildIndex(db)
+			scores := syntheticScores(db)
+			pairs := corpusTokens(flat)
+			if len(pairs) == 0 {
+				t.Fatal("fixture produced an empty corpus")
+			}
+			var indexes []Searcher
+			indexes = append(indexes, flat)
+			for _, n := range equalityShardCounts {
+				indexes = append(indexes, BuildSharded(db, ShardedOptions{NumShards: n}))
+			}
+			labels := []string{"flat", "sharded1", "sharded4", "sharded17"}
+
+			queries := make(map[string][]string) // rel -> queries
+			for i, p := range pairs {
+				if i%7 == 0 { // thin out: the full cross product is slow
+					queries[p[0]] = append(queries[p[0]], p[1])
+				}
+			}
+			// AND pairs within a relation, plus a miss and an empty query.
+			for rel, qs := range queries {
+				if len(qs) >= 2 {
+					queries[rel] = append(qs, qs[0]+" "+qs[1])
+				}
+				queries[rel] = append(queries[rel], "zzz-no-such-token", "")
+			}
+
+			for rel, qs := range queries {
+				for _, q := range qs {
+					want := refSearch(flat, rel, q, scores)
+					for li, idx := range indexes {
+						got := drainStream(idx.SearchStream(rel, q, scores))
+						if !reflect.DeepEqual(got, want) {
+							t.Fatalf("%s SearchStream(%q, %q) diverged from reference", labels[li], rel, q)
+						}
+						// Prefix law: limit n == first n of the drain.
+						for _, n := range []int{1, 2, 5, len(want)} {
+							if n == 0 || n > len(want) {
+								continue
+							}
+							prefix := streamPrefix(idx.SearchStream(rel, q, scores), n)
+							if !reflect.DeepEqual(prefix, want[:n]) {
+								t.Fatalf("%s SearchStream(%q, %q) limit %d != drain prefix", labels[li], rel, q, n)
+							}
+						}
+					}
+				}
+			}
+
+			// Global (SearchAll) surface on a sample of queries.
+			sampled := 0
+			for _, qs := range queries {
+				for _, q := range qs {
+					if sampled++; sampled%5 != 0 {
+						continue
+					}
+					want := refSearchAll(flat, q, scores)
+					for li, idx := range indexes {
+						got := drainStream(idx.SearchAllStream(q, scores))
+						if len(got) == 0 && len(want) == 0 {
+							continue
+						}
+						if !reflect.DeepEqual(got, want) {
+							t.Fatalf("%s SearchAllStream(%q) diverged from reference", labels[li], q)
+						}
+						if n := 3; len(want) >= n {
+							prefix := streamPrefix(idx.SearchAllStream(q, scores), n)
+							if !reflect.DeepEqual(prefix, want[:n]) {
+								t.Fatalf("%s SearchAllStream(%q) limit %d != drain prefix", labels[li], q, n)
+							}
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestStreamRemaining pins the Remaining contract: it starts at the match
+// count and decrements by exactly one per pop, on both single-relation and
+// merged streams.
+func TestStreamRemaining(t *testing.T) {
+	for _, db := range equalityDBs(t) {
+		idx := BuildIndex(db)
+		scores := syntheticScores(db)
+		pairs := corpusTokens(idx)
+		for i, p := range pairs {
+			if i%37 != 0 {
+				continue
+			}
+			for _, open := range []func() MatchStream{
+				func() MatchStream { return idx.SearchStream(p[0], p[1], scores) },
+				func() MatchStream { return idx.SearchAllStream(p[1], scores) },
+			} {
+				s := open()
+				n := s.Remaining()
+				for k := 0; k < n; k++ {
+					if _, ok := s.Next(); !ok {
+						t.Fatalf("stream dried up at %d of %d", k, n)
+					}
+					if got := s.Remaining(); got != n-k-1 {
+						t.Fatalf("Remaining after %d pops = %d, want %d", k+1, got, n-k-1)
+					}
+				}
+				if _, ok := s.Next(); ok {
+					t.Fatal("stream yielded past Remaining()==0")
+				}
+			}
+		}
+	}
+}
+
+// TestIntersectionCursor checks the lazy galloping intersection against the
+// materialized intersect() on adversarial list shapes: disjoint, nested,
+// skewed lengths, shared prefixes/suffixes, singletons.
+func TestIntersectionCursor(t *testing.T) {
+	mk := func(ids ...int) []relational.TupleID {
+		out := make([]relational.TupleID, len(ids))
+		for i, v := range ids {
+			out[i] = relational.TupleID(v)
+		}
+		return out
+	}
+	long := make([]relational.TupleID, 5000)
+	for i := range long {
+		long[i] = relational.TupleID(i * 3)
+	}
+	cases := [][2][]relational.TupleID{
+		{mk(1, 2, 3), mk(4, 5, 6)},
+		{mk(1, 2, 3, 4, 5), mk(2, 4)},
+		{mk(0), mk(0)},
+		{mk(0), mk(1)},
+		{mk(1, 5, 9, 13), mk(1, 13)},
+		{long, mk(0, 3, 2999*3, 4999*3, 5001*3)},
+		{mk(7), long},
+	}
+	for ci, c := range cases {
+		want := intersect(c[0], c[1])
+		it := newIntersection([][]relational.TupleID{c[0], c[1]})
+		var got []relational.TupleID
+		for {
+			id, ok := it.next()
+			if !ok {
+				break
+			}
+			got = append(got, id)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("case %d: lazy intersection %v, want %v", ci, got, want)
+		}
+		// Three-way: intersect with itself must be idempotent.
+		it3 := newIntersection([][]relational.TupleID{c[0], c[1], c[1]})
+		got = got[:0]
+		for {
+			id, ok := it3.next()
+			if !ok {
+				break
+			}
+			got = append(got, id)
+		}
+		if len(got) == 0 {
+			got = nil
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("case %d: three-way lazy intersection %v, want %v", ci, got, want)
+		}
+	}
+}
+
+// TestGallop pins the galloping search boundary conditions.
+func TestGallop(t *testing.T) {
+	list := []relational.TupleID{2, 4, 4, 8, 16, 32}
+	cases := []struct {
+		from   int
+		target relational.TupleID
+		want   int
+	}{
+		{0, 0, 0}, {0, 2, 0}, {0, 3, 1}, {0, 4, 1}, {0, 5, 3},
+		{0, 32, 5}, {0, 33, 6}, {3, 8, 3}, {4, 8, 4}, {6, 1, 6},
+	}
+	for _, c := range cases {
+		if got := gallop(list, c.from, c.target); got != c.want {
+			t.Errorf("gallop(from=%d, target=%d) = %d, want %d", c.from, c.target, got, c.want)
+		}
+	}
+	if got := gallop(nil, 0, 5); got != 0 {
+		t.Errorf("gallop(nil) = %d, want 0", got)
+	}
+}

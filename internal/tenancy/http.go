@@ -29,6 +29,11 @@ type SearchResponse struct {
 	L        int           `json:"l"`
 	Count    int           `json:"count"`
 	Results  []SummaryJSON `json:"results"`
+	// Cursor resumes the query after this page (pass it back as the cursor
+	// parameter with otherwise identical parameters); omitted when the
+	// query is fully served. A mutation between pages invalidates it: the
+	// resume gets 410 Gone, never a torn page.
+	Cursor string `json:"cursor,omitempty"`
 }
 
 // StatsResponse is the body of /v1/{tenant}/stats.
@@ -69,7 +74,9 @@ type errorResponse struct {
 //	GET    /v1/{tenant}/stats           -> StatsResponse
 //
 // Common query parameters: l (summary size, default 15), setting, algo,
-// topk (search), k (ranked, default 10). Tenants may be registered and
+// topk (search), k (ranked, default 10), limit (page size, 0 = all) and
+// cursor (opaque resume token from the previous page; a mutation between
+// pages turns the resume into 410 Gone). Tenants may be registered and
 // deregistered on a live registry; requests for unknown tenants — and for
 // any path the API does not define — get a JSON 404.
 func (r *Registry) Handler() http.Handler {
@@ -152,6 +159,7 @@ func (r *Registry) serveQuery(w http.ResponseWriter, req *http.Request, ranked b
 		Rel:       params.Get("rel"),
 		Keywords:  params.Get("q"),
 		L:         15,
+		Cursor:    params.Get("cursor"),
 		Setting:   params.Get("setting"),
 		Algorithm: params.Get("algo"),
 	}
@@ -161,7 +169,8 @@ func (r *Registry) serveQuery(w http.ResponseWriter, req *http.Request, ranked b
 	}
 	// k belongs to /ranked and topk to /search; accepting the other would
 	// silently do nothing (and fragment single-flight batching), so reject
-	// it outright.
+	// it outright. topk and limit are two names for the same bound — both
+	// at once is ambiguous.
 	if ranked && params.Get("topk") != "" {
 		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "topk applies to /search only (use k on /ranked)"})
 		return
@@ -170,9 +179,13 @@ func (r *Registry) serveQuery(w http.ResponseWriter, req *http.Request, ranked b
 		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "k applies to /ranked only (use topk on /search)"})
 		return
 	}
-	intParams := map[string]*int{"l": &q.L, "topk": &q.TopK}
+	if params.Get("topk") != "" && params.Get("limit") != "" {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "topk is the legacy name for limit; pass one, not both"})
+		return
+	}
+	intParams := map[string]*int{"l": &q.L, "topk": &q.TopK, "limit": &q.Limit}
 	if ranked {
-		intParams = map[string]*int{"l": &q.L, "k": &q.K}
+		intParams = map[string]*int{"l": &q.L, "k": &q.K, "limit": &q.Limit}
 	}
 	var badParam string
 	for name, dst := range intParams {
@@ -218,18 +231,29 @@ func (r *Registry) serveQuery(w http.ResponseWriter, req *http.Request, ranked b
 		return
 	}
 	var (
-		results []sizelos.Summary
-		err     error
+		page Page
+		err  error
 	)
 	if ranked {
-		results, err = t.Ranked(q)
+		page, err = t.RankedPage(q)
 	} else {
-		results, err = t.Search(q)
+		page, err = t.SearchPage(q)
 	}
 	if err != nil {
-		writeJSON(w, http.StatusInternalServerError, errorResponse{Error: err.Error()})
+		// Cursor problems are the client's: a cursor that never came from
+		// this service is a 400, one outlived by a mutation is a 410 (the
+		// page it pointed into no longer exists; restart the query).
+		status := http.StatusInternalServerError
+		switch {
+		case errors.Is(err, sizelos.ErrCursorMalformed):
+			status = http.StatusBadRequest
+		case errors.Is(err, sizelos.ErrStreamInvalidated):
+			status = http.StatusGone
+		}
+		writeJSON(w, status, errorResponse{Error: err.Error()})
 		return
 	}
+	results := page.Summaries
 	resp := SearchResponse{
 		Tenant:   t.Name,
 		Relation: q.Rel,
@@ -237,6 +261,7 @@ func (r *Registry) serveQuery(w http.ResponseWriter, req *http.Request, ranked b
 		L:        q.L,
 		Count:    len(results),
 		Results:  make([]SummaryJSON, 0, len(results)),
+		Cursor:   page.Cursor,
 	}
 	for _, s := range results {
 		resp.Results = append(resp.Results, SummaryJSON{

@@ -1,0 +1,236 @@
+package tenancy
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+
+	"sizelos"
+	"sizelos/internal/relational"
+)
+
+// pagingServer registers a private engine (its own seed — pagination tests
+// mutate it) and returns the test server plus a matching keyword.
+func pagingServer(t *testing.T, seed int64) (*httptest.Server, *Tenant, string) {
+	t.Helper()
+	eng := testEngine(t, seed)
+	reg := NewRegistry(2)
+	tn, err := reg.Register("acme", eng, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(reg.Handler())
+	t.Cleanup(srv.Close)
+	return srv, tn, authorQuery(t, eng)
+}
+
+func getJSON(t *testing.T, url string, wantStatus int, into any) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != wantStatus {
+		var e struct{ Error string }
+		_ = json.NewDecoder(resp.Body).Decode(&e)
+		t.Fatalf("GET %s = %d (want %d): %s", url, resp.StatusCode, wantStatus, e.Error)
+	}
+	if into != nil {
+		if err := json.NewDecoder(resp.Body).Decode(into); err != nil {
+			t.Fatalf("decode %s: %v", url, err)
+		}
+	}
+}
+
+// TestHTTPPaginationWalk pages through /search with limit+cursor and
+// requires the concatenation to equal the unpaged response exactly, with
+// every page within the limit and the final page carrying no cursor.
+func TestHTTPPaginationWalk(t *testing.T) {
+	srv, _, q := pagingServer(t, 701)
+
+	var full SearchResponse
+	getJSON(t, fmt.Sprintf("%s/v1/acme/search?rel=Author&q=%s&l=6", srv.URL, q), http.StatusOK, &full)
+	if full.Count < 2 {
+		t.Skipf("fixture keyword %q matched %d authors; need >= 2 to page", q, full.Count)
+	}
+	if full.Cursor != "" {
+		t.Fatalf("unpaged response carries cursor %q", full.Cursor)
+	}
+
+	var paged []SummaryJSON
+	cursor := ""
+	pages := 0
+	for {
+		url := fmt.Sprintf("%s/v1/acme/search?rel=Author&q=%s&l=6&limit=1", srv.URL, q)
+		if cursor != "" {
+			url += "&cursor=" + cursor
+		}
+		var page SearchResponse
+		getJSON(t, url, http.StatusOK, &page)
+		if len(page.Results) > 1 {
+			t.Fatalf("page %d has %d results, limit 1", pages, len(page.Results))
+		}
+		paged = append(paged, page.Results...)
+		pages++
+		if pages > full.Count+1 {
+			t.Fatalf("pagination did not terminate after %d pages", pages)
+		}
+		if page.Cursor == "" {
+			break
+		}
+		cursor = page.Cursor
+	}
+	if len(paged) != full.Count {
+		t.Fatalf("paged walk yielded %d results, unpaged %d", len(paged), full.Count)
+	}
+	for i := range paged {
+		if paged[i] != full.Results[i] {
+			t.Fatalf("paged result %d diverges:\n%+v\nvs\n%+v", i, paged[i], full.Results[i])
+		}
+	}
+
+	// The ranked surface pages identically.
+	var ranked SearchResponse
+	getJSON(t, fmt.Sprintf("%s/v1/acme/ranked?rel=Author&q=%s&l=6&k=%d", srv.URL, q, full.Count), http.StatusOK, &ranked)
+	var rankedPaged []SummaryJSON
+	cursor = ""
+	for {
+		url := fmt.Sprintf("%s/v1/acme/ranked?rel=Author&q=%s&l=6&k=%d&limit=1", srv.URL, q, full.Count)
+		if cursor != "" {
+			url += "&cursor=" + cursor
+		}
+		var page SearchResponse
+		getJSON(t, url, http.StatusOK, &page)
+		rankedPaged = append(rankedPaged, page.Results...)
+		if page.Cursor == "" {
+			break
+		}
+		cursor = page.Cursor
+	}
+	if len(rankedPaged) != ranked.Count {
+		t.Fatalf("ranked paged walk yielded %d results, unpaged %d", len(rankedPaged), ranked.Count)
+	}
+	for i := range rankedPaged {
+		if rankedPaged[i] != ranked.Results[i] {
+			t.Fatalf("ranked paged result %d diverges", i)
+		}
+	}
+}
+
+// TestHTTPCursorParamValidation pins the 400 surface: a cursor that never
+// came from the service, and the legacy topk name passed alongside limit.
+func TestHTTPCursorParamValidation(t *testing.T) {
+	srv, _, q := pagingServer(t, 701)
+	base := fmt.Sprintf("%s/v1/acme/search?rel=Author&q=%s&l=6", srv.URL, q)
+	getJSON(t, base+"&cursor=not-a-cursor", http.StatusBadRequest, nil)
+	getJSON(t, base+"&topk=2&limit=2", http.StatusBadRequest, nil)
+	// topk alone still works as the legacy spelling of limit.
+	var legacy SearchResponse
+	getJSON(t, base+"&topk=1", http.StatusOK, &legacy)
+	if legacy.Count > 1 {
+		t.Fatalf("topk=1 returned %d results", legacy.Count)
+	}
+}
+
+// TestHTTPCursorSurvivesNothingButQuiescence is the torn-page proof: a
+// cursor minted before a mutation must come back 410 Gone, and a cursor
+// spliced onto a different query must not resume anything.
+func TestHTTPCursorInvalidatedByMutation(t *testing.T) {
+	srv, tn, q := pagingServer(t, 702)
+
+	var page SearchResponse
+	getJSON(t, fmt.Sprintf("%s/v1/acme/search?rel=Author&q=%s&l=6&limit=1", srv.URL, q), http.StatusOK, &page)
+	if page.Cursor == "" {
+		t.Skipf("fixture keyword %q matched too few authors to leave a cursor", q)
+	}
+
+	// A cursor bound to one query must not leak into another (different l
+	// -> different fingerprint -> 410, not a page of wrong-l summaries).
+	getJSON(t, fmt.Sprintf("%s/v1/acme/search?rel=Author&q=%s&l=7&limit=1&cursor=%s", srv.URL, q, page.Cursor),
+		http.StatusGone, nil)
+
+	// Mutate the Author dependency set; the resume must be refused.
+	if _, err := tn.Mutate(sizelos.MutationBatch{Inserts: []sizelos.TupleInsert{
+		{Rel: "Author", Tuple: relational.Tuple{relational.IntVal(880001), relational.StrVal("Cursorbreaker Page")}},
+	}}); err != nil {
+		t.Fatal(err)
+	}
+	getJSON(t, fmt.Sprintf("%s/v1/acme/search?rel=Author&q=%s&l=6&limit=1&cursor=%s", srv.URL, q, page.Cursor),
+		http.StatusGone, nil)
+
+	// A fresh first page works fine against the mutated state.
+	var fresh SearchResponse
+	getJSON(t, fmt.Sprintf("%s/v1/acme/search?rel=Author&q=%s&l=6&limit=1", srv.URL, q), http.StatusOK, &fresh)
+}
+
+// TestCursorRaceWithMutation races page walks against mutations and checks
+// every response is either a clean page or a clean 410 — never an error,
+// never a torn page (page size over limit, or summaries from mixed states).
+// Run under -race this also proves the streaming path is data-race free.
+func TestCursorRaceWithMutation(t *testing.T) {
+	srv, tn, q := pagingServer(t, 703)
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		pk := int64(890001)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if _, err := tn.Mutate(sizelos.MutationBatch{Inserts: []sizelos.TupleInsert{
+				{Rel: "Author", Tuple: relational.Tuple{relational.IntVal(pk), relational.StrVal("Racer Mutationsen")}},
+			}}); err != nil {
+				t.Error(err)
+				return
+			}
+			pk++
+		}
+	}()
+
+	for walk := 0; walk < 12; walk++ {
+		cursor := ""
+		for hops := 0; hops < 50; hops++ {
+			url := fmt.Sprintf("%s/v1/acme/search?rel=Author&q=%s&l=4&limit=1", srv.URL, q)
+			if cursor != "" {
+				url += "&cursor=" + cursor
+			}
+			resp, err := http.Get(url)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var page SearchResponse
+			switch resp.StatusCode {
+			case http.StatusOK:
+				if err := json.NewDecoder(resp.Body).Decode(&page); err != nil {
+					t.Fatalf("decode: %v", err)
+				}
+			case http.StatusGone:
+				// Clean invalidation: restart the walk from the top.
+				resp.Body.Close()
+				cursor = ""
+				continue
+			default:
+				t.Fatalf("walk %d hop %d: status %d", walk, hops, resp.StatusCode)
+			}
+			resp.Body.Close()
+			if len(page.Results) > 1 {
+				t.Fatalf("torn page: %d results with limit 1", len(page.Results))
+			}
+			if page.Cursor == "" {
+				break
+			}
+			cursor = page.Cursor
+		}
+	}
+	close(stop)
+	wg.Wait()
+}

@@ -447,19 +447,38 @@ type Query struct {
 	L int
 	// K caps Ranked results (Ranked only).
 	K int
-	// TopK caps how many DS matches are summarized (Search only, 0 = all).
+	// TopK is the historical name for Limit (Search only); when Limit is
+	// zero it is honored as the page bound. Prefer Limit.
 	TopK int
+	// Limit bounds how many summaries one page carries (0 = all). The
+	// engine computes only the served page plus any tombstone backfill —
+	// unconsumed matches cost nothing.
+	Limit int
+	// Cursor resumes a previous identical query after its last served
+	// summary (Page.Cursor). A mutation in between invalidates it:
+	// sizelos.ErrStreamInvalidated, HTTP 410.
+	Cursor string
 	// Setting selects the ranking configuration.
 	Setting string
 	// Algorithm selects the size-l method.
 	Algorithm string
 }
 
-func (q Query) options(t *Tenant) sizelos.SearchOptions {
-	return sizelos.SearchOptions{
+// request lowers the tenant query onto the engine's unified QueryRequest,
+// wiring in the shared pool and the tenant's cache scope.
+func (q Query) request(t *Tenant) sizelos.QueryRequest {
+	limit := q.Limit
+	if limit == 0 {
+		limit = q.TopK
+	}
+	return sizelos.QueryRequest{
+		Rel:        q.Rel,
+		Query:      q.Keywords,
+		L:          q.L,
 		Setting:    q.Setting,
 		Algorithm:  sizelos.Algorithm(q.Algorithm),
-		TopK:       q.TopK,
+		Limit:      limit,
+		Cursor:     q.Cursor,
 		Pool:       t.pool,
 		CacheScope: t.Name,
 	}
@@ -472,10 +491,24 @@ func (q Query) options(t *Tenant) sizelos.SearchOptions {
 // request arriving after a completed mutation, handing it pre-mutation
 // summaries. With the epoch in the key, post-mutation requests hash to a
 // fresh flight and always recompute (or hit the epoch-keyed cache).
+// Limit and Cursor participate too: different pages of one query are
+// different computations.
 func (q Query) key(kind string, t *Tenant) string {
-	return fmt.Sprintf("%s\x00%s\x00%s\x00%d\x00%d\x00%d\x00%s\x00%s\x00%d",
-		kind, q.Rel, q.Keywords, q.L, q.K, q.TopK, q.Setting, q.Algorithm,
-		t.Engine.EpochFor(q.Rel))
+	return fmt.Sprintf("%s\x00%s\x00%s\x00%d\x00%d\x00%d\x00%d\x00%s\x00%s\x00%s\x00%d",
+		kind, q.Rel, q.Keywords, q.L, q.K, q.TopK, q.Limit, q.Cursor,
+		q.Setting, q.Algorithm, t.Engine.EpochFor(q.Rel))
+}
+
+// Page is one served slice of a query's result stream.
+type Page struct {
+	// Summaries is the page content, in serving order.
+	Summaries []sizelos.Summary
+	// Cursor resumes the query after this page; empty when the query is
+	// fully served.
+	Cursor string
+	// Stats counts the work behind the page (matches seen, summaries
+	// actually computed, tombstones skipped).
+	Stats sizelos.QueryStats
 }
 
 // Search runs the tenant's keyword search through the shared pool.
@@ -483,8 +516,16 @@ func (q Query) key(kind string, t *Tenant) string {
 // caller receives the same summaries (read-only by the engine's cache
 // contract).
 func (t *Tenant) Search(q Query) ([]sizelos.Summary, error) {
-	return t.flight.do(q.key("search", t), func() ([]sizelos.Summary, error) {
-		return t.Engine.Search(q.Rel, q.Keywords, q.L, q.options(t))
+	p, err := t.SearchPage(q)
+	return p.Summaries, err
+}
+
+// SearchPage is Search with paging: it serves q's page (Limit/Cursor) plus
+// the resume cursor, with the same single-flight batching.
+func (t *Tenant) SearchPage(q Query) (Page, error) {
+	return t.flight.do(q.key("search", t), func() (Page, error) {
+		sums, cursor, stats, err := t.Engine.QueryPage(q.request(t))
+		return Page{Summaries: sums, Cursor: cursor, Stats: stats}, err
 	})
 }
 
@@ -502,13 +543,23 @@ func (t *Tenant) Mutate(b sizelos.MutationBatch) (sizelos.MutationResult, error)
 // Ranked runs the tenant's top-k ranked search (rank by Im(S) of the
 // size-l OS) with the same pooling and batching as Search.
 func (t *Tenant) Ranked(q Query) ([]sizelos.Summary, error) {
+	p, err := t.RankedPage(q)
+	return p.Summaries, err
+}
+
+// RankedPage is Ranked with paging through the ranked k (Limit/Cursor).
+func (t *Tenant) RankedPage(q Query) (Page, error) {
 	// Default K before building the flight key so an omitted k and an
 	// explicit k=10 batch as the identical computation they are.
 	if q.K <= 0 {
 		q.K = 10
 	}
-	return t.flight.do(q.key("ranked", t), func() ([]sizelos.Summary, error) {
-		return t.Engine.RankedSearch(q.Rel, q.Keywords, q.L, q.K, q.options(t))
+	return t.flight.do(q.key("ranked", t), func() (Page, error) {
+		req := q.request(t)
+		req.RankBySummary = true
+		req.K = q.K
+		sums, cursor, stats, err := t.Engine.QueryPage(req)
+		return Page{Summaries: sums, Cursor: cursor, Stats: stats}, err
 	})
 }
 
@@ -524,7 +575,7 @@ type flightGroup struct {
 
 type flightCall struct {
 	done chan struct{}
-	res  []sizelos.Summary
+	res  Page
 	err  error
 }
 
@@ -535,7 +586,7 @@ func (g *flightGroup) inFlight() int {
 	return len(g.calls)
 }
 
-func (g *flightGroup) do(key string, fn func() ([]sizelos.Summary, error)) ([]sizelos.Summary, error) {
+func (g *flightGroup) do(key string, fn func() (Page, error)) (Page, error) {
 	g.mu.Lock()
 	if g.calls == nil {
 		g.calls = make(map[string]*flightCall)

@@ -145,15 +145,15 @@ func TestFlightGroupBatches(t *testing.T) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			res, err := g.do("same-key", func() ([]sizelos.Summary, error) {
+			res, err := g.do("same-key", func() (Page, error) {
 				calls.Add(1)
 				<-gate // hold every other caller in the wait path
-				return []sizelos.Summary{{Headline: "shared"}}, nil
+				return Page{Summaries: []sizelos.Summary{{Headline: "shared"}}}, nil
 			})
 			if err != nil {
 				t.Error(err)
 			}
-			results[i] = res
+			results[i] = res.Summaries
 		}(i)
 	}
 	// Let the goroutines pile onto the in-flight call, then release it.
@@ -172,9 +172,9 @@ func TestFlightGroupBatches(t *testing.T) {
 	}
 	// After the flight lands, the next call computes afresh.
 	before := calls.Load()
-	if _, err := g.do("same-key", func() ([]sizelos.Summary, error) {
+	if _, err := g.do("same-key", func() (Page, error) {
 		calls.Add(1)
-		return nil, nil
+		return Page{}, nil
 	}); err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,543 @@
+package sizelos
+
+import (
+	"errors"
+	"fmt"
+	"reflect"
+	"runtime"
+	"sort"
+	"sync"
+	"testing"
+
+	"sizelos/internal/datagen"
+	"sizelos/internal/rank"
+	"sizelos/internal/relational"
+	"sizelos/internal/schemagraph"
+)
+
+// getTPCH opens a small TPC-H engine once per test binary (read-only use).
+var tpchEngine *Engine
+
+func getTPCH(t *testing.T) *Engine {
+	t.Helper()
+	if tpchEngine != nil {
+		return tpchEngine
+	}
+	cfg := datagen.DefaultTPCHConfig()
+	cfg.ScaleFactor = 0.002
+	eng, err := OpenTPCH(cfg)
+	if err != nil {
+		t.Fatalf("OpenTPCH: %v", err)
+	}
+	tpchEngine = eng
+	return eng
+}
+
+// acmeEngine builds a wide, shallow database where one token ("acme")
+// matches every one of its 12000 Item subjects — the worst case for a
+// materializing search and the best case for streaming early termination.
+var acmeEng *Engine
+
+func getAcme(t testing.TB) *Engine {
+	t.Helper()
+	if acmeEng != nil {
+		return acmeEng
+	}
+	db := relational.NewDB("acme")
+	item := relational.MustNewRelation("Item",
+		[]relational.Column{
+			{Name: "id", Kind: relational.KindInt, Affinity: 1},
+			{Name: "tag", Kind: relational.KindString, Affinity: 1},
+		}, "id", nil)
+	rev := relational.MustNewRelation("Rev",
+		[]relational.Column{
+			{Name: "id", Kind: relational.KindInt, Affinity: 1},
+			{Name: "item", Kind: relational.KindInt, Affinity: 1},
+			{Name: "note", Kind: relational.KindString, Affinity: 1},
+		}, "id", []relational.ForeignKey{{Column: "item", Ref: "Item"}})
+	db.MustAddRelation(item)
+	db.MustAddRelation(rev)
+
+	const items = 12000
+	revID := int64(1)
+	for i := 0; i < items; i++ {
+		item.MustInsert(relational.Tuple{
+			relational.IntVal(int64(i + 1)),
+			relational.StrVal(fmt.Sprintf("acme widget%05d", i)),
+		})
+		// Varying review counts spread the global importance so the
+		// best-first stream has a real ordering to respect.
+		for r := 0; r < i%3; r++ {
+			rev.MustInsert(relational.Tuple{
+				relational.IntVal(revID),
+				relational.IntVal(int64(i + 1)),
+				relational.StrVal(fmt.Sprintf("note%d", revID)),
+			})
+			revID++
+		}
+	}
+
+	ga := rank.NewGA("GA").Direct("Rev", 0, true, 0.5).Direct("Rev", 0, false, 0.5)
+	eng, err := NewEngine(db, []Setting{{Name: DefaultSetting, GA: ga, Damping: 0.85}})
+	if err != nil {
+		t.Fatalf("NewEngine: %v", err)
+	}
+	gds := schemagraph.New("Item")
+	gds.Root.AddChildFK("Rev", "Rev", 0, 0.9)
+	if err := eng.RegisterGDS(gds); err != nil {
+		t.Fatalf("RegisterGDS: %v", err)
+	}
+	acmeEng = eng
+	return eng
+}
+
+func drainQuery(t *testing.T, eng *Engine, req QueryRequest) []Summary {
+	t.Helper()
+	res, err := eng.Query(req)
+	if err != nil {
+		t.Fatalf("Query(%+v): %v", req, err)
+	}
+	defer res.Close()
+	var out []Summary
+	for {
+		s, ok := res.Next()
+		if !ok {
+			break
+		}
+		out = append(out, s)
+	}
+	if err := res.Err(); err != nil {
+		t.Fatalf("stream error: %v", err)
+	}
+	return out
+}
+
+// TestQueryStreamEqualsSearch: pulling a Query stream to exhaustion must
+// reproduce the eager Search result exactly, and any Limit-n stream must
+// be the length-n prefix of the full answer — on both evaluation databases.
+func TestQueryStreamEqualsSearch(t *testing.T) {
+	cases := []struct {
+		name, rel, q string
+		eng          func(*testing.T) *Engine
+	}{
+		{"dblp-faloutsos", "Author", "Faloutsos", getDBLP},
+		{"dblp-multiword", "Author", "Christos Faloutsos", getDBLP},
+		{"dblp-miss", "Author", "Nonexistent Person", getDBLP},
+		{"tpch-customer", "Customer", "Customer#000001", getTPCH},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			eng := tc.eng(t)
+			full, err := eng.Search(tc.rel, tc.q, 8, SearchOptions{})
+			if err != nil {
+				t.Fatalf("Search: %v", err)
+			}
+			streamed := drainQuery(t, eng, QueryRequest{Rel: tc.rel, Query: tc.q, L: 8})
+			if len(streamed) != len(full) {
+				t.Fatalf("streamed %d, Search %d", len(streamed), len(full))
+			}
+			for i := range full {
+				if !reflect.DeepEqual(streamed[i], full[i]) {
+					t.Fatalf("streamed[%d] differs from Search[%d]", i, i)
+				}
+			}
+			for _, n := range []int{1, 2, 5} {
+				prefix := drainQuery(t, eng, QueryRequest{Rel: tc.rel, Query: tc.q, L: 8, Limit: n})
+				want := n
+				if want > len(full) {
+					want = len(full)
+				}
+				if len(prefix) != want {
+					t.Fatalf("limit %d served %d summaries, want %d", n, len(prefix), want)
+				}
+				for i := range prefix {
+					if !reflect.DeepEqual(prefix[i], full[i]) {
+						t.Fatalf("limit %d: prefix[%d] differs from full answer", n, i)
+					}
+				}
+			}
+		})
+	}
+}
+
+// refSearchSummaries recomputes Search's answer through an independent
+// path: raw index matches, summarized one at a time via SizeL. Any drift
+// between the streamed pipeline and this reference is a real behavior
+// change in the wrappers.
+func refSearchSummaries(t *testing.T, eng *Engine, rel, q string, l int, opts SearchOptions) []Summary {
+	t.Helper()
+	o := opts
+	o.fill()
+	sc, err := eng.Scores(o.Setting)
+	if err != nil {
+		t.Fatalf("Scores: %v", err)
+	}
+	matches := eng.Index().Search(rel, q, sc)
+	if opts.TopK > 0 && len(matches) > opts.TopK {
+		matches = matches[:opts.TopK]
+	}
+	out := make([]Summary, 0, len(matches))
+	for _, m := range matches {
+		s, err := eng.SizeL(rel, m.Tuple, l, opts)
+		if err != nil {
+			t.Fatalf("SizeL(%d): %v", m.Tuple, err)
+		}
+		out = append(out, s)
+	}
+	return out
+}
+
+// TestWrapperBitIdentical pins the redesign's compatibility promise:
+// Search and RankedSearch, now thin wrappers over the streaming Query
+// pipeline, return bit-identical results to the pre-redesign eager path
+// (reconstructed via raw matches + SizeL, which shares no code with the
+// stream's batching, pooling or cursor logic).
+func TestWrapperBitIdentical(t *testing.T) {
+	eng := getDBLP(t)
+	for _, opts := range []SearchOptions{
+		{},
+		{TopK: 2},
+		{ShowWeights: true},
+		{UseComplete: true},
+		{Algorithm: AlgoDP},
+		{Parallel: 1},
+	} {
+		got, err := eng.Search("Author", "Faloutsos", 12, opts)
+		if err != nil {
+			t.Fatalf("Search(%+v): %v", opts, err)
+		}
+		want := refSearchSummaries(t, eng, "Author", "Faloutsos", 12, opts)
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("Search(%+v) diverged from reference (%d vs %d results)",
+				opts, len(got), len(want))
+		}
+	}
+
+	// RankedSearch: the reference summarizes every match, sorts stably by
+	// Im(S) descending (ties: tuple ascending), and truncates to k — the
+	// seed's exact semantics.
+	for _, k := range []int{1, 2, 10} {
+		got, err := eng.RankedSearch("Author", "Faloutsos", 10, k, SearchOptions{})
+		if err != nil {
+			t.Fatalf("RankedSearch(k=%d): %v", k, err)
+		}
+		want := refSearchSummaries(t, eng, "Author", "Faloutsos", 10, SearchOptions{})
+		sort.SliceStable(want, func(a, b int) bool {
+			if want[a].Result.Importance != want[b].Result.Importance {
+				return want[a].Result.Importance > want[b].Result.Importance
+			}
+			return want[a].Tuple < want[b].Tuple
+		})
+		if len(want) > k {
+			want = want[:k]
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("RankedSearch(k=%d) diverged from reference", k)
+		}
+	}
+	if _, err := eng.RankedSearch("Author", "Faloutsos", 10, 0, SearchOptions{}); err == nil {
+		t.Fatal("RankedSearch(k=0) did not error")
+	}
+}
+
+// TestQueryEarlyTermination is the tentpole's payoff: a limit-10 query
+// against 12000 matching subjects must summarize only the served prefix —
+// under 5% of what a full drain computes — and report the full match count
+// without doing the work.
+func TestQueryEarlyTermination(t *testing.T) {
+	eng := getAcme(t)
+	sums, cursor, stats, err := eng.QueryPage(QueryRequest{Rel: "Item", Query: "acme", L: 3, Limit: 10})
+	if err != nil {
+		t.Fatalf("QueryPage: %v", err)
+	}
+	if stats.Matches < 10000 {
+		t.Fatalf("fixture too small: %d matches, need >= 10000", stats.Matches)
+	}
+	if len(sums) != 10 {
+		t.Fatalf("served %d summaries, want 10", len(sums))
+	}
+	if cursor == "" {
+		t.Fatal("no cursor with 11990 matches unserved")
+	}
+	if stats.Summaries*20 >= stats.Matches {
+		t.Fatalf("computed %d summaries for %d matches — not <5%%, no early termination",
+			stats.Summaries, stats.Matches)
+	}
+	// The served prefix is exactly the global best-first order.
+	full := eng.Index().Search("Item", "acme", mustScores(t, eng))
+	for i, s := range sums {
+		if s.Tuple != full[i].Tuple {
+			t.Fatalf("prefix[%d] = tuple %d, best-first order says %d", i, s.Tuple, full[i].Tuple)
+		}
+	}
+}
+
+func mustScores(t *testing.T, eng *Engine) relational.DBScores {
+	t.Helper()
+	sc, err := eng.Scores(DefaultSetting)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sc
+}
+
+// TestQueryCursorWalk pages through a large answer entirely at the engine
+// level: following cursors with limit 7 must reproduce the full best-first
+// prefix with no summary recomputed twice... and a cursor presented to a
+// differently-shaped request must be refused, not misapplied.
+func TestQueryCursorWalk(t *testing.T) {
+	eng := getAcme(t)
+	const limit, pages = 7, 5
+	var (
+		walked []Summary
+		cursor string
+	)
+	for p := 0; p < pages; p++ {
+		sums, next, stats, err := eng.QueryPage(QueryRequest{
+			Rel: "Item", Query: "acme", L: 3, Limit: limit, Cursor: cursor,
+		})
+		if err != nil {
+			t.Fatalf("page %d: %v", p, err)
+		}
+		if len(sums) != limit {
+			t.Fatalf("page %d served %d, want %d", p, len(sums), limit)
+		}
+		if stats.Summaries != limit {
+			t.Fatalf("page %d computed %d summaries, want exactly %d", p, stats.Summaries, limit)
+		}
+		walked = append(walked, sums...)
+		if next == "" {
+			t.Fatalf("page %d: cursor ended early", p)
+		}
+		cursor = next
+	}
+	full := eng.Index().Search("Item", "acme", mustScores(t, eng))
+	for i, s := range walked {
+		if s.Tuple != full[i].Tuple {
+			t.Fatalf("walked[%d] = tuple %d, want %d", i, s.Tuple, full[i].Tuple)
+		}
+	}
+
+	// Malformed and foreign cursors fail typed, loudly, and up front.
+	if _, _, _, err := eng.QueryPage(QueryRequest{
+		Rel: "Item", Query: "acme", L: 3, Limit: limit, Cursor: "@@not-base64@@",
+	}); !errors.Is(err, ErrCursorMalformed) {
+		t.Fatalf("malformed cursor error = %v, want ErrCursorMalformed", err)
+	}
+	if _, _, _, err := eng.QueryPage(QueryRequest{
+		Rel: "Item", Query: "acme", L: 4, Limit: limit, Cursor: cursor, // different l
+	}); !errors.Is(err, ErrStreamInvalidated) {
+		t.Fatalf("foreign cursor error = %v, want ErrStreamInvalidated", err)
+	}
+}
+
+// TestRankedQueryPaging: RankBySummary pages must concatenate to exactly
+// RankedSearch's top-k, served from one materialized ranking.
+func TestRankedQueryPaging(t *testing.T) {
+	eng := getDBLP(t)
+	const k = 3
+	want, err := eng.RankedSearch("Author", "Faloutsos", 10, k, SearchOptions{})
+	if err != nil {
+		t.Fatalf("RankedSearch: %v", err)
+	}
+	var (
+		got    []Summary
+		cursor string
+	)
+	for hops := 0; ; hops++ {
+		if hops > k+1 {
+			t.Fatal("ranked paging did not terminate")
+		}
+		sums, next, _, err := eng.QueryPage(QueryRequest{
+			Rel: "Author", Query: "Faloutsos", L: 10,
+			RankBySummary: true, K: k, Limit: 1, Cursor: cursor,
+		})
+		if err != nil {
+			t.Fatalf("ranked page: %v", err)
+		}
+		got = append(got, sums...)
+		if next == "" {
+			break
+		}
+		cursor = next
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("ranked pages (%d) diverge from RankedSearch top-%d (%d)", len(got), k, len(want))
+	}
+}
+
+// TestQueryDeletedTupleBackfill pins the TopK wart fix: a tuple that is
+// tombstoned while still listed in the posting window is skipped and the
+// window backfilled from the remaining matches — where the seed's TopK
+// path returned an error for the whole query.
+func TestQueryDeletedTupleBackfill(t *testing.T) {
+	eng := mutableDBLP(t)
+	sc := mustScores(t, eng)
+	matches := eng.Index().Search("Author", "Faloutsos", sc)
+	if len(matches) < 3 {
+		t.Fatalf("fixture has %d Faloutsos matches, need 3", len(matches))
+	}
+	// Tombstone the best match behind the engine's back: the posting list
+	// still carries it (no Mutate, no epoch bump) — exactly the stale
+	// window the old TopK path tripped over.
+	if err := eng.DB().Relation("Author").Delete(matches[0].Tuple); err != nil {
+		t.Fatalf("Delete: %v", err)
+	}
+
+	sums, _, stats, err := eng.QueryPage(QueryRequest{Rel: "Author", Query: "Faloutsos", L: 5, Limit: 2})
+	if err != nil {
+		t.Fatalf("QueryPage after stale delete: %v", err)
+	}
+	if stats.Skipped != 1 {
+		t.Fatalf("Skipped = %d, want 1", stats.Skipped)
+	}
+	if len(sums) != 2 {
+		t.Fatalf("served %d summaries, want 2 (skip + backfill)", len(sums))
+	}
+	if sums[0].Tuple != matches[1].Tuple || sums[1].Tuple != matches[2].Tuple {
+		t.Fatalf("window = tuples %d,%d; want backfilled %d,%d",
+			sums[0].Tuple, sums[1].Tuple, matches[1].Tuple, matches[2].Tuple)
+	}
+	// The wrapper inherits the fix: old TopK callers get the healed window
+	// instead of the seed's error.
+	viaSearch, err := eng.Search("Author", "Faloutsos", 5, SearchOptions{TopK: 2})
+	if err != nil {
+		t.Fatalf("Search with stale window: %v", err)
+	}
+	if !reflect.DeepEqual(viaSearch, sums) {
+		t.Fatal("Search{TopK:2} disagrees with QueryPage{Limit:2} on the healed window")
+	}
+}
+
+// TestQueryMutationInvalidatesStream: an open stream must refuse to serve
+// across a mutation — the next pull fails with ErrStreamInvalidated rather
+// than mixing summaries from two database states.
+func TestQueryMutationInvalidatesStream(t *testing.T) {
+	eng := mutableDBLP(t)
+	res, err := eng.Query(QueryRequest{Rel: "Author", Query: "Faloutsos", L: 5, Parallel: 1})
+	if err != nil {
+		t.Fatalf("Query: %v", err)
+	}
+	defer res.Close()
+	if _, ok := res.Next(); !ok {
+		t.Fatalf("first pull failed: %v", res.Err())
+	}
+	if _, err := eng.Mutate(insertAuthorBatch(t, eng, 910001, "Streambreaker Faloutsos", "Tearing Pages")); err != nil {
+		t.Fatalf("Mutate: %v", err)
+	}
+	for {
+		if _, ok := res.Next(); !ok {
+			break
+		}
+	}
+	if !errors.Is(res.Err(), ErrStreamInvalidated) {
+		t.Fatalf("post-mutation stream error = %v, want ErrStreamInvalidated", res.Err())
+	}
+	if _, ok := res.Cursor(); ok {
+		t.Fatal("invalidated stream still offers a cursor")
+	}
+	// A fresh query sees the post-mutation state, including the new match.
+	fresh := drainQuery(t, eng, QueryRequest{Rel: "Author", Query: "Faloutsos", L: 5})
+	found := false
+	for _, s := range fresh {
+		if s.Headline == "Streambreaker Faloutsos" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("fresh query (%d results) misses the inserted author", len(fresh))
+	}
+}
+
+// TestQueryRaceMutationVsStreams hammers open streams from several
+// goroutines while mutations land: every pull must yield either a valid
+// summary or a clean ErrStreamInvalidated. Run under -race this proves the
+// streaming fill path takes the engine lock correctly.
+func TestQueryRaceMutationVsStreams(t *testing.T) {
+	eng := mutableDBLP(t)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 20; i++ {
+			if _, err := eng.Mutate(insertAuthorBatch(t, eng,
+				920001+int64(i)*10, "Racewalker Faloutsos", "Concurrent Paging")); err != nil {
+				t.Errorf("Mutate: %v", err)
+				return
+			}
+		}
+	}()
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 30; i++ {
+				res, err := eng.Query(QueryRequest{Rel: "Author", Query: "Faloutsos", L: 5, Parallel: 1})
+				if err != nil {
+					t.Errorf("Query: %v", err)
+					return
+				}
+				for {
+					if _, ok := res.Next(); !ok {
+						break
+					}
+				}
+				if err := res.Err(); err != nil && !errors.Is(err, ErrStreamInvalidated) {
+					t.Errorf("stream error: %v", err)
+				}
+				res.Close()
+			}
+		}()
+	}
+	wg.Wait()
+	<-done
+}
+
+// TestQueryNoGoroutineLeak: streams are pull-driven with no internal
+// goroutines, so abandoning them mid-flight must leave the census flat.
+func TestQueryNoGoroutineLeak(t *testing.T) {
+	eng := getDBLP(t)
+	before := runtime.NumGoroutine()
+	for i := 0; i < 64; i++ {
+		res, err := eng.Query(QueryRequest{Rel: "Author", Query: "Faloutsos", L: 8})
+		if err != nil {
+			t.Fatalf("Query: %v", err)
+		}
+		res.Next() // partially consume...
+		res.Close() // ...then abandon
+	}
+	after := runtime.NumGoroutine()
+	if after > before+4 {
+		t.Fatalf("goroutines grew %d -> %d across 64 abandoned streams", before, after)
+	}
+}
+
+// TestQueryRequestValidation pins the new API's error surface.
+func TestQueryRequestValidation(t *testing.T) {
+	eng := getDBLP(t)
+	if _, err := eng.Query(QueryRequest{Rel: "Author", Query: "x", L: 5, Limit: -1}); err == nil {
+		t.Fatal("negative limit accepted")
+	}
+	if _, err := eng.Query(QueryRequest{Rel: "Author", Query: "x", L: 5, K: -1}); err == nil {
+		t.Fatal("negative k accepted")
+	}
+	if _, err := eng.Query(QueryRequest{Rel: "Author", Query: "x", L: 5, Setting: "nope"}); err == nil {
+		t.Fatal("unknown setting accepted")
+	}
+	// Unknown relation: empty answer, no error — the seed's contract.
+	res, err := eng.Query(QueryRequest{Rel: "Nope", Query: "x", L: 5})
+	if err != nil {
+		t.Fatalf("unknown relation: %v", err)
+	}
+	defer res.Close()
+	if s, ok := res.Next(); ok {
+		t.Fatalf("unknown relation served %+v", s)
+	}
+	if res.Err() != nil {
+		t.Fatalf("unknown relation stream error: %v", res.Err())
+	}
+	sums, err := res.Drain()
+	if err != nil || sums == nil || len(sums) != 0 {
+		t.Fatalf("Drain on empty stream = %v, %v (want non-nil empty)", sums, err)
+	}
+}
