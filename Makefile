@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race bench bench-json gate serve clean
+.PHONY: all build vet test race bench bench-json gate serve soak clean
 
 all: vet build test
 
@@ -32,6 +32,11 @@ gate:
 # Run the multi-tenant search service on :8080 with the demo tenants.
 serve:
 	$(GO) run ./cmd/ossrv
+
+# 30s closed-loop QoS soak: sustained mixed load, asserts no p99
+# collapse and flat goroutine/heap footprints (docs/QOS.md).
+soak:
+	SIZELOS_SOAK=1 $(GO) test -run TestQoSSoak -count=1 -v -timeout 5m ./internal/tenancy
 
 clean:
 	$(GO) clean ./...

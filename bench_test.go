@@ -31,6 +31,7 @@ import (
 	"sizelos/internal/keyword"
 	"sizelos/internal/mutgen"
 	"sizelos/internal/ostree"
+	"sizelos/internal/qos"
 	"sizelos/internal/rank"
 	"sizelos/internal/relational"
 	"sizelos/internal/schemagraph"
@@ -942,6 +943,31 @@ func BenchmarkQueryStream(b *testing.B) {
 		if len(sums) != 10 || stats.Matches < 10000 {
 			b.Fatalf("served %d of %d matches", len(sums), stats.Matches)
 		}
+	}
+}
+
+// BenchmarkAdmissionOverhead measures the uncontended QoS fast path every
+// admitted request pays on top of its query: one token-bucket check plus
+// one admission-slot acquire/release, with free slots and a full bucket.
+// The absolute ns/op here against BenchmarkQueryStream bounds the tax the
+// QoS layer adds to an unthrottled tenant.
+func BenchmarkAdmissionOverhead(b *testing.B) {
+	lim := qos.NewLimiter(qos.Limits{
+		SearchRate:  1e12, // never empties within a run: the refusal path is not this bench
+		SearchBurst: 1e12,
+		MaxInFlight: 64,
+	})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := lim.AllowSearch(); err != nil {
+			b.Fatal(err)
+		}
+		release, err := lim.Admit(0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		release()
 	}
 }
 

@@ -17,6 +17,13 @@
 // tenant dynamically. -addr :0 picks a free port; the chosen address is in
 // the "listening on" log line.
 //
+// The full configuration — including per-tenant QoS limits, which have no
+// flag form — can live in a JSON file (-config; the tenancy.ServerConfig
+// shape). Flags set on the command line override the file. -admin-token
+// locks tenant registration, deregistration, and mutations behind
+// "Authorization: Bearer <token>"; per-tenant rate limits, admission
+// control, and latency-budget shedding are described in docs/QOS.md.
+//
 // With -data-dir the service runs durably: every committed mutation batch
 // is written to a per-tenant write-ahead log before the request is
 // acknowledged, state snapshots are taken on a timer (and at shutdown),
@@ -39,6 +46,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"sort"
 	"strings"
 	"sync"
 	"syscall"
@@ -47,6 +55,7 @@ import (
 	"sizelos"
 	"sizelos/internal/datagen"
 	"sizelos/internal/durable"
+	"sizelos/internal/qos"
 	"sizelos/internal/tenancy"
 )
 
@@ -190,29 +199,106 @@ func (h *durableHub) open() map[string]*durableTenant {
 	return open
 }
 
-func main() {
+// loadConfig assembles the ServerConfig the process runs with: the -config
+// JSON file (when given) seeds it, then every flag the command line
+// explicitly set overrides the file, and built-in defaults fill whatever
+// neither source named. Flags are a thin parser — all semantics live in
+// tenancy.ServerConfig.
+func loadConfig() (tenancy.ServerConfig, []string) {
 	var tenants tenantFlags
 	var (
-		addr      = flag.String("addr", ":8080", "listen address")
-		cache     = flag.Int("cache", 1024, "per-tenant summary cache budget in entries (0 = off)")
-		pool      = flag.Int("pool", 0, "shared summary pool size across all tenants (0 = GOMAXPROCS)")
-		seed      = flag.Int64("seed", 1, "generator seed for the synthetic datasets")
-		dataDir   = flag.String("data-dir", "", "durability root: per-tenant WAL + snapshots (empty = in-memory only)")
-		snapEvery = flag.Duration("snapshot-interval", 5*time.Minute, "cadence of periodic tenant snapshots (0 = only at shutdown; needs -data-dir)")
-		walSync   = flag.Duration("wal-sync", 0, "WAL group-commit interval; 0 fsyncs every mutation before acknowledging")
-		keepSnaps = flag.Int("keep-snapshots", 2, "snapshots retained per tenant after pruning")
-		drain     = flag.Duration("drain", 10*time.Second, "graceful-shutdown deadline for in-flight requests")
+		configPath = flag.String("config", "", "JSON config file (tenancy.ServerConfig); flags set on the command line override it")
+		addr       = flag.String("addr", ":8080", "listen address")
+		cache      = flag.Int("cache", 1024, "per-tenant summary cache budget in entries (0 = off)")
+		pool       = flag.Int("pool", 0, "shared summary pool size across all tenants (0 = GOMAXPROCS)")
+		seed       = flag.Int64("seed", 1, "generator seed for the synthetic datasets")
+		adminToken = flag.String("admin-token", "", "bearer token guarding tenant admin and mutation endpoints (empty = open)")
+		dataDir    = flag.String("data-dir", "", "durability root: per-tenant WAL + snapshots (empty = in-memory only)")
+		snapEvery  = flag.Duration("snapshot-interval", 5*time.Minute, "cadence of periodic tenant snapshots (0 = only at shutdown; needs -data-dir)")
+		walSync    = flag.Duration("wal-sync", 0, "WAL group-commit interval; 0 fsyncs every mutation before acknowledging")
+		keepSnaps  = flag.Int("keep-snapshots", 2, "snapshots retained per tenant after pruning")
+		drain      = flag.Duration("drain", 10*time.Second, "graceful-shutdown deadline for in-flight requests")
 	)
 	flag.Var(&tenants, "tenant", "tenant definition name=dataset (dataset: dblp or tpch); repeatable; 'none' starts empty")
 	flag.Parse()
-	if len(tenants) == 0 {
-		tenants = tenantFlags{"dblp=dblp", "tpch=tpch"}
+
+	var cfg tenancy.ServerConfig
+	if *configPath != "" {
+		var err error
+		cfg, err = tenancy.LoadServerConfig(*configPath)
+		if err != nil {
+			log.Fatalf("ossrv: %v", err)
+		}
 	}
-	if len(tenants) == 1 && tenants[0] == "none" {
-		tenants = nil
+	set := make(map[string]bool)
+	flag.Visit(func(f *flag.Flag) { set[f.Name] = true })
+	// An explicitly set flag beats the file; otherwise the file beats the
+	// flag default; otherwise the default stands. Fields the file cannot
+	// leave ambiguous (zero means "unset") just check for zero.
+	if set["addr"] || cfg.Addr == "" {
+		cfg.Addr = *addr
+	}
+	if set["cache"] || cfg.CacheBudget == 0 {
+		cfg.CacheBudget = *cache
+	}
+	if set["pool"] {
+		cfg.PoolSize = *pool
+	}
+	if set["seed"] || cfg.Seed == 0 {
+		cfg.Seed = *seed
+	}
+	if set["admin-token"] {
+		cfg.AdminToken = *adminToken
+	}
+	if set["data-dir"] {
+		cfg.DataDir = *dataDir
+	}
+	if set["snapshot-interval"] || cfg.SnapshotInterval == 0 {
+		cfg.SnapshotInterval = qos.Duration(*snapEvery)
+	}
+	if set["wal-sync"] {
+		cfg.WALSync = qos.Duration(*walSync)
+	}
+	if set["keep-snapshots"] || cfg.KeepSnapshots == 0 {
+		cfg.KeepSnapshots = *keepSnaps
+	}
+	if set["drain"] || cfg.Drain == 0 {
+		cfg.Drain = qos.Duration(*drain)
 	}
 
-	reg := tenancy.NewRegistry(*pool)
+	// Boot tenants: config-file entries first (sorted for a deterministic
+	// boot order), then -tenant flags. No tenant from either source means
+	// the demo pair; a single "none" starts empty.
+	var defs []string
+	for _, name := range sortedKeys(cfg.Tenants) {
+		defs = append(defs, name+"="+cfg.Tenants[name])
+	}
+	defs = append(defs, tenants...)
+	if len(defs) == 0 {
+		defs = []string{"dblp=dblp", "tpch=tpch"}
+	}
+	if len(defs) == 1 && defs[0] == "none" {
+		defs = nil
+	}
+	return cfg, defs
+}
+
+func sortedKeys(m map[string]string) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func main() {
+	cfg, tenants := loadConfig()
+	seed := &cfg.Seed
+	cache := &cfg.CacheBudget
+	dataDir := &cfg.DataDir
+
+	reg := cfg.NewRegistry()
 	// Dynamic registration (POST /v1/tenants) builds engines with the same
 	// opener as the startup flags; a request-supplied seed overrides the
 	// deployment default. With -data-dir the recoverer supersedes this.
@@ -227,8 +313,8 @@ func main() {
 	var hub *durableHub
 	if *dataDir != "" {
 		store, err := durable.Open(durable.NewDirFS(*dataDir), durable.Options{
-			SyncInterval:  *walSync,
-			KeepSnapshots: *keepSnaps,
+			SyncInterval:  cfg.WALSync.Std(),
+			KeepSnapshots: cfg.KeepSnapshots,
 		})
 		if err != nil {
 			log.Fatalf("ossrv: open data dir %s: %v", *dataDir, err)
@@ -289,9 +375,9 @@ func main() {
 		log.Printf("ossrv: tenant %s ready (dataset %s, cache budget %d)", name, dataset, *cache)
 	}
 
-	ln, err := net.Listen("tcp", *addr)
+	ln, err := net.Listen("tcp", cfg.Addr)
 	if err != nil {
-		log.Fatalf("ossrv: listen %s: %v", *addr, err)
+		log.Fatalf("ossrv: listen %s: %v", cfg.Addr, err)
 	}
 	durability := "durability off"
 	if hub != nil {
@@ -308,8 +394,8 @@ func main() {
 	defer stop()
 
 	var tick <-chan time.Time
-	if hub != nil && *snapEvery > 0 {
-		ticker := time.NewTicker(*snapEvery)
+	if hub != nil && cfg.SnapshotInterval > 0 {
+		ticker := time.NewTicker(cfg.SnapshotInterval.Std())
 		defer ticker.Stop()
 		tick = ticker.C
 	}
@@ -326,8 +412,8 @@ func main() {
 		case <-ctx.Done():
 			// Restore default signal handling so a second signal kills hard.
 			stop()
-			log.Printf("ossrv: shutdown signal received; draining (deadline %s)", *drain)
-			shCtx, cancel := context.WithTimeout(context.Background(), *drain)
+			log.Printf("ossrv: shutdown signal received; draining (deadline %s)", cfg.Drain.Std())
+			shCtx, cancel := context.WithTimeout(context.Background(), cfg.Drain.Std())
 			err := srv.Shutdown(shCtx)
 			cancel()
 			if err != nil {

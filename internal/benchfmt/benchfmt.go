@@ -17,8 +17,11 @@ import (
 // streaming-ingest hot loop), the durability tier (the WAL-attached
 // commit path and snapshot+WAL-tail crash recovery), and the streaming
 // query pair (the limit-10 first page vs the full materializing drain —
-// gating both keeps the early-termination gap itself under watch).
-const GateFamilies = "RankCompute|RankCompile|NewEngine|EndToEndSearch|DataGraphBuild|IndexBuild|MutateIncremental|RerankResidual|WALAppend|RecoveryReplay|QueryStream|QueryDrain"
+// gating both keeps the early-termination gap itself under watch), and
+// the QoS fast path (the uncontended rate-limit + admission check every
+// served request pays — it must stay a rounding error next to the query
+// itself).
+const GateFamilies = "RankCompute|RankCompile|NewEngine|EndToEndSearch|DataGraphBuild|IndexBuild|MutateIncremental|RerankResidual|WALAppend|RecoveryReplay|QueryStream|QueryDrain|AdmissionOverhead"
 
 // ArchiveFamilies is the default benchjson archive set: every gated family
 // plus the Fig-10 paper-figure benches (measured for the trajectory but

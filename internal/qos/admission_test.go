@@ -1,0 +1,168 @@
+package qos
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestAdmissionDeadlineExpiryWhileQueued occupies the only slot and
+// requires a queued request to fail with ErrDeadline once its budget
+// elapses — having actually waited — and to leave no queue-depth or
+// in-flight residue.
+func TestAdmissionDeadlineExpiryWhileQueued(t *testing.T) {
+	a := NewAdmission(1, 0)
+	release, err := a.Admit(0)
+	if err != nil {
+		t.Fatalf("first admit: %v", err)
+	}
+	start := time.Now()
+	got, err := a.Admit(40 * time.Millisecond)
+	waited := time.Since(start)
+	if got != nil || !errors.Is(err, ErrDeadline) {
+		t.Fatalf("queued admit = (release %v, %v), want ErrDeadline", got != nil, err)
+	}
+	var de *DelayError
+	if !errors.As(err, &de) {
+		t.Fatalf("deadline error %v carries no DelayError", err)
+	}
+	if waited < 40*time.Millisecond {
+		t.Fatalf("expired after %v, want >= the 40ms budget", waited)
+	}
+	s := a.Stats()
+	if s.QueueDepth != 0 || s.InFlight != 1 || s.Expired != 1 {
+		t.Fatalf("stats after expiry = %+v", s)
+	}
+	release()
+	if s := a.Stats(); s.InFlight != 0 {
+		t.Fatalf("in-flight after release = %d, want 0", s.InFlight)
+	}
+	// The freed slot admits immediately again.
+	release, err = a.Admit(time.Millisecond)
+	if err != nil {
+		t.Fatalf("post-release admit: %v", err)
+	}
+	release()
+}
+
+// TestAdmissionMaxQueueWaitCapsBudget proves MaxQueueWait bounds the
+// queue time even for a request with a much larger budget.
+func TestAdmissionMaxQueueWaitCapsBudget(t *testing.T) {
+	a := NewAdmission(1, 30*time.Millisecond)
+	release, err := a.Admit(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer release()
+	start := time.Now()
+	if _, err := a.Admit(10 * time.Second); !errors.Is(err, ErrDeadline) {
+		t.Fatalf("admit = %v, want ErrDeadline", err)
+	}
+	if waited := time.Since(start); waited > 5*time.Second {
+		t.Fatalf("waited %v, want the 30ms cap to cut the 10s budget", waited)
+	}
+}
+
+// TestAdmissionShedsWhenEstimateExceedsBudget seeds the wait estimator
+// high and requires a small-budget request to be refused immediately —
+// fail fast, never queued — while a large-budget request still queues.
+func TestAdmissionShedsWhenEstimateExceedsBudget(t *testing.T) {
+	a := NewAdmission(1, 0)
+	release, err := a.Admit(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Observed queue waits of ~1s: the EWMA converges near 1s.
+	for i := 0; i < 50; i++ {
+		a.noteWait(time.Second)
+	}
+	start := time.Now()
+	got, err := a.Admit(50 * time.Millisecond)
+	elapsed := time.Since(start)
+	if got != nil || !errors.Is(err, ErrShed) {
+		t.Fatalf("admit = (release %v, %v), want ErrShed", got != nil, err)
+	}
+	if elapsed > 20*time.Millisecond {
+		t.Fatalf("shed took %v, want immediate fail-fast", elapsed)
+	}
+	var de *DelayError
+	if !errors.As(err, &de) || de.RetryAfter < 500*time.Millisecond {
+		t.Fatalf("shed error = %v, want RetryAfter near the 1s estimate", err)
+	}
+	s := a.Stats()
+	if s.Shed != 1 || s.QueueDepth != 0 {
+		t.Fatalf("stats after shed = %+v", s)
+	}
+
+	// A budget comfortably above the estimate queues instead of shedding.
+	done := make(chan error, 1)
+	go func() {
+		rel, err := a.Admit(10 * time.Second)
+		if err == nil {
+			rel()
+		}
+		done <- err
+	}()
+	waitFor(t, func() bool { return a.Stats().QueueDepth == 1 })
+	release()
+	if err := <-done; err != nil {
+		t.Fatalf("queued admit after release: %v", err)
+	}
+	if s := a.Stats(); s.InFlight != 0 || s.QueueDepth != 0 {
+		t.Fatalf("final stats = %+v", s)
+	}
+}
+
+// TestAdmissionUncontendedFastPathSkipsEstimator proves the fast path
+// admits without consulting (or updating) the shed estimator: a stale-high
+// estimate must never refuse requests when slots are free.
+func TestAdmissionUncontendedFastPathSkipsEstimator(t *testing.T) {
+	a := NewAdmission(2, 0)
+	for i := 0; i < 50; i++ {
+		a.noteWait(time.Hour) // absurd stale estimate
+	}
+	release, err := a.Admit(time.Millisecond)
+	if err != nil {
+		t.Fatalf("uncontended admit with stale estimate: %v", err)
+	}
+	release()
+}
+
+func TestAdmissionUnboundedAndNil(t *testing.T) {
+	var nilA *Admission
+	release, err := nilA.Admit(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	release()
+	a := NewAdmission(0, 0) // unbounded
+	var wg sync.WaitGroup
+	for i := 0; i < 64; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			rel, err := a.Admit(time.Nanosecond)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			rel()
+		}()
+	}
+	wg.Wait()
+	if s := a.Stats(); s.Admitted != 64 || s.MaxInFlight != 0 {
+		t.Fatalf("unbounded stats = %+v", s)
+	}
+}
+
+func waitFor(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatal("condition never became true")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}

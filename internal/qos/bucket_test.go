@@ -1,0 +1,117 @@
+package qos
+
+import (
+	"testing"
+	"time"
+)
+
+// fakeClock is a hand-advanced clock for deterministic refill tests.
+type fakeClock struct{ t time.Time }
+
+func (c *fakeClock) now() time.Time          { return c.t }
+func (c *fakeClock) advance(d time.Duration) { c.t = c.t.Add(d) }
+func newFakeClock() *fakeClock               { return &fakeClock{t: time.Unix(1_700_000_000, 0)} }
+func at(c *fakeClock, r, b float64) *Bucket  { return newBucketAt(r, b, c.now) }
+func mustAllow(t *testing.T, bk *Bucket, i int) {
+	t.Helper()
+	ok, _ := bk.Allow()
+	if !ok {
+		t.Fatalf("call %d: denied, want allowed", i)
+	}
+}
+func mustDeny(t *testing.T, bk *Bucket, i int) time.Duration {
+	t.Helper()
+	ok, retry := bk.Allow()
+	if ok {
+		t.Fatalf("call %d: allowed, want denied", i)
+	}
+	return retry
+}
+
+// TestBucketRefillDeterministic drives a bucket with a fake clock and
+// asserts the exact admit/deny sequence and Retry-After hints — twice,
+// proving the decisions are a pure function of the clock readings.
+func TestBucketRefillDeterministic(t *testing.T) {
+	run := func() ([]bool, []time.Duration) {
+		clk := newFakeClock()
+		bk := at(clk, 2, 4) // 2 tokens/s, burst 4
+		var oks []bool
+		var retries []time.Duration
+		step := func() {
+			ok, retry := bk.Allow()
+			oks = append(oks, ok)
+			retries = append(retries, retry)
+		}
+		// Drain the burst.
+		for i := 0; i < 5; i++ {
+			step() // 4 allowed, 5th denied
+		}
+		clk.advance(500 * time.Millisecond) // +1 token
+		step()                              // allowed
+		step()                              // denied again
+		clk.advance(250 * time.Millisecond) // +0.5 tokens
+		step()                              // still denied: 0.5 < 1
+		clk.advance(10 * time.Second)       // refills far past burst; capped at 4
+		for i := 0; i < 5; i++ {
+			step() // 4 allowed, then denied
+		}
+		return oks, retries
+	}
+	wantOK := []bool{true, true, true, true, false, true, false, false, true, true, true, true, false}
+	oks1, retries1 := run()
+	oks2, retries2 := run()
+	for i := range wantOK {
+		if oks1[i] != wantOK[i] {
+			t.Fatalf("decision %d = %v, want %v", i, oks1[i], wantOK[i])
+		}
+		if oks1[i] != oks2[i] || retries1[i] != retries2[i] {
+			t.Fatalf("run divergence at %d: (%v,%v) vs (%v,%v)", i, oks1[i], retries1[i], oks2[i], retries2[i])
+		}
+	}
+	// The deny at index 4 has an empty bucket: a full token at 2/s is 500ms.
+	if retries1[4] != 500*time.Millisecond {
+		t.Fatalf("retry after full drain = %v, want 500ms", retries1[4])
+	}
+	// The deny at index 7 left 0.5 tokens after the 250ms advance:
+	// (1 - 0.5) / 2 per second = 250ms.
+	if retries1[7] != 250*time.Millisecond {
+		t.Fatalf("retry at half token = %v, want 250ms", retries1[7])
+	}
+}
+
+func TestBucketUnlimitedAndNil(t *testing.T) {
+	clk := newFakeClock()
+	bk := at(clk, 0, 0) // rate 0: unlimited
+	for i := 0; i < 100; i++ {
+		mustAllow(t, bk, i)
+	}
+	if s := bk.Stats(); s.Allowed != 100 || s.Throttled != 0 {
+		t.Fatalf("unlimited stats = %+v", s)
+	}
+	var nilBucket *Bucket
+	if ok, _ := nilBucket.Allow(); !ok {
+		t.Fatal("nil bucket denied")
+	}
+	if s := nilBucket.Stats(); s != (BucketStats{}) {
+		t.Fatalf("nil bucket stats = %+v", s)
+	}
+}
+
+func TestBucketBurstDefaultsAndCounters(t *testing.T) {
+	clk := newFakeClock()
+	bk := at(clk, 0.5, 0) // burst <= 0 defaults to max(1, rate) = 1
+	mustAllow(t, bk, 0)
+	retry := mustDeny(t, bk, 1)
+	if retry != 2*time.Second { // 1 token at 0.5/s
+		t.Fatalf("retry = %v, want 2s", retry)
+	}
+	s := bk.Stats()
+	if s.Burst != 1 || s.Allowed != 1 || s.Throttled != 1 {
+		t.Fatalf("stats = %+v", s)
+	}
+	// Stats itself refills: after 4s the bucket is full again.
+	clk.advance(4 * time.Second)
+	if s := bk.Stats(); s.Tokens != 1 {
+		t.Fatalf("tokens after refill = %v, want capped at burst 1", s.Tokens)
+	}
+}

@@ -3,6 +3,7 @@ package searchexec
 import (
 	"runtime"
 	"sync/atomic"
+	"time"
 )
 
 // PoolStats reports a shared pool's configuration and load.
@@ -14,6 +15,11 @@ type PoolStats struct {
 	// Waited counts acquisitions that had to block because the pool was
 	// saturated — the back-pressure signal for capacity planning.
 	Waited uint64
+	// WaitNanos is the cumulative time acquisitions spent blocked on a
+	// saturated pool. Waited says how often callers queued; WaitNanos says
+	// how badly — the admission layer's shed heuristics and the stats
+	// endpoint both read it.
+	WaitNanos uint64
 }
 
 // Pool is a shared concurrency budget for CPU-bound work spanning many
@@ -23,8 +29,9 @@ type PoolStats struct {
 // slot for its duration, and callers beyond the budget block until a slot
 // frees. A nil *Pool is valid and imposes no limit.
 type Pool struct {
-	sem    chan struct{}
-	waited atomic.Uint64
+	sem       chan struct{}
+	waited    atomic.Uint64
+	waitNanos atomic.Uint64
 }
 
 // NewPool creates a pool with the given number of slots; size <= 0 uses
@@ -47,8 +54,12 @@ func (p *Pool) Do(fn func()) {
 	select {
 	case p.sem <- struct{}{}:
 	default:
+		// Clock only the contended path: the fast path above stays a single
+		// channel op.
+		start := time.Now()
 		p.waited.Add(1)
 		p.sem <- struct{}{}
+		p.waitNanos.Add(uint64(time.Since(start)))
 	}
 	defer func() { <-p.sem }()
 	fn()
@@ -60,5 +71,10 @@ func (p *Pool) Stats() PoolStats {
 	if p == nil {
 		return PoolStats{}
 	}
-	return PoolStats{Size: cap(p.sem), InFlight: len(p.sem), Waited: p.waited.Load()}
+	return PoolStats{
+		Size:      cap(p.sem),
+		InFlight:  len(p.sem),
+		Waited:    p.waited.Load(),
+		WaitNanos: p.waitNanos.Load(),
+	}
 }

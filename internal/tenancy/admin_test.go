@@ -73,9 +73,9 @@ func TestUnknownPathsReturnJSON404(t *testing.T) {
 		if resp.StatusCode != http.StatusNotFound {
 			t.Errorf("GET %s = %d, want 404", path, resp.StatusCode)
 		}
-		body := decodeJSON[errorResponse](t, resp)
-		if body.Error == "" {
-			t.Errorf("GET %s: empty error body", path)
+		body := decodeJSON[ErrorResponse](t, resp)
+		if body.Error.Code != CodeNotFound || body.Error.Message == "" {
+			t.Errorf("GET %s: error envelope = %+v", path, body.Error)
 		}
 	}
 	// Method mismatches on defined paths take the JSON catch-all too (the
@@ -94,8 +94,8 @@ func TestUnknownPathsReturnJSON404(t *testing.T) {
 		if resp.StatusCode != http.StatusNotFound {
 			t.Errorf("%s %s = %d, want 404", tc.method, tc.path, resp.StatusCode)
 		}
-		if body := decodeJSON[errorResponse](t, resp); body.Error == "" {
-			t.Errorf("%s %s: empty error body", tc.method, tc.path)
+		if body := decodeJSON[ErrorResponse](t, resp); body.Error.Code != CodeNotFound {
+			t.Errorf("%s %s: error envelope = %+v", tc.method, tc.path, body.Error)
 		}
 	}
 }

@@ -36,13 +36,23 @@ type SearchResponse struct {
 	Cursor string `json:"cursor,omitempty"`
 }
 
+// StatsVersion is the version stamp of the stats document. Version 2
+// added the version field itself, the QoS section (limiter tokens,
+// admission queue depth, shed counts), and pool wait accounting; every
+// version-1 field name is unchanged.
+const StatsVersion = 2
+
 // StatsResponse is the body of /v1/{tenant}/stats.
 type StatsResponse struct {
 	Tenant       string              `json:"tenant"`
+	Version      int                 `json:"version"`
 	CacheEnabled bool                `json:"cache_enabled"`
 	Cache        searchexecCacheJSON `json:"cache"`
 	Pool         searchexecPoolJSON  `json:"pool"`
 	Settings     []string            `json:"settings"`
+	// QoS reports the tenant's limiter state; omitted when QoS is not
+	// configured for the deployment.
+	QoS *QoSStatsJSON `json:"qos,omitempty"`
 }
 
 type searchexecCacheJSON struct {
@@ -57,80 +67,156 @@ type searchexecPoolJSON struct {
 	Size     int    `json:"size"`
 	InFlight int    `json:"in_flight"`
 	Waited   uint64 `json:"waited"`
+	// WaitNanos is the cumulative time summary work spent blocked on the
+	// shared pool — the machine-wide back-pressure signal.
+	WaitNanos uint64 `json:"wait_ns"`
 }
 
-type errorResponse struct {
-	Error string `json:"error"`
+// QoSStatsJSON is the per-tenant QoS section of the stats document.
+type QoSStatsJSON struct {
+	Search    BucketStatsJSON    `json:"search"`
+	Mutate    BucketStatsJSON    `json:"mutate"`
+	Admission AdmissionStatsJSON `json:"admission"`
 }
 
-// Handler serves the registry over HTTP/JSON:
+// BucketStatsJSON reports one token bucket. Rate 0 means the plane is
+// unlimited for this tenant.
+type BucketStatsJSON struct {
+	Rate      float64 `json:"rate"`
+	Burst     float64 `json:"burst"`
+	Tokens    float64 `json:"tokens"`
+	Allowed   uint64  `json:"allowed"`
+	Throttled uint64  `json:"throttled"`
+}
+
+// AdmissionStatsJSON reports the tenant's admission controller.
+type AdmissionStatsJSON struct {
+	MaxInFlight   int     `json:"max_in_flight"`
+	InFlight      int     `json:"in_flight"`
+	QueueDepth    int     `json:"queue_depth"`
+	Admitted      uint64  `json:"admitted"`
+	Shed          uint64  `json:"shed"`
+	Expired       uint64  `json:"expired"`
+	EstimatedWait float64 `json:"estimated_wait_ms"`
+}
+
+// NewHandler builds the service's HTTP handler over the registry, with
+// any remaining options applied first. Every route runs inside the
+// middleware chain
+//
+//	recover → authz (write plane) → rate-limit → admission → handler
+//
+// and every failure path emits the uniform ErrorResponse envelope
+// (writeError), with Retry-After on 429/503.
 //
 //	GET    /v1/tenants                  -> {"tenants": [...]}
-//	POST   /v1/tenants                  -> register a tenant (needs SetOpener)
-//	DELETE /v1/{tenant}                 -> deregister a tenant
+//	POST   /v1/tenants                  -> register a tenant (authz; needs SetOpener)
+//	DELETE /v1/{tenant}                 -> deregister a tenant (authz)
 //	GET    /v1/{tenant}/search?rel=&q=  -> SearchResponse (one OS per match)
 //	GET    /v1/{tenant}/ranked?rel=&q=  -> SearchResponse (top-k by Im(S))
-//	POST   /v1/{tenant}/tuples          -> MutateResponse (atomic batch)
-//	GET    /v1/{tenant}/stats           -> StatsResponse
+//	POST   /v1/{tenant}/tuples          -> MutateResponse (authz; atomic batch)
+//	GET    /v1/{tenant}/stats           -> StatsResponse (never throttled)
 //
 // Common query parameters: l (summary size, default 15), setting, algo,
-// topk (search), k (ranked, default 10), limit (page size, 0 = all) and
-// cursor (opaque resume token from the previous page; a mutation between
-// pages turns the resume into 410 Gone). Tenants may be registered and
-// deregistered on a live registry; requests for unknown tenants — and for
-// any path the API does not define — get a JSON 404.
-func (r *Registry) Handler() http.Handler {
+// topk (search), k (ranked, default 10), limit (page size, 0 = all),
+// cursor (opaque resume token; a mutation between pages turns the resume
+// into 410 Gone), and budget_ms (latency budget for admission shedding;
+// also accepted as the X-Sizelos-Budget-Ms header). Tenants may be
+// registered and deregistered on a live registry; requests for unknown
+// tenants — and for any path the API does not define — get a JSON 404.
+func NewHandler(r *Registry, opts ...Option) http.Handler {
+	for _, opt := range opts {
+		opt(r)
+	}
+	authz := r.authzMiddleware()
 	mux := http.NewServeMux()
 	// Everything the explicit routes below don't claim is a JSON 404, never
 	// an empty 200 or a text/plain fallback.
 	mux.HandleFunc("/", func(w http.ResponseWriter, req *http.Request) {
-		writeJSON(w, http.StatusNotFound, errorResponse{Error: "no such endpoint"})
+		writeError(w, errNotFound("no such endpoint"))
 	})
 	mux.HandleFunc("GET /v1/tenants", func(w http.ResponseWriter, req *http.Request) {
 		writeJSON(w, http.StatusOK, map[string][]string{"tenants": r.Names()})
 	})
-	mux.HandleFunc("POST /v1/tenants", r.serveRegister)
-	mux.HandleFunc("DELETE /v1/{tenant}", func(w http.ResponseWriter, req *http.Request) {
-		name := req.PathValue("tenant")
-		ok, err := r.Deregister(name)
-		if !ok {
-			writeJSON(w, http.StatusNotFound, errorResponse{Error: "unknown tenant"})
-			return
-		}
-		if err != nil {
-			// Removed from serving, but its durable state could not be
-			// cleaned up — the operator needs to know.
-			writeJSON(w, http.StatusInternalServerError, errorResponse{Error: err.Error()})
-			return
-		}
-		writeJSON(w, http.StatusOK, map[string]string{"deregistered": name})
-	})
-	mux.HandleFunc("POST /v1/{tenant}/tuples", r.serveMutate)
-	mux.HandleFunc("GET /v1/{tenant}/search", func(w http.ResponseWriter, req *http.Request) {
-		r.serveQuery(w, req, false)
-	})
-	mux.HandleFunc("GET /v1/{tenant}/ranked", func(w http.ResponseWriter, req *http.Request) {
-		r.serveQuery(w, req, true)
-	})
-	mux.HandleFunc("GET /v1/{tenant}/stats", func(w http.ResponseWriter, req *http.Request) {
-		t, ok := r.resolveTenant(w, req.PathValue("tenant"))
-		if !ok {
-			return
-		}
-		cs, enabled := t.Engine.SummaryCacheStats()
-		ps := r.pool.Stats()
-		writeJSON(w, http.StatusOK, StatsResponse{
-			Tenant:       t.Name,
-			CacheEnabled: enabled,
-			Cache: searchexecCacheJSON{
-				Hits: cs.Hits, Misses: cs.Misses, Len: cs.Len, Cap: cs.Cap,
-				Rate: cs.HitRate(),
+	mux.Handle("POST /v1/tenants", chain(http.HandlerFunc(r.serveRegister), authz))
+	mux.Handle("DELETE /v1/{tenant}", chain(http.HandlerFunc(r.serveDeregister), authz))
+	mux.Handle("POST /v1/{tenant}/tuples",
+		chain(http.HandlerFunc(r.serveMutate), authz, r.qosMiddleware(classMutate)))
+	mux.Handle("GET /v1/{tenant}/search",
+		chain(http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+			r.serveQuery(w, req, false)
+		}), r.qosMiddleware(classSearch)))
+	mux.Handle("GET /v1/{tenant}/ranked",
+		chain(http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+			r.serveQuery(w, req, true)
+		}), r.qosMiddleware(classSearch)))
+	// Stats stay readable while the tenant is throttled — observability of
+	// an overloaded tenant is exactly when the endpoint matters.
+	mux.HandleFunc("GET /v1/{tenant}/stats", r.serveStats)
+	return chain(mux, recoverMiddleware())
+}
+
+// Handler is NewHandler without extra options, kept for existing callers.
+func (r *Registry) Handler() http.Handler { return NewHandler(r) }
+
+func (r *Registry) serveStats(w http.ResponseWriter, req *http.Request) {
+	t, ok := r.resolveTenant(w, req.PathValue("tenant"))
+	if !ok {
+		return
+	}
+	cs, enabled := t.Engine.SummaryCacheStats()
+	ps := r.pool.Stats()
+	resp := StatsResponse{
+		Tenant:       t.Name,
+		Version:      StatsVersion,
+		CacheEnabled: enabled,
+		Cache: searchexecCacheJSON{
+			Hits: cs.Hits, Misses: cs.Misses, Len: cs.Len, Cap: cs.Cap,
+			Rate: cs.HitRate(),
+		},
+		Pool: searchexecPoolJSON{
+			Size: ps.Size, InFlight: ps.InFlight, Waited: ps.Waited,
+			WaitNanos: ps.WaitNanos,
+		},
+		Settings: t.Engine.SettingNames(),
+	}
+	if lim := r.limiterFor(t.Name); lim != nil {
+		ls := lim.Stats()
+		resp.QoS = &QoSStatsJSON{
+			Search: BucketStatsJSON{
+				Rate: ls.Search.Rate, Burst: ls.Search.Burst, Tokens: ls.Search.Tokens,
+				Allowed: ls.Search.Allowed, Throttled: ls.Search.Throttled,
 			},
-			Pool:     searchexecPoolJSON{Size: ps.Size, InFlight: ps.InFlight, Waited: ps.Waited},
-			Settings: t.Engine.SettingNames(),
-		})
-	})
-	return mux
+			Mutate: BucketStatsJSON{
+				Rate: ls.Mutate.Rate, Burst: ls.Mutate.Burst, Tokens: ls.Mutate.Tokens,
+				Allowed: ls.Mutate.Allowed, Throttled: ls.Mutate.Throttled,
+			},
+			Admission: AdmissionStatsJSON{
+				MaxInFlight: ls.Admission.MaxInFlight, InFlight: ls.Admission.InFlight,
+				QueueDepth: ls.Admission.QueueDepth, Admitted: ls.Admission.Admitted,
+				Shed: ls.Admission.Shed, Expired: ls.Admission.Expired,
+				EstimatedWait: float64(ls.Admission.EstimatedWait.Microseconds()) / 1e3,
+			},
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (r *Registry) serveDeregister(w http.ResponseWriter, req *http.Request) {
+	name := req.PathValue("tenant")
+	ok, err := r.Deregister(name)
+	if !ok {
+		writeError(w, errNotFound("unknown tenant"))
+		return
+	}
+	if err != nil {
+		// Removed from serving, but its durable state could not be
+		// cleaned up — the operator needs to know; retrying the DELETE
+		// can finish the durable removal.
+		writeError(w, errInternal(err.Error(), true))
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"deregistered": name})
 }
 
 // resolveTenant materializes the tenant a request addresses, recovering it
@@ -139,11 +225,13 @@ func (r *Registry) Handler() http.Handler {
 func (r *Registry) resolveTenant(w http.ResponseWriter, name string) (*Tenant, bool) {
 	t, found, err := r.Resolve(name)
 	if err != nil {
-		writeJSON(w, http.StatusInternalServerError, errorResponse{Error: err.Error()})
+		// The tenant exists durably but could not be recovered; the next
+		// touch retries recovery, so the failure is retryable.
+		writeError(w, errInternal(err.Error(), true))
 		return nil, false
 	}
 	if !found {
-		writeJSON(w, http.StatusNotFound, errorResponse{Error: "unknown tenant"})
+		writeError(w, errNotFound("unknown tenant"))
 		return nil, false
 	}
 	return t, true
@@ -164,7 +252,7 @@ func (r *Registry) serveQuery(w http.ResponseWriter, req *http.Request, ranked b
 		Algorithm: params.Get("algo"),
 	}
 	if q.Rel == "" || q.Keywords == "" {
-		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "rel and q parameters are required"})
+		writeError(w, errBadRequest("rel and q parameters are required"))
 		return
 	}
 	// k belongs to /ranked and topk to /search; accepting the other would
@@ -172,15 +260,15 @@ func (r *Registry) serveQuery(w http.ResponseWriter, req *http.Request, ranked b
 	// it outright. topk and limit are two names for the same bound — both
 	// at once is ambiguous.
 	if ranked && params.Get("topk") != "" {
-		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "topk applies to /search only (use k on /ranked)"})
+		writeError(w, errBadRequest("topk applies to /search only (use k on /ranked)"))
 		return
 	}
 	if !ranked && params.Get("k") != "" {
-		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "k applies to /ranked only (use topk on /search)"})
+		writeError(w, errBadRequest("k applies to /ranked only (use topk on /search)"))
 		return
 	}
 	if params.Get("topk") != "" && params.Get("limit") != "" {
-		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "topk is the legacy name for limit; pass one, not both"})
+		writeError(w, errBadRequest("topk is the legacy name for limit; pass one, not both"))
 		return
 	}
 	intParams := map[string]*int{"l": &q.L, "topk": &q.TopK, "limit": &q.Limit}
@@ -209,25 +297,25 @@ func (r *Registry) serveQuery(w http.ResponseWriter, req *http.Request, ranked b
 		if badParam == "" {
 			badParam = "l"
 		}
-		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "invalid " + badParam + " parameter"})
+		writeError(w, errBadRequest("invalid %s parameter", badParam))
 		return
 	}
 	// Client-input problems must surface as 400s, not 500s: validate the
 	// names the engine would otherwise reject mid-search.
 	if t.Engine.DB().Relation(q.Rel) == nil {
-		writeJSON(w, http.StatusBadRequest, errorResponse{Error: fmt.Sprintf("unknown relation %q", q.Rel)})
+		writeError(w, errBadRequest("unknown relation %q", q.Rel))
 		return
 	}
 	if q.Setting != "" {
 		if _, err := t.Engine.Scores(q.Setting); err != nil {
-			writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
+			writeError(w, errBadRequest("%v", err))
 			return
 		}
 	}
 	switch sizelos.Algorithm(q.Algorithm) {
 	case "", sizelos.AlgoDP, sizelos.AlgoBottomUp, sizelos.AlgoTopPath:
 	default:
-		writeJSON(w, http.StatusBadRequest, errorResponse{Error: fmt.Sprintf("unknown algorithm %q", q.Algorithm)})
+		writeError(w, errBadRequest("unknown algorithm %q", q.Algorithm))
 		return
 	}
 	var (
@@ -240,17 +328,10 @@ func (r *Registry) serveQuery(w http.ResponseWriter, req *http.Request, ranked b
 		page, err = t.SearchPage(q)
 	}
 	if err != nil {
-		// Cursor problems are the client's: a cursor that never came from
+		// toAPIError sorts the cursor cases: a cursor that never came from
 		// this service is a 400, one outlived by a mutation is a 410 (the
 		// page it pointed into no longer exists; restart the query).
-		status := http.StatusInternalServerError
-		switch {
-		case errors.Is(err, sizelos.ErrCursorMalformed):
-			status = http.StatusBadRequest
-		case errors.Is(err, sizelos.ErrStreamInvalidated):
-			status = http.StatusGone
-		}
-		writeJSON(w, status, errorResponse{Error: err.Error()})
+		writeError(w, err)
 		return
 	}
 	results := page.Summaries
@@ -282,7 +363,8 @@ type RegisterRequest struct {
 	Dataset string `json:"dataset"`
 	// Seed overrides the deployment's generator seed (0 = default).
 	Seed int64 `json:"seed"`
-	// Cache is the tenant's summary-cache budget in entries (0 = off).
+	// Cache is the tenant's summary-cache budget in entries (0 = the
+	// deployment default, -1 and below = off).
 	Cache int `json:"cache"`
 }
 
@@ -303,41 +385,40 @@ type RegisterResponse struct {
 // recorded in the manifest before it is acknowledged.
 func (r *Registry) serveRegister(w http.ResponseWriter, req *http.Request) {
 	if r.opener == nil && r.recoverer == nil {
-		writeJSON(w, http.StatusNotImplemented, errorResponse{Error: "dynamic tenant registration is not configured"})
+		writeError(w, errNotImplemented("dynamic tenant registration is not configured"))
 		return
 	}
 	var body RegisterRequest
 	if err := json.NewDecoder(req.Body).Decode(&body); err != nil {
-		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "invalid JSON body: " + err.Error()})
+		writeError(w, errBadRequest("invalid JSON body: %v", err))
 		return
 	}
 	if body.Name == "" || body.Dataset == "" {
-		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "name and dataset are required"})
+		writeError(w, errBadRequest("name and dataset are required"))
 		return
 	}
 	if !validName(body.Name) {
-		writeJSON(w, http.StatusBadRequest, errorResponse{Error: fmt.Sprintf("invalid tenant name %q (want [A-Za-z0-9._-]+)", body.Name)})
+		writeError(w, errBadRequest("invalid tenant name %q (want [A-Za-z0-9._-]+)", body.Name))
 		return
 	}
 	// Cheap duplicate probe before the (expensive) engine build; the
 	// registration path re-checks atomically, so a racing duplicate still
 	// loses.
 	if _, dup := r.Get(body.Name); dup {
-		writeJSON(w, http.StatusConflict, errorResponse{Error: fmt.Sprintf("tenant %q already registered", body.Name)})
+		writeError(w, errConflict(fmt.Sprintf("tenant %q already registered", body.Name)))
 		return
 	}
 	spec := TenantSpec{Name: body.Name, Dataset: body.Dataset, Seed: body.Seed, Cache: body.Cache}
 	if r.recoverer != nil {
 		t, err := r.RegisterDynamic(spec)
 		if err != nil {
-			status := http.StatusBadRequest // recoverer rejection (bad dataset, unreadable state)
-			switch {
-			case errors.Is(err, ErrTenantExists):
-				status = http.StatusConflict
-			case errors.Is(err, ErrDurabilityFailed):
-				status = http.StatusInternalServerError
+			// ErrTenantExists → 409 and ErrDurabilityFailed → 500 via
+			// toAPIError; anything else is a recoverer rejection (bad
+			// dataset, unreadable state) the client caused.
+			if !errors.Is(err, ErrTenantExists) && !errors.Is(err, ErrDurabilityFailed) {
+				err = errBadRequest("%v", err)
 			}
-			writeJSON(w, status, errorResponse{Error: err.Error()})
+			writeError(w, err)
 			return
 		}
 		writeJSON(w, http.StatusCreated, RegisterResponse{
@@ -349,12 +430,12 @@ func (r *Registry) serveRegister(w http.ResponseWriter, req *http.Request) {
 	}
 	eng, err := r.opener(body.Dataset, body.Seed)
 	if err != nil {
-		writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
+		writeError(w, errBadRequest("%v", err))
 		return
 	}
 	t, err := r.Register(body.Name, eng, Options{CacheBudget: body.Cache})
 	if err != nil {
-		writeJSON(w, http.StatusConflict, errorResponse{Error: err.Error()})
+		writeError(w, errConflict(err.Error()))
 		return
 	}
 	if r.durability != nil {
@@ -362,8 +443,8 @@ func (r *Registry) serveRegister(w http.ResponseWriter, req *http.Request) {
 		// after the 201 must bring the tenant back.
 		if err := r.durability.RecordTenant(spec); err != nil {
 			_, _ = r.Deregister(body.Name)
-			writeJSON(w, http.StatusInternalServerError,
-				errorResponse{Error: fmt.Sprintf("tenant registration could not be made durable: %v", err)})
+			writeError(w, errInternal(
+				fmt.Sprintf("tenant registration could not be made durable: %v", err), true))
 			return
 		}
 	}
@@ -423,13 +504,13 @@ func (r *Registry) serveMutate(w http.ResponseWriter, req *http.Request) {
 	dec.UseNumber() // keep 64-bit keys exact; float64 round-trips corrupt them
 	var body MutateRequest
 	if err := dec.Decode(&body); err != nil {
-		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "invalid JSON body: " + err.Error()})
+		writeError(w, errBadRequest("invalid JSON body: %v", err))
 		return
 	}
 	// A bare {"rerank": true} is a supported batch: recompute global
 	// importance over the current data without touching any tuple.
 	if len(body.Deletes) == 0 && len(body.Inserts) == 0 && !body.Rerank {
-		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "empty batch: provide inserts, deletes, and/or rerank"})
+		writeError(w, errBadRequest("empty batch: provide inserts, deletes, and/or rerank"))
 		return
 	}
 	batch := sizelos.MutationBatch{Rerank: body.Rerank}
@@ -438,7 +519,7 @@ func (r *Registry) serveMutate(w http.ResponseWriter, req *http.Request) {
 		// Naming a relation that doesn't exist is a malformed request (400,
 		// like the insert side), not a store conflict.
 		if db.Relation(d.Rel) == nil {
-			writeJSON(w, http.StatusBadRequest, errorResponse{Error: fmt.Sprintf("delete %d: unknown relation %q", i, d.Rel)})
+			writeError(w, errBadRequest("delete %d: unknown relation %q", i, d.Rel))
 			return
 		}
 		batch.Deletes = append(batch.Deletes, sizelos.TupleDelete{Rel: d.Rel, PK: d.PK})
@@ -446,18 +527,19 @@ func (r *Registry) serveMutate(w http.ResponseWriter, req *http.Request) {
 	for i, in := range body.Inserts {
 		tuple, err := tupleFromJSON(db, in.Rel, in.Values)
 		if err != nil {
-			writeJSON(w, http.StatusBadRequest, errorResponse{Error: fmt.Sprintf("insert %d: %v", i, err)})
+			writeError(w, errBadRequest("insert %d: %v", i, err))
 			return
 		}
 		batch.Inserts = append(batch.Inserts, sizelos.TupleInsert{Rel: in.Rel, Tuple: tuple})
 	}
 	res, err := t.Mutate(batch)
 	if err != nil {
-		status := http.StatusConflict
-		if errors.Is(err, sizelos.ErrMutationInternal) {
-			status = http.StatusInternalServerError
+		// ErrMutationInternal → 500 via toAPIError; everything else the
+		// store rejects is a conflict that left the tenant untouched.
+		if !errors.Is(err, sizelos.ErrMutationInternal) {
+			err = errConflict(err.Error())
 		}
-		writeJSON(w, status, errorResponse{Error: err.Error()})
+		writeError(w, err)
 		return
 	}
 	resp := MutateResponse{
@@ -519,11 +601,4 @@ func tupleFromJSON(db *relational.DB, rel string, values []any) (relational.Tupl
 		}
 	}
 	return tuple, nil
-}
-
-func writeJSON(w http.ResponseWriter, status int, v any) {
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(status)
-	// Encode errors past the header write are unrecoverable; ignore them.
-	_ = json.NewEncoder(w).Encode(v)
 }

@@ -1,0 +1,183 @@
+package tenancy
+
+import (
+	"crypto/subtle"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"sizelos/internal/qos"
+)
+
+// Middleware is one composable layer of the service's request chain:
+// recover → authz → rate-limit → admission → handler.
+type Middleware func(http.Handler) http.Handler
+
+// chain wraps h so that mw[0] is the outermost layer.
+func chain(h http.Handler, mw ...Middleware) http.Handler {
+	for i := len(mw) - 1; i >= 0; i-- {
+		h = mw[i](h)
+	}
+	return h
+}
+
+// statusWriter tracks whether a response has started, so the recover
+// layer knows when a late failure can still be turned into a clean 500
+// envelope (versus a torn body it must not write into).
+type statusWriter struct {
+	http.ResponseWriter
+	wrote bool
+}
+
+func (w *statusWriter) WriteHeader(status int) {
+	w.wrote = true
+	w.ResponseWriter.WriteHeader(status)
+}
+
+func (w *statusWriter) Write(p []byte) (int, error) {
+	w.wrote = true
+	return w.ResponseWriter.Write(p)
+}
+
+// recoverMiddleware is the outermost layer: a panicking handler (or
+// single-flight leader) becomes a JSON 500 envelope instead of an aborted
+// connection, and the panic never takes the process down.
+func recoverMiddleware() Middleware {
+	return func(next http.Handler) http.Handler {
+		return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+			sw := &statusWriter{ResponseWriter: w}
+			defer func() {
+				if v := recover(); v != nil {
+					if !sw.wrote {
+						writeError(sw, errInternal(fmt.Sprintf("internal panic: %v", v), false))
+					}
+				}
+			}()
+			next.ServeHTTP(sw, req)
+		})
+	}
+}
+
+// authzMiddleware guards the write plane. With no admin token configured
+// the layer is a pass-through (a private deployment); with one, requests
+// must carry "Authorization: Bearer <token>" — absent or non-bearer
+// credentials are 401s, wrong tokens 403s, both compared in constant
+// time.
+func (r *Registry) authzMiddleware() Middleware {
+	return func(next http.Handler) http.Handler {
+		return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+			if r.adminToken == "" {
+				next.ServeHTTP(w, req)
+				return
+			}
+			auth := req.Header.Get("Authorization")
+			scheme, token, ok := strings.Cut(auth, " ")
+			if auth == "" || !ok || !strings.EqualFold(scheme, "Bearer") {
+				writeError(w, errUnauthorized("admin endpoint: provide Authorization: Bearer <token>"))
+				return
+			}
+			if subtle.ConstantTimeCompare([]byte(strings.TrimSpace(token)), []byte(r.adminToken)) != 1 {
+				writeError(w, errForbidden("admin token rejected"))
+				return
+			}
+			next.ServeHTTP(w, req)
+		})
+	}
+}
+
+// trafficClass separates the two rate-limited planes.
+type trafficClass int
+
+const (
+	classSearch trafficClass = iota
+	classMutate
+)
+
+// qosMiddleware enforces the addressed tenant's rate limit and admission
+// control around the handler. Refusals never reach the handler — a
+// throttled or shed request cannot join (or poison) a single-flight
+// group, touch the shared pool, or queue doomed work. Unknown tenant
+// names pass through untouched for the handler's own 404, so probes
+// cannot materialize limiter state.
+func (r *Registry) qosMiddleware(class trafficClass) Middleware {
+	return func(next http.Handler) http.Handler {
+		return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+			lim := r.limiterFor(req.PathValue("tenant"))
+			if lim == nil {
+				next.ServeHTTP(w, req)
+				return
+			}
+			budget, err := requestBudget(req)
+			if err != nil {
+				writeError(w, err)
+				return
+			}
+			var allowErr error
+			if class == classMutate {
+				allowErr = lim.AllowMutate()
+			} else {
+				allowErr = lim.AllowSearch()
+			}
+			if allowErr != nil {
+				writeError(w, allowErr)
+				return
+			}
+			release, err := lim.Admit(budget)
+			if err != nil {
+				writeError(w, err)
+				return
+			}
+			defer release()
+			next.ServeHTTP(w, req)
+		})
+	}
+}
+
+// requestBudget extracts the client's latency budget: the budget_ms query
+// parameter, else the X-Sizelos-Budget-Ms header, else 0 (the tenant's
+// configured default applies). The admission layer sheds the request
+// outright when its queue's observed wait already exceeds the budget.
+func requestBudget(req *http.Request) (time.Duration, error) {
+	raw := req.URL.Query().Get("budget_ms")
+	if raw == "" {
+		raw = req.Header.Get("X-Sizelos-Budget-Ms")
+	}
+	if raw == "" {
+		return 0, nil
+	}
+	ms, err := strconv.Atoi(raw)
+	if err != nil || ms < 1 {
+		return 0, errBadRequest("invalid budget_ms %q (want a positive integer of milliseconds)", raw)
+	}
+	return time.Duration(ms) * time.Millisecond, nil
+}
+
+// limiterFor resolves the QoS limiter for a tenant name: nil when QoS is
+// unconfigured or the name is unknown (live, pending, and mid-recovery
+// names all count as known — a tenant must not dodge its limits during
+// lazy recovery).
+func (r *Registry) limiterFor(name string) *qos.Limiter {
+	if r.qos == nil || name == "" {
+		return nil
+	}
+	if !r.knows(name) {
+		return nil
+	}
+	return r.qos.For(name)
+}
+
+// knows reports whether the registry has any record of name.
+func (r *Registry) knows(name string) bool {
+	if _, ok := r.Get(name); ok {
+		return true
+	}
+	r.pendMu.Lock()
+	defer r.pendMu.Unlock()
+	if _, ok := r.pending[name]; ok {
+		return true
+	}
+	_, ok := r.recovering[name]
+	return ok
+}

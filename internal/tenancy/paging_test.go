@@ -35,9 +35,9 @@ func getJSON(t *testing.T, url string, wantStatus int, into any) {
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != wantStatus {
-		var e struct{ Error string }
+		var e ErrorResponse
 		_ = json.NewDecoder(resp.Body).Decode(&e)
-		t.Fatalf("GET %s = %d (want %d): %s", url, resp.StatusCode, wantStatus, e.Error)
+		t.Fatalf("GET %s = %d (want %d): %s", url, resp.StatusCode, wantStatus, e.Error.Message)
 	}
 	if into != nil {
 		if err := json.NewDecoder(resp.Body).Decode(into); err != nil {

@@ -8,6 +8,7 @@ import (
 	"sync"
 
 	"sizelos"
+	"sizelos/internal/qos"
 	"sizelos/internal/searchexec"
 )
 
@@ -53,6 +54,14 @@ type Tenant struct {
 // NewRegistry.
 type Registry struct {
 	pool *searchexec.Pool
+	// qos holds the per-tenant limiters when QoS is configured (WithQoS);
+	// nil imposes no limits and keeps the middleware out of the hot path.
+	qos *qos.Set
+	// adminToken, when non-empty, locks the write plane (WithAdminToken).
+	adminToken string
+	// defaultCache is the cache budget applied to registrations that do
+	// not name their own (WithDefaultCacheBudget).
+	defaultCache int
 	// opener, when set, builds an engine for a named dataset so tenants can
 	// be registered over HTTP (POST /v1/tenants) instead of only at
 	// startup. Set once with SetOpener before serving.
@@ -286,11 +295,16 @@ type Opener func(dataset string, seed int64) (*sizelos.Engine, error)
 func (r *Registry) SetOpener(fn Opener) { r.opener = fn }
 
 // NewRegistry creates an empty registry whose tenants share one summary
-// pool of poolSize slots (<= 0: GOMAXPROCS).
-func NewRegistry(poolSize int) *Registry {
+// pool of poolSize slots (<= 0: GOMAXPROCS). Options configure the
+// service surface: WithQoS, WithAdminToken, WithDefaultCacheBudget —
+// ServerConfig.NewRegistry builds the whole thing from one config object.
+func NewRegistry(poolSize int, opts ...Option) *Registry {
 	r := &Registry{pool: searchexec.NewPool(poolSize)}
 	for i := range r.stripes {
 		r.stripes[i].tenants = make(map[string]*Tenant)
+	}
+	for _, opt := range opts {
+		opt(r)
 	}
 	return r
 }
@@ -336,6 +350,9 @@ func (r *Registry) Register(name string, eng *sizelos.Engine, opts Options) (*Te
 	}
 	if eng == nil {
 		return nil, fmt.Errorf("tenancy: tenant %q: nil engine", name)
+	}
+	if opts.CacheBudget == 0 {
+		opts.CacheBudget = r.defaultCache
 	}
 	t := &Tenant{
 		Name:        name,
@@ -404,6 +421,9 @@ func (r *Registry) Deregister(name string) (bool, error) {
 	if !live && !pend {
 		return false, nil
 	}
+	// Drop the tenant's limiter state; a later re-registration under the
+	// same name starts with fresh buckets and counters.
+	r.qos.Drop(name)
 	if r.durability != nil {
 		if err := r.durability.ForgetTenant(name); err != nil {
 			return true, fmt.Errorf("tenancy: forget tenant %q: %w", name, err)

@@ -113,11 +113,14 @@ func TestLiveServiceHTTP(t *testing.T) {
 		t.Fatalf("boot tenants = %v, want none", tenants.Tenants)
 	}
 	var e struct {
-		Error string `json:"error"`
+		Error struct {
+			Code    string `json:"code"`
+			Message string `json:"message"`
+		} `json:"error"`
 	}
 	getJSON("/v1/nobody/bogus", http.StatusNotFound, &e)
-	if e.Error == "" {
-		t.Fatal("404 body carries no error")
+	if e.Error.Code != "not_found" || e.Error.Message == "" {
+		t.Fatalf("404 envelope = %+v", e.Error)
 	}
 
 	// Register a tenant dynamically — no flags, no restart.

@@ -503,7 +503,7 @@ func TestQueryNoGoroutineLeak(t *testing.T) {
 		if err != nil {
 			t.Fatalf("Query: %v", err)
 		}
-		res.Next() // partially consume...
+		res.Next()  // partially consume...
 		res.Close() // ...then abandon
 	}
 	after := runtime.NumGoroutine()
