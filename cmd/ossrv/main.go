@@ -116,6 +116,8 @@ func (h *durableHub) Recover(spec tenancy.TenantSpec) (*sizelos.Engine, error) {
 	if err != nil {
 		return nil, err
 	}
+	// Snapshot-restored engines bypass openDataset; re-apply the knobs.
+	tuneEngine(eng)
 	h.mu.Lock()
 	h.tenants[spec.Name] = &durableTenant{ts: ts, eng: eng}
 	h.mu.Unlock()
@@ -218,6 +220,7 @@ func loadConfig() (tenancy.ServerConfig, []string) {
 		walSync    = flag.Duration("wal-sync", 0, "WAL group-commit interval; 0 fsyncs every mutation before acknowledging")
 		keepSnaps  = flag.Int("keep-snapshots", 2, "snapshots retained per tenant after pruning")
 		drain      = flag.Duration("drain", 10*time.Second, "graceful-shutdown deadline for in-flight requests")
+		residualW  = flag.Int("residual-workers", 0, "residual-push worker count for every tenant engine (0 = auto by GOMAXPROCS, 1 = serial; scores are bit-identical at any count)")
 	)
 	flag.Var(&tenants, "tenant", "tenant definition name=dataset (dataset: dblp or tpch); repeatable; 'none' starts empty")
 	flag.Parse()
@@ -265,6 +268,9 @@ func loadConfig() (tenancy.ServerConfig, []string) {
 	if set["drain"] || cfg.Drain == 0 {
 		cfg.Drain = qos.Duration(*drain)
 	}
+	if set["residual-workers"] {
+		cfg.ResidualWorkers = *residualW
+	}
 
 	// Boot tenants: config-file entries first (sorted for a deterministic
 	// boot order), then -tenant flags. No tenant from either source means
@@ -297,6 +303,7 @@ func main() {
 	seed := &cfg.Seed
 	cache := &cfg.CacheBudget
 	dataDir := &cfg.DataDir
+	engineResidualWorkers = cfg.ResidualWorkers
 
 	reg := cfg.NewRegistry()
 	// Dynamic registration (POST /v1/tenants) builds engines with the same
@@ -441,17 +448,40 @@ func restorer(dataset string) (func(*sizelos.EngineState) (*sizelos.Engine, erro
 	}
 }
 
+// engineResidualWorkers is the deployment-wide residual-push worker
+// override (ServerConfig.ResidualWorkers / -residual-workers); set once at
+// boot, before any engine exists, and applied to every engine the process
+// builds or recovers. 0 leaves the engine's auto-sizing in place.
+var engineResidualWorkers int
+
+// tuneEngine applies the deployment-wide engine knobs to a freshly built
+// or recovered engine; every construction path funnels through it.
+func tuneEngine(eng *sizelos.Engine) *sizelos.Engine {
+	if engineResidualWorkers != 0 {
+		eng.SetResidualWorkers(engineResidualWorkers)
+	}
+	return eng
+}
+
 func openDataset(dataset string, seed int64) (*sizelos.Engine, error) {
+	var (
+		eng *sizelos.Engine
+		err error
+	)
 	switch dataset {
 	case "dblp":
 		cfg := datagen.DefaultDBLPConfig()
 		cfg.Seed = seed
-		return sizelos.OpenDBLP(cfg)
+		eng, err = sizelos.OpenDBLP(cfg)
 	case "tpch":
 		cfg := datagen.DefaultTPCHConfig()
 		cfg.Seed = seed
-		return sizelos.OpenTPCH(cfg)
+		eng, err = sizelos.OpenTPCH(cfg)
 	default:
 		return nil, fmt.Errorf("unknown dataset %q (want dblp or tpch)", dataset)
 	}
+	if err != nil {
+		return nil, err
+	}
+	return tuneEngine(eng), nil
 }

@@ -130,6 +130,14 @@ type Engine struct {
 	// (SetResidualBudget): the push count past which a residual re-rank
 	// abandons the localized path and falls back to the full iteration.
 	residualBudget int
+	// residualWorkers pins the residual push's owner-tile worker count
+	// (SetResidualWorkers): 0 sizes by GOMAXPROCS, 1 forces serial. Purely
+	// a throughput knob — every count produces bit-identical scores.
+	residualWorkers int
+	// residualAccel gates the high-damping accelerated repair
+	// (SetResidualAccel, on by default): when off, slow global modes trip
+	// the push budget and fall back to the warm full iteration as in PR 5.
+	residualAccel bool
 	// residualRuns counts consecutive residual re-ranks; every
 	// residualRefreshInterval-th re-rank runs the full iteration instead,
 	// re-grounding the epsilon-scale drift each residual repair inherits
@@ -213,6 +221,7 @@ func NewEngine(db *relational.DB, settings []Setting) (*Engine, error) {
 		compactRatio:    DefaultCompactRatio,
 		pending:         make(map[*rank.GA]*rank.Pending),
 		residualEnabled: true,
+		residualAccel:   true,
 		annMax:          make(map[string]map[string]map[string]float64),
 	}
 	for _, r := range db.Relations {
@@ -274,6 +283,32 @@ func (e *Engine) SetResidualBudget(pushes int) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	e.residualBudget = pushes
+}
+
+// SetResidualWorkers pins the worker count of the parallel residual push —
+// the owner-tile regions a re-rank's frontier is partitioned into. 0 (the
+// default) sizes by GOMAXPROCS; 1 forces the serial schedule. The knob is
+// purely about throughput: the push's reduction order is fixed, so every
+// worker count produces bit-for-bit identical scores (the equivalence
+// harness pins this at 1, 2, 4 and 7 workers).
+func (e *Engine) SetResidualWorkers(n int) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.residualWorkers = n
+}
+
+// SetResidualAccel toggles the accelerated high-damping rescue (on by
+// default): at damping ≥ 0.95 a residual re-rank whose push trips its
+// budget — slow global modes decay only geometrically per push round — is
+// finished by deflation of the dominant mode plus Chebyshev semi-iteration
+// instead of falling back, completing localized re-ranks that previously
+// abandoned to the full iteration. When off, high dampings budget-trip and
+// fall back exactly as before the acceleration existed. Both paths satisfy
+// the same fixed-point tolerance contract.
+func (e *Engine) SetResidualAccel(on bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.residualAccel = on
 }
 
 // DefaultCompactMinTombstones and DefaultCompactRatio are the engine's

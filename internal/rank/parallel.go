@@ -1,0 +1,357 @@
+package rank
+
+// The deterministic parallel residual push. The serial Gauss–Southwell
+// loop PR 5 shipped processed one FIFO queue on one core; this file
+// restructures the push into synchronized *rounds* over owner-assigned
+// arena tiles so disjoint regions advance concurrently — with results
+// bit-for-bit identical to the serial schedule at any worker count.
+//
+// Round semantics. A round consumes every frontier node's residual at its
+// value frozen at round start (cur[u] += r[u]; r[u] = 0), expands each
+// consumed value along the node's out-flows, and applies the resulting
+// contributions r[dst] += d·w·rv. The next frontier is every node whose
+// post-round |r| ≥ ε, ascending. Frozen-value rounds make the set of
+// floating-point operations a pure function of the round-start state —
+// nothing depends on the order nodes are processed within a round.
+//
+// Determinism argument. Floating-point addition is not associative, so
+// "same operations" is not enough: every destination's contributions must
+// be *applied in the same order* regardless of worker count. The schedule
+// fixes that order to: source arena index ascending, then plan ordinal,
+// then target position — exactly the order a single worker walking the
+// ascending frontier emits. Parallel rounds preserve it structurally:
+//
+//   - the arena is tiled into contiguous owner regions (region w owns
+//     [w·chunk, (w+1)·chunk)); the ascending frontier therefore splits
+//     into per-region slices that are themselves ascending;
+//   - each sender region expands its frontier slice in ascending order,
+//     appending contributions into one outbox per owner region (never
+//     writing another region's arena state);
+//   - after a barrier, each owner drains its inboxes in sender order.
+//     Sender regions cover ascending disjoint ranges, so concatenating
+//     inboxes in sender order replays the global ascending-source order —
+//     the same adds, in the same order, as the serial walk.
+//
+// Cross-boundary pushes are therefore not a special case needing a region
+// merge: a contribution that crosses a tile boundary simply rides the
+// outbox to its owner and is applied at the same position in the
+// destination's reduction order as in the serial schedule.
+//
+// The push budget is enforced at round granularity (a round either runs
+// in full or not at all), so the fallback decision is also independent of
+// the worker count.
+
+import (
+	"math"
+	"runtime"
+	"slices"
+	"sync"
+
+	"sizelos/internal/relational"
+)
+
+// residualRegion is one contiguous owner-assigned tile of the score arena
+// plus the slice of the current (ascending) frontier it owns. Regions
+// returned by partitionResidual tile [0, n) exactly: every node has one
+// owner, every frontier seed lands in exactly one region.
+type residualRegion struct {
+	lo, hi         int32 // owned arena range [lo, hi)
+	seedLo, seedHi int   // owned slice bounds into the sorted seed list
+}
+
+// partitionResidual tiles the arena [0, n) into at most tiles contiguous
+// owner regions of width ceil(n/tiles) and assigns every seed to the
+// unique region owning it. seeds must be sorted ascending with every
+// value in [0, n). The returned regions cover the arena disjointly and
+// their seed slices concatenate back to the input — the invariants
+// FuzzResidualPartition locks down.
+func partitionResidual(seeds []int32, n, tiles int) []residualRegion {
+	return appendResidualPartition(nil, seeds, n, tiles)
+}
+
+// appendResidualPartition is partitionResidual into a reused buffer (the
+// scheduler re-partitions the frontier every round).
+func appendResidualPartition(dst []residualRegion, seeds []int32, n, tiles int) []residualRegion {
+	dst = dst[:0]
+	if n <= 0 {
+		return dst
+	}
+	if tiles < 1 {
+		tiles = 1
+	}
+	if tiles > n {
+		tiles = n
+	}
+	chunk := (n + tiles - 1) / tiles
+	si := 0
+	for lo := 0; lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		seedLo := si
+		for si < len(seeds) && int(seeds[si]) < hi {
+			si++
+		}
+		dst = append(dst, residualRegion{int32(lo), int32(hi), seedLo, si})
+	}
+	return dst
+}
+
+// resolveResidualWorkers maps Options.Parallel onto a region count:
+// 0 sizes by GOMAXPROCS (serial on small arenas, mirroring Plans.Run),
+// 1 forces serial, >1 forces that many owner tiles (capped at n).
+func resolveResidualWorkers(parallel, n int) int {
+	w := parallel
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+		if n < 4096 {
+			w = 1
+		}
+	}
+	if w > n {
+		w = n
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// residualSerialFrontier is the frontier size below which a round runs on
+// one goroutine even when more regions are available: the scheduling is
+// bit-identical either way, so small rounds skip the outbox machinery.
+const residualSerialFrontier = 256
+
+// pushOutbox holds the expanded residual contributions in flight between
+// one sender region and one owner, as parallel arrays (struct-of-arrays
+// keeps an entry at 12 bytes instead of a padded 16 and lets the drain
+// stream two dense slices).
+type pushOutbox struct {
+	dst []int32
+	add []float64
+}
+
+// runPushRounds drives the round-synchronous residual push until the
+// frontier drains (max |r| < eps) or the budget would be exceeded, in
+// which case it stops without touching the remaining rounds and returns
+// false so the caller can fall back. frontier must be ascending and hold
+// exactly the nodes with |r| ≥ eps. cur, r and the scheduler state are
+// mutated in place. Results are bit-for-bit identical at any worker
+// count; see the package comment at the top of this file for the order
+// argument.
+func (ps *Plans) runPushRounds(cur, r []float64, relOf []int32, frontier []int32, d, eps float64, budget, workers int, stats *Stats) bool {
+	n := ps.n
+	tiles := workers
+	stats.Regions = tiles
+	chunk := (n + tiles - 1) / tiles
+
+	pushedNode := make([]bool, n)
+	seen := make([]bool, n)
+	var (
+		dv       []float64        // frozen deltas for serial rounds
+		next     []int32          // next-frontier build buffer
+		regions  []residualRegion // per-round frontier partition
+		outbox   [][]pushOutbox   // [sender][owner] contribution queues
+		ownerOf  []int32          // arena index -> owner region (built once)
+		nextPart [][]int32        // per-owner rebuilt next frontier
+		below    []float64        // per-owner max sub-threshold residual
+		handoff  []int            // per-sender cross-tile contributions
+		newPush  []int            // per-region newly pushed node counts
+	)
+	if tiles > 1 {
+		outbox = make([][]pushOutbox, tiles)
+		for s := range outbox {
+			outbox[s] = make([]pushOutbox, tiles)
+		}
+		// One lookup table instead of an integer division per contribution:
+		// the division by the round-invariant chunk width is the hottest
+		// non-arithmetic op in the sender loop.
+		ownerOf = make([]int32, n)
+		for i := range ownerOf {
+			ownerOf[i] = int32(i / chunk)
+		}
+		nextPart = make([][]int32, tiles)
+		below = make([]float64, tiles)
+		handoff = make([]int, tiles)
+		newPush = make([]int, tiles)
+	}
+
+	for len(frontier) > 0 {
+		if stats.Pushes+len(frontier) > budget {
+			return false
+		}
+		stats.Rounds++
+		stats.Pushes += len(frontier)
+
+		if tiles == 1 || len(frontier) < residualSerialFrontier {
+			// Serial round: freeze and consume the frontier, then expand
+			// in ascending order applying contributions directly — the
+			// global source-ascending order the parallel drain replays.
+			if cap(dv) < len(frontier) {
+				dv = make([]float64, len(frontier))
+			}
+			dv = dv[:len(frontier)]
+			for i, u := range frontier {
+				dv[i] = r[u]
+				r[u] = 0
+				cur[u] += dv[i]
+				if !pushedNode[u] {
+					pushedNode[u] = true
+					stats.ResidualNodes++
+				}
+			}
+			next = next[:0]
+			for i, u := range frontier {
+				rv := dv[i]
+				ri := relOf[u]
+				t := relational.TupleID(u - ps.relOff[ri])
+				for _, pi := range ps.bySrc[ri] {
+					p := &ps.plans[pi]
+					targets, weights := p.row(t)
+					if len(targets) == 0 {
+						continue
+					}
+					dstOff := ps.relOff[p.dstRel]
+					uniform := p.rate / float64(len(targets))
+					for k, tgt := range targets {
+						w := uniform
+						if weights != nil {
+							w = p.rate * weights[k]
+						}
+						dst := dstOff + int32(tgt)
+						r[dst] += d * w * rv
+						if !seen[dst] {
+							seen[dst] = true
+							next = append(next, dst)
+						}
+					}
+				}
+			}
+			slices.Sort(next)
+			nf, maxBelow := filterFrontier(r, next, seen, eps)
+			stats.MaxDelta = maxBelow
+			frontier, next = nf, frontier
+			continue
+		}
+
+		// Parallel round, phase 1: each sender region consumes its
+		// ascending frontier slice and expands into per-owner outboxes.
+		regions = appendResidualPartition(regions, frontier, n, tiles)
+		var wg sync.WaitGroup
+		for s := range regions {
+			wg.Add(1)
+			go func(s int) {
+				defer wg.Done()
+				out := outbox[s]
+				for o := range out {
+					out[o].dst = out[o].dst[:0]
+					out[o].add = out[o].add[:0]
+				}
+				slice := frontier[regions[s].seedLo:regions[s].seedHi]
+				for _, u := range slice {
+					rv := r[u]
+					r[u] = 0
+					cur[u] += rv
+					if !pushedNode[u] {
+						pushedNode[u] = true
+						newPush[s]++
+					}
+					ri := relOf[u]
+					t := relational.TupleID(u - ps.relOff[ri])
+					for _, pi := range ps.bySrc[ri] {
+						p := &ps.plans[pi]
+						targets, weights := p.row(t)
+						if len(targets) == 0 {
+							continue
+						}
+						dstOff := ps.relOff[p.dstRel]
+						uniform := p.rate / float64(len(targets))
+						for k, tgt := range targets {
+							w := uniform
+							if weights != nil {
+								w = p.rate * weights[k]
+							}
+							dst := dstOff + int32(tgt)
+							o := ownerOf[dst]
+							out[o].dst = append(out[o].dst, dst)
+							out[o].add = append(out[o].add, d*w*rv)
+							if int(o) != s {
+								handoff[s]++
+							}
+						}
+					}
+				}
+			}(s)
+		}
+		wg.Wait()
+
+		// Phase 2: each owner drains its inboxes in sender order (global
+		// source-ascending order per destination), then rebuilds its slice
+		// of the next frontier by scanning its owned range — a streaming
+		// pass that skips the serial path's collect/dedup/sort entirely
+		// and yields the same set: any node at or above threshold was
+		// either hit this round or already in the frontier.
+		for o := range regions {
+			wg.Add(1)
+			go func(o int) {
+				defer wg.Done()
+				for s := range regions {
+					in := &outbox[s][o]
+					for k, dst := range in.dst {
+						r[dst] += in.add[k]
+					}
+				}
+				nf := nextPart[o][:0]
+				mb := 0.0
+				for v := regions[o].lo; v < regions[o].hi; v++ {
+					if a := math.Abs(r[v]); a >= eps {
+						nf = append(nf, v)
+					} else if a > mb {
+						mb = a
+					}
+				}
+				nextPart[o], below[o] = nf, mb
+			}(o)
+		}
+		wg.Wait()
+
+		maxBelow := 0.0
+		for s := range regions {
+			stats.ResidualNodes += newPush[s]
+			stats.Handoffs += handoff[s]
+			newPush[s], handoff[s] = 0, 0
+			if below[s] > maxBelow {
+				maxBelow = below[s]
+			}
+			below[s] = 0
+		}
+		stats.MaxDelta = maxBelow
+		next = next[:0]
+		for o := range regions {
+			next = append(next, nextPart[o]...)
+		}
+		frontier, next = next, frontier
+	}
+	return true
+}
+
+// filterFrontier clears the seen marks of the sorted candidate list and
+// keeps the nodes still carrying an above-threshold residual — the next
+// round's frontier slice — along with the max sub-threshold residual left
+// behind (MaxDelta telemetry: each round overwrites it, so the final
+// round's leftover survives). The returned slice aliases cand's backing
+// array.
+func filterFrontier(r []float64, cand []int32, seen []bool, eps float64) ([]int32, float64) {
+	out := cand[:0]
+	maxBelow := 0.0
+	for _, v := range cand {
+		seen[v] = false
+		if a := math.Abs(r[v]); a >= eps {
+			out = append(out, v)
+		} else if a > maxBelow {
+			maxBelow = a
+		}
+	}
+	return out, maxBelow
+}

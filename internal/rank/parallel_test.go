@@ -1,0 +1,331 @@
+package rank
+
+// Deterministic-scheduling edge tests for the parallel residual push
+// (parallel.go) and its accelerated rescue (accel.go): empty frontier,
+// one mega-region, cross-boundary pushes, budget exhaustion mid-repair —
+// each asserting the parallel schedule is BIT-FOR-BIT identical to the
+// serial one. The fixtures here are hand-built rings large enough that
+// frontiers exceed residualSerialFrontier and the arena exceeds the
+// parRange split threshold, so the outbox machinery and the dense
+// kernels' worker splits genuinely engage (the engine-level harness
+// re-proves the same contract end to end on DBLP/TPC-H shapes).
+
+import (
+	"math"
+	"testing"
+
+	"sizelos/internal/datagraph"
+	"sizelos/internal/relational"
+)
+
+// ringGA mixes a paper-to-paper hop with direct FK flows through the
+// citation tuples so BOTH relations carry and circulate authority: active
+// nodes span the whole arena, which is what forces cross-tile pushes at
+// every worker count. Every node emits exactly `rate` (papers rate/2 hop +
+// rate/2 to their citation children, citations `rate` back to their citing
+// paper), so the flow matrix has uniform column sums and spectral radius
+// `rate`; the Paper→Cites→Paper 2-cycles on top of the hop ring keep the
+// graph non-bipartite, so the rescue's power-iterated eigenpair converges.
+func ringGA(rate float64) *GA {
+	return NewGA("ring").
+		Hop("Cites", 0, 1, rate/2).
+		Direct("Cites", 0, false, rate/2).
+		Direct("Cites", 0, true, rate)
+}
+
+// ringFixture builds a citation ring: papers 1..N, each citing the next
+// `fanout` papers ahead and the `fanout` behind. The arena is papers +
+// citation tuples, comfortably past the 4096 parRange threshold at the
+// sizes the tests use, and ringGA keeps every slot active.
+func ringFixture(t *testing.T, papers, fanout int, rate float64) (*relational.DB, *datagraph.Graph, *Plans) {
+	t.Helper()
+	db := relational.NewDB("ring")
+	paper := relational.MustNewRelation("Paper",
+		[]relational.Column{{Name: "id", Kind: relational.KindInt}}, "id", nil)
+	cites := relational.MustNewRelation("Cites",
+		[]relational.Column{
+			{Name: "id", Kind: relational.KindInt},
+			{Name: "citing", Kind: relational.KindInt},
+			{Name: "cited", Kind: relational.KindInt},
+		}, "id", []relational.ForeignKey{
+			{Column: "citing", Ref: "Paper"},
+			{Column: "cited", Ref: "Paper"},
+		})
+	db.MustAddRelation(paper)
+	db.MustAddRelation(cites)
+	for i := 1; i <= papers; i++ {
+		paper.MustInsert(relational.Tuple{relational.IntVal(int64(i))})
+	}
+	ck := int64(0)
+	for i := 0; i < papers; i++ {
+		for k := 1; k <= fanout; k++ {
+			for _, j := range []int{(i + k) % papers, (i - k + papers) % papers} {
+				cites.MustInsert(relational.Tuple{
+					relational.IntVal(ck),
+					relational.IntVal(int64(i + 1)),
+					relational.IntVal(int64(j + 1)),
+				})
+				ck++
+			}
+		}
+	}
+	g, err := datagraph.Build(db)
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	ps, err := Compile(g, ringGA(rate), nil)
+	if err != nil {
+		t.Fatalf("Compile: %v", err)
+	}
+	return db, g, ps
+}
+
+// ringBatch inserts one long-range citation per paper i < nIns.
+func ringBatch(db *relational.DB, nIns int) relational.Batch {
+	papers := db.Relation("Paper").Len()
+	var b relational.Batch
+	for i := 0; i < nIns; i++ {
+		b.Inserts = append(b.Inserts, relational.InsertOp{Rel: "Cites", Tuple: relational.Tuple{
+			relational.IntVal(int64(9_000_000 + i)),
+			relational.IntVal(int64(i%papers + 1)),
+			relational.IntVal(int64((i+papers/2)%papers + 1)),
+		}})
+	}
+	return b
+}
+
+// ringMutated returns a mutated ring plus the pending delta and the
+// pre-mutation prior the residual run repairs from.
+func ringMutated(t *testing.T, papers, fanout, nIns int, rate, damping float64) (*Plans, *Pending, relational.DBScores) {
+	t.Helper()
+	db, g, ps := ringFixture(t, papers, fanout, rate)
+	opts := DefaultOptions()
+	opts.Damping = damping
+	opts.NormalizeMax = 0
+	prior, st, err := ps.Run(opts)
+	if err != nil || !st.Converged {
+		t.Fatalf("prior Run: err=%v stats=%+v", err, st)
+	}
+	pending := ps.NewPending()
+	res, err := db.Apply(ringBatch(db, nIns))
+	if err != nil {
+		t.Fatalf("db.Apply: %v", err)
+	}
+	if err := g.Apply(res); err != nil {
+		t.Fatalf("graph.Apply: %v", err)
+	}
+	if err := ps.Apply(res, pending); err != nil {
+		t.Fatalf("plans.Apply: %v", err)
+	}
+	return ps, pending, prior
+}
+
+// runResidualAt runs one residual repair with the worker count pinned.
+// RunResidual leaves pending untouched, so one delta serves every count.
+func runResidualAt(t *testing.T, ps *Plans, pending *Pending, prior relational.DBScores, damping float64, workers, budget int) (relational.DBScores, Stats) {
+	t.Helper()
+	opts := DefaultOptions()
+	opts.Damping = damping
+	opts.NormalizeMax = 0
+	opts.Warm = prior
+	opts.Parallel = workers
+	opts.ResidualBudget = budget
+	sc, st, err := ps.RunResidual(pending, opts)
+	if err != nil {
+		t.Fatalf("RunResidual(workers=%d): %v", workers, err)
+	}
+	return sc, st
+}
+
+// requireBitIdentical fails on the first score differing by even one ULP.
+func requireBitIdentical(t *testing.T, label string, a, b relational.DBScores) {
+	t.Helper()
+	for rel, s := range a {
+		o := b[rel]
+		if len(s) != len(o) {
+			t.Fatalf("%s: %s score lengths %d vs %d", label, rel, len(s), len(o))
+		}
+		for i := range s {
+			if s[i] != o[i] {
+				t.Fatalf("%s: %s[%d]: %v vs %v — schedules are not bit-identical", label, rel, i, s[i], o[i])
+			}
+		}
+	}
+}
+
+// TestRunPushRoundsEmptyFrontier: a repair with nothing above threshold
+// performs no rounds, no pushes, and reports success at every worker
+// count — the no-op edge of the scheduler.
+func TestRunPushRoundsEmptyFrontier(t *testing.T) {
+	_, _, ps := ringFixture(t, 50, 2, 0.7)
+	relOf := make([]int32, ps.n)
+	for ri := range ps.relOff[:len(ps.relOff)-1] {
+		for i := ps.relOff[ri]; i < ps.relOff[ri+1]; i++ {
+			relOf[i] = int32(ri)
+		}
+	}
+	for _, workers := range []int{1, 2, 7} {
+		cur := make([]float64, ps.n)
+		r := make([]float64, ps.n)
+		var stats Stats
+		if !ps.runPushRounds(cur, r, relOf, nil, 0.85, 1e-9, 4*ps.n, workers, &stats) {
+			t.Fatalf("workers=%d: empty frontier reported budget exhaustion", workers)
+		}
+		if stats.Rounds != 0 || stats.Pushes != 0 || stats.Handoffs != 0 {
+			t.Fatalf("workers=%d: empty frontier did work: %+v", workers, stats)
+		}
+	}
+}
+
+// TestResidualParallelBitExactAcrossWorkers is the core scheduling
+// contract at the rank layer: one pending delta repaired at worker counts
+// 1, 2, 4 and 7 — plus a heavily oversubscribed 64 (this box has far
+// fewer cores; counts past the arena clamp, which the partition fuzzer
+// pins) — produces bit-for-bit identical scores, with the parallel runs
+// actually crossing tile boundaries (Handoffs) and the serial run never
+// doing so.
+func TestResidualParallelBitExactAcrossWorkers(t *testing.T) {
+	const damping = 0.85
+	ps, pending, prior := ringMutated(t, 1500, 2, 150, 0.7, damping)
+	if ps.n < 4096 {
+		t.Fatalf("fixture too small to engage parRange splits: n=%d", ps.n)
+	}
+	serial, serialSt := runResidualAt(t, ps, pending, prior, damping, 1, 0)
+	if serialSt.Fallback || !serialSt.Converged {
+		t.Fatalf("serial run did not complete localized: %+v", serialSt)
+	}
+	if serialSt.Regions != 1 || serialSt.Handoffs != 0 {
+		t.Fatalf("serial run reported parallel work: %+v", serialSt)
+	}
+	if serialSt.Pushes < residualSerialFrontier {
+		t.Fatalf("fixture too small to engage parallel rounds: %+v", serialSt)
+	}
+	for _, w := range []int{2, 4, 7, 64} {
+		got, st := runResidualAt(t, ps, pending, prior, damping, w, 0)
+		requireBitIdentical(t, "workers="+itoa(w), serial, got)
+		if st.Fallback || !st.Converged {
+			t.Fatalf("workers=%d fell back: %+v", w, st)
+		}
+		// Round structure is worker-count invariant, not just the result.
+		if st.Rounds != serialSt.Rounds || st.Pushes != serialSt.Pushes {
+			t.Fatalf("workers=%d: rounds/pushes %d/%d vs serial %d/%d",
+				w, st.Rounds, st.Pushes, serialSt.Rounds, serialSt.Pushes)
+		}
+		if st.Regions != w {
+			t.Fatalf("workers=%d: reported %d regions", w, st.Regions)
+		}
+		if st.Handoffs == 0 {
+			t.Fatalf("workers=%d: no cross-boundary pushes on a ring — tiling never engaged: %+v", w, st)
+		}
+	}
+
+	// And the repair is still correct: a cold run over a fresh compile of
+	// the mutated graph agrees within the fixed-point tolerance.
+	cold := coldRingScores(t, ps, damping)
+	tol := 50 * 1e-9 / (1 - damping)
+	for rel, s := range serial {
+		for i := range s {
+			if d := math.Abs(s[i] - cold[rel][i]); d > tol {
+				t.Fatalf("%s[%d]: residual %v vs cold %v (tol %g)", rel, i, s[i], cold[rel][i], tol)
+			}
+		}
+	}
+}
+
+// TestResidualBudgetExhaustionWorkerInvariant: the budget is enforced at
+// round granularity, so a repair that exhausts it mid-stream must take
+// the SAME number of rounds and pushes — and fall back to the same
+// bit-identical full-iteration scores — at every worker count.
+func TestResidualBudgetExhaustionWorkerInvariant(t *testing.T) {
+	const damping = 0.85
+	ps, pending, prior := ringMutated(t, 1500, 2, 150, 0.7, damping)
+	// Enough budget for the first rounds, not the whole repair: the trip
+	// happens mid-stream, after the parallel machinery has engaged.
+	serial, serialSt := runResidualAt(t, ps, pending, prior, damping, 1, 3000)
+	if !serialSt.Fallback {
+		t.Fatalf("budget 3000 did not trip: %+v", serialSt)
+	}
+	if serialSt.Rounds == 0 || serialSt.Pushes == 0 {
+		t.Fatalf("budget tripped before any round ran: %+v", serialSt)
+	}
+	for _, w := range []int{2, 4, 7} {
+		got, st := runResidualAt(t, ps, pending, prior, damping, w, 3000)
+		if !st.Fallback {
+			t.Fatalf("workers=%d: did not trip the same budget: %+v", w, st)
+		}
+		if st.Rounds != serialSt.Rounds || st.Pushes != serialSt.Pushes {
+			t.Fatalf("workers=%d: fallback decision moved: rounds/pushes %d/%d vs serial %d/%d",
+				w, st.Rounds, st.Pushes, serialSt.Rounds, serialSt.Pushes)
+		}
+		requireBitIdentical(t, "fallback workers="+itoa(w), serial, got)
+	}
+}
+
+// TestResidualAccelRescueBitExactAcrossWorkers: a high-damping repair
+// whose push trips the budget is finished by the dense Chebyshev rescue —
+// whose matvec and vector kernels split across workers too — and must
+// remain bit-identical at every worker count, over an arena large enough
+// that parRange genuinely splits.
+func TestResidualAccelRescueBitExactAcrossWorkers(t *testing.T) {
+	const damping = 0.99
+	ps, pending, prior := ringMutated(t, 1500, 2, 150, 0.9, damping)
+	serial, serialSt := runResidualAt(t, ps, pending, prior, damping, 1, 0)
+	if !serialSt.Accelerated || serialSt.Fallback || !serialSt.Converged {
+		t.Fatalf("high-damping ring did not take the accelerated rescue: %+v", serialSt)
+	}
+	for _, w := range []int{2, 4, 7} {
+		got, st := runResidualAt(t, ps, pending, prior, damping, w, 0)
+		if !st.Accelerated || st.Fallback {
+			t.Fatalf("workers=%d: rescue path changed: %+v", w, st)
+		}
+		if st.Rounds != serialSt.Rounds {
+			t.Fatalf("workers=%d: %d rescue rounds vs serial %d", w, st.Rounds, serialSt.Rounds)
+		}
+		requireBitIdentical(t, "accel workers="+itoa(w), serial, got)
+	}
+	cold := coldRingScores(t, ps, damping)
+	tol := 50 * 1e-9 / (1 - damping)
+	for rel, s := range serial {
+		for i := range s {
+			if d := math.Abs(s[i] - cold[rel][i]); d > tol {
+				t.Fatalf("%s[%d]: accel %v vs cold %v (tol %g)", rel, i, s[i], cold[rel][i], tol)
+			}
+		}
+	}
+}
+
+// coldRingScores recompiles the mutated graph from the Plans' own DB and
+// runs cold — the ground truth the localized repairs must land on.
+func coldRingScores(t *testing.T, ps *Plans, damping float64) relational.DBScores {
+	t.Helper()
+	g, err := datagraph.Build(ps.g.DB)
+	if err != nil {
+		t.Fatalf("rebuild: %v", err)
+	}
+	fresh, err := Compile(g, ringGA(2*ps.plans[0].rate), nil)
+	if err != nil {
+		t.Fatalf("recompile: %v", err)
+	}
+	opts := DefaultOptions()
+	opts.Damping = damping
+	opts.NormalizeMax = 0
+	sc, st, err := fresh.Run(opts)
+	if err != nil || !st.Converged {
+		t.Fatalf("cold: err=%v stats=%+v", err, st)
+	}
+	return sc
+}
+
+func itoa(v int) string {
+	if v == 0 {
+		return "0"
+	}
+	var buf [20]byte
+	i := len(buf)
+	for v > 0 {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(buf[i:])
+}

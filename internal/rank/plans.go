@@ -53,6 +53,14 @@ type Plans struct {
 	pullW    []float64
 	pullOnce *sync.Once
 	pullErr  error
+
+	// Dominant-eigenpair estimate of the rate-weighted flow matrix,
+	// power-iterated once per Plans on the first accelerated high-damping
+	// repair and never invalidated: mutations degrade only its quality,
+	// not the repair's correctness (accel.go), and recompiles produce a
+	// fresh Plans anyway.
+	deflOnce sync.Once
+	defl     *deflation
 }
 
 // Compile resolves ga's flows against the data graph into reusable push

@@ -129,15 +129,27 @@ type Options struct {
 	// iteration is unique, so any seed converges to the same scores — Warm
 	// affects only how fast.
 	Warm relational.DBScores
-	// ResidualBudget caps the number of Gauss–Southwell pushes a
+	// ResidualBudget caps the number of residual pushes a
 	// Plans.RunResidual call may perform before giving up on the localized
 	// path and falling back to the warm full iteration. 0 means four full
 	// sweeps' worth (4× the arena size): warm re-ranks typically run 15-30
 	// iterations of arena-wide updates, so a residual run still wins well
-	// past one sweep, while a genuinely global perturbation (or a
-	// high-damping setting whose slow modes need hundreds of sweeps) trips
-	// the budget early and takes the vectorized iteration instead.
+	// past one sweep, while a genuinely global perturbation trips the
+	// budget early and takes the vectorized iteration instead. The budget
+	// is enforced at push-round granularity — a round either runs in full
+	// or falls back before starting — so the fallback decision is
+	// independent of the worker count. Accelerated high-damping repairs
+	// (see ResidualAccelDamping) are bounded by MaxIter rounds instead.
 	ResidualBudget int
+	// ResidualAccelDamping is the damping at or above which a residual
+	// push that trips its budget is rescued by the accelerated dense
+	// repair (deflation of the dominant mode + Chebyshev semi-iteration,
+	// see accel.go) instead of falling back: high-damping slow modes decay
+	// only geometrically per push round, so disruptive mutations would
+	// otherwise always budget-trip. 0 means the default (0.95); any value
+	// > 1 disables acceleration and restores the PR-5 behavior of
+	// budget-tripping straight into the warm full iteration.
+	ResidualAccelDamping float64
 }
 
 // DefaultOptions mirrors the paper's default setting: d=0.85, converged
@@ -159,15 +171,33 @@ type Stats struct {
 	// power iteration, the push count for a residual run. It is the common
 	// work metric residual mode is measured against.
 	Updates int
-	// Pushes counts Gauss–Southwell residual pushes (RunResidual only).
+	// Pushes counts residual pushes — frontier nodes consumed across all
+	// rounds (RunResidual only).
 	Pushes int
 	// ResidualNodes counts the distinct nodes a residual run touched
-	// (RunResidual only).
+	// (RunResidual only; the whole arena for an accelerated repair).
 	ResidualNodes int
 	// Fallback records that RunResidual abandoned the localized path (seed
-	// mass over the safety bound, or the push budget exhausted) and the
+	// mass over the safety bound, the push budget exhausted, or an
+	// accelerated repair that diverged or hit its round cap) and the
 	// reported scores come from the warm full iteration instead.
 	Fallback bool
+	// Rounds counts the synchronized residual rounds a RunResidual
+	// executed: frontier push rounds, or accelerated Chebyshev rounds.
+	Rounds int
+	// Regions reports the owner-tile count the residual repair was
+	// partitioned into (1 = serial). Purely observational: every region
+	// count produces bit-identical scores.
+	Regions int
+	// Handoffs counts cross-region contributions exchanged at push-round
+	// barriers — how often a push crossed a partition boundary. Always 0
+	// for serial runs (one region owns everything).
+	Handoffs int
+	// Accelerated records that the high-damping dense rescue (deflation +
+	// Chebyshev, accel.go) ran after the push budget tripped; combined
+	// with Fallback it means the rescue was also abandoned for the warm
+	// full iteration.
+	Accelerated bool
 }
 
 // planKind discriminates how a source tuple's row of a compiled plan is

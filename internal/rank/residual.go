@@ -29,14 +29,22 @@ package rank
 //
 // A push at node u then moves r[u] into the score and propagates
 // d·w(u→v)·r[u] to u's flow targets, preserving the invariant
-// x = cur + (I−M)⁻¹r. FIFO processing of above-threshold nodes drives
-// max|r| below Options.Epsilon — the same convergence criterion, hence the
-// same fixed-point tolerance class, as the full iteration. Because the
-// per-source rate sums of real G_As can exceed 1 (DBLP's Paper emits 1.2),
-// the push is not 1-norm contractive at high damping; the push budget, not
-// a contraction argument, guarantees termination: a run that exhausts it —
-// or whose seed mass already dwarfs the prior's — falls back to the warm
-// full iteration, which is correct from any seed.
+// x = cur + (I−M)⁻¹r. The push runs in synchronized rounds over
+// owner-assigned arena tiles (parallel.go): each round consumes every
+// above-threshold residual at its round-start value and applies the
+// expanded contributions per destination in a fixed source-ascending
+// order, so the repair is bit-for-bit identical at any worker count and
+// round-empty ⟺ max|r| < Options.Epsilon — the same convergence
+// criterion, hence the same fixed-point tolerance class, as the full
+// iteration. Because the per-source rate sums of real G_As can exceed 1
+// (DBLP's Paper emits 1.2), the push is not 1-norm contractive at high
+// damping; the push budget, not a contraction argument, guarantees
+// termination: a run that exhausts it — or whose seed mass already dwarfs
+// the prior's — falls back to the warm full iteration, which is correct
+// from any seed. A high-damping run (Options.ResidualAccelDamping) that
+// trips the budget is first rescued by the deflation + Chebyshev dense
+// repair in accel.go, which extends the localized path past the push
+// budget where the slow global modes would otherwise always trip it.
 
 import (
 	"fmt"
@@ -141,9 +149,10 @@ func (ps *Plans) Apply(res relational.BatchResult, pending *Pending) error {
 	}
 	ps.n = int(ps.relOff[nRel])
 	// The pull transpose no longer matches the overlaid rows or the arena
-	// layout; rebuild it lazily on the next full Run (the residual path
-	// never needs it). Relation sizes only grow, so an unchanged node
-	// count means the layout is intact too.
+	// layout; rebuild it lazily on the next run that needs it (a full Run,
+	// or a high-damping accelerated repair — the frontier push never does).
+	// Relation sizes only grow, so an unchanged node count means the
+	// layout is intact too.
 	if rowsChanged || ps.n != oldN {
 		ps.pullOnce = new(sync.Once)
 		ps.pullErr = nil
@@ -287,21 +296,29 @@ const residualSeedFrac = 4 // fall back when seeds > n/residualSeedFrac
 // RunResidual repairs the prior fixed point after the batches recorded in
 // pending: it rescales the prior by N_old/N_new (cancelling the uniform
 // base-score shift inserts cause), seeds per-node residuals from exactly
-// the contribution rows the batches changed, and pushes residuals
-// Gauss–Southwell style until the max residual drops below Options.Epsilon
-// — the same convergence criterion the full iteration stops on, so the
-// result lands in the same fixed-point tolerance class. Edge work (the
-// expensive part a full iteration repeats every sweep) is proportional to
-// the perturbed region, not the graph; arena setup is one O(n) pass with
-// no edge traffic — the same order as the normalization pass any re-rank
-// already pays, and a small constant next to it.
+// the contribution rows the batches changed, and drives the max residual
+// below Options.Epsilon — the same convergence criterion the full
+// iteration stops on, so the result lands in the same fixed-point
+// tolerance class. The repair is the round-synchronous residual push
+// (parallel.go): edge work (the expensive part a full iteration repeats
+// every sweep) stays proportional to the perturbed region, not the graph,
+// and arena setup is one O(n) pass with no edge traffic. A push that
+// trips its budget at damping ≥ Options.ResidualAccelDamping is rescued
+// in place by the deflation + Chebyshev dense iteration (accel.go), which
+// finishes the slow global modes in a small multiple of √(1/(1−ρ)) rounds
+// instead of the push's 1/(1−ρ). Options.Parallel partitions either path
+// across workers; every worker count produces bit-for-bit identical
+// scores.
 //
 // Options.Warm must hold the prior RAW scores the pending delta was
-// accumulated against; Options.ResidualBudget caps the pushes. When the
-// seed mass exceeds the safety bound, the seeds cover too much of the
-// arena, or the budget runs out, RunResidual falls back to the warm full
-// iteration over the same plans (Stats.Fallback reports it); either way
-// the returned scores satisfy the convergence contract.
+// accumulated against; Options.ResidualBudget caps the pushes (enforced
+// at round granularity, so the fallback decision is worker-count
+// independent too). When the seed mass exceeds the safety bound, the
+// seeds cover too much of the arena, the budget runs out below the
+// acceleration damping, or an accelerated rescue diverges or exhausts
+// MaxIter rounds, RunResidual falls back to the warm full iteration over
+// the same plans (Stats.Fallback reports it); either way the returned
+// scores satisfy the convergence contract.
 //
 // Safe to call concurrently on the same *Plans and *Pending (each run owns
 // its arenas); Apply must not run concurrently.
@@ -418,7 +435,11 @@ func (ps *Plans) RunResidual(pending *Pending, opts Options) (relational.DBScore
 		st.Fallback = true
 		st.Pushes = stats.Pushes
 		st.ResidualNodes = stats.ResidualNodes
-		st.Updates += stats.Pushes // the abandoned pushes were real work
+		st.Updates += stats.Updates // the abandoned repair was real work
+		st.Rounds = stats.Rounds
+		st.Regions = stats.Regions
+		st.Handoffs = stats.Handoffs
+		st.Accelerated = stats.Accelerated // records the attempt
 		return sc, st, err
 	}
 
@@ -430,68 +451,46 @@ func (ps *Plans) RunResidual(pending *Pending, opts Options) (relational.DBScore
 		return fallback()
 	}
 
-	// Gauss–Southwell push loop: FIFO over above-threshold nodes. Seeds
-	// enqueue in ascending arena order and every residual update is
-	// check-and-enqueue, so queue-empty ⟺ max|r| < ε, and the whole run is
-	// deterministic.
+	// Round-synchronous residual push over owner-assigned arena tiles
+	// (parallel.go): seeds form the first frontier in ascending arena
+	// order, every round consumes the whole frontier at frozen values, and
+	// frontier-empty ⟺ max|r| < ε. Bit-for-bit identical at any worker
+	// count. A high-damping run that trips the push budget is rescued by
+	// the accelerated dense path (accel.go) — its mid-repair state still
+	// satisfies the push invariant, and Chebyshev finishes the slow global
+	// modes the frontier push decays only geometrically.
 	eps := opts.Epsilon
 	sort.Slice(touched, func(a, b int) bool { return touched[a] < touched[b] })
-	queue := make([]int32, 0, len(touched))
-	inQ := make([]bool, ps.n)
+	frontier := make([]int32, 0, len(touched))
 	for _, v := range touched {
 		if math.Abs(r[v]) >= eps {
-			inQ[v] = true
-			queue = append(queue, v)
+			frontier = append(frontier, v)
 		}
 	}
-	pushedNode := make([]bool, ps.n)
-	for head := 0; head < len(queue); head++ {
-		v := queue[head]
-		inQ[v] = false
-		rv := r[v]
-		if math.Abs(rv) < eps {
-			continue
+	workers := resolveResidualWorkers(opts.Parallel, ps.n)
+	if !ps.runPushRounds(cur, r, relOf, frontier, d, eps, budget, workers, &stats) {
+		stats.Updates = stats.Pushes
+		accelAt := opts.ResidualAccelDamping
+		if accelAt == 0 {
+			accelAt = residualAccelDamping
 		}
-		if stats.Pushes >= budget {
+		if d < accelAt {
 			return fallback()
 		}
-		cur[v] += rv
-		r[v] = 0
-		stats.Pushes++
-		if !pushedNode[v] {
-			pushedNode[v] = true
-			stats.ResidualNodes++
+		maxRounds := opts.MaxIter
+		if maxRounds <= 0 {
+			maxRounds = 500
 		}
-		ri := relOf[v]
-		t := relational.TupleID(v - ps.relOff[ri])
-		for _, pi := range ps.bySrc[ri] {
-			p := &ps.plans[pi]
-			targets, weights := p.row(t)
-			if len(targets) == 0 {
-				continue
-			}
-			dstOff := ps.relOff[p.dstRel]
-			uniform := p.rate / float64(len(targets))
-			for k, tgt := range targets {
-				w := uniform
-				if weights != nil {
-					w = p.rate * weights[k]
-				}
-				dst := dstOff + int32(tgt)
-				r[dst] += d * w * rv
-				if !inQ[dst] && math.Abs(r[dst]) >= eps {
-					inQ[dst] = true
-					queue = append(queue, dst)
-				}
-			}
+		ok, err := ps.accelRepair(cur, r, d, eps, workers, maxRounds, &stats)
+		if err != nil {
+			return nil, stats, err
 		}
-	}
-	stats.Converged = true
-	stats.Updates = stats.Pushes
-	for _, v := range queue {
-		if a := math.Abs(r[v]); a > stats.MaxDelta {
-			stats.MaxDelta = a
+		if !ok {
+			return fallback()
 		}
+	} else {
+		stats.Converged = true
+		stats.Updates = stats.Pushes
 	}
 
 	scores := make(relational.DBScores, len(db.Relations))

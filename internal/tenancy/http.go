@@ -487,6 +487,31 @@ type MutateResponse struct {
 	Versions map[string]uint64 `json:"versions"`
 	Epochs   map[string]uint64 `json:"epochs"`
 	Reranked bool              `json:"reranked"`
+	// RerankStats reports, per setting, which re-rank path served a
+	// Reranked batch and what it cost — the operator-visible telemetry for
+	// tuning the residual knobs (workers, budget, acceleration). Omitted
+	// when the batch did not re-rank.
+	RerankStats map[string]RerankStatJSON `json:"rerank_stats,omitempty"`
+}
+
+// RerankStatJSON is one setting's re-rank telemetry in a MutateResponse.
+type RerankStatJSON struct {
+	// Residual reports the localized push path ran (false: warm full
+	// iteration); Fallback that the push abandoned the repair mid-way.
+	Residual bool `json:"residual"`
+	Fallback bool `json:"fallback,omitempty"`
+	// Accelerated marks a high-damping repair finished by the dense
+	// Chebyshev rescue after the push budget tripped.
+	Accelerated bool `json:"accelerated,omitempty"`
+	// Pushes/Rounds/Regions describe the parallel push schedule that ran;
+	// Regions is the worker-tile count (1 = serial schedule).
+	Pushes  int `json:"pushes,omitempty"`
+	Rounds  int `json:"rounds,omitempty"`
+	Regions int `json:"regions,omitempty"`
+	// Iterations counts full power-iteration sweeps (fallback or warm
+	// path); Updates is the path-independent node-score update total.
+	Iterations int `json:"iterations,omitempty"`
+	Updates    int `json:"updates"`
 }
 
 // serveMutate decodes and applies one mutation batch against the tenant's
@@ -551,6 +576,21 @@ func (r *Registry) serveMutate(w http.ResponseWriter, req *http.Request) {
 	}
 	for _, id := range res.Inserted {
 		resp.Inserted = append(resp.Inserted, int(id))
+	}
+	if len(res.RerankStats) > 0 {
+		resp.RerankStats = make(map[string]RerankStatJSON, len(res.RerankStats))
+		for name, st := range res.RerankStats {
+			resp.RerankStats[name] = RerankStatJSON{
+				Residual:    st.Residual,
+				Fallback:    st.FallbackTaken,
+				Accelerated: st.Accelerated,
+				Pushes:      st.Pushes,
+				Rounds:      st.Rounds,
+				Regions:     st.Regions,
+				Iterations:  st.Iterations,
+				Updates:     st.Updates,
+			}
+		}
 	}
 	writeJSON(w, http.StatusOK, resp)
 }

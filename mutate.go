@@ -100,19 +100,33 @@ type RerankStat struct {
 	// Residual records that this setting took the residual-push path
 	// (possibly falling back; see FallbackTaken).
 	Residual bool
-	// Pushes counts the Gauss–Southwell residual pushes performed.
+	// Pushes counts the residual pushes performed (frontier nodes consumed
+	// across all push rounds).
 	Pushes int
 	// NodesTouched counts the distinct nodes the residual repair updated
 	// (the full iteration touches every node every iteration; see Updates).
 	NodesTouched int
 	// Updates counts node-score writes: Iterations × node count for a full
-	// iteration, Pushes for a completed residual repair — the common work
-	// metric the two modes are compared by.
+	// iteration, Pushes for a completed push repair, Rounds × node count
+	// for an accelerated repair — the common work metric the modes are
+	// compared by.
 	Updates int
 	// FallbackTaken records that the residual path was attempted but
-	// abandoned (seed mass over the safety bound, or push budget
-	// exhausted); the reported scores come from the warm full iteration.
+	// abandoned (seed mass over the safety bound, push budget exhausted,
+	// or an accelerated repair that diverged); the reported scores come
+	// from the warm full iteration.
 	FallbackTaken bool
+	// Rounds counts the synchronized residual rounds: frontier push rounds,
+	// or Chebyshev rounds for an accelerated repair.
+	Rounds int
+	// Regions reports the owner-tile worker count the residual repair was
+	// partitioned into (1 = serial; see Engine.SetResidualWorkers). Every
+	// region count produces bit-identical scores.
+	Regions int
+	// Accelerated records that the high-damping dense rescue (deflation +
+	// Chebyshev) ran after the push budget tripped; with FallbackTaken it
+	// means the rescue was also abandoned.
+	Accelerated bool
 }
 
 // Mutate applies a batch of tuple inserts and deletes end to end: the
@@ -290,6 +304,12 @@ func (e *Engine) rerankLocked(result *MutationResult) (changed bool, err error) 
 		scores, raw, relMax, st, rerr := runSettings(e.settings, e.rawScores,
 			func(s Setting, opts rank.Options) (relational.DBScores, rank.Stats, error) {
 				opts.ResidualBudget = e.residualBudget
+				opts.Parallel = e.residualWorkers
+				if !e.residualAccel {
+					// Any threshold above 1 is unreachable by valid dampings,
+					// so high-damping runs budget-trip into the fallback.
+					opts.ResidualAccelDamping = 2
+				}
 				return e.plans[s.GA].RunResidual(e.pending[s.GA], opts)
 			})
 		if rerr != nil {
@@ -317,7 +337,7 @@ func (e *Engine) rerankLocked(result *MutationResult) (changed bool, err error) 
 		}
 		if st.Fallback {
 			fallbacks++
-		} else if st.Pushes > 0 {
+		} else if st.Pushes > 0 || st.Accelerated {
 			pushRepairs++
 		}
 		result.RerankStats[name] = RerankStat{
@@ -329,6 +349,9 @@ func (e *Engine) rerankLocked(result *MutationResult) (changed bool, err error) 
 			NodesTouched:    st.ResidualNodes,
 			Updates:         st.Updates,
 			FallbackTaken:   st.Fallback,
+			Rounds:          st.Rounds,
+			Regions:         st.Regions,
+			Accelerated:     st.Accelerated,
 		}
 	}
 	if _, err := e.reannotateChangedLocked(); err != nil {
@@ -336,8 +359,9 @@ func (e *Engine) rerankLocked(result *MutationResult) (changed bool, err error) 
 	}
 	// The served scores are a converged fixed point again: residual deltas
 	// restart from here. The refresh counter tracks accumulated drift, so
-	// it only advances when a setting actually completed a push repair
-	// (which inherits its prior's sub-epsilon residual); a full iteration
+	// it only advances when a setting actually completed a localized repair
+	// — push or accelerated, both inherit the prior's sub-epsilon residual
+	// — while a full iteration
 	// — explicit or via every setting falling back — re-grounds the drift
 	// and resets it, and no-op reuse or pure-rescale re-ranks add nothing.
 	e.pending = make(map[*rank.GA]*rank.Pending)

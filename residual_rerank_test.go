@@ -17,9 +17,9 @@ import (
 )
 
 // residualTestEngine builds a DBLP engine over the practical serving
-// settings (the two d=0.85 configurations): the high-damping d3 stress
-// setting intentionally trips the residual push budget (its slow modes
-// need hundreds of sweeps) and is covered by the fallback tests instead.
+// settings (the two d=0.85 configurations); the high-damping d3 stress
+// setting — repaired by the accelerated dense path rather than pushes —
+// is covered separately by TestResidualHighDampingCompletesAccelerated.
 func residualTestEngine(t *testing.T, authors, papers int) *Engine {
 	t.Helper()
 	cfg := datagen.DefaultDBLPConfig()
@@ -267,6 +267,129 @@ func TestResidualLargeBatchStillConverges(t *testing.T) {
 // costs (node-score updates) after a batch this disruptive: at least five
 // arena sweeps.
 func e5xWarmFloor(nodes int) int { return 5 * nodes }
+
+// TestResidualHighDampingCompletesAccelerated pins the PR-9 wart fix for
+// the d3=0.99 stress setting, whose slow global modes decay only
+// geometrically per push round. Single-tuple re-ranks must complete in the
+// localized path — FallbackTaken false. A disruptive batch whose push
+// genuinely trips the 4n budget must be rescued by the accelerated dense
+// finisher (deflation + Chebyshev) instead of abandoning to the full
+// iteration — while SetResidualAccel(false) preserves the legacy
+// budget-trip behavior — and the served scores stay within the cold-start
+// tolerance contract throughout.
+func TestResidualHighDampingCompletesAccelerated(t *testing.T) {
+	mk := func() *Engine {
+		cfg := datagen.DefaultDBLPConfig()
+		cfg.Authors = 120
+		cfg.Papers = 500
+		db, err := datagen.GenerateDBLP(cfg)
+		if err != nil {
+			t.Fatalf("GenerateDBLP: %v", err)
+		}
+		eng, err := NewEngine(db, []Setting{{Name: "GA1-d3", GA: datagen.DBLPGA1(), Damping: 0.99}})
+		if err != nil {
+			t.Fatalf("NewEngine: %v", err)
+		}
+		return eng
+	}
+	accel := mk()
+	legacy := mk()
+	legacy.SetResidualAccel(false)
+
+	// The wart itself: a d=0.99 single-tuple re-rank stays localized.
+	res, err := accel.Mutate(citesStreamBatch(accel, 65_000_001, 0, 0))
+	if err != nil {
+		t.Fatalf("single-tuple Mutate: %v", err)
+	}
+	st := res.RerankStats["GA1-d3"]
+	if !st.Residual || st.FallbackTaken {
+		t.Fatalf("d=0.99 single-tuple re-rank fell back: %+v", st)
+	}
+	if st.Iterations != 0 || st.Pushes == 0 {
+		t.Fatalf("d=0.99 single-tuple re-rank did not repair by pushes: %+v", st)
+	}
+
+	// A disruptive batch: hundreds of citations at once. The push trips
+	// the budget; the accelerated rescue must finish localized.
+	big := func(eng *Engine, base int64) MutationBatch {
+		paper := eng.DB().Relation("Paper")
+		b := MutationBatch{Rerank: true}
+		for i := 0; i < 800; i++ {
+			a := relational.TupleID(i % paper.Len())
+			c := relational.TupleID((i*13 + 7) % paper.Len())
+			b.Inserts = append(b.Inserts, TupleInsert{
+				Rel: "Cites",
+				Tuple: relational.Tuple{
+					relational.IntVal(base + int64(i)),
+					relational.IntVal(paper.PK(a)),
+					relational.IntVal(paper.PK(c)),
+				},
+			})
+		}
+		return b
+	}
+	res, err = accel.Mutate(big(accel, 66_000_000))
+	if err != nil {
+		t.Fatalf("accel Mutate: %v", err)
+	}
+	st = res.RerankStats["GA1-d3"]
+	if !st.Residual || st.FallbackTaken {
+		t.Fatalf("d=0.99 disruptive re-rank fell back: %+v", st)
+	}
+	if !st.Accelerated || st.Rounds == 0 {
+		t.Fatalf("budget-tripped d=0.99 repair was not rescued by acceleration: %+v", st)
+	}
+	if st.Iterations != 0 {
+		t.Fatalf("completed accelerated rescue ran full iterations: %+v", st)
+	}
+
+	if _, err := legacy.Mutate(citesStreamBatch(legacy, 65_000_001, 0, 0)); err != nil {
+		t.Fatalf("legacy single-tuple Mutate: %v", err)
+	}
+	resL, err := legacy.Mutate(big(legacy, 66_000_000))
+	if err != nil {
+		t.Fatalf("legacy Mutate: %v", err)
+	}
+	stL := resL.RerankStats["GA1-d3"]
+	if !stL.Residual || !stL.FallbackTaken || stL.Accelerated {
+		t.Fatalf("with acceleration off, the disruptive d=0.99 batch must budget-trip into the fallback: %+v", stL)
+	}
+
+	// Both modes still satisfy the cold-start tolerance contract.
+	opts := rank.DefaultOptions()
+	opts.Damping = 0.99
+	opts.NormalizeMax = 0
+	cold, coldStats, err := rank.Compute(accel.Graph(), datagen.DBLPGA1(), opts)
+	if err != nil || !coldStats.Converged {
+		t.Fatalf("cold: err=%v stats=%+v", err, coldStats)
+	}
+	maxRaw := 0.0
+	for _, sc := range cold {
+		if m := sc.MaxScore(); m > maxRaw {
+			maxRaw = m
+		}
+	}
+	rank.Normalize(cold, rank.DefaultOptions().NormalizeMax)
+	tol := warmColdTolerance(0.99, opts.Epsilon, maxRaw)
+	for _, eng := range []*Engine{accel, legacy} {
+		got, err := eng.Scores("GA1-d3")
+		if err != nil {
+			t.Fatalf("Scores: %v", err)
+		}
+		for _, rel := range eng.DB().Relations {
+			c, w := cold[rel.Name], got[rel.Name]
+			for i := range c {
+				d := c[i] - w[i]
+				if d < 0 {
+					d = -d
+				}
+				if d > tol {
+					t.Fatalf("%s tuple %d: served %.9f vs cold %.9f (tol %g)", rel.Name, i, w[i], c[i], tol)
+				}
+			}
+		}
+	}
+}
 
 // TestResidualAfterCompactionFullRerank: a compaction remaps TupleIDs out
 // from under the accumulated residual deltas, so the next re-rank must

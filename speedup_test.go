@@ -82,6 +82,88 @@ func TestParallelRankSpeedupMulticore(t *testing.T) {
 	}
 }
 
+// TestResidualPushSpeedupMulticore asserts the PR-9 acceptance bar: the
+// owner-tiled parallel residual push repairs a wide-frontier mutation
+// >= 2x faster at 4 workers than the serial schedule. The fixture is
+// sized so the repair is real work — an arena well past the worker floor
+// and a citation batch whose frontier holds thousands of nodes per round
+// — because the schedules are the same float program (bit-identical
+// scores, proven by the equivalence harness and the rank-layer edge
+// tests); this leg proves the parallelism actually buys wall-clock.
+func TestResidualPushSpeedupMulticore(t *testing.T) {
+	requireMulticoreAssert(t)
+	cfg := datagen.DefaultDBLPConfig()
+	cfg.Authors = 1500
+	cfg.Papers = 6000
+	db, err := datagen.GenerateDBLP(cfg)
+	if err != nil {
+		t.Fatalf("GenerateDBLP: %v", err)
+	}
+	g, err := datagraph.Build(db)
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	ps, err := rank.Compile(g, datagen.DBLPGA1(), nil)
+	if err != nil {
+		t.Fatalf("Compile: %v", err)
+	}
+	opts := rank.DefaultOptions()
+	opts.Damping = 0.85
+	opts.NormalizeMax = 0
+	prior, st, err := ps.Run(opts)
+	if err != nil || !st.Converged {
+		t.Fatalf("prior Run: err=%v stats=%+v", err, st)
+	}
+	// One wide batch: 600 new citations across the paper set. The pending
+	// delta survives RunResidual untouched, so both worker counts repair
+	// the identical mutation.
+	paper := db.Relation("Paper")
+	var batch relational.Batch
+	for i := 0; i < 600; i++ {
+		batch.Inserts = append(batch.Inserts, relational.InsertOp{Rel: "Cites", Tuple: relational.Tuple{
+			relational.IntVal(int64(70_000_000 + i)),
+			relational.IntVal(paper.PK(relational.TupleID(i % 6000))),
+			relational.IntVal(paper.PK(relational.TupleID((i*13 + 17) % 6000))),
+		}})
+	}
+	pending := ps.NewPending()
+	res, err := db.Apply(batch)
+	if err != nil {
+		t.Fatalf("db.Apply: %v", err)
+	}
+	if err := g.Apply(res); err != nil {
+		t.Fatalf("graph.Apply: %v", err)
+	}
+	if err := ps.Apply(res, pending); err != nil {
+		t.Fatalf("plans.Apply: %v", err)
+	}
+	repair := func(workers int) func() {
+		return func() {
+			ro := rank.DefaultOptions()
+			ro.Damping = 0.85
+			ro.NormalizeMax = 0
+			ro.Warm = prior
+			ro.Parallel = workers
+			_, st, err := ps.RunResidual(pending, ro)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if st.Fallback || !st.Converged {
+				t.Fatalf("workers=%d: repair left the push path: %+v", workers, st)
+			}
+		}
+	}
+	repair(1)() // warm caches before timing either variant
+	serial := bestOf(5, repair(1))
+	parallel := bestOf(5, repair(4))
+	speedup := float64(serial) / float64(parallel)
+	t.Logf("residual push serial %v, 4-worker %v, speedup %.2fx (GOMAXPROCS=%d)",
+		serial, parallel, speedup, runtime.GOMAXPROCS(0))
+	if speedup < 2.0 {
+		t.Errorf("parallel residual push speedup %.2fx < 2.0x target", speedup)
+	}
+}
+
 // TestShardedIndexBuildSpeedupMulticore asserts the sharded index's
 // parallel build is >= 1.5x faster than the serial flat build at 4 shards.
 func TestShardedIndexBuildSpeedupMulticore(t *testing.T) {
