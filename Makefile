@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race bench bench-json gate serve soak clean
+.PHONY: all build vet test race bench bench-json gate serve soak scaleout clean
 
 all: vet build test
 
@@ -37,6 +37,13 @@ serve:
 # collapse and flat goroutine/heap footprints (docs/QOS.md).
 soak:
 	SIZELOS_SOAK=1 $(GO) test -run TestQoSSoak -count=1 -v -timeout 5m ./internal/tenancy
+
+# Fleet node-kill integration leg: three ossrv nodes over one shared
+# data dir behind osrouter, SIGKILL an owner while osload streams
+# through the front door, require zero lost acked mutations
+# (docs/SCALEOUT.md).
+scaleout:
+	SIZELOS_INTEGRATION=1 $(GO) test -run TestScaleOutFleetSurvivesNodeKill -count=1 -v -timeout 10m .
 
 clean:
 	$(GO) clean ./...

@@ -34,13 +34,17 @@
 // in-memory-only service. SIGINT/SIGTERM trigger a graceful shutdown:
 // in-flight requests drain (bounded by -drain), then every tenant takes a
 // final snapshot and its WAL is flushed and closed.
+//
+// Several ossrv processes pointed at the SAME -data-dir form a fleet: each
+// sees every manifest tenant, and cmd/osrouter places each tenant on
+// exactly one node at a time (see docs/SCALEOUT.md). The node-assembly
+// logic itself lives in internal/nodehost.
 package main
 
 import (
 	"context"
 	"errors"
 	"flag"
-	"fmt"
 	"log"
 	"net"
 	"net/http"
@@ -48,13 +52,10 @@ import (
 	"os/signal"
 	"sort"
 	"strings"
-	"sync"
 	"syscall"
 	"time"
 
-	"sizelos"
-	"sizelos/internal/datagen"
-	"sizelos/internal/durable"
+	"sizelos/internal/nodehost"
 	"sizelos/internal/qos"
 	"sizelos/internal/tenancy"
 )
@@ -67,138 +68,6 @@ func (t *tenantFlags) String() string { return strings.Join(*t, ",") }
 func (t *tenantFlags) Set(v string) error {
 	*t = append(*t, v)
 	return nil
-}
-
-// durableHub wires the registry's durability seam to a durable.Store: it
-// recovers tenants from their WAL+snapshot directories, records the tenant
-// lifecycle in the store manifest, and tracks every open TenantStore so
-// the snapshot ticker and the shutdown path can reach them.
-type durableHub struct {
-	store       *durable.Store
-	defaultSeed int64
-
-	mu      sync.Mutex
-	tenants map[string]*durableTenant
-}
-
-type durableTenant struct {
-	ts  *durable.TenantStore
-	eng *sizelos.Engine
-}
-
-func newDurableHub(store *durable.Store, defaultSeed int64) *durableHub {
-	return &durableHub{store: store, defaultSeed: defaultSeed, tenants: make(map[string]*durableTenant)}
-}
-
-// resolveSeed pins a concrete seed: dataset recipes must not silently
-// change when the -seed default does, so specs are recorded resolved.
-func (h *durableHub) resolveSeed(s int64) int64 {
-	if s > 0 {
-		return s
-	}
-	return h.defaultSeed
-}
-
-// Recover implements tenancy.Recoverer: rebuild the tenant from its
-// durable directory (newest valid snapshot + WAL-tail replay; a fresh
-// dataset build when nothing durable exists yet) and leave its WAL
-// attached as the engine's mutation log.
-func (h *durableHub) Recover(spec tenancy.TenantSpec) (*sizelos.Engine, error) {
-	restore, err := restorer(spec.Dataset)
-	if err != nil {
-		return nil, err
-	}
-	seed := h.resolveSeed(spec.Seed)
-	ts := h.store.Tenant(spec.Name)
-	eng, info, err := ts.Recover(restore, func() (*sizelos.Engine, error) {
-		return openDataset(spec.Dataset, seed)
-	})
-	if err != nil {
-		return nil, err
-	}
-	// Snapshot-restored engines bypass openDataset; re-apply the knobs.
-	tuneEngine(eng)
-	h.mu.Lock()
-	h.tenants[spec.Name] = &durableTenant{ts: ts, eng: eng}
-	h.mu.Unlock()
-	log.Printf("ossrv: tenant %s recovered (dataset %s, snapshot seq %d, %d records replayed, seq %d)",
-		spec.Name, spec.Dataset, info.SnapshotSeq, info.Replayed, info.Seq)
-	return eng, nil
-}
-
-// RecordTenant implements tenancy.Durability.
-func (h *durableHub) RecordTenant(spec tenancy.TenantSpec) error {
-	return h.store.RecordTenant(durable.TenantSpec{
-		Name:    spec.Name,
-		Dataset: spec.Dataset,
-		Seed:    h.resolveSeed(spec.Seed),
-		Cache:   spec.Cache,
-	})
-}
-
-// ReleaseTenant implements tenancy.Durability: close and drop the open
-// TenantStore of a tenant whose registration was rolled back, leaving its
-// manifest entry and on-disk state untouched.
-func (h *durableHub) ReleaseTenant(name string) {
-	h.mu.Lock()
-	dt := h.tenants[name]
-	delete(h.tenants, name)
-	h.mu.Unlock()
-	if dt != nil {
-		if err := dt.ts.Close(); err != nil {
-			log.Printf("ossrv: tenant %s: close WAL: %v", name, err)
-		}
-	}
-}
-
-// ForgetTenant implements tenancy.Durability: close the tenant's WAL if it
-// was recovered, then drop it from the manifest and delete its directory.
-func (h *durableHub) ForgetTenant(name string) error {
-	h.mu.Lock()
-	dt := h.tenants[name]
-	delete(h.tenants, name)
-	h.mu.Unlock()
-	if dt != nil {
-		if err := dt.ts.Close(); err != nil {
-			log.Printf("ossrv: tenant %s: close WAL: %v", name, err)
-		}
-	}
-	return h.store.ForgetTenant(name)
-}
-
-// snapshotAll captures a snapshot of every recovered tenant. Errors are
-// logged, not fatal: the WAL still has every committed record, so a failed
-// snapshot only means a longer replay at the next recovery.
-func (h *durableHub) snapshotAll() {
-	for name, dt := range h.open() {
-		if seq, err := dt.ts.Snapshot(dt.eng); err != nil {
-			log.Printf("ossrv: tenant %s: snapshot: %v", name, err)
-		} else {
-			log.Printf("ossrv: tenant %s: snapshot through seq %d", name, seq)
-		}
-	}
-}
-
-// closeAll flushes and closes every open WAL (shutdown path).
-func (h *durableHub) closeAll() {
-	for name, dt := range h.open() {
-		if err := dt.ts.Close(); err != nil {
-			log.Printf("ossrv: tenant %s: close WAL: %v", name, err)
-		}
-	}
-	h.mu.Lock()
-	h.tenants = make(map[string]*durableTenant)
-	h.mu.Unlock()
-}
-
-func (h *durableHub) open() map[string]*durableTenant {
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	open := make(map[string]*durableTenant, len(h.tenants))
-	for name, dt := range h.tenants {
-		open[name] = dt
-	}
-	return open
 }
 
 // loadConfig assembles the ServerConfig the process runs with: the -config
@@ -300,100 +169,29 @@ func sortedKeys(m map[string]string) []string {
 
 func main() {
 	cfg, tenants := loadConfig()
-	seed := &cfg.Seed
-	cache := &cfg.CacheBudget
-	dataDir := &cfg.DataDir
-	engineResidualWorkers = cfg.ResidualWorkers
 
-	reg := cfg.NewRegistry()
-	// Dynamic registration (POST /v1/tenants) builds engines with the same
-	// opener as the startup flags; a request-supplied seed overrides the
-	// deployment default. With -data-dir the recoverer supersedes this.
-	reg.SetOpener(func(dataset string, reqSeed int64) (*sizelos.Engine, error) {
-		s := *seed
-		if reqSeed > 0 {
-			s = reqSeed
-		}
-		return openDataset(dataset, s)
+	node, err := nodehost.Boot(cfg, tenants, nodehost.Config{
+		Logf: func(format string, args ...any) {
+			log.Printf("ossrv: "+strings.TrimPrefix(format, "nodehost: "), args...)
+		},
 	})
-
-	var hub *durableHub
-	if *dataDir != "" {
-		store, err := durable.Open(durable.NewDirFS(*dataDir), durable.Options{
-			SyncInterval:  cfg.WALSync.Std(),
-			KeepSnapshots: cfg.KeepSnapshots,
-		})
-		if err != nil {
-			log.Fatalf("ossrv: open data dir %s: %v", *dataDir, err)
-		}
-		hub = newDurableHub(store, *seed)
-		reg.SetRecoverer(hub.Recover)
-		reg.SetDurability(hub)
-		// Manifest tenants recover lazily: pending until first touched, so
-		// a restart with many tenants is ready to listen immediately.
-		specs, err := store.LoadManifest()
-		if err != nil {
-			log.Fatalf("ossrv: %v", err)
-		}
-		for _, spec := range specs {
-			pend := tenancy.TenantSpec{Name: spec.Name, Dataset: spec.Dataset, Seed: spec.Seed, Cache: spec.Cache}
-			if err := reg.AddPending(pend); err != nil {
-				log.Fatalf("ossrv: manifest tenant %s: %v", spec.Name, err)
-			}
-			log.Printf("ossrv: tenant %s pending recovery (dataset %s)", spec.Name, spec.Dataset)
-		}
+	if err != nil {
+		log.Fatalf("ossrv: %v", err)
 	}
-
-	known := make(map[string]bool)
-	for _, name := range reg.Names() {
-		known[name] = true
-	}
-	for _, def := range tenants {
-		name, dataset, ok := strings.Cut(def, "=")
-		if !ok {
-			log.Fatalf("ossrv: bad -tenant %q (want name=dataset)", def)
-		}
-		if hub == nil {
-			eng, err := openDataset(dataset, *seed)
-			if err != nil {
-				log.Fatalf("ossrv: tenant %s: %v", name, err)
-			}
-			if _, err := reg.Register(name, eng, tenancy.Options{CacheBudget: *cache}); err != nil {
-				log.Fatalf("ossrv: %v", err)
-			}
-			log.Printf("ossrv: tenant %s ready (dataset %s, cache budget %d)", name, dataset, *cache)
-			continue
-		}
-		// Durable boot tenants: record the spec (unless the manifest already
-		// knows the name — its durable directory wins over the flag) and
-		// recover eagerly so an unrecoverable WAL fails the boot, loudly.
-		if !known[name] {
-			spec := tenancy.TenantSpec{Name: name, Dataset: dataset, Seed: *seed, Cache: *cache}
-			if err := reg.AddPending(spec); err != nil {
-				log.Fatalf("ossrv: tenant %s: %v", name, err)
-			}
-			if err := hub.RecordTenant(spec); err != nil {
-				log.Fatalf("ossrv: tenant %s: %v", name, err)
-			}
-		}
-		if _, _, err := reg.Resolve(name); err != nil {
-			log.Fatalf("ossrv: tenant %s: %v", name, err)
-		}
-		log.Printf("ossrv: tenant %s ready (dataset %s, cache budget %d)", name, dataset, *cache)
-	}
+	reg := node.Registry
 
 	ln, err := net.Listen("tcp", cfg.Addr)
 	if err != nil {
 		log.Fatalf("ossrv: listen %s: %v", cfg.Addr, err)
 	}
 	durability := "durability off"
-	if hub != nil {
-		durability = "data dir " + *dataDir
+	if node.Hub != nil {
+		durability = "data dir " + cfg.DataDir
 	}
 	log.Printf("ossrv: listening on %s — serving %d tenant(s) (shared pool size %d, %s)",
 		ln.Addr(), len(reg.Names()), reg.Pool().Stats().Size, durability)
 
-	srv := &http.Server{Handler: reg.Handler()}
+	srv := &http.Server{Handler: node.Handler()}
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- srv.Serve(ln) }()
 
@@ -401,7 +199,7 @@ func main() {
 	defer stop()
 
 	var tick <-chan time.Time
-	if hub != nil && cfg.SnapshotInterval > 0 {
+	if node.Hub != nil && cfg.SnapshotInterval > 0 {
 		ticker := time.NewTicker(cfg.SnapshotInterval.Std())
 		defer ticker.Stop()
 		tick = ticker.C
@@ -415,7 +213,7 @@ func main() {
 			}
 			log.Fatalf("ossrv: serve: %v", err)
 		case <-tick:
-			hub.snapshotAll()
+			node.SnapshotAll()
 		case <-ctx.Done():
 			// Restore default signal handling so a second signal kills hard.
 			stop()
@@ -426,62 +224,9 @@ func main() {
 			if err != nil {
 				log.Printf("ossrv: drain incomplete: %v", err)
 			}
-			if hub != nil {
-				hub.snapshotAll()
-				hub.closeAll()
-			}
+			node.Close() //errlint:ok (void Close: snapshots + closes every tenant internally)
 			log.Printf("ossrv: shutdown complete")
 			return
 		}
 	}
-}
-
-// restorer maps a dataset name to its snapshot-restore constructor.
-func restorer(dataset string) (func(*sizelos.EngineState) (*sizelos.Engine, error), error) {
-	switch dataset {
-	case "dblp":
-		return sizelos.RestoreDBLP, nil
-	case "tpch":
-		return sizelos.RestoreTPCH, nil
-	default:
-		return nil, fmt.Errorf("unknown dataset %q (want dblp or tpch)", dataset)
-	}
-}
-
-// engineResidualWorkers is the deployment-wide residual-push worker
-// override (ServerConfig.ResidualWorkers / -residual-workers); set once at
-// boot, before any engine exists, and applied to every engine the process
-// builds or recovers. 0 leaves the engine's auto-sizing in place.
-var engineResidualWorkers int
-
-// tuneEngine applies the deployment-wide engine knobs to a freshly built
-// or recovered engine; every construction path funnels through it.
-func tuneEngine(eng *sizelos.Engine) *sizelos.Engine {
-	if engineResidualWorkers != 0 {
-		eng.SetResidualWorkers(engineResidualWorkers)
-	}
-	return eng
-}
-
-func openDataset(dataset string, seed int64) (*sizelos.Engine, error) {
-	var (
-		eng *sizelos.Engine
-		err error
-	)
-	switch dataset {
-	case "dblp":
-		cfg := datagen.DefaultDBLPConfig()
-		cfg.Seed = seed
-		eng, err = sizelos.OpenDBLP(cfg)
-	case "tpch":
-		cfg := datagen.DefaultTPCHConfig()
-		cfg.Seed = seed
-		eng, err = sizelos.OpenTPCH(cfg)
-	default:
-		return nil, fmt.Errorf("unknown dataset %q (want dblp or tpch)", dataset)
-	}
-	if err != nil {
-		return nil, err
-	}
-	return tuneEngine(eng), nil
 }

@@ -22,8 +22,10 @@ import (
 // gating both keeps the early-termination gap itself under watch), and
 // the QoS fast path (the uncontended rate-limit + admission check every
 // served request pays — it must stay a rounding error next to the query
-// itself).
-const GateFamilies = "RankCompute|RankCompile|NewEngine|EndToEndSearch|DataGraphBuild|IndexBuild|MutateIncremental|RerankResidual|WALAppend|RecoveryReplay|QueryStream|QueryDrain|AdmissionOverhead"
+// itself), and the scale-out front door (one query through the
+// consistent-hash router and its reverse proxy to an owner node — gating
+// it next to EndToEndSearch keeps the routing tier's tax visible).
+const GateFamilies = "RankCompute|RankCompile|NewEngine|EndToEndSearch|DataGraphBuild|IndexBuild|MutateIncremental|RerankResidual|WALAppend|RecoveryReplay|QueryStream|QueryDrain|AdmissionOverhead|RoutedQuery"
 
 // ArchiveFamilies is the default benchjson archive set: every gated family
 // plus the Fig-10 paper-figure benches (measured for the trajectory but

@@ -1,0 +1,60 @@
+package loadgen
+
+import (
+	"sort"
+
+	"sizelos/internal/benchfmt"
+)
+
+// BenchResults renders a run in the benchfmt schema: one entry per op
+// class carrying p50/p99 milliseconds, one entry per fleet node carrying
+// its observed throughput, and a ledger entry for the consistency oracle.
+// The entries slot into a Report next to `go test -bench` results, so one
+// committed BENCH_<n>.json can hold both micro and macro numbers.
+func (r *Result) BenchResults() []benchfmt.Result {
+	var out []benchfmt.Result
+	classes := make([]string, 0, len(r.Classes))
+	for class := range r.Classes {
+		classes = append(classes, class)
+	}
+	sort.Strings(classes)
+	for _, class := range classes {
+		cs := r.Classes[class]
+		out = append(out, benchfmt.Result{
+			Name:       "Osload/" + class,
+			Iterations: cs.Count,
+			Metrics: map[string]float64{
+				"p50-ms": float64(cs.P50.Microseconds()) / 1000,
+				"p99-ms": float64(cs.P99.Microseconds()) / 1000,
+			},
+		})
+	}
+	nodes := make([]string, 0, len(r.PerNode))
+	for node := range r.PerNode {
+		nodes = append(nodes, node)
+	}
+	sort.Strings(nodes)
+	for _, node := range nodes {
+		ops := r.PerNode[node]
+		tput := 0.0
+		if r.Elapsed > 0 {
+			tput = float64(ops) / r.Elapsed.Seconds()
+		}
+		out = append(out, benchfmt.Result{
+			Name:       "Osload/node/" + node,
+			Iterations: ops,
+			Metrics:    map[string]float64{"ops-per-sec": tput},
+		})
+	}
+	out = append(out, benchfmt.Result{
+		Name:       "Osload/consistency",
+		Iterations: r.Ops,
+		Metrics: map[string]float64{
+			"acked":    float64(r.Acked),
+			"verified": float64(r.Verified),
+			"missing":  float64(len(r.Missing)),
+			"errors":   float64(r.Errors),
+		},
+	})
+	return out
+}

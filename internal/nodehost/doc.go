@@ -1,0 +1,22 @@
+// Package nodehost assembles one ossrv fleet node's serving stack: dataset
+// construction, engine tuning, and the Hub that wires a tenancy.Registry to
+// a durable.Store (recover on first touch, record/forget/release tenant
+// lifecycle, periodic and shutdown snapshots).
+//
+// It exists as a package — rather than living inside cmd/ossrv — so that
+// the routing tier's tests and the scale-out harness can boot full durable
+// nodes in-process: a fleet test needs three of these, and a migration test
+// needs to drive the release/adopt handoff against real WALs.
+//
+// Invariants:
+//
+//   - Specs are recorded with their seed resolved (a changed deployment
+//     default must never silently diverge a tenant's recovery recipe).
+//   - ReleaseTenant closes the tenant's WAL after a best-effort final
+//     snapshot but never deletes durable state; ForgetTenant deletes it.
+//     The tenancy layer guarantees a released (migrated-away) name cannot
+//     be re-adopted on this node without explicit re-registration.
+//   - LookupPending re-reads the shared manifest, so a node can adopt on
+//     first touch a tenant that another fleet node recorded after this
+//     node booted.
+package nodehost

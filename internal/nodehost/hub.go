@@ -1,0 +1,267 @@
+package nodehost
+
+import (
+	"fmt"
+	"log"
+	"sync"
+
+	"sizelos"
+	"sizelos/internal/datagen"
+	"sizelos/internal/durable"
+	"sizelos/internal/tenancy"
+)
+
+// Config carries the deployment-wide knobs every engine a node builds or
+// recovers is tuned with.
+type Config struct {
+	// DefaultSeed is the dataset generator seed used when a spec does not
+	// pin its own (spec.Seed <= 0).
+	DefaultSeed int64
+	// ResidualWorkers pins every engine's parallel residual-push worker
+	// count; 0 leaves the engine's auto-sizing in place. Any value serves
+	// bit-identical scores.
+	ResidualWorkers int
+	// Open overrides fresh dataset construction (tests substitute tiny
+	// recipes); nil means OpenDataset. The override must be deterministic
+	// in (dataset, seed) — recovery rebuilds through it.
+	Open func(dataset string, seed int64) (*sizelos.Engine, error)
+	// Logf receives operational log lines; nil means log.Printf.
+	Logf func(format string, args ...any)
+}
+
+// openDataset funnels every fresh engine build through the override seam
+// and the deployment-wide tuning knobs.
+func (c Config) openDataset(dataset string, seed int64) (*sizelos.Engine, error) {
+	if c.Open != nil {
+		eng, err := c.Open(dataset, seed)
+		if err != nil {
+			return nil, err
+		}
+		return c.tune(eng), nil
+	}
+	return OpenDataset(dataset, seed, c)
+}
+
+func (c Config) logf(format string, args ...any) {
+	if c.Logf != nil {
+		c.Logf(format, args...)
+		return
+	}
+	log.Printf(format, args...)
+}
+
+// resolveSeed pins a concrete seed: dataset recipes must not silently
+// change when the deployment default does, so specs are recorded resolved.
+func (c Config) resolveSeed(s int64) int64 {
+	if s > 0 {
+		return s
+	}
+	return c.DefaultSeed
+}
+
+// tune applies the deployment-wide engine knobs; every construction path
+// funnels through it (fresh builds and snapshot restores alike).
+func (c Config) tune(eng *sizelos.Engine) *sizelos.Engine {
+	if c.ResidualWorkers != 0 {
+		eng.SetResidualWorkers(c.ResidualWorkers)
+	}
+	return eng
+}
+
+// OpenDataset builds a ready-to-serve engine for a named synthetic dataset.
+func OpenDataset(dataset string, seed int64, cfg Config) (*sizelos.Engine, error) {
+	var (
+		eng *sizelos.Engine
+		err error
+	)
+	switch dataset {
+	case "dblp":
+		c := datagen.DefaultDBLPConfig()
+		c.Seed = seed
+		eng, err = sizelos.OpenDBLP(c)
+	case "tpch":
+		c := datagen.DefaultTPCHConfig()
+		c.Seed = seed
+		eng, err = sizelos.OpenTPCH(c)
+	default:
+		return nil, fmt.Errorf("unknown dataset %q (want dblp or tpch)", dataset)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return cfg.tune(eng), nil
+}
+
+// Restorer maps a dataset name to its snapshot-restore constructor.
+func Restorer(dataset string) (func(*sizelos.EngineState) (*sizelos.Engine, error), error) {
+	switch dataset {
+	case "dblp":
+		return sizelos.RestoreDBLP, nil
+	case "tpch":
+		return sizelos.RestoreTPCH, nil
+	default:
+		return nil, fmt.Errorf("unknown dataset %q (want dblp or tpch)", dataset)
+	}
+}
+
+// Hub wires the registry's durability seam to a durable.Store: it recovers
+// tenants from their WAL+snapshot directories, records the tenant
+// lifecycle in the store manifest, and tracks every open TenantStore so
+// the snapshot ticker and the shutdown path can reach them. It implements
+// tenancy.Recoverer (Recover), tenancy.Durability, and tenancy's
+// PendingLoader (LookupPending).
+type Hub struct {
+	store *durable.Store
+	cfg   Config
+
+	mu      sync.Mutex
+	tenants map[string]*hubTenant
+}
+
+type hubTenant struct {
+	ts  *durable.TenantStore
+	eng *sizelos.Engine
+}
+
+// NewHub builds a hub over an opened store.
+func NewHub(store *durable.Store, cfg Config) *Hub {
+	return &Hub{store: store, cfg: cfg, tenants: make(map[string]*hubTenant)}
+}
+
+// Config exposes the hub's engine-construction knobs (for the opener the
+// non-durable registration path shares).
+func (h *Hub) Config() Config { return h.cfg }
+
+// ResolveSeed pins a spec seed against the deployment default.
+func (h *Hub) ResolveSeed(s int64) int64 { return h.cfg.resolveSeed(s) }
+
+// Recover implements tenancy.Recoverer: rebuild the tenant from its
+// durable directory (newest valid snapshot + WAL-tail replay; a fresh
+// dataset build when nothing durable exists yet) and leave its WAL
+// attached as the engine's mutation log.
+func (h *Hub) Recover(spec tenancy.TenantSpec) (*sizelos.Engine, error) {
+	restore, err := Restorer(spec.Dataset)
+	if err != nil {
+		return nil, err
+	}
+	seed := h.cfg.resolveSeed(spec.Seed)
+	ts := h.store.Tenant(spec.Name)
+	eng, info, err := ts.Recover(restore, func() (*sizelos.Engine, error) {
+		return h.cfg.openDataset(spec.Dataset, seed)
+	})
+	if err != nil {
+		return nil, err
+	}
+	// Snapshot-restored engines bypass OpenDataset; re-apply the knobs.
+	h.cfg.tune(eng)
+	h.mu.Lock()
+	h.tenants[spec.Name] = &hubTenant{ts: ts, eng: eng}
+	h.mu.Unlock()
+	h.cfg.logf("nodehost: tenant %s recovered (dataset %s, snapshot seq %d, %d records replayed, seq %d)",
+		spec.Name, spec.Dataset, info.SnapshotSeq, info.Replayed, info.Seq)
+	return eng, nil
+}
+
+// RecordTenant implements tenancy.Durability.
+func (h *Hub) RecordTenant(spec tenancy.TenantSpec) error {
+	return h.store.RecordTenant(durable.TenantSpec{
+		Name:    spec.Name,
+		Dataset: spec.Dataset,
+		Seed:    h.cfg.resolveSeed(spec.Seed),
+		Cache:   spec.Cache,
+	})
+}
+
+// ReleaseTenant implements tenancy.Durability: close the open TenantStore
+// of a tenant leaving this node, WITHOUT touching its manifest entry or
+// on-disk state. On the migration handoff path a best-effort final
+// snapshot is taken first, so the new owner's first-touch recovery replays
+// a short WAL tail instead of the whole log; a failed snapshot only costs
+// replay time (the WAL has every committed record) and is logged, not
+// fatal.
+func (h *Hub) ReleaseTenant(name string) {
+	h.mu.Lock()
+	dt := h.tenants[name]
+	delete(h.tenants, name)
+	h.mu.Unlock()
+	if dt == nil {
+		return
+	}
+	if seq, err := dt.ts.Snapshot(dt.eng); err != nil {
+		h.cfg.logf("nodehost: tenant %s: final snapshot before release: %v", name, err)
+	} else {
+		h.cfg.logf("nodehost: tenant %s: released with final snapshot through seq %d", name, seq)
+	}
+	if err := dt.ts.Close(); err != nil {
+		h.cfg.logf("nodehost: tenant %s: close WAL: %v", name, err)
+	}
+}
+
+// ForgetTenant implements tenancy.Durability: close the tenant's WAL if it
+// was recovered, then drop it from the manifest and delete its directory.
+func (h *Hub) ForgetTenant(name string) error {
+	h.mu.Lock()
+	dt := h.tenants[name]
+	delete(h.tenants, name)
+	h.mu.Unlock()
+	if dt != nil {
+		if err := dt.ts.Close(); err != nil {
+			h.cfg.logf("nodehost: tenant %s: close WAL: %v", name, err)
+		}
+	}
+	return h.store.ForgetTenant(name)
+}
+
+// LookupPending implements the registry's PendingLoader seam: re-read the
+// (possibly shared) manifest for a name this process has never heard of,
+// so a tenant recorded by another fleet node — or migrated here — can be
+// adopted on first touch. The tenancy layer guards the released-name case;
+// this lookup is a plain manifest probe.
+func (h *Hub) LookupPending(name string) (tenancy.TenantSpec, bool) {
+	specs, err := h.store.LoadManifest()
+	if err != nil {
+		h.cfg.logf("nodehost: pending lookup for %s: %v", name, err)
+		return tenancy.TenantSpec{}, false
+	}
+	for _, spec := range specs {
+		if spec.Name == name {
+			return tenancy.TenantSpec{Name: spec.Name, Dataset: spec.Dataset, Seed: spec.Seed, Cache: spec.Cache}, true
+		}
+	}
+	return tenancy.TenantSpec{}, false
+}
+
+// SnapshotAll captures a snapshot of every recovered tenant. Errors are
+// logged, not fatal: the WAL still has every committed record, so a failed
+// snapshot only means a longer replay at the next recovery.
+func (h *Hub) SnapshotAll() {
+	for name, dt := range h.open() {
+		if seq, err := dt.ts.Snapshot(dt.eng); err != nil {
+			h.cfg.logf("nodehost: tenant %s: snapshot: %v", name, err)
+		} else {
+			h.cfg.logf("nodehost: tenant %s: snapshot through seq %d", name, seq)
+		}
+	}
+}
+
+// CloseAll flushes and closes every open WAL (shutdown path).
+func (h *Hub) CloseAll() {
+	for name, dt := range h.open() {
+		if err := dt.ts.Close(); err != nil {
+			h.cfg.logf("nodehost: tenant %s: close WAL: %v", name, err)
+		}
+	}
+	h.mu.Lock()
+	h.tenants = make(map[string]*hubTenant)
+	h.mu.Unlock()
+}
+
+func (h *Hub) open() map[string]*hubTenant {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	open := make(map[string]*hubTenant, len(h.tenants))
+	for name, dt := range h.tenants {
+		open[name] = dt
+	}
+	return open
+}

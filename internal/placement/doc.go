@@ -1,0 +1,21 @@
+// Package placement assigns tenants to fleet members with a consistent-hash
+// ring so that membership changes move as few tenants as possible.
+//
+// Invariants (pinned by ring_test.go and FuzzRingPlacement):
+//
+//   - Exact cover: with at least one member, every key has exactly one
+//     owner, and that owner is a current member. Owner is a pure function
+//     of (member set, virtual-node count, key) — two rings built from the
+//     same member set in any insertion order agree on every key.
+//   - Minimal disruption: adding member m changes a key's owner only TO m;
+//     removing m changes a key's owner only FOR keys m owned. With V
+//     virtual nodes per member the expected moved fraction on an add is
+//     1/(N+1) of the key space.
+//   - Agreement: Ring.Table is definitionally the per-key Owner lookup, so
+//     a routing table snapshot can never disagree with live routing.
+//
+// The ring hashes with FNV-64a — stable across processes, architectures,
+// and Go releases — because routers and tests on different machines must
+// place tenants identically. Ties between points (hash collisions across
+// members) are broken by member name, keeping placement deterministic.
+package placement

@@ -1,0 +1,100 @@
+package placement
+
+import (
+	"fmt"
+	"testing"
+)
+
+// FuzzRingPlacement drives a ring through an arbitrary membership history
+// (2 bytes per op: opcode + member index in a 16-name namespace) and checks
+// the package invariants after every step:
+//
+//   - exact cover: every probe key has exactly one owner, a current member,
+//     and the binary-search Owner agrees with a linear-scan reference;
+//   - table agreement: Ring.Table matches per-key Owner;
+//   - minimal disruption: an add moves keys only to the added member, a
+//     remove moves only the removed member's keys;
+//   - rebuild determinism: a fresh ring built from the final member set
+//     places every probe key identically.
+func FuzzRingPlacement(f *testing.F) {
+	f.Add([]byte{0x00, 0x01, 0x00, 0x02, 0x00, 0x03})             // add three members
+	f.Add([]byte{0x00, 0x01, 0x00, 0x02, 0x01, 0x01})             // add, add, remove first
+	f.Add([]byte{0x01, 0x05})                                     // remove from empty
+	f.Add([]byte{0x00, 0x00, 0x00, 0x00, 0x01, 0x00, 0x00, 0x00}) // add dup, remove, re-add
+	f.Add([]byte{0x00, 0x0f, 0x01, 0x0f, 0x00, 0x0e, 0x00, 0x0d, 0x01, 0x0e})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		const vnodes = 16
+		keys := probeKeys(64)
+		r := New(vnodes)
+		mirror := make(map[string]bool)
+		check := func(stage string) map[string]string {
+			if got, want := len(r.Members()), len(mirror); got != want {
+				t.Fatalf("%s: ring has %d members, mirror %d", stage, got, want)
+			}
+			table := r.Table(keys)
+			for _, k := range keys {
+				owner, ok := r.Owner(k)
+				if len(mirror) == 0 {
+					if ok {
+						t.Fatalf("%s: empty ring owns %s", stage, k)
+					}
+					continue
+				}
+				if !ok || !mirror[owner] {
+					t.Fatalf("%s: Owner(%s) = %q, %v; members %v", stage, k, owner, ok, r.Members())
+				}
+				if table[k] != owner {
+					t.Fatalf("%s: Table disagrees with Owner for %s: %s vs %s", stage, k, table[k], owner)
+				}
+				if ref, _ := referenceOwner(r, k); ref != owner {
+					t.Fatalf("%s: Owner(%s) = %s, reference %s", stage, k, owner, ref)
+				}
+			}
+			return table
+		}
+		before := check("init")
+		for i := 0; i+1 < len(data); i += 2 {
+			member := fmt.Sprintf("node-%x", data[i+1]&0x0f)
+			switch data[i] % 2 {
+			case 0:
+				changed := r.Add(member)
+				if changed == mirror[member] {
+					t.Fatalf("Add(%s) changed=%v but mirror had=%v", member, changed, mirror[member])
+				}
+				mirror[member] = true
+				after := check("add " + member)
+				for _, k := range keys {
+					if old, had := before[k]; had && after[k] != old && after[k] != member {
+						t.Fatalf("add %s moved %s from %s to %s", member, k, old, after[k])
+					}
+				}
+				before = after
+			case 1:
+				changed := r.Remove(member)
+				if changed != mirror[member] {
+					t.Fatalf("Remove(%s) changed=%v but mirror had=%v", member, changed, mirror[member])
+				}
+				delete(mirror, member)
+				after := check("remove " + member)
+				for _, k := range keys {
+					if old := before[k]; old != member && after[k] != old {
+						t.Fatalf("remove %s moved %s from %s to %s", member, k, old, after[k])
+					}
+				}
+				before = after
+			}
+		}
+		// A ring rebuilt from scratch over the surviving member set must
+		// agree with the incrementally maintained one on every key.
+		fresh := New(vnodes)
+		for m := range mirror {
+			fresh.Add(m)
+		}
+		freshTable := fresh.Table(keys)
+		for _, k := range keys {
+			if freshTable[k] != before[k] {
+				t.Fatalf("rebuilt ring places %s on %s, incremental ring on %s", k, freshTable[k], before[k])
+			}
+		}
+	})
+}

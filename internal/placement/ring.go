@@ -1,0 +1,172 @@
+package placement
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"strconv"
+)
+
+// DefaultVirtualNodes is the per-member point count when New is given a
+// non-positive value. 64 keeps the expected load imbalance across a small
+// fleet within a few percent while ring rebuilds stay trivially cheap.
+const DefaultVirtualNodes = 64
+
+// point is one virtual node: a position on the ring owned by a member.
+type point struct {
+	hash   uint64
+	member string
+}
+
+// Ring is a consistent-hash ring with virtual nodes. The zero value is not
+// usable; construct with New. Ring is not safe for concurrent mutation —
+// callers that route while re-ringing hold their own lock or Clone.
+type Ring struct {
+	vnodes  int
+	members map[string]bool
+	points  []point // sorted by (hash, member)
+}
+
+// New returns an empty ring with vnodes virtual nodes per member
+// (non-positive: DefaultVirtualNodes).
+func New(vnodes int) *Ring {
+	if vnodes <= 0 {
+		vnodes = DefaultVirtualNodes
+	}
+	return &Ring{vnodes: vnodes, members: make(map[string]bool)}
+}
+
+// Clone returns an independent copy; mutations of either ring never touch
+// the other. Routers swap a cloned-and-modified ring in atomically so every
+// request sees one coherent membership.
+func (r *Ring) Clone() *Ring {
+	c := &Ring{vnodes: r.vnodes, members: make(map[string]bool, len(r.members))}
+	for m := range r.members {
+		c.members[m] = true
+	}
+	c.points = append([]point(nil), r.points...)
+	return c
+}
+
+// VirtualNodes reports the per-member point count the ring was built with.
+func (r *Ring) VirtualNodes() int { return r.vnodes }
+
+// Len reports the member count.
+func (r *Ring) Len() int { return len(r.members) }
+
+// Members returns the member set, sorted.
+func (r *Ring) Members() []string {
+	out := make([]string, 0, len(r.members))
+	for m := range r.members {
+		out = append(out, m)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Has reports whether member is on the ring.
+func (r *Ring) Has(member string) bool { return r.members[member] }
+
+// Add places member's virtual nodes on the ring. Adding a present member is
+// a no-op; ok reports whether the ring changed.
+func (r *Ring) Add(member string) bool {
+	if member == "" || r.members[member] {
+		return false
+	}
+	r.members[member] = true
+	for i := 0; i < r.vnodes; i++ {
+		r.points = append(r.points, point{hash: vnodeHash(member, i), member: member})
+	}
+	sort.Slice(r.points, func(a, b int) bool {
+		if r.points[a].hash != r.points[b].hash {
+			return r.points[a].hash < r.points[b].hash
+		}
+		return r.points[a].member < r.points[b].member
+	})
+	return true
+}
+
+// Remove takes member's virtual nodes off the ring; its keys redistribute
+// to the remaining members. ok reports whether the ring changed.
+func (r *Ring) Remove(member string) bool {
+	if !r.members[member] {
+		return false
+	}
+	delete(r.members, member)
+	kept := r.points[:0]
+	for _, p := range r.points {
+		if p.member != member {
+			kept = append(kept, p)
+		}
+	}
+	r.points = kept
+	return true
+}
+
+// Owner returns the member owning key: the member of the first point at or
+// clockwise after the key's hash, wrapping at the top of the space. ok is
+// false only on an empty ring.
+func (r *Ring) Owner(key string) (member string, ok bool) {
+	if len(r.points) == 0 {
+		return "", false
+	}
+	h := keyHash(key)
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if i == len(r.points) {
+		i = 0
+	}
+	return r.points[i].member, true
+}
+
+// Table snapshots the routing of every named key. It is definitionally the
+// per-key Owner lookup, so a table handed to an operator (or asserted by a
+// test) can never disagree with live routing. Keys on an empty ring are
+// absent from the table.
+func (r *Ring) Table(keys []string) map[string]string {
+	out := make(map[string]string, len(keys))
+	for _, k := range keys {
+		if m, ok := r.Owner(k); ok {
+			out[k] = m
+		}
+	}
+	return out
+}
+
+// String summarizes the ring for logs.
+func (r *Ring) String() string {
+	return fmt.Sprintf("ring{%d members, %d vnodes each}", len(r.members), r.vnodes)
+}
+
+// keyHash positions a key on the ring: FNV-64a through an avalanche
+// finalizer, stable across processes so every router and node in a fleet
+// places tenants identically.
+func keyHash(key string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(key))
+	return mix64(h.Sum64())
+}
+
+// vnodeHash positions one of a member's virtual nodes. The label embeds a
+// separator no valid member URL or tenant name contains, so distinct
+// (member, index) pairs can't alias each other's labels.
+func vnodeHash(member string, idx int) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(member))
+	h.Write([]byte{0})
+	h.Write([]byte(strconv.Itoa(idx)))
+	return mix64(h.Sum64())
+}
+
+// mix64 is the MurmurHash3/SplitMix64 avalanche finalizer. Raw FNV-64a of
+// short, near-identical labels ("node\x001", "node\x002", …) clusters on
+// the ring badly enough that one member of five can own double its share;
+// the finalizer spreads those points uniformly while staying a pure,
+// process-independent function of the FNV value.
+func mix64(x uint64) uint64 {
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	x *= 0xc4ceb9fe1a85ec53
+	x ^= x >> 33
+	return x
+}

@@ -1,0 +1,194 @@
+package placement
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+func probeKeys(n int) []string {
+	keys := make([]string, n)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("tenant-%03d", i)
+	}
+	return keys
+}
+
+// referenceOwner recomputes a key's owner by linear scan over a freshly
+// sorted copy of the ring's points — the specification Owner's binary
+// search must agree with.
+func referenceOwner(r *Ring, key string) (string, bool) {
+	if len(r.points) == 0 {
+		return "", false
+	}
+	pts := append([]point(nil), r.points...)
+	sort.Slice(pts, func(a, b int) bool {
+		if pts[a].hash != pts[b].hash {
+			return pts[a].hash < pts[b].hash
+		}
+		return pts[a].member < pts[b].member
+	})
+	h := keyHash(key)
+	for _, p := range pts {
+		if p.hash >= h {
+			return p.member, true
+		}
+	}
+	return pts[0].member, true
+}
+
+func TestRingExactCover(t *testing.T) {
+	r := New(32)
+	if _, ok := r.Owner("anything"); ok {
+		t.Fatal("empty ring claimed an owner")
+	}
+	members := []string{"node-a", "node-b", "node-c"}
+	for _, m := range members {
+		if !r.Add(m) {
+			t.Fatalf("Add(%s) reported no change", m)
+		}
+	}
+	if r.Add("node-a") {
+		t.Fatal("re-adding a member reported a change")
+	}
+	memberSet := map[string]bool{"node-a": true, "node-b": true, "node-c": true}
+	for _, k := range probeKeys(500) {
+		owner, ok := r.Owner(k)
+		if !ok || !memberSet[owner] {
+			t.Fatalf("Owner(%s) = %q, %v; want a current member", k, owner, ok)
+		}
+		if ref, _ := referenceOwner(r, k); ref != owner {
+			t.Fatalf("Owner(%s) = %s, reference says %s", k, owner, ref)
+		}
+	}
+}
+
+func TestRingDeterministicAcrossInsertionOrder(t *testing.T) {
+	keys := probeKeys(300)
+	build := func(order []string) map[string]string {
+		r := New(0)
+		for _, m := range order {
+			r.Add(m)
+		}
+		return r.Table(keys)
+	}
+	a := build([]string{"n1", "n2", "n3", "n4"})
+	b := build([]string{"n4", "n2", "n1", "n3"})
+	for k, owner := range a {
+		if b[k] != owner {
+			t.Fatalf("placement depends on insertion order: %s -> %s vs %s", k, owner, b[k])
+		}
+	}
+	// Remove-then-re-add restores the original placement exactly.
+	r := New(0)
+	for _, m := range []string{"n1", "n2", "n3", "n4"} {
+		r.Add(m)
+	}
+	r.Remove("n2")
+	r.Add("n2")
+	for k, owner := range r.Table(keys) {
+		if a[k] != owner {
+			t.Fatalf("remove+re-add moved %s: %s -> %s", k, a[k], owner)
+		}
+	}
+}
+
+func TestRingMinimalDisruption(t *testing.T) {
+	keys := probeKeys(2000)
+	r := New(0)
+	for _, m := range []string{"n1", "n2", "n3"} {
+		r.Add(m)
+	}
+	before := r.Table(keys)
+
+	// Adding a member may move a key only TO the new member.
+	r.Add("n4")
+	after := r.Table(keys)
+	moved := 0
+	for _, k := range keys {
+		if after[k] != before[k] {
+			if after[k] != "n4" {
+				t.Fatalf("add moved %s from %s to %s (not the new member)", k, before[k], after[k])
+			}
+			moved++
+		}
+	}
+	// Expected moved fraction is 1/4; with 64 vnodes the variance is small.
+	// Bound it loosely so the test pins the property, not the noise.
+	if frac := float64(moved) / float64(len(keys)); frac < 0.05 || frac > 0.50 {
+		t.Fatalf("add moved %.1f%% of keys, want ~25%%", frac*100)
+	}
+
+	// Removing a member may move only the keys it owned.
+	r.Remove("n2")
+	final := r.Table(keys)
+	for _, k := range keys {
+		if final[k] != after[k] && after[k] != "n2" {
+			t.Fatalf("remove(n2) moved %s owned by %s", k, after[k])
+		}
+		if final[k] == "n2" {
+			t.Fatalf("%s still routed to removed member", k)
+		}
+	}
+}
+
+func TestRingBalance(t *testing.T) {
+	r := New(0)
+	members := []string{"n1", "n2", "n3", "n4", "n5"}
+	for _, m := range members {
+		r.Add(m)
+	}
+	rng := rand.New(rand.NewSource(42))
+	counts := make(map[string]int)
+	const n = 20000
+	for i := 0; i < n; i++ {
+		owner, _ := r.Owner(fmt.Sprintf("key-%d-%d", i, rng.Int63()))
+		counts[owner]++
+	}
+	want := float64(n) / float64(len(members))
+	for _, m := range members {
+		if c := float64(counts[m]); c < want*0.5 || c > want*1.5 {
+			t.Fatalf("member %s owns %d of %d keys (want ~%d ±50%%): %v", m, counts[m], n, int(want), counts)
+		}
+	}
+}
+
+func TestRingCloneIsIndependent(t *testing.T) {
+	r := New(16)
+	r.Add("n1")
+	r.Add("n2")
+	keys := probeKeys(100)
+	before := r.Table(keys)
+	c := r.Clone()
+	c.Add("n3")
+	c.Remove("n1")
+	for k, owner := range r.Table(keys) {
+		if before[k] != owner {
+			t.Fatalf("mutating the clone moved %s on the original", k)
+		}
+	}
+	if !c.Has("n3") || c.Has("n1") || r.Has("n3") {
+		t.Fatal("clone membership leaked")
+	}
+}
+
+func TestRingRemoveLastMember(t *testing.T) {
+	r := New(8)
+	r.Add("only")
+	if owner, ok := r.Owner("k"); !ok || owner != "only" {
+		t.Fatalf("single-member ring: owner = %q, %v", owner, ok)
+	}
+	if !r.Remove("only") {
+		t.Fatal("Remove reported no change")
+	}
+	if r.Remove("only") {
+		t.Fatal("double Remove reported a change")
+	}
+	if _, ok := r.Owner("k"); ok {
+		t.Fatal("emptied ring still claims an owner")
+	}
+	if len(r.points) != 0 {
+		t.Fatalf("emptied ring retains %d points", len(r.points))
+	}
+}

@@ -1,0 +1,279 @@
+package router
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+	"time"
+
+	"sizelos/internal/tenancy"
+)
+
+// MemberStatus is one row of GET /router/members.
+type MemberStatus struct {
+	Name     string `json:"name"`
+	URL      string `json:"url"`
+	Healthy  bool   `json:"healthy"`
+	Requests int64  `json:"requests"`
+	Errors   int64  `json:"errors"`
+}
+
+// MigrateRequest is the body of POST /router/migrate.
+type MigrateRequest struct {
+	Tenant string `json:"tenant"`
+	To     string `json:"to"`
+}
+
+// MigrateResponse reports a completed handoff.
+type MigrateResponse struct {
+	Tenant string `json:"tenant"`
+	From   string `json:"from"`
+	To     string `json:"to"`
+}
+
+// serveAdmin is the /router/* control plane:
+//
+//	GET    /router/members         -> [MemberStatus] (health + per-node counters)
+//	POST   /router/members         -> add a member {name,url}; triggers a rebalance
+//	DELETE /router/members/{name}  -> remove a member; its tenants rehash
+//	POST   /router/migrate         -> MigrateRequest: drain, release, repin
+//	GET    /router/ring?key=t      -> owner of one key, or the full member list
+//
+// AdminToken (when configured) guards every route.
+func (r *Router) serveAdmin(w http.ResponseWriter, req *http.Request) {
+	if r.cfg.AdminToken != "" {
+		if req.Header.Get("Authorization") != "Bearer "+r.cfg.AdminToken {
+			w.Header().Set("WWW-Authenticate", `Bearer realm="sizelos router"`)
+			writeEnvelope(w, http.StatusUnauthorized, tenancy.CodeUnauthorized, "admin token required", false)
+			return
+		}
+	}
+	path := req.URL.Path
+	switch {
+	case path == "/router/members" && req.Method == http.MethodGet:
+		r.serveMembers(w)
+	case path == "/router/members" && req.Method == http.MethodPost:
+		r.serveAddMember(w, req)
+	case strings.HasPrefix(path, "/router/members/") && req.Method == http.MethodDelete:
+		r.serveRemoveMember(w, strings.TrimPrefix(path, "/router/members/"))
+	case path == "/router/migrate" && req.Method == http.MethodPost:
+		r.serveMigrate(w, req)
+	case path == "/router/ring" && req.Method == http.MethodGet:
+		r.serveRing(w, req)
+	default:
+		writeEnvelope(w, http.StatusNotFound, tenancy.CodeNotFound, "no such endpoint", false)
+	}
+}
+
+func (r *Router) serveMembers(w http.ResponseWriter) {
+	r.mu.RLock()
+	out := make([]MemberStatus, 0, len(r.members))
+	for _, name := range sortedMemberNames(r.members) {
+		mem := r.members[name]
+		out = append(out, MemberStatus{
+			Name: mem.name, URL: mem.url.String(), Healthy: mem.healthy,
+			Requests: mem.requests.Load(), Errors: mem.errors.Load(),
+		})
+	}
+	r.mu.RUnlock()
+	writeJSON(w, http.StatusOK, map[string]any{"members": out})
+}
+
+func (r *Router) serveAddMember(w http.ResponseWriter, req *http.Request) {
+	var m Member
+	if err := json.NewDecoder(http.MaxBytesReader(w, req.Body, 1<<20)).Decode(&m); err != nil {
+		writeEnvelope(w, http.StatusBadRequest, tenancy.CodeBadRequest, "bad member body", false)
+		return
+	}
+	r.mu.Lock()
+	err := r.addMemberLocked(m)
+	r.mu.Unlock()
+	if err != nil {
+		writeEnvelope(w, http.StatusBadRequest, tenancy.CodeBadRequest, err.Error(), false)
+		return
+	}
+	r.logf("router: member %s (%s) added", m.Name, m.URL)
+	// The new member now owns ~1/N of the key space; move those tenants.
+	r.rebalance()
+	writeJSON(w, http.StatusCreated, map[string]string{"added": m.Name})
+}
+
+func (r *Router) serveRemoveMember(w http.ResponseWriter, name string) {
+	r.mu.Lock()
+	mem, ok := r.members[name]
+	if ok {
+		delete(r.members, name)
+		r.ring.Remove(name)
+		for tenant, pin := range r.pins {
+			if pin == name {
+				delete(r.pins, tenant)
+			}
+		}
+	}
+	left := len(r.members)
+	r.mu.Unlock()
+	if !ok {
+		writeEnvelope(w, http.StatusNotFound, tenancy.CodeNotFound,
+			fmt.Sprintf("no member %q", name), false)
+		return
+	}
+	// A graceful removal releases the leaving node's live tenants so their
+	// new owners adopt cleanly; if the node is already gone this is a
+	// logged no-op and first-touch recovery covers it.
+	if err := r.drainAll(mem); err != nil {
+		r.logf("router: remove %s: %v", name, err)
+	}
+	r.logf("router: member %s removed (%d remain)", name, left)
+	r.rebalance()
+	writeJSON(w, http.StatusOK, map[string]string{"removed": name})
+}
+
+// drainAll releases every tenant live on a leaving member.
+func (r *Router) drainAll(mem *member) error {
+	var out struct {
+		Tenants []string `json:"tenants"`
+	}
+	if err := r.getJSON(mem, "/v1/tenants?live=1", &out); err != nil {
+		return err
+	}
+	for _, tenant := range out.Tenants {
+		if err := r.release(mem, tenant); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// serveMigrate executes a live handoff: drain the tenant at the router
+// (new requests 503-retryable), wait out in-flight requests, release the
+// current owner, then atomically pin the tenant to the target. The next
+// request recovers the tenant there from the shared data dir.
+func (r *Router) serveMigrate(w http.ResponseWriter, req *http.Request) {
+	var body MigrateRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, req.Body, 1<<20)).Decode(&body); err != nil ||
+		body.Tenant == "" || body.To == "" {
+		writeEnvelope(w, http.StatusBadRequest, tenancy.CodeBadRequest,
+			`migrate body needs {"tenant":..., "to":...}`, false)
+		return
+	}
+
+	r.mu.Lock()
+	target, ok := r.members[body.To]
+	if !ok || !target.healthy {
+		r.mu.Unlock()
+		writeEnvelope(w, http.StatusBadRequest, tenancy.CodeBadRequest,
+			fmt.Sprintf("no healthy member %q", body.To), false)
+		return
+	}
+	if _, mid := r.draining[body.Tenant]; mid {
+		r.mu.Unlock()
+		writeEnvelope(w, http.StatusConflict, tenancy.CodeConflict,
+			fmt.Sprintf("tenant %s is already migrating", body.Tenant), false)
+		return
+	}
+	fromName, _ := r.ownerLocked(body.Tenant)
+	if fromName == body.To {
+		r.mu.Unlock()
+		writeJSON(w, http.StatusOK, MigrateResponse{Tenant: body.Tenant, From: fromName, To: body.To})
+		return
+	}
+	from := r.members[fromName]
+	done := make(chan struct{})
+	r.draining[body.Tenant] = done
+	r.mu.Unlock()
+
+	finish := func() {
+		r.mu.Lock()
+		delete(r.draining, body.Tenant)
+		r.mu.Unlock()
+		close(done)
+	}
+
+	// New requests are now refused; wait for the in-flight ones.
+	if !r.awaitIdle(body.Tenant, r.cfg.DrainTimeout) {
+		finish()
+		w.Header().Set("Retry-After", "1")
+		writeEnvelope(w, http.StatusServiceUnavailable, tenancy.CodeOverloaded,
+			fmt.Sprintf("tenant %s did not drain within %s", body.Tenant, r.cfg.DrainTimeout), true)
+		return
+	}
+	// Old owner takes a final snapshot and closes the WAL before the pin
+	// flips — the single-writer invariant holds throughout.
+	if from != nil {
+		if err := r.release(from, body.Tenant); err != nil {
+			finish()
+			writeEnvelope(w, http.StatusBadGateway, tenancy.CodeOverloaded,
+				fmt.Sprintf("release on %s failed: %v", fromName, err), true)
+			return
+		}
+	}
+	// The target may have released this tenant in an earlier handoff
+	// (A -> B -> A round trip); re-arm adoption there before the pin flips.
+	if err := r.adopt(target, body.Tenant); err != nil {
+		r.logf("router: migrate: re-arm adoption of %s on %s: %v", body.Tenant, body.To, err)
+	}
+	r.mu.Lock()
+	r.pins[body.Tenant] = body.To
+	r.mu.Unlock()
+	finish()
+	r.logf("router: tenant %s migrated %s -> %s", body.Tenant, fromName, body.To)
+	writeJSON(w, http.StatusOK, MigrateResponse{Tenant: body.Tenant, From: fromName, To: body.To})
+}
+
+func (r *Router) serveRing(w http.ResponseWriter, req *http.Request) {
+	if key := req.URL.Query().Get("key"); key != "" {
+		owner, ok := r.Owner(key)
+		if !ok {
+			writeEnvelope(w, http.StatusServiceUnavailable, tenancy.CodeOverloaded,
+				"no healthy fleet member", true)
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]string{"key": key, "owner": owner})
+		return
+	}
+	r.mu.RLock()
+	members := r.ring.Members()
+	vnodes := r.ring.VirtualNodes()
+	pins := make(map[string]string, len(r.pins))
+	for tenant, pin := range r.pins {
+		pins[tenant] = pin
+	}
+	r.mu.RUnlock()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"members": members, "virtual_nodes": vnodes, "pins": pins,
+	})
+}
+
+// Healthy reports whether a named member is currently on the ring
+// (exported for tests and cmd/osrouter's startup log).
+func (r *Router) Healthy(name string) bool {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	mem, ok := r.members[name]
+	return ok && mem.healthy
+}
+
+// WaitHealthy polls until every configured member probes healthy or the
+// timeout passes; cmd/osrouter uses it to sequence its startup log line.
+func (r *Router) WaitHealthy(timeout time.Duration) bool {
+	deadline := time.Now().Add(timeout)
+	for {
+		r.CheckNow()
+		all := true
+		r.mu.RLock()
+		for _, mem := range r.members {
+			if !mem.healthy {
+				all = false
+			}
+		}
+		r.mu.RUnlock()
+		if all {
+			return true
+		}
+		if time.Now().After(deadline) {
+			return false
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+}

@@ -1,0 +1,448 @@
+package router
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"net/http/httputil"
+	"net/url"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"sizelos/internal/placement"
+	"sizelos/internal/tenancy"
+)
+
+// NodeHeader names the fleet member that served a proxied response.
+const NodeHeader = "X-Sizelos-Node"
+
+// Member declares one fleet node the router fronts.
+type Member struct {
+	Name string `json:"name"`
+	URL  string `json:"url"`
+}
+
+// Config carries the router's knobs; zero values take the documented
+// defaults (docs/SCALEOUT.md has the full table).
+type Config struct {
+	// Members is the initial fleet. At least one is required.
+	Members []Member
+	// VirtualNodes per member on the placement ring (default
+	// placement.DefaultVirtualNodes).
+	VirtualNodes int
+	// AdminToken, when set, guards /router/* and is presented as the
+	// bearer token on the release calls the router issues to members.
+	AdminToken string
+	// HealthInterval is the probe cadence (default 2s; <0 disables the
+	// background loop — tests drive CheckNow instead).
+	HealthInterval time.Duration
+	// HealthTimeout bounds one probe (default 1s).
+	HealthTimeout time.Duration
+	// FailThreshold is the consecutive probe failures that evict a member
+	// from the ring (default 2).
+	FailThreshold int
+	// DrainTimeout bounds how long a migration waits for the tenant's
+	// in-flight requests before giving up with a 503 (default 10s).
+	DrainTimeout time.Duration
+	// Logf receives operational log lines; nil means log.Printf.
+	Logf func(format string, args ...any)
+}
+
+func (c *Config) fill() error {
+	if len(c.Members) == 0 {
+		return fmt.Errorf("router: no fleet members configured")
+	}
+	if c.VirtualNodes == 0 {
+		c.VirtualNodes = placement.DefaultVirtualNodes
+	}
+	if c.HealthInterval == 0 {
+		c.HealthInterval = 2 * time.Second
+	}
+	if c.HealthTimeout == 0 {
+		c.HealthTimeout = time.Second
+	}
+	if c.FailThreshold == 0 {
+		c.FailThreshold = 2
+	}
+	if c.DrainTimeout == 0 {
+		c.DrainTimeout = 10 * time.Second
+	}
+	return nil
+}
+
+// member is one fleet node plus its routing state. healthy/fails are
+// guarded by Router.mu; the counters are atomics so the proxy hot path
+// never takes the lock for accounting.
+type member struct {
+	name    string
+	url     *url.URL
+	proxy   *httputil.ReverseProxy
+	healthy bool
+	fails   int
+
+	requests atomic.Int64
+	errors   atomic.Int64
+}
+
+// Router proxies tenant traffic onto the fleet. See the package comment
+// for the invariants it maintains.
+type Router struct {
+	cfg    Config
+	client *http.Client
+
+	mu       sync.RWMutex
+	ring     *placement.Ring          // healthy members only
+	members  map[string]*member       // every configured member
+	pins     map[string]string        // tenant -> member name (migration override)
+	draining map[string]chan struct{} // tenant mid-migration; closed on completion
+
+	inflightMu sync.Mutex
+	inflight   map[string]*tenantGate
+
+	stopOnce sync.Once
+	stop     chan struct{}
+	done     chan struct{}
+}
+
+// tenantGate counts a tenant's in-flight proxied requests so a migration
+// can wait them out.
+type tenantGate struct {
+	n    int
+	idle chan struct{} // closed when n drops to 0 and a drain is waiting
+	wait bool
+}
+
+// New builds the router and, unless cfg.HealthInterval < 0, starts its
+// health loop. Members start healthy (on the ring); the first probe round
+// corrects that for any node that is already down.
+func New(cfg Config) (*Router, error) {
+	if err := cfg.fill(); err != nil {
+		return nil, err
+	}
+	r := &Router{
+		cfg:      cfg,
+		client:   &http.Client{Timeout: cfg.HealthTimeout},
+		ring:     placement.New(cfg.VirtualNodes),
+		members:  make(map[string]*member),
+		pins:     make(map[string]string),
+		draining: make(map[string]chan struct{}),
+		inflight: make(map[string]*tenantGate),
+		stop:     make(chan struct{}),
+		done:     make(chan struct{}),
+	}
+	for _, m := range cfg.Members {
+		if err := r.addMemberLocked(m); err != nil {
+			return nil, err
+		}
+	}
+	if cfg.HealthInterval > 0 {
+		go r.healthLoop()
+	} else {
+		close(r.done)
+	}
+	return r, nil
+}
+
+func (r *Router) logf(format string, args ...any) {
+	if r.cfg.Logf != nil {
+		r.cfg.Logf(format, args...)
+		return
+	}
+	log.Printf(format, args...)
+}
+
+// addMemberLocked registers a member and puts it on the ring as healthy.
+// Callers hold r.mu or are in single-threaded setup.
+func (r *Router) addMemberLocked(m Member) error {
+	if m.Name == "" || m.URL == "" {
+		return fmt.Errorf("router: member needs name and url, got %q=%q", m.Name, m.URL)
+	}
+	if _, ok := r.members[m.Name]; ok {
+		return fmt.Errorf("router: duplicate member %q", m.Name)
+	}
+	u, err := url.Parse(m.URL)
+	if err != nil || u.Scheme == "" || u.Host == "" {
+		return fmt.Errorf("router: member %s: bad url %q", m.Name, m.URL)
+	}
+	mem := &member{name: m.Name, url: u, healthy: true}
+	mem.proxy = r.newProxy(mem)
+	r.members[m.Name] = mem
+	r.ring.Add(m.Name)
+	return nil
+}
+
+func (r *Router) newProxy(mem *member) *httputil.ReverseProxy {
+	p := httputil.NewSingleHostReverseProxy(mem.url)
+	p.ModifyResponse = func(resp *http.Response) error {
+		resp.Header.Set(NodeHeader, mem.name)
+		return nil
+	}
+	p.ErrorHandler = func(w http.ResponseWriter, req *http.Request, err error) {
+		mem.errors.Add(1)
+		r.logf("router: proxy to %s: %v", mem.name, err)
+		w.Header().Set(NodeHeader, mem.name)
+		writeEnvelope(w, http.StatusBadGateway, tenancy.CodeOverloaded,
+			fmt.Sprintf("fleet member %s unreachable", mem.name), true)
+	}
+	return p
+}
+
+// Close stops the health loop. It does not touch the fleet.
+func (r *Router) Close() {
+	r.stopOnce.Do(func() { close(r.stop) })
+	<-r.done
+}
+
+// Owner reports the member a tenant's traffic routes to right now: its
+// pin when one is set, else the ring owner. ok is false with no healthy
+// members (and no healthy pin).
+func (r *Router) Owner(tenant string) (string, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.ownerLocked(tenant)
+}
+
+func (r *Router) ownerLocked(tenant string) (string, bool) {
+	if pin, ok := r.pins[tenant]; ok {
+		if mem := r.members[pin]; mem != nil && mem.healthy {
+			return pin, true
+		}
+		// Pinned member down: fall back to the ring — the shared data dir
+		// makes any healthy node a correct owner.
+	}
+	name, ok := r.ring.Owner(tenant)
+	return name, ok
+}
+
+// ServeHTTP routes /router/* to the admin plane and everything under /v1
+// to the tenant's owner.
+func (r *Router) ServeHTTP(w http.ResponseWriter, req *http.Request) {
+	path := req.URL.Path
+	switch {
+	case path == "/router/members" || strings.HasPrefix(path, "/router/members/"),
+		path == "/router/migrate", path == "/router/ring":
+		r.serveAdmin(w, req)
+	case path == "/v1/tenants":
+		r.serveTenantsIndex(w, req)
+	case strings.HasPrefix(path, "/v1/"):
+		r.serveTenant(w, req)
+	default:
+		writeEnvelope(w, http.StatusNotFound, tenancy.CodeNotFound, "no such endpoint", false)
+	}
+}
+
+// serveTenant proxies one tenant-scoped request to the tenant's owner.
+func (r *Router) serveTenant(w http.ResponseWriter, req *http.Request) {
+	tenant := strings.SplitN(strings.TrimPrefix(req.URL.Path, "/v1/"), "/", 2)[0]
+	if tenant == "" {
+		writeEnvelope(w, http.StatusNotFound, tenancy.CodeNotFound, "no such endpoint", false)
+		return
+	}
+	r.mu.RLock()
+	if _, mid := r.draining[tenant]; mid {
+		r.mu.RUnlock()
+		w.Header().Set("Retry-After", "1")
+		writeEnvelope(w, http.StatusServiceUnavailable, tenancy.CodeOverloaded,
+			fmt.Sprintf("tenant %s is migrating; retry shortly", tenant), true)
+		return
+	}
+	name, ok := r.ownerLocked(tenant)
+	var mem *member
+	if ok {
+		mem = r.members[name]
+	}
+	r.mu.RUnlock()
+	if mem == nil {
+		writeEnvelope(w, http.StatusServiceUnavailable, tenancy.CodeOverloaded,
+			"no healthy fleet member", true)
+		return
+	}
+	r.enter(tenant)
+	defer r.leave(tenant)
+	mem.requests.Add(1)
+	mem.proxy.ServeHTTP(w, req)
+}
+
+// serveTenantsIndex handles the fleet-wide /v1/tenants route. GET merges
+// the (identical, in a shared-store fleet) listings of every healthy
+// member; POST peeks the registration body for the tenant name and routes
+// it to that tenant's owner so the first WAL opens on the right node.
+func (r *Router) serveTenantsIndex(w http.ResponseWriter, req *http.Request) {
+	switch req.Method {
+	case http.MethodGet:
+		set := make(map[string]bool)
+		for _, mem := range r.healthyMembers() {
+			var out struct {
+				Tenants []string `json:"tenants"`
+			}
+			if err := r.getJSON(mem, "/v1/tenants"+queryString(req), &out); err != nil {
+				r.logf("router: list tenants on %s: %v", mem.name, err)
+				continue
+			}
+			for _, name := range out.Tenants {
+				set[name] = true
+			}
+		}
+		names := make([]string, 0, len(set))
+		for name := range set {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		writeJSON(w, http.StatusOK, map[string][]string{"tenants": names})
+	case http.MethodPost:
+		body, err := io.ReadAll(http.MaxBytesReader(w, req.Body, 1<<20))
+		if err != nil {
+			writeEnvelope(w, http.StatusBadRequest, tenancy.CodeBadRequest, "unreadable body", false)
+			return
+		}
+		var peek struct {
+			Name string `json:"name"`
+		}
+		if err := json.Unmarshal(body, &peek); err != nil || peek.Name == "" {
+			writeEnvelope(w, http.StatusBadRequest, tenancy.CodeBadRequest,
+				"registration body needs a tenant name", false)
+			return
+		}
+		r.mu.RLock()
+		name, ok := r.ownerLocked(peek.Name)
+		var mem *member
+		if ok {
+			mem = r.members[name]
+		}
+		r.mu.RUnlock()
+		if mem == nil {
+			writeEnvelope(w, http.StatusServiceUnavailable, tenancy.CodeOverloaded,
+				"no healthy fleet member", true)
+			return
+		}
+		req.Body = io.NopCloser(bytes.NewReader(body))
+		req.ContentLength = int64(len(body))
+		mem.requests.Add(1)
+		mem.proxy.ServeHTTP(w, req)
+	default:
+		writeEnvelope(w, http.StatusNotFound, tenancy.CodeNotFound, "no such endpoint", false)
+	}
+}
+
+// enter/leave track per-tenant in-flight proxied requests for drains.
+func (r *Router) enter(tenant string) {
+	r.inflightMu.Lock()
+	g := r.inflight[tenant]
+	if g == nil {
+		g = &tenantGate{}
+		r.inflight[tenant] = g
+	}
+	g.n++
+	r.inflightMu.Unlock()
+}
+
+func (r *Router) leave(tenant string) {
+	r.inflightMu.Lock()
+	g := r.inflight[tenant]
+	if g != nil {
+		g.n--
+		if g.n <= 0 {
+			if g.wait {
+				close(g.idle)
+			}
+			delete(r.inflight, tenant)
+		}
+	}
+	r.inflightMu.Unlock()
+}
+
+// awaitIdle blocks until the tenant has no in-flight requests (or the
+// timeout passes). The caller has already made the tenant draining, so no
+// new request can enter.
+func (r *Router) awaitIdle(tenant string, timeout time.Duration) bool {
+	r.inflightMu.Lock()
+	g := r.inflight[tenant]
+	if g == nil || g.n <= 0 {
+		r.inflightMu.Unlock()
+		return true
+	}
+	if !g.wait {
+		g.wait = true
+		g.idle = make(chan struct{})
+	}
+	idle := g.idle
+	r.inflightMu.Unlock()
+	select {
+	case <-idle:
+		return true
+	case <-time.After(timeout):
+		return false
+	}
+}
+
+func (r *Router) healthyMembers() []*member {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	var out []*member
+	for _, name := range sortedMemberNames(r.members) {
+		if mem := r.members[name]; mem.healthy {
+			out = append(out, mem)
+		}
+	}
+	return out
+}
+
+func sortedMemberNames(members map[string]*member) []string {
+	names := make([]string, 0, len(members))
+	for name := range members {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// getJSON issues an authorized GET against a member's API.
+func (r *Router) getJSON(mem *member, path string, out any) error {
+	req, err := http.NewRequest(http.MethodGet, mem.url.String()+path, nil)
+	if err != nil {
+		return err
+	}
+	r.authorize(req)
+	resp, err := r.client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("GET %s: status %d", path, resp.StatusCode)
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+func (r *Router) authorize(req *http.Request) {
+	if r.cfg.AdminToken != "" {
+		req.Header.Set("Authorization", "Bearer "+r.cfg.AdminToken)
+	}
+}
+
+func queryString(req *http.Request) string {
+	if req.URL.RawQuery == "" {
+		return ""
+	}
+	return "?" + req.URL.RawQuery
+}
+
+// writeEnvelope emits the service's uniform JSON error envelope — routed
+// clients see the exact same error shape a single node serves.
+func writeEnvelope(w http.ResponseWriter, status int, code, msg string, retryable bool) {
+	writeJSON(w, status, tenancy.ErrorResponse{Error: tenancy.ErrorDetail{
+		Code: code, Message: msg, Retryable: retryable,
+	}})
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}

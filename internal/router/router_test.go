@@ -1,0 +1,571 @@
+package router
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"sizelos"
+	"sizelos/internal/datagen"
+	"sizelos/internal/nodehost"
+	"sizelos/internal/tenancy"
+)
+
+// smallOpen swaps the full-size default datasets for a tiny DBLP recipe so
+// a three-node fleet boots in milliseconds. Deterministic in seed, as
+// recovery requires.
+func smallOpen(dataset string, seed int64) (*sizelos.Engine, error) {
+	if dataset != "dblp" {
+		return nil, fmt.Errorf("test fleet serves dblp only, got %q", dataset)
+	}
+	cfg := datagen.DefaultDBLPConfig()
+	cfg.Seed = seed
+	cfg.Authors = 40
+	cfg.Papers = 160
+	cfg.Conferences = 4
+	cfg.YearSpan = 3
+	return sizelos.OpenDBLP(cfg)
+}
+
+// fleet is a routed three-node fleet over one shared durable data dir,
+// entirely in-process.
+type fleet struct {
+	router  *Router
+	rtSrv   *httptest.Server
+	nodes   map[string]*nodehost.Node
+	servers map[string]*httptest.Server
+}
+
+func newFleet(t *testing.T, names ...string) *fleet {
+	t.Helper()
+	dir := t.TempDir()
+	f := &fleet{
+		nodes:   make(map[string]*nodehost.Node),
+		servers: make(map[string]*httptest.Server),
+	}
+	var members []Member
+	for _, name := range names {
+		node, err := nodehost.Boot(tenancy.ServerConfig{
+			Seed:            820,
+			CacheBudget:     64,
+			DataDir:         dir,
+			KeepSnapshots:   2,
+			ResidualWorkers: 1,
+		}, nil, nodehost.Config{Open: smallOpen, Logf: t.Logf})
+		if err != nil {
+			t.Fatalf("boot %s: %v", name, err)
+		}
+		srv := httptest.NewServer(node.Handler())
+		f.nodes[name] = node
+		f.servers[name] = srv
+		members = append(members, Member{Name: name, URL: srv.URL})
+		t.Cleanup(srv.Close)
+		t.Cleanup(node.Close)
+	}
+	rt, err := New(Config{
+		Members:        members,
+		HealthInterval: -1, // tests drive CheckNow
+		HealthTimeout:  2 * time.Second,
+		DrainTimeout:   5 * time.Second,
+		Logf:           t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.router = rt
+	f.rtSrv = httptest.NewServer(rt)
+	t.Cleanup(f.rtSrv.Close)
+	t.Cleanup(rt.Close)
+	return f
+}
+
+// kill makes a node unreachable (its durable state stays on disk) and
+// evicts it via two failed probe rounds.
+func (f *fleet) kill(t *testing.T, name string) {
+	t.Helper()
+	f.servers[name].Close()
+	f.nodes[name].Close() // release WALs as a SIGKILL's fsync'd logs would be
+	f.router.CheckNow()
+	f.router.CheckNow()
+	if f.router.Healthy(name) {
+		t.Fatalf("member %s still on the ring after two failed probes", name)
+	}
+}
+
+// exchange is one recorded request/response against a base URL.
+type exchange struct {
+	path   string
+	status int
+	node   string
+	body   string
+}
+
+func do(t *testing.T, base, method, path string, body string) exchange {
+	t.Helper()
+	var rd io.Reader
+	if body != "" {
+		rd = strings.NewReader(body)
+	}
+	req, err := http.NewRequest(method, base+path, rd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatalf("%s %s: %v", method, path, err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return exchange{path: path, status: resp.StatusCode, node: resp.Header.Get(NodeHeader), body: string(b)}
+}
+
+// stream drives the equivalence workload against one base URL: tenant
+// registration, keyword search, ranked top-k, a paged cursor walk, a
+// mutation batch, and a search observing it.
+func stream(t *testing.T, base string) []exchange {
+	t.Helper()
+	var out []exchange
+	rec := func(method, path, body string) exchange {
+		ex := do(t, base, method, path, body)
+		out = append(out, ex)
+		return ex
+	}
+	tenants := []string{"tenant-a", "tenant-b", "tenant-c"}
+	for _, name := range tenants {
+		rec(http.MethodPost, "/v1/tenants", fmt.Sprintf(`{"name":%q,"dataset":"dblp"}`, name))
+	}
+	rec(http.MethodGet, "/v1/tenants", "")
+	for _, name := range tenants {
+		rec(http.MethodGet, "/v1/"+name+"/search?rel=Author&q=Faloutsos&l=10", "")
+		rec(http.MethodGet, "/v1/"+name+"/ranked?rel=Author&q=Faloutsos&l=10&k=3", "")
+	}
+	// Paged walk: follow cursors to exhaustion; tokens and pages must be
+	// identical routed and direct.
+	next := "/v1/tenant-a/search?rel=Author&q=Faloutsos&l=10&limit=1"
+	for i := 0; i < 10; i++ {
+		ex := rec(http.MethodGet, next, "")
+		var page struct {
+			Cursor string `json:"cursor"`
+		}
+		if err := json.Unmarshal([]byte(ex.body), &page); err != nil {
+			t.Fatalf("page %d: %v (%s)", i, err, ex.body)
+		}
+		if page.Cursor == "" {
+			break
+		}
+		next = "/v1/tenant-a/search?rel=Author&q=Faloutsos&l=10&limit=1&cursor=" + page.Cursor
+	}
+	for i, name := range tenants {
+		rec(http.MethodPost, "/v1/"+name+"/tuples",
+			fmt.Sprintf(`{"inserts":[{"rel":"Author","values":[%d,"Equivalence Probe"]}]}`, 91000+i))
+		rec(http.MethodGet, "/v1/"+name+"/search?rel=Author&q=Equivalence+Probe&l=5", "")
+	}
+	return out
+}
+
+// TestRoutedEquivalence pins the tentpole contract: the same request
+// stream through the router over a three-node fleet returns bit-identical
+// status codes and bodies to a single ossrv node.
+func TestRoutedEquivalence(t *testing.T) {
+	f := newFleet(t, "n1", "n2", "n3")
+
+	single, err := nodehost.Boot(tenancy.ServerConfig{
+		Seed:            820,
+		CacheBudget:     64,
+		DataDir:         t.TempDir(),
+		KeepSnapshots:   2,
+		ResidualWorkers: 1,
+	}, nil, nodehost.Config{Open: smallOpen, Logf: t.Logf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer single.Close()
+	singleSrv := httptest.NewServer(single.Handler())
+	defer singleSrv.Close()
+
+	routed := stream(t, f.rtSrv.URL)
+	direct := stream(t, singleSrv.URL)
+
+	if len(routed) != len(direct) {
+		t.Fatalf("stream lengths diverged: routed %d, direct %d", len(routed), len(direct))
+	}
+	nodesSeen := make(map[string]bool)
+	for i := range routed {
+		if routed[i].status != direct[i].status {
+			t.Errorf("exchange %d: status routed %d != direct %d\nrouted: %s\ndirect: %s",
+				i, routed[i].status, direct[i].status, routed[i].body, direct[i].body)
+		}
+		if routed[i].body != direct[i].body {
+			t.Errorf("exchange %d: body diverged\nrouted: %s\ndirect: %s", i, routed[i].body, direct[i].body)
+		}
+		// The fleet-wide tenant index is answered by the router itself
+		// (a merge), so only tenant-scoped exchanges carry a node header.
+		if routed[i].path == "/v1/tenants" {
+			continue
+		}
+		if routed[i].node == "" {
+			t.Errorf("exchange %d (%s): routed response missing %s header", i, routed[i].path, NodeHeader)
+		}
+		nodesSeen[routed[i].node] = true
+	}
+	// Placement stability: each tenant's requests all landed on its owner.
+	for _, tenant := range []string{"tenant-a", "tenant-b", "tenant-c"} {
+		owner, ok := f.router.Owner(tenant)
+		if !ok {
+			t.Fatalf("no owner for %s", tenant)
+		}
+		ex := do(t, f.rtSrv.URL, http.MethodGet, "/v1/"+tenant+"/search?rel=Author&q=Faloutsos&l=5", "")
+		if ex.node != owner {
+			t.Errorf("tenant %s served by %s, ring owner is %s", tenant, ex.node, owner)
+		}
+	}
+	if len(nodesSeen) < 2 {
+		t.Errorf("three tenants all landed on one node (%v); suspicious placement", nodesSeen)
+	}
+}
+
+// TestFailoverRehash kills a fleet node and verifies its durable tenants
+// rehash to surviving members and serve every acked mutation.
+func TestFailoverRehash(t *testing.T) {
+	f := newFleet(t, "n1", "n2", "n3")
+
+	tenants := []string{"tenant-a", "tenant-b", "tenant-c"}
+	for i, name := range tenants {
+		if ex := do(t, f.rtSrv.URL, http.MethodPost, "/v1/tenants",
+			fmt.Sprintf(`{"name":%q,"dataset":"dblp"}`, name)); ex.status != http.StatusCreated {
+			t.Fatalf("register %s: %d %s", name, ex.status, ex.body)
+		}
+		if ex := do(t, f.rtSrv.URL, http.MethodPost, "/v1/"+name+"/tuples",
+			fmt.Sprintf(`{"inserts":[{"rel":"Author","values":[%d,"Failover Probe"]}]}`, 92000+i)); ex.status != http.StatusOK {
+			t.Fatalf("mutate %s: %d %s", name, ex.status, ex.body)
+		}
+	}
+
+	// Pick the victim: any node currently owning at least one tenant.
+	victim, _ := f.router.Owner("tenant-a")
+	f.kill(t, victim)
+
+	for _, name := range tenants {
+		ex := do(t, f.rtSrv.URL, http.MethodGet, "/v1/"+name+"/search?rel=Author&q=Failover+Probe&l=5", "")
+		if ex.status != http.StatusOK {
+			t.Fatalf("post-failover search %s: %d %s", name, ex.status, ex.body)
+		}
+		var res struct {
+			Count int `json:"count"`
+		}
+		if err := json.Unmarshal([]byte(ex.body), &res); err != nil || res.Count < 1 {
+			t.Fatalf("tenant %s lost its acked mutation after failover: %s", name, ex.body)
+		}
+		if ex.node == victim {
+			t.Fatalf("tenant %s still routed to evicted member %s", name, victim)
+		}
+		if owner, _ := f.router.Owner(name); ex.node != owner {
+			t.Fatalf("tenant %s served by %s, rehashed owner is %s", name, ex.node, owner)
+		}
+	}
+}
+
+// TestMigration drives the live handoff: acked mutations survive the
+// move, traffic lands on the target afterwards, the old owner is released
+// (not deleted), and a pre-migration cursor resumes as the API's usual
+// 410 once the stream is invalidated.
+func TestMigration(t *testing.T) {
+	f := newFleet(t, "n1", "n2", "n3")
+
+	if ex := do(t, f.rtSrv.URL, http.MethodPost, "/v1/tenants", `{"name":"mig","dataset":"dblp"}`); ex.status != http.StatusCreated {
+		t.Fatalf("register: %d %s", ex.status, ex.body)
+	}
+	if ex := do(t, f.rtSrv.URL, http.MethodPost, "/v1/mig/tuples",
+		`{"inserts":[{"rel":"Author","values":[93000,"Migration Probe"]}]}`); ex.status != http.StatusOK {
+		t.Fatalf("mutate: %d %s", ex.status, ex.body)
+	}
+	// Open a paged stream before the move.
+	first := do(t, f.rtSrv.URL, http.MethodGet, "/v1/mig/search?rel=Author&q=Faloutsos&l=10&limit=1", "")
+	var page struct {
+		Cursor string `json:"cursor"`
+	}
+	if err := json.Unmarshal([]byte(first.body), &page); err != nil || page.Cursor == "" {
+		t.Fatalf("no cursor to carry across the migration: %s", first.body)
+	}
+
+	from, _ := f.router.Owner("mig")
+	var target string
+	for name := range f.nodes {
+		if name != from {
+			target = name
+			break
+		}
+	}
+	ex := do(t, f.rtSrv.URL, http.MethodPost, "/router/migrate",
+		fmt.Sprintf(`{"tenant":"mig","to":%q}`, target))
+	if ex.status != http.StatusOK {
+		t.Fatalf("migrate: %d %s", ex.status, ex.body)
+	}
+	var mig MigrateResponse
+	if err := json.Unmarshal([]byte(ex.body), &mig); err != nil || mig.From != from || mig.To != target {
+		t.Fatalf("migrate response %s, want from=%s to=%s", ex.body, from, target)
+	}
+
+	// Old owner no longer serves the tenant (a direct probe 404s).
+	if ex := do(t, f.servers[from].URL, http.MethodGet, "/v1/mig/search?rel=Author&q=x", ""); ex.status != http.StatusNotFound {
+		t.Fatalf("old owner still serves migrated tenant: %d", ex.status)
+	}
+
+	// Routed traffic lands on the target with all acked state.
+	got := do(t, f.rtSrv.URL, http.MethodGet, "/v1/mig/search?rel=Author&q=Migration+Probe&l=5", "")
+	if got.status != http.StatusOK || got.node != target {
+		t.Fatalf("post-migration search: status %d on node %q (want 200 on %s): %s",
+			got.status, got.node, target, got.body)
+	}
+	var res struct {
+		Count int `json:"count"`
+	}
+	if err := json.Unmarshal([]byte(got.body), &res); err != nil || res.Count < 1 {
+		t.Fatalf("acked mutation lost in migration: %s", got.body)
+	}
+
+	// A mutation on the new owner invalidates the carried cursor: resuming
+	// yields the API's standard 410, not an error page or a torn view.
+	if ex := do(t, f.rtSrv.URL, http.MethodPost, "/v1/mig/tuples",
+		`{"inserts":[{"rel":"Author","values":[93001,"Cursor Breaker"]}]}`); ex.status != http.StatusOK {
+		t.Fatalf("post-migration mutate: %d %s", ex.status, ex.body)
+	}
+	resume := do(t, f.rtSrv.URL, http.MethodGet,
+		"/v1/mig/search?rel=Author&q=Faloutsos&l=10&limit=1&cursor="+page.Cursor, "")
+	if resume.status != http.StatusGone {
+		t.Fatalf("stale cursor after migration = %d, want 410: %s", resume.status, resume.body)
+	}
+}
+
+// TestMigrationDrainsInFlight verifies the drain barrier: requests in
+// flight when a migration starts finish on the old owner; requests during
+// the drain get a retryable 503.
+func TestMigrationDrainsInFlight(t *testing.T) {
+	f := newFleet(t, "n1", "n2")
+	if ex := do(t, f.rtSrv.URL, http.MethodPost, "/v1/tenants", `{"name":"mig","dataset":"dblp"}`); ex.status != http.StatusCreated {
+		t.Fatalf("register: %d %s", ex.status, ex.body)
+	}
+	from, _ := f.router.Owner("mig")
+	var target string
+	for name := range f.nodes {
+		if name != from {
+			target = name
+		}
+	}
+
+	// Hold the tenant "in flight" via the router's own gate (the HTTP path
+	// cannot park a request deterministically), then start the migration.
+	f.router.enter("mig")
+	migDone := make(chan exchange, 1)
+	go func() {
+		migDone <- do(t, f.rtSrv.URL, http.MethodPost, "/router/migrate",
+			fmt.Sprintf(`{"tenant":"mig","to":%q}`, target))
+	}()
+	// The migration must be parked on the drain barrier, refusing new work.
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		ex := do(t, f.rtSrv.URL, http.MethodGet, "/v1/mig/search?rel=Author&q=Faloutsos&l=5", "")
+		if ex.status == http.StatusServiceUnavailable {
+			if !strings.Contains(ex.body, "migrating") {
+				t.Fatalf("drain 503 has wrong envelope: %s", ex.body)
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("migration never started draining")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	select {
+	case ex := <-migDone:
+		t.Fatalf("migration completed past a live in-flight request: %d %s", ex.status, ex.body)
+	case <-time.After(100 * time.Millisecond):
+	}
+	f.router.leave("mig")
+	ex := <-migDone
+	if ex.status != http.StatusOK {
+		t.Fatalf("migrate after drain: %d %s", ex.status, ex.body)
+	}
+	if got := do(t, f.rtSrv.URL, http.MethodGet, "/v1/mig/search?rel=Author&q=Faloutsos&l=5", ""); got.node != target {
+		t.Fatalf("post-drain traffic on %q, want %s", got.node, target)
+	}
+}
+
+// TestAdminPlane covers the /router surface: member listing with health
+// and counters, ring lookups, token gating, and member add/remove with
+// rebalance.
+func TestAdminPlane(t *testing.T) {
+	f := newFleet(t, "n1", "n2")
+
+	ex := do(t, f.rtSrv.URL, http.MethodGet, "/router/members", "")
+	if ex.status != http.StatusOK {
+		t.Fatalf("members: %d %s", ex.status, ex.body)
+	}
+	var members struct {
+		Members []MemberStatus `json:"members"`
+	}
+	if err := json.Unmarshal([]byte(ex.body), &members); err != nil || len(members.Members) != 2 {
+		t.Fatalf("members body: %s", ex.body)
+	}
+	for _, m := range members.Members {
+		if !m.Healthy {
+			t.Fatalf("member %s unhealthy at boot", m.Name)
+		}
+	}
+
+	ex = do(t, f.rtSrv.URL, http.MethodGet, "/router/ring?key=sometenant", "")
+	if ex.status != http.StatusOK || !strings.Contains(ex.body, `"owner"`) {
+		t.Fatalf("ring lookup: %d %s", ex.status, ex.body)
+	}
+
+	// Register a tenant, then remove its owner: the survivor adopts it.
+	if ex := do(t, f.rtSrv.URL, http.MethodPost, "/v1/tenants", `{"name":"adm","dataset":"dblp"}`); ex.status != http.StatusCreated {
+		t.Fatalf("register: %d %s", ex.status, ex.body)
+	}
+	owner, _ := f.router.Owner("adm")
+	ex = do(t, f.rtSrv.URL, http.MethodDelete, "/router/members/"+owner, "")
+	if ex.status != http.StatusOK {
+		t.Fatalf("remove member: %d %s", ex.status, ex.body)
+	}
+	got := do(t, f.rtSrv.URL, http.MethodGet, "/v1/adm/search?rel=Author&q=Faloutsos&l=5", "")
+	if got.status != http.StatusOK || got.node == owner {
+		t.Fatalf("tenant not rehomed after member removal: %d on %q", got.status, got.node)
+	}
+	// Re-adding the node brings it back into rotation.
+	ex = do(t, f.rtSrv.URL, http.MethodPost, "/router/members",
+		fmt.Sprintf(`{"name":%q,"url":%q}`, owner, f.servers[owner].URL))
+	if ex.status != http.StatusCreated {
+		t.Fatalf("re-add member: %d %s", ex.status, ex.body)
+	}
+}
+
+// TestAdminTokenGuard verifies /router/* honors the admin token.
+func TestAdminTokenGuard(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Write([]byte(`{"tenants":[]}`))
+	}))
+	defer srv.Close()
+	rt, err := New(Config{
+		Members:        []Member{{Name: "n1", URL: srv.URL}},
+		AdminToken:     "sesame",
+		HealthInterval: -1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Close()
+	rtSrv := httptest.NewServer(rt)
+	defer rtSrv.Close()
+
+	resp, err := http.Get(rtSrv.URL + "/router/members")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusUnauthorized {
+		t.Fatalf("unauthenticated admin = %d, want 401", resp.StatusCode)
+	}
+	req, _ := http.NewRequest(http.MethodGet, rtSrv.URL+"/router/members", nil)
+	req.Header.Set("Authorization", "Bearer sesame")
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("authenticated admin = %d, want 200", resp.StatusCode)
+	}
+}
+
+// TestNoHealthyMembers pins the empty-ring failure mode: a retryable 503
+// in the standard envelope, not a panic or a hang.
+func TestNoHealthyMembers(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.WriteHeader(http.StatusInternalServerError)
+	}))
+	rt, err := New(Config{
+		Members:        []Member{{Name: "n1", URL: srv.URL}},
+		HealthInterval: -1,
+		FailThreshold:  1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Close()
+	srv.Close()
+	rt.CheckNow()
+	rtSrv := httptest.NewServer(rt)
+	defer rtSrv.Close()
+
+	ex := do(t, rtSrv.URL, http.MethodGet, "/v1/any/search?rel=Author&q=x", "")
+	if ex.status != http.StatusServiceUnavailable {
+		t.Fatalf("empty ring = %d, want 503: %s", ex.status, ex.body)
+	}
+	var env tenancy.ErrorResponse
+	if err := json.Unmarshal([]byte(ex.body), &env); err != nil || !env.Error.Retryable {
+		t.Fatalf("empty-ring error not the retryable envelope: %s", ex.body)
+	}
+}
+
+// TestMigrationTargetDiesFailsBack pins the failover-return seam: migrate
+// a tenant away, then kill the migration target. The tenant falls back to
+// its ring owner — the very node that released it during the migration —
+// which must re-adopt it from the shared data dir (the router re-arms
+// adoption when it drops the dead pin) instead of 404ing forever.
+func TestMigrationTargetDiesFailsBack(t *testing.T) {
+	f := newFleet(t, "n1", "n2", "n3")
+
+	if ex := do(t, f.rtSrv.URL, http.MethodPost, "/v1/tenants", `{"name":"mig","dataset":"dblp"}`); ex.status != http.StatusCreated {
+		t.Fatalf("register: %d %s", ex.status, ex.body)
+	}
+	if ex := do(t, f.rtSrv.URL, http.MethodPost, "/v1/mig/tuples",
+		`{"inserts":[{"rel":"Author","values":[94000,"Failback Probe"]}]}`); ex.status != http.StatusOK {
+		t.Fatalf("mutate: %d %s", ex.status, ex.body)
+	}
+
+	from, _ := f.router.Owner("mig")
+	var target string
+	for name := range f.nodes {
+		if name != from {
+			target = name
+			break
+		}
+	}
+	if ex := do(t, f.rtSrv.URL, http.MethodPost, "/router/migrate",
+		fmt.Sprintf(`{"tenant":"mig","to":%q}`, target)); ex.status != http.StatusOK {
+		t.Fatalf("migrate: %d %s", ex.status, ex.body)
+	}
+	if ex := do(t, f.rtSrv.URL, http.MethodGet, "/v1/mig/search?rel=Author&q=Failback+Probe&l=5", ""); ex.status != http.StatusOK || ex.node != target {
+		t.Fatalf("post-migration search: status %d on %q, want 200 on %s", ex.status, ex.node, target)
+	}
+
+	f.kill(t, target)
+
+	// The pin died with the target; the ring owner (possibly the releasing
+	// node itself) must serve the tenant again with every acked mutation.
+	got := do(t, f.rtSrv.URL, http.MethodGet, "/v1/mig/search?rel=Author&q=Failback+Probe&l=5", "")
+	if got.status != http.StatusOK {
+		t.Fatalf("tenant unavailable after its migration target died: %d %s", got.status, got.body)
+	}
+	if got.node == target || got.node == "" {
+		t.Fatalf("post-failback request served by %q", got.node)
+	}
+	var res struct {
+		Count int `json:"count"`
+	}
+	if err := json.Unmarshal([]byte(got.body), &res); err != nil || res.Count < 1 {
+		t.Fatalf("acked mutation lost across the fail-back: %s", got.body)
+	}
+	owner, ok := f.router.Owner("mig")
+	if !ok || owner == target {
+		t.Fatalf("owner after target death = %q, %v", owner, ok)
+	}
+}

@@ -109,9 +109,11 @@ type AdmissionStatsJSON struct {
 // and every failure path emits the uniform ErrorResponse envelope
 // (writeError), with Retry-After on 429/503.
 //
-//	GET    /v1/tenants                  -> {"tenants": [...]}
+//	GET    /v1/tenants                  -> {"tenants": [...]} (?live=1: only in-memory tenants)
 //	POST   /v1/tenants                  -> register a tenant (authz; needs SetOpener)
 //	DELETE /v1/{tenant}                 -> deregister a tenant (authz)
+//	POST   /v1/{tenant}/release        -> stop serving, keep durable state (authz; migration handoff)
+//	POST   /v1/{tenant}/adopt          -> re-arm adoption after a release (authz; failover return)
 //	GET    /v1/{tenant}/search?rel=&q=  -> SearchResponse (one OS per match)
 //	GET    /v1/{tenant}/ranked?rel=&q=  -> SearchResponse (top-k by Im(S))
 //	POST   /v1/{tenant}/tuples          -> MutateResponse (authz; atomic batch)
@@ -136,10 +138,23 @@ func NewHandler(r *Registry, opts ...Option) http.Handler {
 		writeError(w, errNotFound("no such endpoint"))
 	})
 	mux.HandleFunc("GET /v1/tenants", func(w http.ResponseWriter, req *http.Request) {
-		writeJSON(w, http.StatusOK, map[string][]string{"tenants": r.Names()})
+		// ?live=1 restricts the listing to tenants materialized in THIS
+		// process — what a fleet rebalance needs; the default includes
+		// pending manifest entries, which in a shared-store fleet every
+		// node lists identically.
+		names := r.Names()
+		if req.URL.Query().Get("live") == "1" {
+			names = r.LiveNames()
+		}
+		if names == nil {
+			names = []string{}
+		}
+		writeJSON(w, http.StatusOK, map[string][]string{"tenants": names})
 	})
 	mux.Handle("POST /v1/tenants", chain(http.HandlerFunc(r.serveRegister), authz))
 	mux.Handle("DELETE /v1/{tenant}", chain(http.HandlerFunc(r.serveDeregister), authz))
+	mux.Handle("POST /v1/{tenant}/release", chain(http.HandlerFunc(r.serveRelease), authz))
+	mux.Handle("POST /v1/{tenant}/adopt", chain(http.HandlerFunc(r.serveAdopt), authz))
 	mux.Handle("POST /v1/{tenant}/tuples",
 		chain(http.HandlerFunc(r.serveMutate), authz, r.qosMiddleware(classMutate)))
 	mux.Handle("GET /v1/{tenant}/search",
@@ -217,6 +232,35 @@ func (r *Registry) serveDeregister(w http.ResponseWriter, req *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]string{"deregistered": name})
+}
+
+// serveRelease stops serving a tenant on this node while leaving its
+// durable state (manifest entry, WAL, snapshots) intact — the old-owner
+// half of a migration handoff, driven by the routing tier: the router
+// drains the tenant's traffic, POSTs the release here, then routes the
+// tenant to its new owner, which adopts the durable state on first touch.
+// Releasing a name this node is not serving is a 404 — including a
+// tenant already migrated away, whose durable state now belongs to its
+// new owner and must not be touched from here.
+func (r *Registry) serveRelease(w http.ResponseWriter, req *http.Request) {
+	name := req.PathValue("tenant")
+	if !r.Release(name) {
+		writeError(w, errNotFound("unknown tenant"))
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"released": name})
+}
+
+// serveAdopt clears a prior release handoff mark so this node may adopt
+// the tenant again on its next touch — the router calls it when
+// ownership returns here (the tenant's newer owner died, or a rebalance
+// mapped the tenant back). Idempotent: adopting a name this node never
+// released is a no-op 200, since the actual materialization stays lazy
+// (first request, via the pending loader against the shared manifest).
+func (r *Registry) serveAdopt(w http.ResponseWriter, req *http.Request) {
+	name := req.PathValue("tenant")
+	r.Readopt(name)
+	writeJSON(w, http.StatusOK, map[string]string{"adopted": name})
 }
 
 // resolveTenant materializes the tenant a request addresses, recovering it

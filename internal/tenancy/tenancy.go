@@ -76,11 +76,24 @@ type Registry struct {
 		tenants map[string]*Tenant
 	}
 
+	// pendingLoader, when set, is consulted on a Resolve miss: in a fleet
+	// sharing one durable store, a tenant recorded by another node (or
+	// migrated here) is not in this process's boot-time pending set, and
+	// the loader re-reads the shared manifest so the new owner can adopt
+	// it on first touch.
+	pendingLoader PendingLoader
+
 	// pending holds tenants known from the durable manifest but not yet
 	// recovered; Resolve materializes them lazily, single-flight per name.
 	pendMu     sync.Mutex
 	pending    map[string]TenantSpec
 	recovering map[string]*recoverCall
+	// released marks names handed off to another owner (Release). The
+	// pending loader never re-adopts a released name: a stray request on
+	// the old owner would otherwise re-open a WAL the new owner is
+	// appending to. Deliberate re-introduction (AddPending,
+	// RegisterDynamic) clears the mark.
+	released map[string]bool
 }
 
 // TenantSpec is a tenant's recipe: enough to rebuild it from scratch or
@@ -118,9 +131,21 @@ type Durability interface {
 	ReleaseTenant(name string)
 }
 
+// PendingLoader resolves a tenant name the registry has never heard of to
+// its spec, or reports that no such tenant exists durably. It runs outside
+// every registry lock on the Resolve miss path (typically a manifest
+// re-read), so it may do I/O; it must be safe for concurrent use.
+type PendingLoader func(name string) (TenantSpec, bool)
+
 // SetRecoverer installs the engine builder used for pending tenants (and,
 // when set, for dynamic registration). Call before Handler is serving.
 func (r *Registry) SetRecoverer(fn Recoverer) { r.recoverer = fn }
+
+// SetPendingLoader installs the miss-path spec lookup used when this
+// process's pending set doesn't know a name — the seam that lets a fleet
+// node adopt a tenant another node recorded in a shared durable store.
+// Call before Handler is serving.
+func (r *Registry) SetPendingLoader(fn PendingLoader) { r.pendingLoader = fn }
 
 // SetDurability installs the lifecycle persistence hook. Call before
 // Handler is serving.
@@ -140,6 +165,7 @@ func (r *Registry) AddPending(spec TenantSpec) error {
 		r.pending = make(map[string]TenantSpec)
 	}
 	r.pending[spec.Name] = spec
+	delete(r.released, spec.Name)
 	return nil
 }
 
@@ -155,8 +181,56 @@ type recoverCall struct {
 // found=false means the registry has never heard of the name; a non-nil
 // error means the tenant exists durably but could not be recovered (the
 // caller should surface a server error, not a 404). Concurrent Resolves of
-// one pending tenant share a single recovery.
+// one pending tenant share a single recovery. With a PendingLoader
+// installed, a miss additionally consults the loader and adopts the spec
+// it returns — the first-touch path for tenants recorded in a shared
+// store by another fleet node or migrated to this one.
 func (r *Registry) Resolve(name string) (t *Tenant, found bool, err error) {
+	t, found, err = r.resolveOnce(name)
+	if found || err != nil || r.pendingLoader == nil {
+		return t, found, err
+	}
+	r.pendMu.Lock()
+	handedOff := r.released[name]
+	r.pendMu.Unlock()
+	if handedOff {
+		return nil, false, nil
+	}
+	spec, ok := r.pendingLoader(name)
+	if !ok || spec.Name != name {
+		return nil, false, nil
+	}
+	r.adoptPending(spec)
+	return r.resolveOnce(name)
+}
+
+// adoptPending inserts a loader-supplied spec into the pending set unless
+// the name materialized (live, pending, or mid-creation) while the loader
+// ran — the race loser must not clobber a live tenant's recovery state.
+func (r *Registry) adoptPending(spec TenantSpec) {
+	r.pendMu.Lock()
+	defer r.pendMu.Unlock()
+	if r.released[spec.Name] {
+		return
+	}
+	if _, pend := r.pending[spec.Name]; pend {
+		return
+	}
+	if _, creating := r.recovering[spec.Name]; creating {
+		return
+	}
+	if _, live := r.Get(spec.Name); live {
+		return
+	}
+	if r.pending == nil {
+		r.pending = make(map[string]TenantSpec)
+	}
+	r.pending[spec.Name] = spec
+}
+
+// resolveOnce is Resolve without the miss-path loader: live lookup, then
+// single-flight lazy recovery of a pending entry.
+func (r *Registry) resolveOnce(name string) (t *Tenant, found bool, err error) {
 	if t, ok := r.Get(name); ok {
 		return t, true, nil
 	}
@@ -244,6 +318,9 @@ func (r *Registry) RegisterDynamic(spec TenantSpec) (*Tenant, error) {
 		r.recovering = make(map[string]*recoverCall)
 	}
 	r.recovering[name] = c
+	// A deliberate re-registration lifts the handoff mark: this node is
+	// the tenant's owner again.
+	delete(r.released, name)
 	r.pendMu.Unlock()
 	defer func() {
 		r.pendMu.Lock()
@@ -430,6 +507,85 @@ func (r *Registry) Deregister(name string) (bool, error) {
 		}
 	}
 	return true, nil
+}
+
+// Release removes a tenant from serving — live or pending — WITHOUT
+// touching its durable state: open handles (the WAL) are closed through
+// Durability.ReleaseTenant, but the manifest entry and on-disk WAL +
+// snapshots survive, because after a migration they belong to the
+// tenant's NEW owner. This is the old-owner half of a tenant handoff;
+// contrast Deregister, which deletes the tenant everywhere. Like
+// Deregister it drains any in-flight recovery of the name first, so a
+// release racing a first-touch recovery can never leave the tenant
+// serving from memory. A released name is simply unknown here afterwards:
+// a later Deregister on this node 404s and must NOT reach ForgetTenant —
+// that would delete the state the new owner is serving from.
+func (r *Registry) Release(name string) bool {
+	r.pendMu.Lock()
+	for {
+		c, running := r.recovering[name]
+		if !running {
+			break
+		}
+		r.pendMu.Unlock()
+		<-c.done
+		r.pendMu.Lock()
+	}
+	_, pend := r.pending[name]
+	delete(r.pending, name)
+	r.pendMu.Unlock()
+
+	s := r.stripe(name)
+	s.mu.Lock()
+	_, live := s.tenants[name]
+	delete(s.tenants, name)
+	s.mu.Unlock()
+	if !live && !pend {
+		return false
+	}
+	r.pendMu.Lock()
+	if r.released == nil {
+		r.released = make(map[string]bool)
+	}
+	r.released[name] = true
+	r.pendMu.Unlock()
+	r.qos.Drop(name)
+	if r.durability != nil {
+		r.durability.ReleaseTenant(name)
+	}
+	return true
+}
+
+// Readopt clears a prior Release handoff mark so the pending loader (or
+// a fresh AddPending) may adopt the name here again. Only the routing
+// tier calls it, at the moment ownership legitimately returns to this
+// node — the tenant's newer owner failed, or a rebalance mapped the
+// tenant back — which keeps the released-mark's split-brain protection
+// intact: a stray request on the old owner still cannot resurrect a
+// handed-off tenant by itself; only an explicit ownership assignment can.
+func (r *Registry) Readopt(name string) {
+	r.pendMu.Lock()
+	delete(r.released, name)
+	r.pendMu.Unlock()
+}
+
+// LiveNames lists only materialized tenants — the ones this process has
+// actually recovered or registered and is serving from memory — sorted.
+// Pending manifest entries are excluded: in a fleet sharing one durable
+// store every node sees every tenant pending, and a rebalance needs to
+// know who is actually serving what.
+func (r *Registry) LiveNames() []string {
+	var out []string
+	for i := range r.stripes {
+		s := &r.stripes[i]
+		s.mu.RLock()
+		for name := range s.tenants {
+			out = append(out, name)
+		}
+		s.mu.RUnlock()
+	}
+	sort.Strings(out)
+	return out
 }
 
 // Names lists registered tenants — live and pending — sorted.
